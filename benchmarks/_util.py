@@ -1,0 +1,27 @@
+"""Benchmark output helper: print each experiment table and persist it
+under ``benchmarks/results/`` so the numbers EXPERIMENTS.md cites can be
+regenerated and diffed."""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.bench import ResultTable
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(experiment: str, table: ResultTable) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    rendered = table.render()
+    print()
+    print(rendered)
+    path = RESULTS_DIR / f"{experiment}.txt"
+    existing = path.read_text() if path.exists() else ""
+    block = rendered + "\n\n"
+    if table.title in existing:
+        # Replace the stale block for this table title.
+        parts = existing.split("\n\n")
+        parts = [p for p in parts if p and not p.startswith(table.title)]
+        existing = ("\n\n".join(parts) + "\n\n") if parts else ""
+    path.write_text(existing + block)

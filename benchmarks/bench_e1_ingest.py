@@ -1,0 +1,55 @@
+"""E1 — Ingest throughput: hybrid vs inlining vs edge vs CLOB.
+
+Paper context: the hybrid scheme stores every metadata attribute twice
+(CLOB + shredded rows), so its ingest cost is expected to sit above the
+single-representation schemes, with CLOB-only cheapest (one insert per
+document).  This quantifies the write-side price of the architecture
+whose read-side benefits E2/E3 measure.
+"""
+
+import pytest
+
+from repro.bench import ResultTable, empty_schemes, measure, throughput
+from repro.grid import LeadCorpusGenerator
+
+from _util import emit
+from conftest import BASE_CONFIG
+
+BATCH = 25
+
+DOCUMENTS = list(LeadCorpusGenerator(BASE_CONFIG).documents(BATCH))
+
+
+@pytest.mark.parametrize("scheme_name", ["hybrid", "inlining", "edge", "clob"])
+def test_ingest_batch(benchmark, scheme_name):
+    def setup():
+        schemes = empty_schemes(BASE_CONFIG, schemes=[scheme_name])
+        return (schemes[scheme_name],), {}
+
+    def run(scheme):
+        scheme.ingest_many(DOCUMENTS)
+
+    benchmark.pedantic(run, setup=setup, rounds=5)
+
+
+def test_e1_summary_table(benchmark):
+    """Regenerates the E1 comparison table (docs/second per scheme)."""
+
+    def build_table():
+        table = ResultTable(
+            f"E1 - ingest throughput ({BATCH} documents/batch)",
+            ["scheme", "seconds/batch", "docs/second"],
+        )
+        for name in ("hybrid", "inlining", "edge", "clob"):
+            def run():
+                scheme = empty_schemes(BASE_CONFIG, schemes=[name])[name]
+                scheme.ingest_many(DOCUMENTS)
+                return scheme
+
+            seconds, _ = measure(run, repeat=3)
+            table.add_row(name, seconds, throughput(BATCH, seconds))
+        emit("e1_ingest", table)
+        return table
+
+    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    assert len(table.rows) == 4

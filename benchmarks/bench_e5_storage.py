@@ -1,0 +1,63 @@
+"""E5 — Storage overhead of the dual (CLOB + rows) representation.
+
+Paper context (§2, §6): the hybrid stores each metadata attribute both
+verbatim and shredded — deliberately redundant.  §6 argues the overhead
+stays bounded because only one attribute exists on any root-to-leaf
+path (unlike [15], which CLOBs every interior node).  This experiment
+reports bytes and rows per scheme, plus the hybrid:clob ratio as the
+redundancy factor.
+"""
+
+import pytest
+
+from repro.bench import ResultTable
+
+from _util import emit
+from conftest import MID_CORPUS
+
+
+def test_e5_summary_table(benchmark, loaded_schemes):
+    def build_table():
+        table = ResultTable(
+            f"E5 - storage footprint ({MID_CORPUS} documents)",
+            ["scheme", "rows", "bytes", "bytes/doc", "vs clob"],
+        )
+        clob_bytes = loaded_schemes["clob"].total_bytes()
+        for name in ("hybrid", "inlining", "edge", "clob"):
+            scheme = loaded_schemes[name]
+            total = scheme.total_bytes()
+            table.add_row(
+                name,
+                scheme.total_rows(),
+                total,
+                total / MID_CORPUS,
+                f"{total / clob_bytes:.2f}x",
+            )
+        emit("e5_storage", table)
+        return table
+
+    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    by_name = {row[0]: row[2] for row in table.rows}
+    # The dual representation costs more than raw text but must stay
+    # within a small constant factor of it (single attribute per path).
+    assert by_name["hybrid"] > by_name["clob"]
+    assert by_name["hybrid"] < 4 * by_name["clob"]
+
+
+def test_e5_breakdown_table(benchmark, loaded_schemes):
+    """Per-table breakdown of the hybrid store: how the footprint splits
+    between the CLOB side and the query side."""
+
+    def build_table():
+        table = ResultTable(
+            "E5 - hybrid store per-table breakdown",
+            ["table", "rows", "bytes"],
+        )
+        for name, rows, size in loaded_schemes["hybrid"].storage_report():
+            table.add_row(name, rows, size)
+        emit("e5_storage", table)
+        return table
+
+    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    names = [row[0] for row in table.rows]
+    assert "clobs" in names and "elements" in names

@@ -1,0 +1,101 @@
+"""E7 — Ordering ablation: schema-level vs per-document orderings [19].
+
+Paper claim (§2, §6): because everything repeatable lives inside
+metadata attributes, one ordering computed per *schema* replaces the
+per-document total orderings of Tatarinov et al., and "we avoid the
+update costs of maintaining a total ordering by document".  This
+experiment measures (a) key-assignment time per document and (b) the
+number of keys rewritten by a middle insert, for all four strategies.
+"""
+
+import pytest
+
+from repro.core import (
+    DeweyOrdering,
+    GlobalDocumentOrdering,
+    LocalOrdering,
+    SchemaLevelOrdering,
+)
+from repro.bench import ResultTable, measure
+from repro.grid import CorpusConfig, LeadCorpusGenerator, lead_schema
+from repro.xmlkit import parse
+
+from _util import emit
+
+THEME_COUNTS = [5, 20, 80]
+
+
+def document_with_themes(count: int):
+    config = CorpusConfig(seed=7, themes=count, keys_per_theme=2,
+                          dynamic_groups=1, dynamic_depth=2)
+    return parse(LeadCorpusGenerator(config).document(0)).root
+
+
+def strategies():
+    schema = lead_schema()
+    return [
+        SchemaLevelOrdering(schema),
+        GlobalDocumentOrdering(),
+        LocalOrdering(),
+        DeweyOrdering(),
+    ]
+
+
+@pytest.mark.parametrize("strategy_index", range(4), ids=["schema", "global", "local", "dewey"])
+def test_assign_keys(benchmark, strategy_index):
+    strategy = strategies()[strategy_index]
+    root = document_with_themes(20)
+    benchmark(lambda: strategy.assign(root))
+
+
+def test_e7_insert_cost_table(benchmark):
+    """Keys rewritten when inserting a new theme instance in the middle
+    of the keyword list — the update the paper's lineage example makes
+    realistic."""
+
+    def build_table():
+        table = ResultTable(
+            "E7 - keys rewritten by a middle insert (new theme at position 1)",
+            ["themes", "schema-level", "global-doc", "local", "dewey"],
+        )
+        for count in THEME_COUNTS:
+            root = document_with_themes(count)
+            keywords = root.find("data").find("idinfo").find("keywords")
+            row = [count]
+            for strategy in strategies():
+                row.append(strategy.insert_cost(root, keywords, 1))
+            table.add_row(*row)
+        emit("e7_ordering", table)
+        return table
+
+    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    for row in table.rows:
+        _themes, schema_cost, global_cost, local_cost, dewey_cost = row
+        assert schema_cost < global_cost
+        assert schema_cost < local_cost
+        assert schema_cost < dewey_cost
+
+
+def test_e7_assignment_time_table(benchmark):
+    def build_table():
+        table = ResultTable(
+            "E7 - key assignment time (ms per document)",
+            ["themes", "schema-level", "global-doc", "local", "dewey"],
+        )
+        for count in THEME_COUNTS:
+            root = document_with_themes(count)
+            row = [count]
+            for strategy in strategies():
+                seconds, _ = measure(lambda s=strategy: s.assign(root), repeat=3)
+                row.append(seconds * 1000.0)
+            table.add_row(*row)
+        emit("e7_ordering", table)
+        return table
+
+    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    # Schema-level ordering keys only the at-or-above-attribute nodes,
+    # so it assigns fewer keys than any full-document strategy.
+    root = document_with_themes(THEME_COUNTS[-1])
+    schema_keys = len(strategies()[0].assign(root))
+    global_keys = len(strategies()[1].assign(root))
+    assert schema_keys < global_keys

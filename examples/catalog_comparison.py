@@ -1,0 +1,76 @@
+"""Side-by-side comparison of the four storage schemes.
+
+Loads the hybrid catalog and the three §6 baselines (inlining, edge
+table, whole-document CLOB) with the same synthetic LEAD corpus, checks
+they answer identically, and prints latency and storage comparisons —
+a miniature of benchmarks E1/E2/E5.
+
+Run:  python examples/catalog_comparison.py
+"""
+
+import time
+
+from repro.bench import ResultTable, build_schemes, measure, throughput
+from repro.grid import CorpusConfig, PlantedMarker, WorkloadGenerator
+
+DOCS = 80
+QUERIES = 12
+
+config = CorpusConfig(
+    seed=42,
+    themes=2,
+    dynamic_groups=2,
+    dynamic_depth=3,
+    planted=[PlantedMarker("campaign_2006_spring", 8)],
+)
+
+
+def main() -> None:
+    print(f"building 4 schemes with {DOCS} generated documents ...")
+    start = time.perf_counter()
+    schemes = build_schemes(config, DOCS)
+    print(f"  done in {time.perf_counter() - start:.2f}s")
+
+    workload = WorkloadGenerator(config).mixed(QUERIES)
+
+    # Correctness: every scheme answers every query identically.
+    disagreements = 0
+    for query in workload:
+        expected = schemes["hybrid"].query(query)
+        for name in ("inlining", "edge", "clob"):
+            if schemes[name].query(query) != expected:
+                disagreements += 1
+    print(f"\nquery agreement across schemes: "
+          f"{QUERIES - disagreements}/{QUERIES} identical result sets")
+
+    # Latency comparison.
+    table = ResultTable(
+        f"query latency ({QUERIES}-query mix over {DOCS} docs)",
+        ["scheme", "ms/mix", "queries/s"],
+    )
+    for name, scheme in schemes.items():
+        seconds, _ = measure(
+            lambda s=scheme: [s.query(q) for q in workload], repeat=3
+        )
+        table.add_row(name, seconds * 1000, throughput(QUERIES, seconds))
+    print()
+    print(table.render())
+
+    # Storage comparison.
+    table = ResultTable("storage footprint", ["scheme", "rows", "bytes"])
+    for name, scheme in schemes.items():
+        table.add_row(name, scheme.total_rows(), scheme.total_bytes())
+    print()
+    print(table.render())
+
+    # Reconstruction sanity for one object.
+    from repro.xmlkit import canonical, parse
+
+    reference = canonical(parse(schemes["hybrid"].fetch([1])[1]))
+    for name in ("inlining", "edge", "clob"):
+        same = canonical(parse(schemes[name].fetch([1])[1])) == reference
+        print(f"reconstruction({name}) canonically equals hybrid: {same}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Guided query construction — the §4 "GUI query tool" surrogate.
+
+The paper: "there is a GUI query tool available that prompts the user
+with the available attributes and elements and allows them to build a
+query graphically."  This example drives :class:`QueryBuilder`, which
+provides exactly that interaction model programmatically: it *offers*
+the queryable attributes/elements from the definition registry and
+validates every step.
+
+Run:  python examples/guided_query.py
+"""
+
+from repro.core import HybridCatalog, Op, QueryBuilder
+from repro.grid import FIG3_DOCUMENT, define_fig3_attributes, lead_schema
+
+
+def main() -> None:
+    catalog = HybridCatalog(lead_schema())
+    define_fig3_attributes(catalog)
+    catalog.ingest(FIG3_DOCUMENT, name="fig3")
+
+    builder = QueryBuilder(catalog.registry)
+
+    print("What the picker would offer (top-level queryable attributes):")
+    for choice in builder.attribute_choices():
+        kind = "structural" if choice.structural else "dynamic"
+        print(f"  {choice.label:<24} [{kind}]  elements: "
+              f"{[e[0] for e in choice.elements][:4]}")
+
+    grid = catalog.registry.lookup_attribute("grid", "ARPS")
+    print("\nSub-attributes offered under grid/ARPS:")
+    for choice in builder.attribute_choices(parent=grid):
+        print(f"  {choice.label}  elements: {[e[0] for e in choice.elements]}")
+
+    print("\nBuilding the paper's example query step by step:")
+    query = (
+        builder
+        .start("grid", "ARPS")
+        .element("dx", 1000, Op.EQ)
+        .sub("grid-stretching")
+        .element("dzmin", 100)
+        .build()
+    )
+    print("  grid/ARPS [dx = 1000] / grid-stretching [dzmin = 100]")
+    print(f"  matches: {catalog.query(query)}")
+
+    print("\nValidation happens at construction time:")
+    try:
+        QueryBuilder(catalog.registry).start("grid", "ARPS").element("bogus", 1)
+    except Exception as exc:
+        print(f"  element('bogus', 1) -> {exc}")
+    try:
+        QueryBuilder(catalog.registry).start("grid", "ARPS").element("dx", "wide")
+    except Exception as exc:
+        print(f"  element('dx', 'wide') -> {exc}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Print the annotated LEAD schema of Figure 2.
+
+Shows the metadata-attribute partition (bolded/italicized in the paper)
+and the schema-level global ordering (the circled numbers), plus the
+catalog's global-ordering table with last-child orders.
+
+Run:  python examples/show_lead_schema.py
+"""
+
+from repro.core import ancestor_pairs
+from repro.grid import lead_schema
+
+
+def main() -> None:
+    schema = lead_schema()
+
+    print("Annotated LEAD schema (Figure 2):")
+    print(schema.describe())
+
+    print("\nGlobal-ordering table (order, tag, last-child order):")
+    for node in schema.ordered_nodes:
+        print(f"  {node.order:>3}  {node.tag:<14} last_child={node.last_child_order}")
+
+    print("\nNode-ancestor inverted list (node -> ancestor), used by the")
+    print("response builder to find required wrapper tags:")
+    pairs = ancestor_pairs(schema.ordered_nodes)
+    for node_order, anc_order in pairs[:12]:
+        node = schema.node_by_order(node_order)
+        anc = schema.node_by_order(anc_order)
+        print(f"  {node.tag:<14} -> {anc.tag}")
+    print(f"  ... ({len(pairs)} pairs total)")
+
+    print(f"\nqueryable attributes: "
+          f"{[n.tag for n in schema.attributes() if n.queryable]}")
+    dynamic = [n.tag for n in schema.attributes() if n.dynamic is not None]
+    print(f"dynamic attribute sections: {dynamic}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""A LEAD-style forecasting campaign on the myLEAD service.
+
+Two scientists run ARPS/WRF forecast experiments.  Model parameters
+come from real Fortran namelist fragments (the paper's §3 motivation
+for dynamic metadata attributes); files stay private until published;
+queries respect visibility and per-user definitions.
+
+Run:  python examples/weather_campaign.py
+"""
+
+from repro import AttributeCriteria, ObjectQuery, Op
+from repro.grid import (
+    MyLeadService,
+    lead_schema,
+    namelist_to_detailed,
+    parse_namelist,
+    register_namelist_definitions,
+)
+from repro.xmlkit import element, pretty_print
+
+ARPS_NAMELIST = """
+&grid
+  nx = 67, ny = 67, nz = 35,
+  dx = 1000.0, dy = 1000.0, dz = 500.0,
+  strhopt = 1, dzmin = 100.0,
+/
+&timestep
+  dtbig = 6.0, dtsml = 1.0, tstop = 21600.0,
+/
+"""
+
+HIGH_RES_NAMELIST = ARPS_NAMELIST.replace("dx = 1000.0", "dx = 250.0").replace(
+    "dy = 1000.0", "dy = 250.0"
+)
+
+
+def forecast_document(resource_id: str, keywords, namelist_text: str) -> str:
+    """Assemble a LEAD metadata document for one forecast run."""
+    theme = element("theme", element("themekt", "CF NetCDF"))
+    for keyword in keywords:
+        theme.append(element("themekey", keyword))
+    eainfo = element("eainfo")
+    for group in parse_namelist(namelist_text):
+        eainfo.append(namelist_to_detailed(group, "ARPS"))
+    doc = element(
+        "LEADresource",
+        element("resourceID", resource_id),
+        element(
+            "data",
+            element("idinfo", element("keywords", theme)),
+            element("geospatial", eainfo),
+        ),
+    )
+    return pretty_print(doc)
+
+
+def main() -> None:
+    service = MyLeadService(lead_schema())
+    ann = service.create_user("ann")
+    bob = service.create_user("bob")
+
+    # Register the ARPS namelist vocabulary once, at admin scope.
+    register_namelist_definitions(
+        service.catalog, parse_namelist(ARPS_NAMELIST), "ARPS"
+    )
+
+    # Ann runs a tornado-outbreak study; one run published, one private.
+    study = service.create_experiment("ann", "tornado-outbreak-study")
+    published = service.add_file(
+        "ann",
+        study,
+        forecast_document(
+            "lead:ann:run-001",
+            ["convective_precipitation_amount", "tornado_probability"],
+            ARPS_NAMELIST,
+        ),
+        name="run-001",
+        public=True,
+    )
+    private = service.add_file(
+        "ann",
+        study,
+        forecast_document(
+            "lead:ann:run-002",
+            ["tornado_probability"],
+            HIGH_RES_NAMELIST,
+        ),
+        name="run-002 (unpublished high-res)",
+    )
+    print(f"ann cataloged runs {published.object_id} (public) and "
+          f"{private.object_id} (private) in '{study.name}'")
+
+    # Bob searches for kilometre-scale runs: dx <= 1000 m.
+    query = ObjectQuery().add_attribute(
+        AttributeCriteria("grid", "ARPS").add_element("dx", "ARPS", 1000.0, Op.LE)
+    )
+    print(f"\nbob's search (dx <= 1000): objects {service.query('bob', query)}")
+    print(f"ann's same search:         objects {service.query('ann', query)}")
+
+    # Ann publishes the high-res run; bob now sees both.
+    service.publish("ann", private.object_id)
+    print(f"after publishing:          objects {service.query('bob', query)}")
+
+    # Full responses round-trip through the hybrid store.
+    for xml in service.search("bob", query):
+        first_line = xml.split("\n", 1)[0] if "\n" in xml else xml[:70]
+        print(f"  response starts: {first_line[:70]}...")
+
+    # Experiment containment view.
+    print(f"\n'{study.name}' contents visible to bob: "
+          f"{service.experiment_contents('bob', study)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim so ``pip install -e .`` works without the ``wheel``
+package in offline environments (pip falls back to ``setup.py develop``)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,11 @@
+"""``repro.backends`` — interchangeable hybrid-store backends (S3).
+
+The in-memory backend lives with the core
+(:class:`repro.core.storage.MemoryHybridStore`); this package adds
+:class:`SqliteHybridStore`, the same layout and plans on stdlib sqlite,
+used for cross-validation (tests) and backend benchmarking (E9).
+"""
+
+from .sqlite import SqliteHybridStore
+
+__all__ = ["SqliteHybridStore"]

@@ -1,0 +1,622 @@
+"""Hybrid store on stdlib :mod:`sqlite3` (system S3).
+
+The identical table layout as :class:`MemoryHybridStore`, with the
+Fig-4 count-matching plan and the §5 response builder expressed as
+actual SQL:
+
+* query criteria land in temp tables (paper §4: "the metadata criteria
+  are inserted into temporary tables");
+* element matching is one ``JOIN ... WHERE`` statement whose operator
+  dispatch is a disjunction over the criterion's stored op;
+* direct-count matching is ``GROUP BY ... HAVING COUNT(DISTINCT ...)``;
+* containment is one set-based ``DELETE ... WHERE NOT EXISTS`` per
+  criteria edge, joining the sub-attribute inverted list — no recursive
+  SQL;
+* responses are produced by a single ``UNION ALL`` event query over the
+  ancestor inverted list, the global-ordering table, and the CLOB
+  table, ordered so the rows concatenate directly into tagged XML ("no
+  final tagging is needed at the server").
+
+Equivalence with the memory store is property-tested
+(``tests/integration/test_backend_equivalence.py``) and measured in
+bench E9.
+"""
+
+from __future__ import annotations
+
+import itertools
+import sqlite3
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.definitions import DefinitionRegistry
+from ..core.ordering import ancestor_pairs
+from ..core.schema import AnnotatedSchema
+from ..core.shredder import ShredResult
+from ..core.storage import HybridStore, PlanTrace
+from ..errors import CatalogError
+
+_DDL = """
+CREATE TABLE objects (
+    object_id INTEGER PRIMARY KEY,
+    name TEXT,
+    owner TEXT
+);
+CREATE TABLE clobs (
+    object_id INTEGER NOT NULL,
+    schema_order INTEGER NOT NULL,
+    clob_seq INTEGER NOT NULL,
+    content TEXT NOT NULL,
+    PRIMARY KEY (object_id, schema_order, clob_seq)
+);
+CREATE TABLE attributes (
+    object_id INTEGER NOT NULL,
+    attr_id INTEGER NOT NULL,
+    seq_id INTEGER NOT NULL,
+    clob_order INTEGER NOT NULL,
+    clob_seq INTEGER NOT NULL,
+    PRIMARY KEY (object_id, attr_id, seq_id)
+);
+CREATE INDEX attributes_by_def ON attributes (attr_id);
+CREATE TABLE elements (
+    object_id INTEGER NOT NULL,
+    attr_id INTEGER NOT NULL,
+    seq_id INTEGER NOT NULL,
+    elem_id INTEGER NOT NULL,
+    elem_seq INTEGER NOT NULL,
+    value_text TEXT,
+    value_num REAL
+);
+CREATE INDEX elements_by_def ON elements (elem_id, value_num, value_text);
+CREATE TABLE attr_ancestors (
+    object_id INTEGER NOT NULL,
+    desc_attr_id INTEGER NOT NULL,
+    desc_seq INTEGER NOT NULL,
+    anc_attr_id INTEGER NOT NULL,
+    anc_seq INTEGER NOT NULL,
+    distance INTEGER NOT NULL
+);
+CREATE INDEX anc_by_pair ON attr_ancestors (desc_attr_id, anc_attr_id);
+CREATE TABLE schema_order (
+    node_order INTEGER PRIMARY KEY,
+    tag TEXT NOT NULL,
+    last_child_order INTEGER NOT NULL
+);
+CREATE TABLE node_ancestors (
+    node_order INTEGER NOT NULL,
+    ancestor_order INTEGER NOT NULL
+);
+CREATE INDEX node_anc_by_node ON node_ancestors (node_order);
+CREATE TABLE attr_defs (
+    attr_id INTEGER PRIMARY KEY,
+    name TEXT NOT NULL,
+    source TEXT NOT NULL,
+    parent_id INTEGER,
+    schema_order INTEGER NOT NULL,
+    scope TEXT NOT NULL,
+    queryable INTEGER NOT NULL,
+    structural INTEGER NOT NULL
+);
+CREATE TABLE elem_defs (
+    elem_id INTEGER PRIMARY KEY,
+    attr_id INTEGER NOT NULL,
+    name TEXT NOT NULL,
+    source TEXT NOT NULL,
+    value_type TEXT NOT NULL,
+    scope TEXT NOT NULL
+);
+"""
+
+_BIG_SEQ = 1 << 60
+
+
+class SqliteHybridStore(HybridStore):
+    """The hybrid layout and plans on a real RDBMS (sqlite)."""
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.connection = sqlite3.connect(path)
+        self.connection.execute("PRAGMA journal_mode = MEMORY")
+        self.connection.execute("PRAGMA synchronous = OFF")
+        self.schema: Optional[AnnotatedSchema] = None
+        self._temp_ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # DDL / definitions
+    # ------------------------------------------------------------------
+    def is_initialized(self) -> bool:
+        row = self.connection.execute(
+            "SELECT 1 FROM sqlite_master WHERE type = 'table' AND name = 'objects'"
+        ).fetchone()
+        return row is not None
+
+    def attach_schema(self, schema: AnnotatedSchema) -> None:
+        """Bind ``schema`` to a reopened catalog file, verifying the
+        stored global ordering matches it exactly."""
+        if self.schema is not None:
+            raise CatalogError("schema already installed")
+        stored = self.connection.execute(
+            "SELECT node_order, tag, last_child_order FROM schema_order "
+            "ORDER BY node_order"
+        ).fetchall()
+        expected = [
+            (n.order, n.tag, n.last_child_order) for n in schema.ordered_nodes
+        ]
+        if stored != expected:
+            raise CatalogError(
+                "the catalog file was created with a different schema "
+                f"({len(stored)} stored ordered nodes vs {len(expected)})"
+            )
+        self.schema = schema
+
+    def load_definition_rows(self):
+        attr_rows = self.connection.execute(
+            "SELECT attr_id, name, source, parent_id, schema_order, scope, "
+            "queryable, structural FROM attr_defs"
+        ).fetchall()
+        elem_rows = self.connection.execute(
+            "SELECT elem_id, attr_id, name, source, value_type, scope FROM elem_defs"
+        ).fetchall()
+        return attr_rows, elem_rows
+
+    def load_objects(self):
+        return self.connection.execute(
+            "SELECT object_id, name, owner FROM objects ORDER BY object_id"
+        ).fetchall()
+
+    def install_schema(self, schema: AnnotatedSchema) -> None:
+        if self.schema is not None:
+            raise CatalogError("schema already installed")
+        cur = self.connection
+        self.schema = schema
+        cur.executescript(_DDL)
+        cur.executemany(
+            "INSERT INTO schema_order VALUES (?, ?, ?)",
+            [(n.order, n.tag, n.last_child_order) for n in schema.ordered_nodes],
+        )
+        cur.executemany(
+            "INSERT INTO node_ancestors VALUES (?, ?)",
+            ancestor_pairs(schema.ordered_nodes),
+        )
+        cur.commit()
+
+    def sync_definitions(self, registry: DefinitionRegistry) -> None:
+        cur = self.connection
+        cur.executemany(
+            "INSERT OR IGNORE INTO attr_defs VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            [
+                (d.attr_id, d.name, d.source, d.parent_id, d.schema_order,
+                 d.scope, int(d.queryable), int(d.structural))
+                for d in registry.all_attributes()
+            ],
+        )
+        cur.executemany(
+            "INSERT OR IGNORE INTO elem_defs VALUES (?, ?, ?, ?, ?, ?)",
+            [
+                (e.elem_id, e.attr_id, e.name, e.source, e.value_type.value, e.scope)
+                for e in registry.all_elements()
+            ],
+        )
+        cur.commit()
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def store_object(self, object_id: int, name: str, owner: str, shred: ShredResult) -> None:
+        self.connection.execute(
+            "INSERT INTO objects VALUES (?, ?, ?)", (object_id, name, owner)
+        )
+        self.append_rows(object_id, shred)
+
+    def append_rows(self, object_id: int, shred: ShredResult) -> None:
+        cur = self.connection
+        cur.executemany(
+            "INSERT INTO clobs VALUES (?, ?, ?, ?)",
+            [(object_id, c.schema_order, c.clob_seq, c.text) for c in shred.clobs],
+        )
+        cur.executemany(
+            "INSERT INTO attributes VALUES (?, ?, ?, ?, ?)",
+            [
+                (object_id, a.attr_id, a.seq_id, a.clob_order, a.clob_seq)
+                for a in shred.attributes
+            ],
+        )
+        cur.executemany(
+            "INSERT INTO elements VALUES (?, ?, ?, ?, ?, ?, ?)",
+            [
+                (object_id, e.attr_id, e.seq_id, e.elem_id, e.elem_seq,
+                 e.value_text, e.value_num)
+                for e in shred.elements
+            ],
+        )
+        cur.executemany(
+            "INSERT INTO attr_ancestors VALUES (?, ?, ?, ?, ?, ?)",
+            [
+                (object_id, i.desc_attr_id, i.desc_seq, i.anc_attr_id,
+                 i.anc_seq, i.distance)
+                for i in shred.inverted
+            ],
+        )
+        cur.commit()
+
+    def delete_object(self, object_id: int) -> None:
+        if not self.has_object(object_id):
+            raise CatalogError(f"no object {object_id}")
+        cur = self.connection
+        for table in ("objects", "clobs", "attributes", "elements", "attr_ancestors"):
+            cur.execute(f"DELETE FROM {table} WHERE object_id = ?", (object_id,))
+        cur.commit()
+
+    def has_object(self, object_id: int) -> bool:
+        row = self.connection.execute(
+            "SELECT 1 FROM objects WHERE object_id = ?", (object_id,)
+        ).fetchone()
+        return row is not None
+
+    def object_count(self) -> int:
+        return self.connection.execute("SELECT COUNT(*) FROM objects").fetchone()[0]
+
+    def max_clob_seq(self, object_id: int, schema_order: int) -> int:
+        row = self.connection.execute(
+            "SELECT MAX(clob_seq) FROM clobs WHERE object_id = ? AND schema_order = ?",
+            (object_id, schema_order),
+        ).fetchone()
+        return row[0] or 0
+
+    def instance_counts(self, object_id: int) -> Dict[int, int]:
+        rows = self.connection.execute(
+            "SELECT attr_id, MAX(seq_id) FROM attributes WHERE object_id = ? "
+            "GROUP BY attr_id",
+            (object_id,),
+        ).fetchall()
+        return {attr_id: seq for attr_id, seq in rows}
+
+    def remove_attribute_instance(
+        self, object_id: int, attr_id: int, seq_id: int
+    ) -> None:
+        cur = self.connection
+        target = cur.execute(
+            "SELECT clob_order, clob_seq FROM attributes "
+            "WHERE object_id = ? AND attr_id = ? AND seq_id = ?",
+            (object_id, attr_id, seq_id),
+        ).fetchone()
+        if target is None:
+            raise CatalogError(
+                f"object {object_id} has no instance {seq_id} of attribute "
+                f"{attr_id}"
+            )
+        clob_order, clob_seq = target
+        if clob_seq < 1:
+            raise CatalogError(
+                "only top-level attribute instances can be removed; "
+                f"attribute {attr_id} instance {seq_id} is a sub-attribute"
+            )
+        victims = [(attr_id, seq_id)] + cur.execute(
+            "SELECT desc_attr_id, desc_seq FROM attr_ancestors "
+            "WHERE object_id = ? AND anc_attr_id = ? AND anc_seq = ? "
+            "AND distance >= 1",
+            (object_id, attr_id, seq_id),
+        ).fetchall()
+        for victim_attr, victim_seq in victims:
+            key = (object_id, victim_attr, victim_seq)
+            cur.execute(
+                "DELETE FROM attributes WHERE object_id = ? AND attr_id = ? "
+                "AND seq_id = ?",
+                key,
+            )
+            cur.execute(
+                "DELETE FROM elements WHERE object_id = ? AND attr_id = ? "
+                "AND seq_id = ?",
+                key,
+            )
+            cur.execute(
+                "DELETE FROM attr_ancestors WHERE object_id = ? AND "
+                "desc_attr_id = ? AND desc_seq = ?",
+                key,
+            )
+            cur.execute(
+                "DELETE FROM attr_ancestors WHERE object_id = ? AND "
+                "anc_attr_id = ? AND anc_seq = ?",
+                key,
+            )
+        cur.execute(
+            "DELETE FROM clobs WHERE object_id = ? AND schema_order = ? "
+            "AND clob_seq = ?",
+            (object_id, clob_order, clob_seq),
+        )
+        cur.commit()
+
+    # ------------------------------------------------------------------
+    # Query (Fig 4 in SQL)
+    # ------------------------------------------------------------------
+    def match_objects(self, shredded_query, trace: Optional[PlanTrace] = None) -> List[int]:
+        if trace is None:
+            trace = PlanTrace()
+        suffix = next(self._temp_ids)
+        qa, qe, qm, qs, qv = (
+            f"q_attrs_{suffix}", f"q_elems_{suffix}",
+            f"q_matches_{suffix}", f"q_satisfied_{suffix}",
+            f"q_values_{suffix}",
+        )
+        cur = self.connection
+        cur.execute(
+            f"CREATE TEMP TABLE {qa} (qattr_id INTEGER PRIMARY KEY, attr_def_id INTEGER,"
+            " parent_qattr_id INTEGER, depth INTEGER, direct_count INTEGER)"
+        )
+        cur.execute(
+            f"CREATE TEMP TABLE {qe} (qelem_id INTEGER PRIMARY KEY, qattr_id INTEGER,"
+            " elem_def_id INTEGER, op TEXT, value_text TEXT, value_num REAL,"
+            " numeric INTEGER)"
+        )
+        # Accepted-value list for IN_SET criteria (ontology expansion).
+        cur.execute(
+            f"CREATE TEMP TABLE {qv} (qelem_id INTEGER, value_text TEXT,"
+            " value_num REAL)"
+        )
+        cur.executemany(
+            f"INSERT INTO {qa} VALUES (?, ?, ?, ?, ?)",
+            [
+                (q.qattr_id, q.attr_def_id, q.parent_qattr_id, q.depth, q.direct_elem_count)
+                for q in shredded_query.qattrs
+            ],
+        )
+        cur.executemany(
+            f"INSERT INTO {qe} VALUES (?, ?, ?, ?, ?, ?, ?)",
+            [
+                (e.qelem_id, e.qattr_id, e.elem_def_id, e.op.value, e.value_text,
+                 e.value_num, int(e.numeric))
+                for e in shredded_query.qelems
+            ],
+        )
+        value_rows = []
+        for e in shredded_query.qelems:
+            if e.value_set is not None:
+                for value in e.value_set:
+                    if e.numeric:
+                        value_rows.append((e.qelem_id, None, value))
+                    else:
+                        value_rows.append((e.qelem_id, value, None))
+        if value_rows:
+            cur.executemany(f"INSERT INTO {qv} VALUES (?, ?, ?)", value_rows)
+        trace.add(
+            "query-criteria",
+            len(shredded_query.qattrs) + len(shredded_query.qelems),
+            f"{len(shredded_query.qattrs)} attribute, "
+            f"{len(shredded_query.qelems)} element criteria"
+            + (" (simplified plan)" if shredded_query.simple else ""),
+        )
+
+        # Stage 1: elements meeting criteria (one set-based join).
+        cur.execute(
+            f"""
+            CREATE TEMP TABLE {qm} AS
+            SELECT e.object_id AS object_id, e.attr_id AS attr_id,
+                   e.seq_id AS seq_id, q.qattr_id AS qattr_id,
+                   q.qelem_id AS qelem_id
+            FROM elements e
+            JOIN {qe} q ON e.elem_id = q.elem_def_id
+            WHERE (q.numeric = 1 AND e.value_num IS NOT NULL AND (
+                       (q.op = '='  AND e.value_num =  q.value_num)
+                    OR (q.op = '!=' AND e.value_num <> q.value_num)
+                    OR (q.op = '<'  AND e.value_num <  q.value_num)
+                    OR (q.op = '<=' AND e.value_num <= q.value_num)
+                    OR (q.op = '>'  AND e.value_num >  q.value_num)
+                    OR (q.op = '>=' AND e.value_num >= q.value_num)))
+               OR (q.numeric = 0 AND e.value_text IS NOT NULL AND (
+                       (q.op = '='  AND e.value_text =  q.value_text)
+                    OR (q.op = '!=' AND e.value_text <> q.value_text)
+                    OR (q.op = '<'  AND e.value_text <  q.value_text)
+                    OR (q.op = '<=' AND e.value_text <= q.value_text)
+                    OR (q.op = '>'  AND e.value_text >  q.value_text)
+                    OR (q.op = '>=' AND e.value_text >= q.value_text)
+                    OR (q.op = 'contains' AND instr(e.value_text, q.value_text) > 0)))
+               OR (q.op = 'in' AND EXISTS (
+                       SELECT 1 FROM {qv} v
+                       WHERE v.qelem_id = q.qelem_id
+                         AND ((q.numeric = 1 AND v.value_num = e.value_num)
+                           OR (q.numeric = 0 AND v.value_text = e.value_text))))
+            """
+        )
+        match_rows = cur.execute(f"SELECT COUNT(*) FROM {qm}").fetchone()[0]
+        trace.add("elements-meeting-criteria", match_rows)
+
+        if shredded_query.simple:
+            # §4's simplified plan: single-instance attributes, no
+            # sub-attribute criteria — group by object directly and skip
+            # the inverted-list stage entirely.
+            cur.execute(
+                f"""
+                CREATE TEMP TABLE {qs} AS
+                SELECT m.qattr_id AS qattr_id, m.object_id AS object_id,
+                       0 AS seq_id
+                FROM {qm} m
+                JOIN {qa} qa ON qa.qattr_id = m.qattr_id
+                GROUP BY m.qattr_id, m.object_id
+                HAVING COUNT(DISTINCT m.qelem_id) = MAX(qa.direct_count)
+                """
+            )
+            cur.execute(
+                f"""
+                INSERT INTO {qs}
+                SELECT DISTINCT qa.qattr_id, a.object_id, 0
+                FROM {qa} qa
+                JOIN attributes a ON a.attr_id = qa.attr_def_id
+                WHERE qa.direct_count = 0
+                """
+            )
+            direct_rows = cur.execute(f"SELECT COUNT(*) FROM {qs}").fetchone()[0]
+            trace.add("attributes-direct", direct_rows)
+            tops = shredded_query.top_qattr_ids
+            marks = ", ".join("?" for _ in tops)
+            rows = cur.execute(
+                f"""
+                SELECT object_id FROM {qs}
+                WHERE qattr_id IN ({marks})
+                GROUP BY object_id
+                HAVING COUNT(DISTINCT qattr_id) = ?
+                ORDER BY object_id
+                """,
+                [*tops, len(tops)],
+            ).fetchall()
+            for table in (qa, qe, qm, qs, qv):
+                cur.execute(f"DROP TABLE {table}")
+            object_ids = [row[0] for row in rows]
+            trace.add("object-ids", len(object_ids))
+            return object_ids
+
+        # Stage 2: direct count matching + existence-only candidates.
+        cur.execute(
+            f"""
+            CREATE TEMP TABLE {qs} AS
+            SELECT m.qattr_id AS qattr_id, m.object_id AS object_id,
+                   m.seq_id AS seq_id
+            FROM {qm} m
+            JOIN {qa} qa ON qa.qattr_id = m.qattr_id
+            GROUP BY m.qattr_id, m.object_id, m.seq_id
+            HAVING COUNT(DISTINCT m.qelem_id) = MAX(qa.direct_count)
+            """
+        )
+        cur.execute(
+            f"""
+            INSERT INTO {qs}
+            SELECT qa.qattr_id, a.object_id, a.seq_id
+            FROM {qa} qa
+            JOIN attributes a ON a.attr_id = qa.attr_def_id
+            WHERE qa.direct_count = 0
+            """
+        )
+        direct_rows = cur.execute(f"SELECT COUNT(*) FROM {qs}").fetchone()[0]
+        trace.add("attributes-direct", direct_rows)
+
+        # Stage 3: containment, bottom-up over the criteria tree — one
+        # set-based DELETE per criteria edge, joining the inverted list.
+        for depth in range(shredded_query.max_depth(), -1, -1):
+            for qattr in shredded_query.qattrs:
+                if qattr.depth != depth or not qattr.child_qattr_ids:
+                    continue
+                for child_id in qattr.child_qattr_ids:
+                    child = shredded_query.qattr(child_id)
+                    cur.execute(
+                        f"""
+                        DELETE FROM {qs}
+                        WHERE qattr_id = ?
+                          AND NOT EXISTS (
+                            SELECT 1
+                            FROM attr_ancestors aa
+                            JOIN {qs} cs
+                              ON cs.qattr_id = ?
+                             AND cs.object_id = aa.object_id
+                             AND cs.seq_id = aa.desc_seq
+                            WHERE aa.desc_attr_id = ?
+                              AND aa.anc_attr_id = ?
+                              AND aa.distance >= 1
+                              AND aa.object_id = {qs}.object_id
+                              AND aa.anc_seq = {qs}.seq_id)
+                        """,
+                        (qattr.qattr_id, child_id, child.attr_def_id, qattr.attr_def_id),
+                    )
+        indirect_rows = cur.execute(f"SELECT COUNT(*) FROM {qs}").fetchone()[0]
+        trace.add("attributes-indirect", indirect_rows)
+
+        # Stage 4: the required number of satisfied top criteria.
+        tops = shredded_query.top_qattr_ids
+        marks = ", ".join("?" for _ in tops)
+        rows = cur.execute(
+            f"""
+            SELECT object_id FROM {qs}
+            WHERE qattr_id IN ({marks})
+            GROUP BY object_id
+            HAVING COUNT(DISTINCT qattr_id) = ?
+            ORDER BY object_id
+            """,
+            [*tops, len(tops)],
+        ).fetchall()
+        for table in (qa, qe, qm, qs, qv):
+            cur.execute(f"DROP TABLE {table}")
+        object_ids = [row[0] for row in rows]
+        trace.add("object-ids", len(object_ids))
+        return object_ids
+
+    # ------------------------------------------------------------------
+    # Response (§5 in SQL: one ordered UNION ALL event stream)
+    # ------------------------------------------------------------------
+    def build_responses(self, object_ids: Sequence[int]) -> Dict[int, str]:
+        assert self.schema is not None
+        suffix = next(self._temp_ids)
+        req = f"req_objects_{suffix}"
+        cur = self.connection
+        cur.execute(f"CREATE TEMP TABLE {req} (object_id INTEGER PRIMARY KEY)")
+        cur.executemany(
+            f"INSERT OR IGNORE INTO {req} VALUES (?)", [(i,) for i in object_ids]
+        )
+        rows = cur.execute(
+            f"""
+            WITH required AS (
+                SELECT DISTINCT c.object_id, na.ancestor_order
+                FROM clobs c
+                JOIN {req} r ON r.object_id = c.object_id
+                JOIN node_ancestors na ON na.node_order = c.schema_order
+            )
+            SELECT object_id, pos, seq, kind, tie, frag FROM (
+                SELECT q.object_id AS object_id, so.node_order AS pos,
+                       0 AS seq, 0 AS kind, -so.node_order AS tie,
+                       '<' || so.tag || '>' AS frag
+                FROM required q
+                JOIN schema_order so ON so.node_order = q.ancestor_order
+                UNION ALL
+                SELECT q.object_id, so.last_child_order, {_BIG_SEQ}, 2,
+                       -so.node_order, '</' || so.tag || '>'
+                FROM required q
+                JOIN schema_order so ON so.node_order = q.ancestor_order
+                UNION ALL
+                SELECT c.object_id, c.schema_order, c.clob_seq, 1, 0, c.content
+                FROM clobs c
+                JOIN {req} r ON r.object_id = c.object_id
+            )
+            ORDER BY object_id, pos, seq, kind, tie
+            """
+        ).fetchall()
+        responses: Dict[int, str] = {}
+        fragments: Dict[int, List[str]] = {}
+        for object_id, _pos, _seq, _kind, _tie, frag in rows:
+            fragments.setdefault(object_id, []).append(frag)
+        for object_id, frags in fragments.items():
+            responses[object_id] = "".join(frags)
+        # Objects that exist but have no CLOBs collapse to an empty root.
+        root_tag = self.schema.root.tag
+        present = cur.execute(
+            f"SELECT o.object_id FROM objects o JOIN {req} r ON r.object_id = o.object_id"
+        ).fetchall()
+        for (object_id,) in present:
+            if object_id not in responses:
+                responses[object_id] = f"<{root_tag}></{root_tag}>"
+        cur.execute(f"DROP TABLE {req}")
+        return responses
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def storage_report(self) -> List[Tuple[str, int, int]]:
+        report: List[Tuple[str, int, int]] = []
+        tables = [
+            row[0]
+            for row in self.connection.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'table'"
+            )
+        ]
+        for table in tables:
+            count = self.connection.execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0]
+            # Approximate byte accounting comparable to the memory store.
+            size = 0
+            for row in self.connection.execute(f"SELECT * FROM {table}"):
+                for value in row:
+                    if value is None:
+                        size += 1
+                    elif isinstance(value, str):
+                        size += len(value)
+                    else:
+                        size += 8
+            report.append((table, count, size))
+        report.sort(key=lambda item: item[2], reverse=True)
+        return report
+
+    def close(self) -> None:
+        self.connection.close()

@@ -1,0 +1,27 @@
+"""``repro.baselines`` — the related-work comparators (S11–S13).
+
+Each baseline implements :class:`~repro.baselines.base.CatalogScheme`,
+the same interface the hybrid catalog is adapted to, so benchmarks can
+swap schemes:
+
+* :class:`InliningCatalog` — shared schema inlining [14]
+* :class:`EdgeCatalog` — edge table + typed value tables [16][17]
+* :class:`ClobCatalog` — whole-document CLOBs [21][22]
+* :func:`evaluate_shredded_query` — the scan oracle used for
+  correctness testing and by the CLOB baseline's query path
+"""
+
+from .base import CatalogScheme, HybridScheme
+from .clob import ClobCatalog
+from .edge import EdgeCatalog
+from .inlining import InliningCatalog
+from .scan import evaluate_shredded_query
+
+__all__ = [
+    "CatalogScheme",
+    "ClobCatalog",
+    "EdgeCatalog",
+    "HybridScheme",
+    "InliningCatalog",
+    "evaluate_shredded_query",
+]

@@ -1,0 +1,70 @@
+"""Common interface for catalog schemes under comparison.
+
+Every scheme — the hybrid catalog and the three related-work baselines
+(§6: inlining [14], edge table [16][17], whole-document CLOB [21][22])
+— is driven through :class:`CatalogScheme` so the benchmark harness can
+swap them freely: ingest documents, run the same
+:class:`~repro.core.query.ObjectQuery` objects, reconstruct responses,
+and account storage.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.catalog import HybridCatalog
+from ..core.query import ObjectQuery
+
+
+class CatalogScheme(abc.ABC):
+    """A storage scheme for schema-based metadata documents."""
+
+    #: Short name used in benchmark tables.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def ingest(self, document: str, name: str = "") -> int:
+        """Store one document; returns the assigned object id."""
+
+    def ingest_many(self, documents: Sequence[str]) -> List[int]:
+        return [self.ingest(doc, name=f"object-{i}") for i, doc in enumerate(documents, 1)]
+
+    @abc.abstractmethod
+    def query(self, query: ObjectQuery) -> List[int]:
+        """Sorted ids of objects matching the attribute criteria."""
+
+    @abc.abstractmethod
+    def fetch(self, object_ids: Sequence[int]) -> Dict[int, str]:
+        """Reconstruct one XML document per object id."""
+
+    @abc.abstractmethod
+    def storage_report(self) -> List[Tuple[str, int, int]]:
+        """Per-table ``(name, rows, bytes)`` accounting."""
+
+    def total_bytes(self) -> int:
+        return sum(b for _n, _r, b in self.storage_report())
+
+    def total_rows(self) -> int:
+        return sum(r for _n, r, _b in self.storage_report())
+
+
+class HybridScheme(CatalogScheme):
+    """Adapter presenting :class:`HybridCatalog` as a scheme."""
+
+    name = "hybrid"
+
+    def __init__(self, catalog: HybridCatalog) -> None:
+        self.catalog = catalog
+
+    def ingest(self, document: str, name: str = "") -> int:
+        return self.catalog.ingest(document, name=name).object_id
+
+    def query(self, query: ObjectQuery) -> List[int]:
+        return self.catalog.query(query)
+
+    def fetch(self, object_ids: Sequence[int]) -> Dict[int, str]:
+        return self.catalog.fetch(object_ids)
+
+    def storage_report(self) -> List[Tuple[str, int, int]]:
+        return self.catalog.storage_report()

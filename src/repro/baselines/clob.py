@@ -1,0 +1,93 @@
+"""Whole-document CLOB baseline (paper §6: DB2 XML Column / Oracle 10g
+default storage [21][22]).
+
+The entire document is stored as one CLOB.  Retrieval is a passthrough
+(the strength the paper concedes: "the CLOB approach allows the
+document to be retrieved in its original form"), but **every query must
+parse and interpret every stored document** — there are no shredded
+rows to index.  Parsed shreds are evaluated with the same oracle
+semantics as the hybrid planner so results agree exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.definitions import DefinitionRegistry
+from ..core.query import ObjectQuery, shred_query
+from ..core.schema import AnnotatedSchema
+from ..core.shredder import Shredder
+from ..errors import CatalogError
+from ..relational import Database, clob, integer, text
+from ..xmlkit import parse
+from .base import CatalogScheme
+from .scan import evaluate_shredded_query
+
+
+class ClobCatalog(CatalogScheme):
+    """One CLOB per document; scan-and-parse queries."""
+
+    name = "clob"
+
+    def __init__(
+        self,
+        schema: AnnotatedSchema,
+        registry: Optional[DefinitionRegistry] = None,
+    ) -> None:
+        self.schema = schema
+        # The registry resolves query criteria names; sharing the hybrid
+        # catalog's registry keeps dynamic definitions identical across
+        # schemes in a comparison.
+        self.registry = registry if registry is not None else DefinitionRegistry(schema)
+        self.shredder = Shredder(schema, self.registry, on_unknown="store")
+        self.db = Database("clob")
+        self.documents = self.db.create_table(
+            "documents",
+            [integer("object_id", nullable=False), text("name"), clob("content", nullable=False)],
+            primary_key=["object_id"],
+        )
+        self._next_id = 1
+
+    def ingest(self, document: str, name: str = "") -> int:
+        # Parse on ingest purely to reject malformed input; the stored
+        # form is the raw text.
+        parse(document)
+        object_id = self._next_id
+        self._next_id += 1
+        self.documents.insert([object_id, name, document])
+        return object_id
+
+    def query(self, query: ObjectQuery) -> List[int]:
+        shredded = shred_query(query, self.registry)
+        matches: List[int] = []
+        for object_id, _name, content in self.documents.scan():
+            document = parse(content)
+            shred = self.shredder.shred(document)
+            if evaluate_shredded_query(shredded, shred):
+                matches.append(object_id)
+        return sorted(matches)
+
+    def xpath_query(self, expression: str) -> List[int]:
+        """General path query — the capability a document store retains
+        that shredded schemes must emulate (§4's XQuery example).  Every
+        stored document is parsed and evaluated with the XPath-lite
+        engine; returns ids of documents the path selects into."""
+        from ..xmlkit import xpath_exists
+
+        return sorted(
+            object_id
+            for object_id, _name, content in self.documents.scan()
+            if xpath_exists(parse(content).root, expression)
+        )
+
+    def fetch(self, object_ids: Sequence[int]) -> Dict[int, str]:
+        out: Dict[int, str] = {}
+        for object_id in object_ids:
+            rows = self.documents.lookup(["object_id"], [object_id])
+            if not rows:
+                raise CatalogError(f"no object {object_id}")
+            out[object_id] = rows[0][2]
+        return out
+
+    def storage_report(self) -> List[Tuple[str, int, int]]:
+        return self.db.storage_report()

@@ -1,0 +1,15 @@
+"""``repro.bench`` — benchmark harness utilities (S18)."""
+
+from .harness import ALL_SCHEMES, build_schemes, empty_schemes
+from .tables import ResultTable, speedup
+from .timing import measure, throughput
+
+__all__ = [
+    "ALL_SCHEMES",
+    "ResultTable",
+    "build_schemes",
+    "empty_schemes",
+    "measure",
+    "speedup",
+    "throughput",
+]

@@ -1,0 +1,71 @@
+"""Shared benchmark scaffolding: build all four schemes on one corpus.
+
+Every scheme shares the hybrid catalog's definition registry so dynamic
+(name, source) resolution is identical across schemes — the comparison
+then measures storage architecture, not definition bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..baselines import ClobCatalog, EdgeCatalog, HybridScheme, InliningCatalog
+from ..baselines.base import CatalogScheme
+from ..core.catalog import HybridCatalog
+from ..grid.generator import CorpusConfig, LeadCorpusGenerator
+from ..grid.leadschema import lead_schema
+
+ALL_SCHEMES = ("hybrid", "inlining", "edge", "clob")
+
+
+def build_schemes(
+    config: CorpusConfig,
+    document_count: int,
+    schemes: Sequence[str] = ALL_SCHEMES,
+) -> Dict[str, CatalogScheme]:
+    """Fresh scheme instances loaded with the same generated corpus."""
+    generator = LeadCorpusGenerator(config)
+    schema = lead_schema()
+    catalog = HybridCatalog(schema)
+    generator.register_definitions(catalog)
+    built: Dict[str, CatalogScheme] = {}
+    for name in schemes:
+        if name == "hybrid":
+            built[name] = HybridScheme(catalog)
+        elif name == "inlining":
+            built[name] = InliningCatalog(schema, registry=catalog.registry)
+        elif name == "edge":
+            built[name] = EdgeCatalog(schema, registry=catalog.registry)
+        elif name == "clob":
+            built[name] = ClobCatalog(schema, registry=catalog.registry)
+        else:
+            raise ValueError(f"unknown scheme {name!r}")
+    documents = list(generator.documents(document_count))
+    for scheme in built.values():
+        scheme.ingest_many(documents)
+    return built
+
+
+def empty_schemes(
+    config: CorpusConfig,
+    schemes: Sequence[str] = ALL_SCHEMES,
+) -> Dict[str, CatalogScheme]:
+    """Scheme instances with definitions registered but no documents
+    (ingest benchmarks load them inside the timed region)."""
+    generator = LeadCorpusGenerator(config)
+    schema = lead_schema()
+    catalog = HybridCatalog(schema)
+    generator.register_definitions(catalog)
+    built: Dict[str, CatalogScheme] = {}
+    for name in schemes:
+        if name == "hybrid":
+            built[name] = HybridScheme(catalog)
+        elif name == "inlining":
+            built[name] = InliningCatalog(schema, registry=catalog.registry)
+        elif name == "edge":
+            built[name] = EdgeCatalog(schema, registry=catalog.registry)
+        elif name == "clob":
+            built[name] = ClobCatalog(schema, registry=catalog.registry)
+        else:
+            raise ValueError(f"unknown scheme {name!r}")
+    return built

@@ -1,0 +1,42 @@
+"""Measurement helpers for the comparison tables.
+
+pytest-benchmark times one scheme per bench function; these helpers
+time *all* schemes inside a bench so the printed table compares them on
+identical inputs, following the guides' rule of measuring rather than
+reasoning about relative cost.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from typing import Callable, Tuple
+
+
+def measure(fn: Callable[[], object], repeat: int = 3, number: int = 1) -> Tuple[float, object]:
+    """Best-of-``repeat`` wall time of calling ``fn`` ``number`` times.
+
+    Returns ``(seconds_per_call, last_result)``.  GC is disabled during
+    timing (collection pauses otherwise dominate sub-millisecond runs).
+    """
+    best = float("inf")
+    result: object = None
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeat):
+            start = time.perf_counter()
+            for _ in range(number):
+                result = fn()
+            elapsed = (time.perf_counter() - start) / number
+            if elapsed < best:
+                best = elapsed
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return best, result
+
+
+def throughput(count: int, seconds: float) -> float:
+    """Items per second (0 when the timer underflows)."""
+    return count / seconds if seconds > 0 else 0.0

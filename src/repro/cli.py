@@ -1,0 +1,335 @@
+"""Command-line interface to a persisted hybrid catalog.
+
+The CLI operates on a sqlite-backed catalog file, so state persists
+across invocations (the personal-catalog usage the paper describes).
+
+Commands::
+
+    python -m repro init    --db cat.db [--xsd schema.xsd]
+    python -m repro define  --db cat.db NAME SOURCE [--parent NAME]
+                            [--element NAME:TYPE ...] [--user USER]
+    python -m repro ingest  --db cat.db FILE [FILE ...] [--owner OWNER]
+    python -m repro add     --db cat.db ID FRAGMENT_FILE
+    python -m repro query   --db cat.db --attr NAME[/SOURCE]
+                            [--elem "NAME[/SOURCE] OP VALUE" ...]
+                            [--sub NAME[/SOURCE]] [--fetch] [--trace]
+    python -m repro fetch   --db cat.db ID [ID ...]
+    python -m repro schema  --db cat.db   (or --xsd schema.xsd)
+    python -m repro info    --db cat.db
+
+Query criteria syntax: ``--attr`` starts a top-level attribute
+criterion; subsequent ``--elem`` comparisons attach to the most recent
+``--attr``/``--sub``; ``--sub`` opens a sub-attribute criterion under
+the current top attribute.  Operators: ``= != < <= > >= contains``.
+
+By default the catalog uses the LEAD schema of the paper's Figure 2;
+pass ``--xsd`` at ``init`` to use any annotated schema (the file's text
+is stored next to the catalog as ``<db>.xsd`` and reloaded on later
+commands).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional
+
+from .backends import SqliteHybridStore
+from .core import (
+    AttributeCriteria,
+    HybridCatalog,
+    ObjectQuery,
+    Op,
+    PlanTrace,
+    ValueType,
+    load_xsd,
+)
+from .errors import ReproError
+from .grid import lead_schema
+
+_OPS = {
+    "=": Op.EQ, "==": Op.EQ, "!=": Op.NE, "<": Op.LT, "<=": Op.LE,
+    ">": Op.GT, ">=": Op.GE, "contains": Op.CONTAINS,
+}
+
+_TYPES = {
+    "string": ValueType.STRING, "int": ValueType.INTEGER,
+    "integer": ValueType.INTEGER, "float": ValueType.FLOAT,
+    "date": ValueType.DATE,
+}
+
+
+def _schema_for(db_path: str, xsd: Optional[str]):
+    """The schema for a catalog: explicit --xsd, the sidecar saved at
+    init, or the built-in LEAD schema."""
+    if xsd:
+        return load_xsd(pathlib.Path(xsd).read_text(), name=pathlib.Path(xsd).stem)
+    sidecar = pathlib.Path(db_path + ".xsd")
+    if sidecar.exists():
+        return load_xsd(sidecar.read_text(), name="catalog-schema")
+    return lead_schema()
+
+
+def _open(db_path: str, xsd: Optional[str] = None) -> HybridCatalog:
+    return HybridCatalog(_schema_for(db_path, xsd), store=SqliteHybridStore(db_path))
+
+
+def _split_name(token: str):
+    if "/" in token:
+        name, source = token.split("/", 1)
+        return name, source
+    return token, ""
+
+
+def _parse_elem(token: str):
+    """``NAME[/SOURCE] OP VALUE`` → (name, source, op, value)."""
+    parts = token.split(None, 2)
+    if len(parts) != 3:
+        raise SystemExit(f"bad --elem {token!r}; expected 'name op value'")
+    name_token, op_token, raw = parts
+    if op_token not in _OPS:
+        raise SystemExit(f"bad operator {op_token!r}; one of {sorted(_OPS)}")
+    name, source = _split_name(name_token)
+    value: object = raw
+    try:
+        value = int(raw)
+    except ValueError:
+        try:
+            value = float(raw)
+        except ValueError:
+            pass
+    return name, source, _OPS[op_token], value
+
+
+def _build_query(attrs: List[str], elems: List[str], subs: List[str],
+                 order: List[str]) -> ObjectQuery:
+    """Rebuild the criteria tree from the flag sequence (``order`` holds
+    the flags in command-line order so --elem binds to the nearest
+    preceding --attr/--sub)."""
+    query = ObjectQuery()
+    current_top: Optional[AttributeCriteria] = None
+    current: Optional[AttributeCriteria] = None
+    attr_iter, elem_iter, sub_iter = iter(attrs), iter(elems), iter(subs)
+    for kind in order:
+        if kind == "attr":
+            name, source = _split_name(next(attr_iter))
+            current_top = AttributeCriteria(name, source)
+            current = current_top
+            query.add_attribute(current_top)
+        elif kind == "sub":
+            if current_top is None:
+                raise SystemExit("--sub before any --attr")
+            name, source = _split_name(next(sub_iter))
+            sub = AttributeCriteria(name, source or current_top.source)
+            current_top.add_attribute(sub)
+            current = sub
+        else:  # elem
+            if current is None:
+                raise SystemExit("--elem before any --attr")
+            name, source, op, value = _parse_elem(next(elem_iter))
+            current.add_element(name, source or None, value, op)
+    if query.is_empty():
+        raise SystemExit("query needs at least one --attr")
+    return query
+
+
+class _OrderedFlag(argparse.Action):
+    """Records flag order so criteria rebuild correctly."""
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        getattr(namespace, self.dest).append(values)
+        namespace.flag_order.append(self.dest[:-1] if self.dest.endswith("s") else self.dest)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Hybrid XML-relational metadata catalog"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("init", help="create a new catalog file")
+    p.add_argument("--db", required=True)
+    p.add_argument("--xsd", help="annotated schema (defaults to the LEAD schema)")
+
+    p = sub.add_parser("define", help="register a dynamic attribute definition")
+    p.add_argument("--db", required=True)
+    p.add_argument("name")
+    p.add_argument("source")
+    p.add_argument("--parent", help="parent attribute NAME (same source)")
+    p.add_argument("--host", default=None, help="dynamic schema node tag")
+    p.add_argument("--element", action="append", default=[],
+                   metavar="NAME:TYPE", help="element definition(s)")
+    p.add_argument("--user", default=None)
+
+    p = sub.add_parser("ingest", help="ingest metadata documents")
+    p.add_argument("--db", required=True)
+    p.add_argument("files", nargs="+")
+    p.add_argument("--owner", default="")
+    p.add_argument("--user", default=None)
+
+    p = sub.add_parser("add", help="add an attribute fragment to an object")
+    p.add_argument("--db", required=True)
+    p.add_argument("object_id", type=int)
+    p.add_argument("fragment", help="file holding one attribute element")
+
+    p = sub.add_parser("query", help="find objects by attribute criteria")
+    p.add_argument("--db", required=True)
+    p.add_argument("--attr", dest="attrs", action=_OrderedFlag, default=[])
+    p.add_argument("--elem", dest="elems", action=_OrderedFlag, default=[])
+    p.add_argument("--sub", dest="subs", action=_OrderedFlag, default=[])
+    p.add_argument("--fetch", action="store_true", help="print matching XML")
+    p.add_argument("--trace", action="store_true", help="print the plan trace")
+    p.add_argument("--user", default=None)
+    p.set_defaults(flag_order=[])
+
+    p = sub.add_parser("fetch", help="reconstruct objects as XML")
+    p.add_argument("--db", required=True)
+    p.add_argument("ids", type=int, nargs="+")
+
+    p = sub.add_parser("schema", help="print the annotated schema")
+    p.add_argument("--db")
+    p.add_argument("--xsd")
+
+    p = sub.add_parser("info", help="catalog statistics")
+    p.add_argument("--db", required=True)
+
+    p = sub.add_parser("fsck", help="check catalog integrity")
+    p.add_argument("--db", required=True)
+    p.add_argument("--deep", action="store_true",
+                   help="also parse every stored CLOB")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args) -> int:
+    if args.command == "init":
+        if pathlib.Path(args.db).exists():
+            print(f"error: {args.db} already exists", file=sys.stderr)
+            return 1
+        schema = _schema_for(args.db, args.xsd)
+        HybridCatalog(schema, store=SqliteHybridStore(args.db))
+        if args.xsd:
+            pathlib.Path(args.db + ".xsd").write_text(
+                pathlib.Path(args.xsd).read_text()
+            )
+        print(f"created catalog {args.db} with schema {schema.name!r} "
+              f"({schema.max_order()} ordered nodes)")
+        return 0
+
+    if args.command == "schema":
+        schema = _schema_for(args.db or "", args.xsd)
+        print(schema.describe())
+        return 0
+
+    catalog = _open(args.db)
+
+    if args.command == "define":
+        host = args.host
+        if host is None:
+            dynamic = [n.tag for n in catalog.schema.attributes() if n.dynamic]
+            if not dynamic:
+                print("error: schema has no dynamic attribute section", file=sys.stderr)
+                return 1
+            host = dynamic[0]
+        parent = (
+            catalog.registry.lookup_attribute(args.parent, args.source, user=args.user)
+            if args.parent
+            else None
+        )
+        if args.parent and parent is None:
+            print(f"error: no parent definition {args.parent!r}", file=sys.stderr)
+            return 1
+        attr_def = catalog.define_attribute(
+            args.name, args.source, host=host, parent=parent, user=args.user
+        )
+        for spec in args.element:
+            name, _, type_name = spec.partition(":")
+            value_type = _TYPES.get(type_name.lower() or "string")
+            if value_type is None:
+                print(f"error: unknown type {type_name!r}", file=sys.stderr)
+                return 1
+            catalog.define_element(attr_def, name, args.source, value_type, user=args.user)
+        print(f"defined attribute {args.name}/{args.source} "
+              f"(id {attr_def.attr_id}, {len(args.element)} elements)")
+        return 0
+
+    if args.command == "ingest":
+        for path in args.files:
+            text = pathlib.Path(path).read_text()
+            receipt = catalog.ingest(text, name=pathlib.Path(path).name,
+                                     owner=args.owner, user=args.user)
+            status = f"object {receipt.object_id}: {receipt.clob_count} CLOBs, " \
+                     f"{receipt.element_count} element rows"
+            if receipt.warnings:
+                status += f", {len(receipt.warnings)} warnings"
+            print(status)
+            for warning in receipt.warnings:
+                print(f"  warning: {warning}")
+        return 0
+
+    if args.command == "add":
+        fragment = pathlib.Path(args.fragment).read_text()
+        receipt = catalog.add_attribute(args.object_id, fragment)
+        print(f"object {args.object_id}: +{receipt.clob_count} CLOB, "
+              f"+{receipt.element_count} element rows")
+        return 0
+
+    if args.command == "query":
+        query = _build_query(args.attrs, args.elems, args.subs, args.flag_order)
+        trace = PlanTrace()
+        ids = catalog.query(query, user=args.user, trace=trace)
+        if args.trace:
+            print(trace.describe())
+            print()
+        print(f"{len(ids)} matching object(s): {ids}")
+        if args.fetch and ids:
+            responses = catalog.fetch(ids)
+            for object_id in ids:
+                print(f"--- object {object_id} ({catalog.object_name(object_id)})")
+                print(responses[object_id])
+        return 0
+
+    if args.command == "fetch":
+        responses = catalog.fetch(args.ids)
+        missing = [i for i in args.ids if i not in responses]
+        for object_id in args.ids:
+            if object_id in responses:
+                print(responses[object_id])
+        if missing:
+            print(f"error: no objects {missing}", file=sys.stderr)
+            return 1
+        return 0
+
+    if args.command == "fsck":
+        from .core import check_catalog
+
+        violations = check_catalog(catalog, deep=args.deep)
+        if not violations:
+            print(f"ok: {len(catalog)} objects, no violations")
+            return 0
+        for violation in violations:
+            print(f"violation: {violation}")
+        return 1
+
+    if args.command == "info":
+        print(f"objects: {len(catalog)}")
+        print(f"definitions: {len(catalog.registry)} attributes")
+        print("storage:")
+        for name, rows, size in catalog.storage_report():
+            print(f"  {name:<16} {rows:>8} rows  {size:>10} bytes")
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

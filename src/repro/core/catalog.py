@@ -1,0 +1,270 @@
+"""The public catalog facade tying the hybrid pipeline together (Fig 1).
+
+    schema-based XML  →  shred (CLOBs + rows)  →  query on attributes
+                                               →  object ids  →  tagged XML
+
+Typical use::
+
+    from repro import HybridCatalog, AttributeCriteria, ObjectQuery, Op
+    from repro.grid import lead_schema
+
+    catalog = HybridCatalog(lead_schema())
+    receipt = catalog.ingest(xml_text, name="forecast-001", owner="ann")
+    query = ObjectQuery().add_attribute(
+        AttributeCriteria("theme").add_element("themekey", "", "rain", Op.CONTAINS)
+    )
+    for xml in catalog.search(query):
+        ...
+
+The facade owns the definition registry, the shredder, and a
+:class:`~repro.core.storage.HybridStore` backend (in-memory by default;
+pass a :class:`repro.backends.sqlite.SqliteHybridStore` for the sqlite
+layout).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import CatalogError
+from ..xmlkit import Document, parse
+from .definitions import AttributeDef, DefinitionRegistry, ElementDef
+from .query import ObjectQuery, ShreddedQuery, shred_query
+from .schema import AnnotatedSchema, ValueType
+from .shredder import Shredder, ShredResult
+from .storage import HybridStore, MemoryHybridStore, PlanTrace
+
+
+class IngestReceipt:
+    """What :meth:`HybridCatalog.ingest` returns: the assigned object id
+    plus shredding statistics and validation warnings."""
+
+    __slots__ = ("object_id", "name", "warnings", "clob_count", "attribute_count", "element_count")
+
+    def __init__(self, object_id: int, name: str, shred: ShredResult) -> None:
+        self.object_id = object_id
+        self.name = name
+        self.warnings = list(shred.warnings)
+        self.clob_count = len(shred.clobs)
+        self.attribute_count = len(shred.attributes)
+        self.element_count = len(shred.elements)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"IngestReceipt(object_id={self.object_id}, clobs={self.clob_count}, "
+            f"attrs={self.attribute_count}, elems={self.element_count}, "
+            f"warnings={len(self.warnings)})"
+        )
+
+
+class HybridCatalog:
+    """A personal metadata catalog using the hybrid XML-relational scheme."""
+
+    def __init__(
+        self,
+        schema: AnnotatedSchema,
+        store: Optional[HybridStore] = None,
+        on_unknown: str = "store",
+    ) -> None:
+        self.schema = schema
+        self.store: HybridStore = store if store is not None else MemoryHybridStore()
+        reopened = self.store.is_initialized()
+        if reopened:
+            # Reopening a persisted catalog: verify the schema matches
+            # and rehydrate definitions + object bookkeeping.
+            self.store.attach_schema(schema)
+        else:
+            self.store.install_schema(schema)
+        self.registry = DefinitionRegistry(schema)
+        self.shredder = Shredder(schema, self.registry, on_unknown=on_unknown)
+        self._names: Dict[int, str] = {}
+        if reopened:
+            attr_rows, elem_rows = self.store.load_definition_rows()
+            self.registry.rehydrate(attr_rows, elem_rows)
+            max_id = 0
+            for object_id, name, _owner in self.store.load_objects():
+                self._names[object_id] = name
+                max_id = max(max_id, object_id)
+            self._object_ids = itertools.count(max_id + 1)
+        else:
+            self._object_ids = itertools.count(1)
+        self.store.sync_definitions(self.registry)
+
+    # ------------------------------------------------------------------
+    # Definitions
+    # ------------------------------------------------------------------
+    def define_attribute(
+        self,
+        name: str,
+        source: str,
+        host: str = "detailed",
+        parent: Optional[AttributeDef] = None,
+        user: Optional[str] = None,
+        queryable: bool = True,
+    ) -> AttributeDef:
+        """Register a dynamic metadata attribute (admin scope when
+        ``user`` is None; otherwise private to ``user``)."""
+        attr_def = self.registry.define_attribute(
+            name, source, host=host, parent=parent, user=user, queryable=queryable
+        )
+        self.store.sync_definitions(self.registry)
+        return attr_def
+
+    def define_element(
+        self,
+        attribute: AttributeDef,
+        name: str,
+        source: str,
+        value_type: ValueType = ValueType.STRING,
+        user: Optional[str] = None,
+    ) -> ElementDef:
+        elem_def = self.registry.define_element(attribute, name, source, value_type, user=user)
+        self.store.sync_definitions(self.registry)
+        return elem_def
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def ingest(
+        self,
+        document: Union[str, Document],
+        name: str = "",
+        owner: str = "",
+        user: Optional[str] = None,
+    ) -> IngestReceipt:
+        """Shred and store one metadata document.
+
+        ``document`` may be XML text or a pre-parsed
+        :class:`~repro.xmlkit.Document`.  ``user`` scopes dynamic
+        definition lookups (and auto-definitions in ``"define"`` mode).
+        """
+        if isinstance(document, str):
+            document = parse(document)
+        shred = self.shredder.shred(document, user=user)
+        if shred.defined:
+            self.store.sync_definitions(self.registry)
+        object_id = next(self._object_ids)
+        self.store.store_object(object_id, name, owner, shred)
+        self._names[object_id] = name
+        return IngestReceipt(object_id, name, shred)
+
+    def ingest_many(
+        self,
+        documents: Sequence[Union[str, Document]],
+        owner: str = "",
+        user: Optional[str] = None,
+    ) -> List[IngestReceipt]:
+        return [
+            self.ingest(doc, name=f"object-{i}", owner=owner, user=user)
+            for i, doc in enumerate(documents, start=1)
+        ]
+
+    def delete(self, object_id: int) -> None:
+        self.store.delete_object(object_id)
+        self._names.pop(object_id, None)
+
+    # ------------------------------------------------------------------
+    # Incremental attribute maintenance (paper §5: "as metadata
+    # attributes were inserted later, CLOBs were stored for each
+    # metadata attribute along with ... a sequence ID")
+    # ------------------------------------------------------------------
+    def add_attribute(
+        self,
+        object_id: int,
+        fragment: Union[str, Document],
+        user: Optional[str] = None,
+    ) -> IngestReceipt:
+        """Attach one more metadata-attribute instance to an existing
+        object.  ``fragment`` is a single attribute element (e.g. a new
+        ``<theme>...</theme>`` or ``<detailed>...</detailed>``); it takes
+        the next same-sibling sequence, so no stored key is rewritten —
+        the update-cost benefit of schema-level ordering (§2).
+        """
+        if not self.store.has_object(object_id):
+            raise CatalogError(f"no object {object_id}")
+        if isinstance(fragment, str):
+            fragment = parse(fragment)
+        snode = self.schema.attribute_by_tag(fragment.root.tag)
+        if snode is None:
+            raise CatalogError(
+                f"<{fragment.root.tag}> is not a metadata attribute of the schema"
+            )
+        assert snode.order is not None
+        clob_seq = self.store.max_clob_seq(object_id, snode.order) + 1
+        shred = self.shredder.shred_attribute_fragment(
+            fragment,
+            clob_seq=clob_seq,
+            seq_base=self.store.instance_counts(object_id),
+            user=user,
+        )
+        if shred.defined:
+            self.store.sync_definitions(self.registry)
+        self.store.append_rows(object_id, shred)
+        return IngestReceipt(object_id, self.object_name(object_id), shred)
+
+    def remove_attribute(
+        self,
+        object_id: int,
+        name: str,
+        source: str = "",
+        seq: int = 1,
+        user: Optional[str] = None,
+    ) -> None:
+        """Remove the ``seq``-th instance of a top-level metadata
+        attribute (and all its sub-attribute instances) from an object."""
+        attr_def = self.registry.lookup_attribute(name, source, user=user)
+        if attr_def is None:
+            raise CatalogError(f"no attribute definition ({name!r}, {source!r})")
+        self.store.remove_attribute_instance(object_id, attr_def.attr_id, seq)
+
+    def object_name(self, object_id: int) -> str:
+        try:
+            return self._names[object_id]
+        except KeyError:
+            raise CatalogError(f"no object {object_id}") from None
+
+    def __len__(self) -> int:
+        return self.store.object_count()
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        query: ObjectQuery,
+        user: Optional[str] = None,
+        trace: Optional[PlanTrace] = None,
+    ) -> List[int]:
+        """Match objects; returns sorted object ids (paper §4)."""
+        shredded = self.shred_query(query, user=user)
+        return self.store.match_objects(shredded, trace)
+
+    def shred_query(self, query: ObjectQuery, user: Optional[str] = None) -> ShreddedQuery:
+        """Expose query shredding separately (used by benchmarks and the
+        Fig-4 walkthrough example)."""
+        return shred_query(query, self.registry, user=user)
+
+    # ------------------------------------------------------------------
+    # Responses
+    # ------------------------------------------------------------------
+    def fetch(self, object_ids: Sequence[int]) -> Dict[int, str]:
+        """Rebuild tagged XML responses for ``object_ids`` (paper §5)."""
+        return self.store.build_responses(object_ids)
+
+    def search(
+        self,
+        query: ObjectQuery,
+        user: Optional[str] = None,
+        trace: Optional[PlanTrace] = None,
+    ) -> List[str]:
+        """Query and fetch in one call; responses in object-id order."""
+        ids = self.query(query, user=user, trace=trace)
+        responses = self.fetch(ids)
+        return [responses[i] for i in ids]
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def storage_report(self) -> List[Tuple[str, int, int]]:
+        return self.store.storage_report()

@@ -1,0 +1,176 @@
+"""Ontology-enhanced search (paper §3).
+
+"By validating dynamic metadata attributes on insert, the catalog
+provides a consistent, but dynamic set of definitions for query
+purposes **that could also be connected to an ontology for enhanced
+search capabilities**."  This module supplies that connection:
+
+* :class:`Ontology` — a lightweight term graph with synonyms and
+  broader/narrower relations (the shape of keyword thesauri like the
+  CF standard-name table the LEAD themes draw from);
+* :func:`expand_query` — rewrites equality criteria whose value is a
+  known term into :data:`Op.IN_SET` criteria accepting the term, its
+  synonyms, and (optionally) all narrower terms — so a scientist
+  querying ``themekey = "precipitation"`` finds objects tagged with any
+  specific precipitation variable.
+
+Expansion happens *before* query shredding, so it works identically on
+every backend and baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from ..errors import QueryError
+from .query import AttributeCriteria, ElementCriterion, ObjectQuery, Op
+
+
+class Ontology:
+    """Terms with synonyms and a broader/narrower hierarchy.
+
+    The hierarchy must stay acyclic; :meth:`add_term` rejects edges that
+    would create a cycle.
+    """
+
+    def __init__(self, name: str = "ontology") -> None:
+        self.name = name
+        self._canonical: Dict[str, str] = {}  # term or synonym -> canonical
+        self._synonyms: Dict[str, Set[str]] = {}
+        self._narrower: Dict[str, Set[str]] = {}
+        self._broader: Dict[str, Set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_term(
+        self,
+        term: str,
+        synonyms: Iterable[str] = (),
+        broader: Optional[str] = None,
+    ) -> None:
+        """Register ``term`` with optional synonyms and a broader term
+        (which is auto-registered if new)."""
+        if not term:
+            raise ValueError("empty term")
+        canonical = self._canonical.get(term, term)
+        if canonical != term:
+            raise ValueError(f"{term!r} is already a synonym of {canonical!r}")
+        self._canonical.setdefault(term, term)
+        self._synonyms.setdefault(term, set())
+        for synonym in synonyms:
+            existing = self._canonical.get(synonym)
+            if existing is not None and existing != term:
+                raise ValueError(
+                    f"synonym {synonym!r} already belongs to {existing!r}"
+                )
+            self._canonical[synonym] = term
+            self._synonyms[term].add(synonym)
+        if broader is not None:
+            if broader == term:
+                raise ValueError(f"{term!r} cannot be broader than itself")
+            if broader not in self._canonical:
+                self.add_term(broader)
+            # Cycle check: the broader term must not already be narrower
+            # than this term.
+            if broader in self.narrower_closure(term):
+                raise ValueError(
+                    f"making {broader!r} broader than {term!r} would create a cycle"
+                )
+            self._narrower.setdefault(broader, set()).add(term)
+            self._broader.setdefault(term, set()).add(broader)
+
+    # ------------------------------------------------------------------
+    # Queries over the graph
+    # ------------------------------------------------------------------
+    def canonical(self, term: str) -> Optional[str]:
+        """The canonical form of a term or synonym, or None if unknown."""
+        return self._canonical.get(term)
+
+    def knows(self, term: str) -> bool:
+        return term in self._canonical
+
+    def synonyms_of(self, term: str) -> Set[str]:
+        canonical = self._canonical.get(term)
+        if canonical is None:
+            return set()
+        return set(self._synonyms.get(canonical, set()))
+
+    def narrower_closure(self, term: str) -> Set[str]:
+        """All canonical terms strictly narrower than ``term``."""
+        canonical = self._canonical.get(term)
+        if canonical is None:
+            return set()
+        out: Set[str] = set()
+        frontier = list(self._narrower.get(canonical, set()))
+        while frontier:
+            current = frontier.pop()
+            if current in out:
+                continue
+            out.add(current)
+            frontier.extend(self._narrower.get(current, set()))
+        return out
+
+    def expand(self, term: str, include_narrower: bool = True) -> Set[str]:
+        """Every surface form the term may appear as in metadata: the
+        canonical term, its synonyms, and (optionally) all narrower
+        terms with *their* synonyms.  Unknown terms expand to themselves.
+        """
+        canonical = self._canonical.get(term)
+        if canonical is None:
+            return {term}
+        out = {canonical} | self._synonyms.get(canonical, set())
+        if include_narrower:
+            for narrower in self.narrower_closure(canonical):
+                out.add(narrower)
+                out |= self._synonyms.get(narrower, set())
+        return out
+
+    def __len__(self) -> int:
+        return len(self._synonyms)
+
+
+def expand_query(
+    query: ObjectQuery,
+    ontology: Ontology,
+    include_narrower: bool = True,
+) -> ObjectQuery:
+    """A copy of ``query`` with EQ criteria over known terms widened to
+    IN_SET criteria over the ontology expansion.
+
+    Only string equality criteria are expanded; numeric and relational
+    criteria pass through unchanged.
+    """
+
+    def expand_criteria(criteria: AttributeCriteria) -> AttributeCriteria:
+        out = AttributeCriteria(criteria.name, criteria.source)
+        for criterion in criteria.elements:
+            if (
+                criterion.op is Op.EQ
+                and isinstance(criterion.value, str)
+                and ontology.knows(criterion.value)
+            ):
+                values = ontology.expand(criterion.value, include_narrower)
+                if len(values) > 1:
+                    out.elements.append(
+                        ElementCriterion(
+                            criterion.name, criterion.source,
+                            frozenset(values), Op.IN_SET,
+                        )
+                    )
+                    continue
+            out.elements.append(
+                ElementCriterion(
+                    criterion.name, criterion.source, criterion.value, criterion.op
+                )
+            )
+        for sub in criteria.sub_attributes:
+            out.add_attribute(expand_criteria(sub))
+        return out
+
+    if query.is_empty():
+        raise QueryError("query has no attribute criteria")
+    expanded = ObjectQuery()
+    for criteria in query.attributes:
+        expanded.add_attribute(expand_criteria(criteria))
+    return expanded

@@ -1,0 +1,240 @@
+"""Node ordering (paper §2, §5; ablation of [19] for bench E7).
+
+The hybrid approach orders **schema** nodes, once, instead of ordering
+every document: since every repeatable or recursive element is inside a
+metadata attribute, only nodes at or above the attributes need
+ordering, and those occur at most once per document.  A total order
+over a document's attribute instances is then ``(schema order,
+same-sibling sequence)``.
+
+Two artifacts are computed here:
+
+* :func:`assign_global_order` — pre-order numbers over the ordered
+  nodes, each with ``last_child_order`` (the greatest order in its
+  subtree; equal to its own order for attributes) so closing tags can
+  be placed by set-based queries (§5).
+* :func:`ancestor_pairs` — the inverted list mapping every ordered node
+  to each of its ancestors, used by the response builder to find the
+  wrapper tags a result document needs.
+
+For the E7 ablation the module also implements the three per-document
+total orderings of Tatarinov et al. [19] — global, local, and Dewey —
+including their middle-insert update costs, so the benchmark can
+contrast them with the schema-level ordering's zero-cost appends.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..xmlkit import Element
+from .schema import NodeKind, SchemaNode
+
+
+def assign_global_order(root: SchemaNode) -> List[SchemaNode]:
+    """Number the ordered nodes of the schema in pre-order, in place.
+
+    Ordered nodes are those at or above the metadata attributes — the
+    traversal does not descend below an ATTRIBUTE node.  Returns the
+    nodes in order (index ``i`` holds the node with ``order == i + 1``).
+    """
+    ordered: List[SchemaNode] = []
+
+    def visit(node: SchemaNode) -> int:
+        """Assign orders in ``node``'s subtree; return the last order used."""
+        node.order = len(ordered) + 1
+        ordered.append(node)
+        last = node.order
+        if node.kind is NodeKind.ATTRIBUTE:
+            # Elements within the CLOB are inherently in original order;
+            # they are never globally ordered.
+            node.last_child_order = node.order
+            return last
+        for child in node.children:
+            if child.kind in (NodeKind.STRUCTURAL, NodeKind.ATTRIBUTE):
+                last = visit(child)
+        node.last_child_order = last
+        return last
+
+    visit(root)
+    return ordered
+
+
+def ancestor_pairs(ordered: Sequence[SchemaNode]) -> List[Tuple[int, int]]:
+    """The ancestor inverted list: ``(node_order, ancestor_order)`` rows.
+
+    One row per (ordered node, proper ancestor).  Joining this with the
+    stored CLOB orders yields the distinct wrapper tags each response
+    document requires (§5).
+    """
+    pairs: List[Tuple[int, int]] = []
+    for node in ordered:
+        assert node.order is not None
+        for anc in node.ancestors():
+            assert anc.order is not None
+            pairs.append((node.order, anc.order))
+    return pairs
+
+
+# ---------------------------------------------------------------------------
+# Per-document orderings of [19], for the E7 ablation.
+#
+# Each strategy assigns every element of a document a sortable key and
+# reports how many keys must be rewritten when a new child is inserted
+# in the middle of a sibling list — the update cost the paper avoids by
+# ordering the schema instead of the documents.
+# ---------------------------------------------------------------------------
+
+class DocumentOrdering:
+    """Interface: key assignment + middle-insert cost accounting."""
+
+    name = "abstract"
+
+    def assign(self, root: Element) -> Dict[int, Tuple]:
+        """Map ``id(element)`` to its sort key for every element."""
+        raise NotImplementedError
+
+    def insert_cost(self, root: Element, parent: Element, position: int) -> int:
+        """Number of existing keys that must be rewritten to insert a new
+        child of ``parent`` at ``position``."""
+        raise NotImplementedError
+
+
+class GlobalDocumentOrdering(DocumentOrdering):
+    """Pre-order integers over the whole document.
+
+    Inserting anywhere shifts the numbers of every element that follows
+    in document order — the most expensive strategy under updates.
+    """
+
+    name = "global-document"
+
+    def assign(self, root: Element) -> Dict[int, Tuple]:
+        keys: Dict[int, Tuple] = {}
+        counter = 0
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            counter += 1
+            keys[id(node)] = (counter,)
+            stack.extend(reversed(node.child_elements()))
+        return keys
+
+    def insert_cost(self, root: Element, parent: Element, position: int) -> int:
+        # Everything after the insertion point in pre-order is renumbered.
+        pre: List[Element] = []
+        def flat(node: Element) -> None:
+            pre.append(node)
+            for kid in node.child_elements():
+                flat(kid)
+        flat(root)
+        # Locate the pre-order position of the insertion point: it is the
+        # index of parent's position-th element child (or the end of
+        # parent's subtree when appending past the last child).
+        kids = parent.child_elements()
+        if position < len(kids):
+            anchor = kids[position]
+            idx = next(i for i, n in enumerate(pre) if n is anchor)
+        else:
+            # Append: renumbering starts after parent's whole subtree.
+            idx_parent = next(i for i, n in enumerate(pre) if n is parent)
+            idx = idx_parent + parent.descendant_count()
+        return len(pre) - idx
+
+
+class LocalOrdering(DocumentOrdering):
+    """Children numbered independently per parent; keys are the vectors
+    of sibling positions from the root.  Inserting shifts only the
+    following siblings' positions — but every descendant of a shifted
+    sibling carries the changed component in its key vector."""
+
+    name = "local"
+
+    def assign(self, root: Element) -> Dict[int, Tuple]:
+        keys: Dict[int, Tuple] = {}
+
+        def walk(node: Element, prefix: Tuple[int, ...]) -> None:
+            keys[id(node)] = prefix
+            for i, kid in enumerate(node.child_elements(), start=1):
+                walk(kid, prefix + (i,))
+
+        walk(root, (1,))
+        return keys
+
+    def insert_cost(self, root: Element, parent: Element, position: int) -> int:
+        kids = parent.child_elements()
+        return sum(kid.descendant_count() for kid in kids[position:])
+
+
+class DeweyOrdering(DocumentOrdering):
+    """Dewey decimal paths (1.3.2 ...).  Same key structure as local
+    ordering — the paper treats them separately because Dewey keys are
+    self-describing (a key alone names all ancestors), which we model
+    by keys carrying the full path vector."""
+
+    name = "dewey"
+
+    def assign(self, root: Element) -> Dict[int, Tuple]:
+        return LocalOrdering().assign(root)
+
+    def insert_cost(self, root: Element, parent: Element, position: int) -> int:
+        # All following siblings and their entire subtrees get new Dewey
+        # paths (every stored key embeds the sibling component).
+        kids = parent.child_elements()
+        return sum(kid.descendant_count() for kid in kids[position:])
+
+
+class SchemaLevelOrdering(DocumentOrdering):
+    """The paper's strategy: ``(schema order, same-sibling sequence)``.
+
+    Keys depend only on the schema node and the instance sequence among
+    same-tag siblings, so inserting a new attribute instance *appends* a
+    sequence number and rewrites nothing.  Middle-inserts of attribute
+    instances rewrite only the same-sibling sequence numbers of the
+    following same-tag siblings (no descendant keys exist — the subtree
+    is a CLOB).
+    """
+
+    name = "schema-level"
+
+    def __init__(self, schema) -> None:
+        # ``schema`` is an AnnotatedSchema; imported loosely to avoid cycles.
+        self.schema = schema
+
+    def assign(self, root: Element) -> Dict[int, Tuple]:
+        keys: Dict[int, Tuple] = {}
+        root_schema = self.schema.root
+        if root_schema.order is not None:
+            keys[id(root)] = (root_schema.order, 0)
+
+        def walk(node: Element, snode: SchemaNode) -> None:
+            # Below an ATTRIBUTE the CLOB's own order rules; stop there.
+            if snode.kind is NodeKind.ATTRIBUTE:
+                return
+            seq_counters: Dict[str, int] = {}
+            for kid in node.child_elements():
+                child_schema = snode.find_child(kid.tag)
+                if child_schema is None or child_schema.order is None:
+                    continue
+                seq = seq_counters.get(kid.tag, 0) + 1
+                seq_counters[kid.tag] = seq
+                keys[id(kid)] = (child_schema.order, seq)
+                walk(kid, child_schema)
+
+        walk(root, root_schema)
+        return keys
+
+    def insert_cost(self, root: Element, parent: Element, position: int) -> int:
+        # Only same-tag following siblings need new sequence numbers, and
+        # only when inserting before existing instances; appends are free.
+        kids = parent.child_elements()
+        if position >= len(kids):
+            return 0
+        # A middle insert of tag T renumbers following siblings with tag T.
+        # The caller inserts an element with the same tag as the one at
+        # ``position`` (the common case: another instance of an attribute).
+        tag = kids[position].tag
+        return sum(1 for kid in kids[position:] if kid.tag == tag)
+
+
+ALL_DOCUMENT_ORDERINGS = (GlobalDocumentOrdering, LocalOrdering, DeweyOrdering)

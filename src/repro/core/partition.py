@@ -1,0 +1,131 @@
+"""The metadata-attribute partition rules (paper §2).
+
+The paper lists five rules for deciding which schema elements are
+metadata attributes.  Rule 1 ("attributes should define a concept") is
+semantic and cannot be checked mechanically; the validator here
+enforces the four structural rules plus the consistency constraints the
+rest of the architecture depends on:
+
+R2  A repeatable element must be an attribute or inside one, and no
+    attribute may start strictly below it (sub-attributes excepted).
+R3  An element with XML attribute nodes must be an attribute or inside
+    one.
+R4  Recursion must be contained within an attribute (in the annotated
+    model, recursion only exists inside ``dynamic`` attribute subtrees,
+    so the structural check is: dynamic specs only on attributes).
+R5  Every leaf must be contained within an attribute (a leaf may *be*
+    an attribute).
+
+Consistency constraints (implied throughout §2–§5):
+
+C1  There is exactly one ATTRIBUTE node on any root-to-leaf path
+    (sub-attributes/elements live strictly below it) — this is what
+    makes the schema-level global ordering well defined (§5, and the
+    space argument versus [15] in §6).
+C2  Kinds nest correctly: STRUCTURAL above attributes only;
+    SUB_ATTRIBUTE/ELEMENT below attributes only.
+C3  SUB_ATTRIBUTE nodes are interior; ELEMENT nodes are leaves.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import SchemaError
+from .schema import NodeKind, SchemaNode
+
+
+def validate_partition(root: SchemaNode) -> None:
+    """Validate the annotation of the whole schema tree.
+
+    Raises
+    ------
+    SchemaError
+        Naming the node and the violated rule.
+    """
+    if root.kind is not NodeKind.STRUCTURAL:
+        raise SchemaError(
+            f"root {root.tag!r} must be structural, not {root.kind.value} "
+            "(the document root is never itself a metadata attribute)"
+        )
+    if root.repeatable:
+        raise SchemaError(f"root {root.tag!r} cannot be repeatable")
+    _validate(root, enclosing_attribute=None)
+
+
+def _validate(node: SchemaNode, enclosing_attribute: Optional[SchemaNode]) -> None:
+    inside = enclosing_attribute is not None
+
+    # C2: kind nesting.
+    if node.kind is NodeKind.STRUCTURAL and inside:
+        raise SchemaError(
+            f"{node.path()}: structural node inside attribute "
+            f"{enclosing_attribute.tag!r}; interior nodes below an attribute "
+            "must be sub-attributes (C2)"
+        )
+    if node.kind in (NodeKind.SUB_ATTRIBUTE, NodeKind.ELEMENT) and not inside:
+        raise SchemaError(
+            f"{node.path()}: {node.kind.value} outside any attribute; leaves "
+            "and interior data nodes must be contained within a metadata "
+            "attribute (R5/C2)"
+        )
+
+    # C1: single attribute per path.
+    if node.kind is NodeKind.ATTRIBUTE and inside:
+        raise SchemaError(
+            f"{node.path()}: attribute nested inside attribute "
+            f"{enclosing_attribute.tag!r}; only one metadata attribute may "
+            "appear on any root-to-leaf path (C1) — use a sub-attribute"
+        )
+
+    # C3: arity per kind.
+    if node.kind is NodeKind.ELEMENT and node.children:
+        raise SchemaError(f"{node.path()}: metadata elements are leaf nodes (C3)")
+    if node.kind is NodeKind.SUB_ATTRIBUTE and not node.children:
+        raise SchemaError(f"{node.path()}: sub-attributes are interior nodes (C3)")
+
+    # R5: structural leaves are not allowed — every leaf must carry data
+    # inside an attribute (or be a leaf attribute itself).
+    if node.kind is NodeKind.STRUCTURAL and not node.children:
+        raise SchemaError(
+            f"{node.path()}: structural leaf; every leaf element must be "
+            "contained within a metadata attribute (R5)"
+        )
+
+    # R2: repeatable nodes must be at-or-inside an attribute.
+    if node.repeatable and node.kind is NodeKind.STRUCTURAL:
+        raise SchemaError(
+            f"{node.path()}: repeatable element outside a metadata attribute; "
+            "multi-instance elements must be contained within one (R2)"
+        )
+
+    # R3: XML attribute nodes only at-or-inside attributes.
+    if node.has_xml_attributes and node.kind is NodeKind.STRUCTURAL:
+        raise SchemaError(
+            f"{node.path()}: element with XML attributes outside a metadata "
+            "attribute (R3)"
+        )
+
+    # R4 / dynamic placement: dynamic specs mark recursive user-defined
+    # sections and may only annotate attribute nodes.
+    if node.dynamic is not None and node.kind is not NodeKind.ATTRIBUTE:
+        raise SchemaError(
+            f"{node.path()}: dynamic annotation on a {node.kind.value} node; "
+            "recursion must be contained within a metadata attribute (R4)"
+        )
+
+    # Queryability is a property of attributes (paper: "each metadata
+    # attribute does not need to be queryable").
+    if not node.queryable and node.kind is not NodeKind.ATTRIBUTE:
+        raise SchemaError(
+            f"{node.path()}: queryable=False is only meaningful on attributes"
+        )
+
+    next_enclosing = node if node.kind is NodeKind.ATTRIBUTE else enclosing_attribute
+    for child in node.children:
+        if child.parent is not node:
+            raise SchemaError(
+                f"{child.tag!r} has a stale parent pointer; schema nodes "
+                "cannot be shared between parents"
+            )
+        _validate(child, next_enclosing)

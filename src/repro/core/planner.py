@@ -1,0 +1,228 @@
+"""The Fig-4 object-query plan, executed on the memory store.
+
+The plan is set-based throughout — every stage is a bulk operation over
+whole row sets, never a per-object traversal — and uses the inverted
+lists to resolve sub-attribute containment without recursion (paper §4):
+
+1. **elements-meeting-criteria** — join the element data with the query
+   element criteria (one index seek per criterion, the access path an
+   RDBMS would choose) producing ``(object, attribute instance, qelem)``
+   match rows.
+2. **attributes-direct** — group matches by attribute instance and
+   query attribute; instances qualify when they contain the *required
+   number of distinct* direct element criteria.  Criteria with no
+   direct elements take every instance of their definition as
+   candidates.
+3. **attributes-indirect** — bottom-up over the criteria tree: join the
+   satisfied child-criterion instances with the data's inverted list of
+   sub-attribute → ancestor relationships, and keep ancestor instances
+   that account for *all* child criteria (count matching).  Because the
+   inverted list spans intervening sub-attributes, a query criterion
+   nested one level below another matches data any number of levels
+   deeper — and no stage ever recurses through the data.
+4. **object-ids** — objects where every top-level attribute criterion
+   has at least one fully satisfied instance.
+
+The sqlite backend executes the same stages as SQL statements
+(:mod:`repro.backends.sqlite`); the two are property-tested to agree.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Set, Tuple
+
+from .query import Op, ShreddedQuery
+from .storage import MemoryHybridStore, PlanTrace
+
+Instance = Tuple[int, int]  # (object_id, seq_id)
+
+
+def match_objects_memory(
+    store: MemoryHybridStore,
+    query: ShreddedQuery,
+    trace: Optional[PlanTrace] = None,
+) -> List[int]:
+    """Run the count-matching plan; returns sorted object ids.
+
+    Dispatches to the §4 simplified plan when the query's attributes are
+    single-instance and there are no sub-attribute criteria.
+    """
+    if trace is None:
+        trace = PlanTrace()
+    if query.simple:
+        return _match_objects_simple(store, query, trace)
+    trace.add(
+        "query-criteria",
+        len(query.qattrs) + len(query.qelems),
+        f"{len(query.qattrs)} attribute, {len(query.qelems)} element criteria",
+    )
+
+    elements = store.db.table("elements")
+    attributes = store.db.table("attributes")
+    ancestors = store.db.table("attr_ancestors")
+
+    # ------------------------------------------------------------------
+    # Stage 1: elements meeting criteria (one index seek per criterion).
+    # ------------------------------------------------------------------
+    # matches[qattr_id][instance] = set of qelem ids that matched there
+    matches: Dict[int, Dict[Instance, Set[int]]] = defaultdict(lambda: defaultdict(set))
+    match_rows = 0
+    ev_text = elements.position("value_text")
+    ev_num = elements.position("value_num")
+    e_obj = elements.position("object_id")
+    e_seq = elements.position("seq_id")
+    for qelem in query.qelems:
+        qattr = query.qattr(qelem.qattr_id)
+        rows = elements.lookup(["elem_id"], [qelem.elem_def_id])
+        op = qelem.op
+        if qelem.numeric:
+            expected = qelem.value_set if op is Op.IN_SET else qelem.value_num
+            for row in rows:
+                if row[1] != qattr.attr_def_id:
+                    continue
+                if op.matches(row[ev_num], expected):
+                    matches[qelem.qattr_id][(row[e_obj], row[e_seq])].add(qelem.qelem_id)
+                    match_rows += 1
+        else:
+            expected = qelem.value_set if op is Op.IN_SET else qelem.value_text
+            for row in rows:
+                if row[1] != qattr.attr_def_id:
+                    continue
+                if op.matches(row[ev_text], expected):
+                    matches[qelem.qattr_id][(row[e_obj], row[e_seq])].add(qelem.qelem_id)
+                    match_rows += 1
+    trace.add("elements-meeting-criteria", match_rows)
+
+    # ------------------------------------------------------------------
+    # Stage 2: attribute instances meeting their direct element counts.
+    # ------------------------------------------------------------------
+    satisfied: Dict[int, Set[Instance]] = {}
+    direct_rows = 0
+    for qattr in query.qattrs:
+        if qattr.direct_elem_count == 0:
+            # Existence-only criterion: every instance of the definition
+            # is a candidate.
+            instance_rows = attributes.lookup(["attr_id"], [qattr.attr_def_id])
+            candidates = {(row[0], row[2]) for row in instance_rows}
+        else:
+            required = qattr.direct_elem_count
+            candidates = {
+                instance
+                for instance, met in matches[qattr.qattr_id].items()
+                if len(met) == required
+            }
+        satisfied[qattr.qattr_id] = candidates
+        direct_rows += len(candidates)
+    trace.add("attributes-direct", direct_rows)
+
+    # ------------------------------------------------------------------
+    # Stage 3: bottom-up containment via the inverted lists.
+    # ------------------------------------------------------------------
+    indirect_rows = 0
+    for depth in range(query.max_depth(), -1, -1):
+        for qattr in query.qattrs:
+            if qattr.depth != depth or not qattr.child_qattr_ids:
+                continue
+            base = satisfied[qattr.qattr_id]
+            if not base:
+                continue
+            # For each child criterion, the set of this definition's
+            # instances that contain a satisfied child instance.
+            surviving = base
+            for child_id in qattr.child_qattr_ids:
+                child = query.qattr(child_id)
+                child_ok = satisfied[child_id]
+                if not child_ok:
+                    surviving = set()
+                    break
+                pair_rows = ancestors.lookup(
+                    ["desc_attr_id", "anc_attr_id"],
+                    [child.attr_def_id, qattr.attr_def_id],
+                )
+                anc_ok = {
+                    (row[0], row[4])
+                    for row in pair_rows
+                    if row[5] >= 1 and (row[0], row[2]) in child_ok
+                }
+                surviving = surviving & anc_ok
+                if not surviving:
+                    break
+            satisfied[qattr.qattr_id] = surviving
+            indirect_rows += len(surviving)
+    trace.add("attributes-indirect", indirect_rows)
+
+    # ------------------------------------------------------------------
+    # Stage 4: objects where every top criterion is satisfied.
+    # ------------------------------------------------------------------
+    result: Optional[Set[int]] = None
+    for top_id in query.top_qattr_ids:
+        objects = {obj for obj, _seq in satisfied[top_id]}
+        result = objects if result is None else (result & objects)
+        if not result:
+            break
+    object_ids = sorted(result or set())
+    trace.add("object-ids", len(object_ids))
+    return object_ids
+
+
+def _match_objects_simple(
+    store: MemoryHybridStore,
+    query: ShreddedQuery,
+    trace: PlanTrace,
+) -> List[int]:
+    """The §4 simplified plan: with at most one instance of each queried
+    attribute per object and no sub-attribute criteria, count matching
+    can group by *object* directly — no per-instance bookkeeping and no
+    inverted-list stage."""
+    trace.add(
+        "query-criteria",
+        len(query.qattrs) + len(query.qelems),
+        f"{len(query.qattrs)} attribute, {len(query.qelems)} element criteria "
+        "(simplified plan)",
+    )
+    elements = store.db.table("elements")
+    attributes = store.db.table("attributes")
+    e_obj = elements.position("object_id")
+    ev_text = elements.position("value_text")
+    ev_num = elements.position("value_num")
+
+    # One index seek per criterion; met[qattr][object] = distinct qelems.
+    met: Dict[int, Dict[int, Set[int]]] = defaultdict(lambda: defaultdict(set))
+    match_rows = 0
+    for qelem in query.qelems:
+        rows = elements.lookup(["elem_id"], [qelem.elem_def_id])
+        op = qelem.op
+        if qelem.numeric:
+            expected = qelem.value_set if op is Op.IN_SET else qelem.value_num
+            position = ev_num
+        else:
+            expected = qelem.value_set if op is Op.IN_SET else qelem.value_text
+            position = ev_text
+        for row in rows:
+            if op.matches(row[position], expected):
+                met[qelem.qattr_id][row[e_obj]].add(qelem.qelem_id)
+                match_rows += 1
+    trace.add("elements-meeting-criteria", match_rows)
+
+    result: Optional[Set[int]] = None
+    satisfied_rows = 0
+    for qattr in query.qattrs:
+        if qattr.direct_elem_count == 0:
+            objects = {
+                row[0] for row in attributes.lookup(["attr_id"], [qattr.attr_def_id])
+            }
+        else:
+            required = qattr.direct_elem_count
+            objects = {
+                obj for obj, hits in met[qattr.qattr_id].items()
+                if len(hits) == required
+            }
+        satisfied_rows += len(objects)
+        result = objects if result is None else (result & objects)
+        if not result:
+            break
+    trace.add("attributes-direct", satisfied_rows)
+    object_ids = sorted(result or set())
+    trace.add("object-ids", len(object_ids))
+    return object_ids

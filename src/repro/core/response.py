@@ -1,0 +1,89 @@
+"""Query-response construction (paper §5).
+
+Responses are rebuilt from the stored CLOBs plus the schema-level
+global ordering, using only set-based operations:
+
+1. Project the CLOB keys ``(object, schema order, sequence)`` for the
+   result objects — the CLOB *text* is not touched yet ("the join can
+   utilize the index without accessing the CLOBs until needed in the
+   final join").
+2. Join with the node-ancestor inverted list to find the **distinct**
+   wrapper nodes each object needs (many attributes are optional, so
+   the required ancestors differ per object).
+3. Join with the global-ordering table to turn each required ancestor
+   into an opening tag at its order and a closing tag after its
+   ``last_child_order`` — no external tagger.
+4. Final join fetches the CLOB text and a single sort of the event rows
+   yields the tagged document.
+
+Event sorting key: ``(position, sequence, close-depth)`` where opening
+tags sort before content at the same order (sequence 0), closing tags
+sort after everything at their ``last_child_order`` (sequence ∞), and
+deeper nodes close first when several close at the same position.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .storage import MemoryHybridStore
+
+_OPEN = 0
+_CONTENT = 1
+_CLOSE = 2
+
+_INF_SEQ = 1 << 60
+
+
+def build_responses_memory(
+    store: MemoryHybridStore, object_ids: Sequence[int]
+) -> Dict[int, str]:
+    """Reconstruct tagged XML for each object; objects unknown to the
+    store are silently absent from the result (mirroring a join)."""
+    schema = store.schema
+    assert schema is not None, "schema not installed"
+    clobs = store.db.table("clobs")
+    node_ancestors = store.db.table("node_ancestors")
+    schema_order = store.db.table("schema_order")
+
+    # Global-ordering table: order -> (tag, last_child_order).  Loaded
+    # once per call; it is schema-sized, not data-sized.
+    order_info: Dict[int, Tuple[str, int]] = {
+        row[0]: (row[1], row[2]) for row in schema_order.scan()
+    }
+    ancestor_map: Dict[int, List[int]] = {}
+    for row in node_ancestors.scan():
+        ancestor_map.setdefault(row[0], []).append(row[1])
+
+    root_order = 1
+    root_tag = order_info[root_order][0]
+
+    responses: Dict[int, str] = {}
+    for object_id in object_ids:
+        if not store.has_object(object_id):
+            continue
+        # Stage 1: CLOB keys only (content deferred to the final join).
+        key_rows = [
+            (row[1], row[2])  # (schema_order, clob_seq)
+            for row in clobs.lookup(["object_id"], [object_id])
+        ]
+        # Stage 2: distinct required ancestors.
+        required: set = set()
+        for order, _seq in key_rows:
+            for anc in ancestor_map.get(order, ()):
+                required.add(anc)
+        if not key_rows:
+            responses[object_id] = f"<{root_tag}></{root_tag}>"
+            continue
+        # Stage 3: open/close tag events from the global-ordering table.
+        events: List[Tuple[int, int, int, int, str]] = []
+        for anc in required:
+            tag, last_child = order_info[anc]
+            events.append((anc, 0, _OPEN, -anc, f"<{tag}>"))
+            events.append((last_child, _INF_SEQ, _CLOSE, -anc, f"</{tag}>"))
+        # Stage 4: final join — fetch CLOB text.
+        for row in clobs.lookup(["object_id"], [object_id]):
+            events.append((row[1], row[2], _CONTENT, 0, row[3]))
+        events.sort(key=lambda e: (e[0], e[1], e[2], e[3]))
+        responses[object_id] = "".join(e[4] for e in events)
+    return responses

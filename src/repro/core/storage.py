@@ -1,0 +1,436 @@
+"""Catalog storage layout and the in-memory hybrid store.
+
+The hybrid scheme stores, per catalog (paper §2–§3):
+
+``objects``
+    One row per cataloged object (file or aggregation).
+``clobs``
+    One verbatim CLOB per metadata-attribute instance, keyed by
+    ``(object, schema order, same-sibling sequence)``.
+``attributes``
+    One row per attribute/sub-attribute instance:
+    ``(object, attribute def, sequence)`` plus the hosting CLOB key.
+``elements``
+    One row per metadata-element value, keyed to its parent attribute
+    instance; values are stored as text plus a numeric shadow column for
+    typed comparison.
+``attr_ancestors``
+    The inverted list of sub-attribute → ancestor-attribute instance
+    relationships (distance 0 = self), which lets queries avoid
+    recursion (§4).
+``schema_order``
+    The schema-level global ordering: ``(order, tag, last_child_order)``
+    — built once per schema (§2).
+``node_ancestors``
+    The inverted list mapping every ordered schema node to its
+    ancestors, used to find required wrapper tags when building
+    responses (§5).
+``attr_defs`` / ``elem_defs``
+    The definition tables mirroring :class:`DefinitionRegistry`.
+
+:class:`MemoryHybridStore` holds these tables in the from-scratch
+relational engine; :class:`repro.backends.sqlite.SqliteHybridStore`
+holds the identical layout in stdlib sqlite.  Both implement
+:class:`HybridStore`, the interface the catalog facade drives.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import CatalogError
+from ..relational import Database, clob, eq, integer, real, text
+from .definitions import DefinitionRegistry
+from .ordering import ancestor_pairs
+from .schema import AnnotatedSchema
+from .shredder import ShredResult
+
+
+class PlanStage:
+    """One stage of an executed query plan, for the Fig-4 trace."""
+
+    __slots__ = ("name", "rows", "note")
+
+    def __init__(self, name: str, rows: int, note: str = "") -> None:
+        self.name = name
+        self.rows = rows
+        self.note = note
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"PlanStage({self.name!r}, rows={self.rows})"
+
+
+class PlanTrace:
+    """Ordered stage list recorded while matching a query."""
+
+    def __init__(self) -> None:
+        self.stages: List[PlanStage] = []
+
+    def add(self, name: str, rows: int, note: str = "") -> None:
+        self.stages.append(PlanStage(name, rows, note))
+
+    def describe(self) -> str:
+        width = max((len(s.name) for s in self.stages), default=0)
+        lines = []
+        for s in self.stages:
+            note = f"  -- {s.note}" if s.note else ""
+            lines.append(f"{s.name:<{width}}  {s.rows:>8} rows{note}")
+        return "\n".join(lines)
+
+    def stage_names(self) -> List[str]:
+        return [s.name for s in self.stages]
+
+
+class HybridStore(abc.ABC):
+    """Backend interface for the hybrid catalog."""
+
+    @abc.abstractmethod
+    def install_schema(self, schema: AnnotatedSchema) -> None:
+        """Create the layout and load the global-ordering tables."""
+
+    def is_initialized(self) -> bool:
+        """True when the store already holds a catalog (reopened file).
+        In-memory stores are never pre-initialized."""
+        return False
+
+    def attach_schema(self, schema: AnnotatedSchema) -> None:
+        """Bind ``schema`` to an already-initialized store, verifying it
+        matches the stored global ordering."""
+        raise CatalogError("this store cannot be reopened")
+
+    def load_definition_rows(self):
+        """``(attr_rows, elem_rows)`` for registry rehydration."""
+        raise CatalogError("this store cannot be reopened")
+
+    def load_objects(self):
+        """``(object_id, name, owner)`` rows for catalog rehydration."""
+        raise CatalogError("this store cannot be reopened")
+
+    @abc.abstractmethod
+    def sync_definitions(self, registry: DefinitionRegistry) -> None:
+        """Upsert definition rows to match the registry."""
+
+    @abc.abstractmethod
+    def store_object(
+        self, object_id: int, name: str, owner: str, shred: ShredResult
+    ) -> None:
+        """Persist one shredded document."""
+
+    @abc.abstractmethod
+    def delete_object(self, object_id: int) -> None:
+        """Remove an object and all its rows."""
+
+    @abc.abstractmethod
+    def append_rows(self, object_id: int, shred: ShredResult) -> None:
+        """Add an incremental fragment's rows to an existing object
+        (paper §5: attributes may be inserted after the original shred)."""
+
+    @abc.abstractmethod
+    def max_clob_seq(self, object_id: int, schema_order: int) -> int:
+        """Highest stored same-sibling sequence of the given schema node
+        for an object (0 when none) — the next fragment takes this + 1.
+        Max, not count: removals may leave sequence gaps."""
+
+    @abc.abstractmethod
+    def instance_counts(self, object_id: int) -> Dict[int, int]:
+        """Max stored sequence id per attribute definition for an object."""
+
+    @abc.abstractmethod
+    def remove_attribute_instance(
+        self, object_id: int, attr_id: int, seq_id: int
+    ) -> None:
+        """Remove one top-level attribute instance (its CLOB, rows, and
+        all descendant sub-attribute instances)."""
+
+    @abc.abstractmethod
+    def has_object(self, object_id: int) -> bool: ...
+
+    @abc.abstractmethod
+    def object_count(self) -> int: ...
+
+    @abc.abstractmethod
+    def match_objects(self, shredded_query, trace: Optional[PlanTrace] = None) -> List[int]:
+        """Run the Fig-4 count-matching plan; return matching object ids."""
+
+    @abc.abstractmethod
+    def build_responses(self, object_ids: Sequence[int]) -> Dict[int, str]:
+        """Reconstruct tagged XML for each object id (paper §5)."""
+
+    @abc.abstractmethod
+    def storage_report(self) -> List[Tuple[str, int, int]]:
+        """Per-table ``(name, rows, bytes)`` accounting."""
+
+
+# ---------------------------------------------------------------------------
+# Memory store
+# ---------------------------------------------------------------------------
+
+class MemoryHybridStore(HybridStore):
+    """Hybrid layout on the from-scratch relational engine."""
+
+    def __init__(self) -> None:
+        self.db = Database("hybrid")
+        self.schema: Optional[AnnotatedSchema] = None
+
+    # -- DDL ------------------------------------------------------------
+    def install_schema(self, schema: AnnotatedSchema) -> None:
+        if self.schema is not None:
+            raise CatalogError("schema already installed")
+        self.schema = schema
+        db = self.db
+        db.create_table(
+            "objects",
+            [integer("object_id", nullable=False), text("name"), text("owner")],
+            primary_key=["object_id"],
+        )
+        t = db.create_table(
+            "clobs",
+            [
+                integer("object_id", nullable=False),
+                integer("schema_order", nullable=False),
+                integer("clob_seq", nullable=False),
+                clob("content", nullable=False),
+            ],
+            primary_key=["object_id", "schema_order", "clob_seq"],
+        )
+        t.create_index("clobs_by_object", ["object_id"])
+        t = db.create_table(
+            "attributes",
+            [
+                integer("object_id", nullable=False),
+                integer("attr_id", nullable=False),
+                integer("seq_id", nullable=False),
+                integer("clob_order", nullable=False),
+                integer("clob_seq", nullable=False),
+            ],
+            primary_key=["object_id", "attr_id", "seq_id"],
+        )
+        t.create_index("attributes_by_def", ["attr_id"])
+        t.create_index("attributes_by_object", ["object_id"])
+        t = db.create_table(
+            "elements",
+            [
+                integer("object_id", nullable=False),
+                integer("attr_id", nullable=False),
+                integer("seq_id", nullable=False),
+                integer("elem_id", nullable=False),
+                integer("elem_seq", nullable=False),
+                text("value_text"),
+                real("value_num"),
+            ],
+        )
+        t.create_index("elements_by_def", ["elem_id"])
+        t.create_index("elements_by_object", ["object_id"])
+        t = db.create_table(
+            "attr_ancestors",
+            [
+                integer("object_id", nullable=False),
+                integer("desc_attr_id", nullable=False),
+                integer("desc_seq", nullable=False),
+                integer("anc_attr_id", nullable=False),
+                integer("anc_seq", nullable=False),
+                integer("distance", nullable=False),
+            ],
+        )
+        t.create_index("anc_by_pair", ["desc_attr_id", "anc_attr_id"])
+        t.create_index("anc_by_object", ["object_id"])
+        db.create_table(
+            "schema_order",
+            [
+                integer("node_order", nullable=False),
+                text("tag", nullable=False),
+                integer("last_child_order", nullable=False),
+            ],
+            primary_key=["node_order"],
+        )
+        t = db.create_table(
+            "node_ancestors",
+            [
+                integer("node_order", nullable=False),
+                integer("ancestor_order", nullable=False),
+            ],
+        )
+        t.create_index("node_anc_by_node", ["node_order"])
+        db.create_table(
+            "attr_defs",
+            [
+                integer("attr_id", nullable=False),
+                text("name", nullable=False),
+                text("source", nullable=False),
+                integer("parent_id"),
+                integer("schema_order", nullable=False),
+                text("scope", nullable=False),
+                integer("queryable", nullable=False),
+                integer("structural", nullable=False),
+            ],
+            primary_key=["attr_id"],
+        )
+        db.create_table(
+            "elem_defs",
+            [
+                integer("elem_id", nullable=False),
+                integer("attr_id", nullable=False),
+                text("name", nullable=False),
+                text("source", nullable=False),
+                text("value_type", nullable=False),
+                text("scope", nullable=False),
+            ],
+            primary_key=["elem_id"],
+        )
+        # Load the schema-level global ordering (built once — §2).
+        order_table = db.table("schema_order")
+        for node in schema.ordered_nodes:
+            order_table.insert([node.order, node.tag, node.last_child_order])
+        anc_table = db.table("node_ancestors")
+        for node_order, anc_order in ancestor_pairs(schema.ordered_nodes):
+            anc_table.insert([node_order, anc_order])
+
+    def sync_definitions(self, registry: DefinitionRegistry) -> None:
+        attr_table = self.db.table("attr_defs")
+        known = {row[0] for row in attr_table.scan()}
+        for d in registry.all_attributes():
+            if d.attr_id not in known:
+                attr_table.insert(
+                    [
+                        d.attr_id, d.name, d.source, d.parent_id, d.schema_order,
+                        d.scope, int(d.queryable), int(d.structural),
+                    ]
+                )
+        elem_table = self.db.table("elem_defs")
+        known = {row[0] for row in elem_table.scan()}
+        for e in registry.all_elements():
+            if e.elem_id not in known:
+                elem_table.insert(
+                    [e.elem_id, e.attr_id, e.name, e.source, e.value_type.value, e.scope]
+                )
+
+    # -- Ingest -----------------------------------------------------------
+    def store_object(
+        self, object_id: int, name: str, owner: str, shred: ShredResult
+    ) -> None:
+        self.db.table("objects").insert([object_id, name, owner])
+        self.append_rows(object_id, shred)
+
+    def append_rows(self, object_id: int, shred: ShredResult) -> None:
+        db = self.db
+        clobs = db.table("clobs")
+        for row in shred.clobs:
+            clobs.insert([object_id, row.schema_order, row.clob_seq, row.text])
+        attributes = db.table("attributes")
+        for arow in shred.attributes:
+            attributes.insert(
+                [object_id, arow.attr_id, arow.seq_id, arow.clob_order, arow.clob_seq]
+            )
+        elements = db.table("elements")
+        for erow in shred.elements:
+            elements.insert(
+                [
+                    object_id, erow.attr_id, erow.seq_id, erow.elem_id,
+                    erow.elem_seq, erow.value_text, erow.value_num,
+                ]
+            )
+        ancestors = db.table("attr_ancestors")
+        for irow in shred.inverted:
+            ancestors.insert(
+                [
+                    object_id, irow.desc_attr_id, irow.desc_seq,
+                    irow.anc_attr_id, irow.anc_seq, irow.distance,
+                ]
+            )
+
+    def delete_object(self, object_id: int) -> None:
+        if not self.has_object(object_id):
+            raise CatalogError(f"no object {object_id}")
+        for name in ("objects", "clobs", "attributes", "elements", "attr_ancestors"):
+            self.db.table(name).delete_where(eq("object_id", object_id))
+
+    def has_object(self, object_id: int) -> bool:
+        return bool(self.db.table("objects").lookup(["object_id"], [object_id]))
+
+    def object_count(self) -> int:
+        return len(self.db.table("objects"))
+
+    def max_clob_seq(self, object_id: int, schema_order: int) -> int:
+        return max(
+            (
+                row[2]
+                for row in self.db.table("clobs").lookup(["object_id"], [object_id])
+                if row[1] == schema_order
+            ),
+            default=0,
+        )
+
+    def instance_counts(self, object_id: int) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for row in self.db.table("attributes").lookup(["object_id"], [object_id]):
+            attr_id, seq_id = row[1], row[2]
+            if seq_id > counts.get(attr_id, 0):
+                counts[attr_id] = seq_id
+        return counts
+
+    def remove_attribute_instance(
+        self, object_id: int, attr_id: int, seq_id: int
+    ) -> None:
+        attributes = self.db.table("attributes")
+        target = [
+            row
+            for row in attributes.lookup(["object_id"], [object_id])
+            if row[1] == attr_id and row[2] == seq_id
+        ]
+        if not target:
+            raise CatalogError(
+                f"object {object_id} has no instance {seq_id} of attribute "
+                f"{attr_id}"
+            )
+        clob_order, clob_seq = target[0][3], target[0][4]
+        if clob_seq < 1:
+            raise CatalogError(
+                "only top-level attribute instances can be removed; "
+                f"attribute {attr_id} instance {seq_id} is a sub-attribute"
+            )
+        # The victim plus every descendant sub-attribute instance (via
+        # the inverted list, distance >= 1).
+        ancestors = self.db.table("attr_ancestors")
+        victims = {(attr_id, seq_id)}
+        for row in ancestors.lookup(["object_id"], [object_id]):
+            if row[3] == attr_id and row[4] == seq_id and row[5] >= 1:
+                victims.add((row[1], row[2]))
+        for victim_attr, victim_seq in victims:
+            base = (
+                eq("object_id", object_id)
+                & eq("attr_id", victim_attr)
+                & eq("seq_id", victim_seq)
+            )
+            attributes.delete_where(base)
+            self.db.table("elements").delete_where(base)
+            ancestors.delete_where(
+                eq("object_id", object_id)
+                & eq("desc_attr_id", victim_attr)
+                & eq("desc_seq", victim_seq)
+            )
+            ancestors.delete_where(
+                eq("object_id", object_id)
+                & eq("anc_attr_id", victim_attr)
+                & eq("anc_seq", victim_seq)
+            )
+        self.db.table("clobs").delete_where(
+            eq("object_id", object_id)
+            & eq("schema_order", clob_order)
+            & eq("clob_seq", clob_seq)
+        )
+
+    # -- Query / response (implemented in planner.py / response.py) -------
+    def match_objects(self, shredded_query, trace: Optional[PlanTrace] = None) -> List[int]:
+        from .planner import match_objects_memory
+
+        return match_objects_memory(self, shredded_query, trace)
+
+    def build_responses(self, object_ids: Sequence[int]) -> Dict[int, str]:
+        from .response import build_responses_memory
+
+        return build_responses_memory(self, object_ids)
+
+    # -- Accounting ---------------------------------------------------------
+    def storage_report(self) -> List[Tuple[str, int, int]]:
+        return self.db.storage_report()

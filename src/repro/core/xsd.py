@@ -1,0 +1,362 @@
+"""Annotated XML Schema loader (paper §7 future work).
+
+The conclusion proposes "a framework for metadata catalogs that would
+be based on an annotated schema to indicate which schema elements are
+structural or dynamic metadata attributes and elements".  This module
+implements that framework: a community XML Schema, annotated in-place
+through standard ``xs:annotation/xs:appinfo`` hooks, loads directly
+into an :class:`AnnotatedSchema`.
+
+Supported XSD subset (the constructs grid metadata schemas of the era
+actually used — FGDC-style sequences of elements):
+
+* one top-level ``xs:element`` (the document root) plus named top-level
+  ``xs:complexType`` definitions;
+* ``xs:complexType`` / ``xs:sequence`` composition, inline or by
+  ``type="..."`` reference (recursive references allowed — that is how
+  the ``attr``-within-``attr`` recursion is declared);
+* ``minOccurs`` / ``maxOccurs`` (``"unbounded"`` supported);
+* built-in simple types mapped to catalog value types:
+  string → STRING, int/integer/long → INTEGER,
+  float/double/decimal → FLOAT, date → DATE.
+
+Annotation markers, placed inside an element's
+``xs:annotation/xs:appinfo``:
+
+* ``<catalog:attribute [queryable="false"]/>`` — this element is a
+  metadata attribute;
+* ``<catalog:dynamic [entity="enttyp"] [name="enttypl"] ...>`` — this
+  element is a *dynamic* attribute section (tag names configurable,
+  defaulting to the LEAD convention).
+
+Everything else is inferred: interior nodes above attributes are
+structural, interior nodes below are sub-attributes, leaves below are
+metadata elements.  Namespace prefixes are recognized but not resolved
+(tags compare by local name), matching the catalog's namespace-free
+document handling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..errors import SchemaError
+from ..xmlkit import Element, parse
+from .schema import (
+    AnnotatedSchema,
+    DynamicSpec,
+    NodeKind,
+    SchemaNode,
+    ValueType,
+)
+
+_SIMPLE_TYPES: Dict[str, ValueType] = {
+    "string": ValueType.STRING,
+    "token": ValueType.STRING,
+    "normalizedstring": ValueType.STRING,
+    "anyuri": ValueType.STRING,
+    "boolean": ValueType.STRING,
+    "int": ValueType.INTEGER,
+    "integer": ValueType.INTEGER,
+    "long": ValueType.INTEGER,
+    "short": ValueType.INTEGER,
+    "nonnegativeinteger": ValueType.INTEGER,
+    "positiveinteger": ValueType.INTEGER,
+    "float": ValueType.FLOAT,
+    "double": ValueType.FLOAT,
+    "decimal": ValueType.FLOAT,
+    "date": ValueType.DATE,
+}
+
+
+def _local(tag: str) -> str:
+    """Strip a namespace prefix: ``xs:element`` → ``element``."""
+    return tag.rsplit(":", 1)[-1]
+
+
+def _children(element: Element, local_name: str) -> List[Element]:
+    return [c for c in element.child_elements() if _local(c.tag) == local_name]
+
+
+def _child(element: Element, local_name: str) -> Optional[Element]:
+    found = _children(element, local_name)
+    return found[0] if found else None
+
+
+class _Markers:
+    """The catalog annotations found on one xs:element."""
+
+    __slots__ = ("is_attribute", "queryable", "dynamic")
+
+    def __init__(self) -> None:
+        self.is_attribute = False
+        self.queryable = True
+        self.dynamic: Optional[DynamicSpec] = None
+
+
+def _read_markers(xs_element: Element) -> _Markers:
+    markers = _Markers()
+    annotation = _child(xs_element, "annotation")
+    if annotation is None:
+        return markers
+    for appinfo in _children(annotation, "appinfo"):
+        for marker in appinfo.child_elements():
+            name = _local(marker.tag)
+            if name == "attribute":
+                markers.is_attribute = True
+                if marker.attributes.get("queryable", "true").lower() == "false":
+                    markers.queryable = False
+            elif name == "dynamic":
+                markers.is_attribute = True
+                markers.dynamic = DynamicSpec(
+                    entity_tag=marker.attributes.get("entity", "enttyp"),
+                    name_tag=marker.attributes.get("name", "enttypl"),
+                    source_tag=marker.attributes.get("source", "enttypds"),
+                    item_tag=marker.attributes.get("item", "attr"),
+                    label_tag=marker.attributes.get("label", "attrlabl"),
+                    defs_tag=marker.attributes.get("defs", "attrdefs"),
+                    value_tag=marker.attributes.get("value", "attrv"),
+                )
+            else:
+                raise SchemaError(f"unknown catalog annotation <{marker.tag}>")
+    return markers
+
+
+class _XsdLoader:
+    def __init__(self, schema_element: Element) -> None:
+        self.named_types: Dict[str, Element] = {}
+        self.roots: List[Element] = []
+        for child in schema_element.child_elements():
+            name = _local(child.tag)
+            if name == "complexType":
+                type_name = child.attributes.get("name")
+                if not type_name:
+                    raise SchemaError("top-level complexType needs a name")
+                if type_name in self.named_types:
+                    raise SchemaError(f"duplicate complexType {type_name!r}")
+                self.named_types[type_name] = child
+            elif name == "element":
+                self.roots.append(child)
+            elif name in ("annotation", "import", "include"):
+                continue
+            else:
+                raise SchemaError(f"unsupported top-level construct <{child.tag}>")
+        if len(self.roots) != 1:
+            raise SchemaError(
+                f"expected exactly one top-level element, found {len(self.roots)}"
+            )
+
+    # ------------------------------------------------------------------
+    def load(self, name: str) -> AnnotatedSchema:
+        root = self._build_element(self.roots[0], inside_attribute=False,
+                                   type_stack=set())
+        root.required = False  # occurrence is meaningless for the root
+        if root.kind is not NodeKind.STRUCTURAL:
+            raise SchemaError(
+                "the document root element must not itself be annotated as "
+                "a metadata attribute"
+            )
+        return AnnotatedSchema(root, name=name)
+
+    # ------------------------------------------------------------------
+    def _build_element(
+        self,
+        xs_element: Element,
+        inside_attribute: bool,
+        type_stack: Set[str],
+    ) -> SchemaNode:
+        tag = xs_element.attributes.get("name")
+        if not tag:
+            raise SchemaError("xs:element without a name")
+        markers = _read_markers(xs_element)
+        min_occurs = int(xs_element.attributes.get("minOccurs", "1"))
+        max_occurs_raw = xs_element.attributes.get("maxOccurs", "1")
+        repeatable = max_occurs_raw == "unbounded" or int(max_occurs_raw) > 1
+        required = min_occurs >= 1
+
+        type_ref = xs_element.attributes.get("type")
+        inline_type = _child(xs_element, "complexType")
+
+        if markers.dynamic is not None:
+            # The recursive structure below a dynamic section is governed
+            # by the DynamicSpec; the declared content (often the
+            # recursive attrType) is intentionally not walked.
+            return SchemaNode(
+                tag,
+                NodeKind.ATTRIBUTE,
+                None,
+                repeatable=repeatable,
+                required=required,
+                queryable=markers.queryable,
+                dynamic=markers.dynamic,
+            )
+
+        # Resolve the content model.
+        value_type: Optional[ValueType] = None
+        content: Optional[Element] = None
+        if type_ref is not None and inline_type is not None:
+            raise SchemaError(f"element {tag!r} has both type= and inline complexType")
+        if type_ref is not None:
+            local_ref = _local(type_ref).lower()
+            if local_ref in _SIMPLE_TYPES:
+                value_type = _SIMPLE_TYPES[local_ref]
+            else:
+                named = _local(type_ref)
+                if named not in self.named_types:
+                    raise SchemaError(f"element {tag!r} references unknown type {type_ref!r}")
+                if named in type_stack:
+                    raise SchemaError(
+                        f"recursive type {named!r} reached outside a dynamic "
+                        "attribute; recursion must be contained within a "
+                        "metadata attribute (rule R4)"
+                    )
+                content = self.named_types[named]
+                type_stack = type_stack | {named}
+        elif inline_type is not None:
+            content = inline_type
+        else:
+            value_type = ValueType.STRING  # untyped leaf
+
+        if content is None:
+            # Leaf element.
+            if markers.is_attribute:
+                if inside_attribute:
+                    raise SchemaError(
+                        f"attribute annotation on {tag!r} inside another attribute"
+                    )
+                return SchemaNode(
+                    tag, NodeKind.ATTRIBUTE, None, repeatable=repeatable,
+                    required=required, queryable=markers.queryable,
+                    is_element=True, value_type=value_type or ValueType.STRING,
+                )
+            kind = NodeKind.ELEMENT if inside_attribute else NodeKind.ELEMENT
+            if not inside_attribute:
+                raise SchemaError(
+                    f"leaf element {tag!r} is outside any metadata attribute; "
+                    "annotate it or an ancestor as a catalog attribute (R5)"
+                )
+            return SchemaNode(
+                tag, kind, None, repeatable=repeatable, required=required,
+                value_type=value_type or ValueType.STRING, is_element=True,
+            )
+
+        # Interior element: walk the sequence.
+        sequence = _child(content, "sequence")
+        if sequence is None:
+            raise SchemaError(f"complex element {tag!r} needs an xs:sequence")
+        child_inside = inside_attribute or markers.is_attribute
+        children = [
+            self._build_element(child, child_inside, type_stack)
+            for child in _children(sequence, "element")
+        ]
+        if markers.is_attribute:
+            kind = NodeKind.ATTRIBUTE
+        elif inside_attribute:
+            kind = NodeKind.SUB_ATTRIBUTE
+        else:
+            kind = NodeKind.STRUCTURAL
+        return SchemaNode(
+            tag, kind, children, repeatable=repeatable, required=required,
+            queryable=markers.queryable,
+        )
+
+
+_TYPE_NAMES = {
+    ValueType.STRING: "xs:string",
+    ValueType.INTEGER: "xs:integer",
+    ValueType.FLOAT: "xs:double",
+    ValueType.DATE: "xs:date",
+}
+
+
+def schema_to_xsd(schema: AnnotatedSchema) -> str:
+    """Render an :class:`AnnotatedSchema` back into annotated-XSD text.
+
+    The output round-trips: ``load_xsd(schema_to_xsd(s))`` produces a
+    schema node-for-node equivalent to ``s`` (property-tested).  All
+    content models are emitted inline (named types are a loading
+    convenience, not part of the model).
+    """
+    lines: List[str] = [
+        '<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"',
+        '           xmlns:catalog="urn:repro:catalog">',
+    ]
+    _render_node(schema.root, lines, indent=1, is_root=True)
+    lines.append("</xs:schema>")
+    return "\n".join(lines) + "\n"
+
+
+def _render_node(node: SchemaNode, lines: List[str], indent: int, is_root: bool = False) -> None:
+    pad = "  " * indent
+    occurs = ""
+    if not is_root:
+        if not node.required:
+            occurs += ' minOccurs="0"'
+        if node.repeatable:
+            occurs += ' maxOccurs="unbounded"'
+
+    annotation: List[str] = []
+    if node.kind is NodeKind.ATTRIBUTE:
+        if node.dynamic is not None:
+            d = node.dynamic
+            annotation = [
+                f"{pad}  <xs:annotation><xs:appinfo>",
+                f'{pad}    <catalog:dynamic entity="{d.entity_tag}" name="{d.name_tag}"',
+                f'{pad}                     source="{d.source_tag}" item="{d.item_tag}"',
+                f'{pad}                     label="{d.label_tag}" defs="{d.defs_tag}"',
+                f'{pad}                     value="{d.value_tag}"/>',
+                f"{pad}  </xs:appinfo></xs:annotation>",
+            ]
+        else:
+            queryable = "" if node.queryable else ' queryable="false"'
+            annotation = [
+                f"{pad}  <xs:annotation><xs:appinfo>"
+                f"<catalog:attribute{queryable}/>"
+                f"</xs:appinfo></xs:annotation>"
+            ]
+
+    if node.dynamic is not None or (node.is_leaf and node.kind is not NodeKind.STRUCTURAL):
+        if node.dynamic is not None:
+            lines.append(f'{pad}<xs:element name="{node.tag}"{occurs}>')
+            lines.extend(annotation)
+            lines.append(f"{pad}</xs:element>")
+        else:
+            type_name = _TYPE_NAMES[node.value_type]
+            if annotation:
+                lines.append(
+                    f'{pad}<xs:element name="{node.tag}" type="{type_name}"{occurs}>'
+                )
+                lines.extend(annotation)
+                lines.append(f"{pad}</xs:element>")
+            else:
+                lines.append(
+                    f'{pad}<xs:element name="{node.tag}" type="{type_name}"{occurs}/>'
+                )
+        return
+
+    lines.append(f'{pad}<xs:element name="{node.tag}"{occurs}>')
+    lines.extend(annotation)
+    lines.append(f"{pad}  <xs:complexType><xs:sequence>")
+    for child in node.children:
+        _render_node(child, lines, indent + 2)
+    lines.append(f"{pad}  </xs:sequence></xs:complexType>")
+    lines.append(f"{pad}</xs:element>")
+
+
+def load_xsd(text: str, name: str = "xsd-schema") -> AnnotatedSchema:
+    """Parse annotated XSD ``text`` into a validated, ordered
+    :class:`AnnotatedSchema`.
+
+    Raises
+    ------
+    SchemaError
+        For unsupported constructs, unresolved type references,
+        non-dynamic recursion, or annotation placements that violate the
+        partition rules.
+    """
+    document = parse(text)
+    if _local(document.root.tag) != "schema":
+        raise SchemaError(
+            f"expected an xs:schema document, got <{document.root.tag}>"
+        )
+    return _XsdLoader(document.root).load(name)

@@ -1,0 +1,41 @@
+"""Exception hierarchy shared across the catalog and its substrates.
+
+All library errors derive from :class:`ReproError` so applications can
+catch one base class.  Substrate-specific errors (XML parsing, relational
+engine) subclass it in their own modules; the core catalog errors live
+here because they are part of the public API surface.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SchemaError(ReproError):
+    """An annotated schema violates the metadata-attribute partition rules."""
+
+
+class ShredError(ReproError):
+    """A document cannot be shredded against the annotated schema."""
+
+
+class ValidationError(ShredError):
+    """A dynamic metadata attribute failed validation against the registry."""
+
+
+class QueryError(ReproError):
+    """A query is malformed or references unknown definitions."""
+
+
+class ResponseError(ReproError):
+    """A query response could not be reconstructed from stored CLOBs."""
+
+
+class CatalogError(ReproError):
+    """Catalog-level misuse (unknown object ids, duplicate ingest, ...)."""
+
+
+class DefinitionError(ReproError):
+    """Attribute/element definition registry misuse or conflicts."""

@@ -1,0 +1,63 @@
+"""``repro.grid`` — the LEAD-grid context substrates (S14–S17).
+
+* :mod:`.leadschema` — the annotated LEAD schema of Figure 2 and the
+  Figure 3 example document.
+* :mod:`.namelist` — Fortran namelist parsing (ARPS/WRF model
+  parameters → dynamic metadata attribute subtrees).
+* :mod:`.generator` — deterministic synthetic metadata documents.
+* :mod:`.workload` — query workloads over generated corpora.
+* :mod:`.service` — a myLEAD-like personal catalog service facade.
+"""
+
+from .cfontology import cf_ontology
+from .clrcschema import clrc_schema, define_isis_conditions, sample_study
+from .context import ContextSearch
+from .generator import (
+    ARPS_GROUPS,
+    CF_STANDARD_NAMES,
+    MODELS,
+    WRF_GROUPS,
+    CorpusConfig,
+    LeadCorpusGenerator,
+    PlantedMarker,
+)
+from .leadschema import FIG3_DOCUMENT, define_fig3_attributes, lead_schema
+from .leadschema_xsd import LEAD_XSD, lead_schema_from_xsd
+from .namelist import (
+    NamelistError,
+    NamelistGroup,
+    namelist_to_detailed,
+    parse_namelist,
+    register_namelist_definitions,
+)
+from .service import Experiment, MyLeadService, User
+from .workload import WorkloadGenerator
+
+__all__ = [
+    "ARPS_GROUPS",
+    "CF_STANDARD_NAMES",
+    "ContextSearch",
+    "CorpusConfig",
+    "Experiment",
+    "FIG3_DOCUMENT",
+    "LEAD_XSD",
+    "LeadCorpusGenerator",
+    "lead_schema_from_xsd",
+    "MODELS",
+    "MyLeadService",
+    "NamelistError",
+    "NamelistGroup",
+    "PlantedMarker",
+    "User",
+    "WRF_GROUPS",
+    "WorkloadGenerator",
+    "cf_ontology",
+    "clrc_schema",
+    "define_fig3_attributes",
+    "define_isis_conditions",
+    "sample_study",
+    "lead_schema",
+    "namelist_to_detailed",
+    "parse_namelist",
+    "register_namelist_definitions",
+]

@@ -1,0 +1,99 @@
+"""A small CF-style keyword ontology over the generator vocabulary.
+
+Organizes the CF standard names the corpus generator emits into a
+broader/narrower hierarchy with informal synonyms, so the §3
+"connected to an ontology" search path has a realistic instance:
+querying ``themekey = "precipitation"`` matches every specific
+precipitation variable a document may be tagged with.
+"""
+
+from __future__ import annotations
+
+from ..core.ontology import Ontology
+
+
+def cf_ontology() -> Ontology:
+    """Build the LEAD/CF keyword ontology (fresh instance)."""
+    onto = Ontology("cf-keywords")
+
+    onto.add_term("atmospheric_variable")
+
+    onto.add_term("precipitation", synonyms=["rainfall"],
+                  broader="atmospheric_variable")
+    for term in (
+        "convective_precipitation_amount",
+        "convective_precipitation_flux",
+        "precipitation_amount",
+        "precipitation_flux",
+        "snowfall_amount",
+    ):
+        onto.add_term(term, broader="precipitation")
+
+    onto.add_term("pressure", broader="atmospheric_variable")
+    for term in (
+        "air_pressure",
+        "air_pressure_at_cloud_base",
+        "air_pressure_at_cloud_top",
+        "surface_air_pressure",
+    ):
+        onto.add_term(term, broader="pressure")
+
+    onto.add_term("temperature", broader="atmospheric_variable")
+    for term in (
+        "air_temperature",
+        "dew_point_temperature",
+        "soil_temperature",
+        "surface_temperature",
+        "tendency_of_air_temperature",
+        "equivalent_potential_temperature",
+    ):
+        onto.add_term(term, broader="temperature")
+
+    onto.add_term("wind", broader="atmospheric_variable")
+    for term in (
+        "wind_speed",
+        "wind_from_direction",
+        "eastward_wind",
+        "northward_wind",
+        "upward_air_velocity",
+        "vertical_wind_shear",
+    ):
+        onto.add_term(term, broader="wind")
+
+    onto.add_term("moisture", synonyms=["humidity"],
+                  broader="atmospheric_variable")
+    for term in (
+        "relative_humidity",
+        "specific_humidity",
+        "soil_moisture_content",
+        "graupel_mixing_ratio",
+        "rain_water_mixing_ratio",
+        "snow_mixing_ratio",
+    ):
+        onto.add_term(term, broader="moisture")
+
+    onto.add_term("severe_weather", synonyms=["convective_hazard"],
+                  broader="atmospheric_variable")
+    for term in (
+        "convective_available_potential_energy",
+        "convective_inhibition",
+        "storm_relative_helicity",
+        "lifted_index",
+        "hail_diameter",
+        "tornado_probability",
+        "lightning_flash_rate",
+    ):
+        onto.add_term(term, broader="severe_weather")
+
+    onto.add_term("cloud", broader="atmospheric_variable")
+    for term in (
+        "cloud_area_fraction",
+        "cloud_base_altitude",
+    ):
+        onto.add_term(term, broader="cloud")
+
+    onto.add_term("radar", broader="atmospheric_variable")
+    for term in ("radar_reflectivity", "composite_reflectivity"):
+        onto.add_term(term, broader="radar")
+
+    return onto

@@ -1,0 +1,179 @@
+"""A CLRC-style cross-discipline metadata schema (paper §1, §7).
+
+The paper's introduction cites the UK CLRC Scientific Metadata Model
+[2] as the other major grid metadata effort, and its conclusion claims
+the hybrid approach "generalizes to metadata in other scientific grid
+environments".  This module backs that claim with a second annotated
+community schema, shaped after the CLRC model's top-level structure
+(study → investigation → data holdings, with topic keywords, access
+conditions, and instrument-specific dynamic parameters).
+
+Everything the catalog does — partitioning, ordering, dual shredding,
+dynamic attributes, querying, reconstruction — works unchanged on this
+schema; ``tests/grid/test_clrc.py`` exercises the full pipeline on it.
+"""
+
+from __future__ import annotations
+
+from ..core.schema import (
+    AnnotatedSchema,
+    DynamicSpec,
+    ValueType,
+    attribute,
+    melement,
+    structural,
+    sub_attribute,
+)
+from ..xmlkit import element, pretty_print
+
+
+def clrc_schema() -> AnnotatedSchema:
+    """Build the annotated CLRC-style schema (fresh instance)."""
+    root = structural(
+        "study",
+        attribute("studyID", required=True),
+        attribute(
+            "investigator",
+            melement("name"),
+            melement("institution"),
+            melement("role"),
+            repeatable=True,
+        ),
+        structural(
+            "metadata",
+            attribute(
+                "topic",
+                melement("discipline"),
+                melement("keyword", repeatable=True),
+                repeatable=True,
+            ),
+            attribute(
+                "description",
+                melement("purpose"),
+                melement("abstract"),
+            ),
+            attribute(
+                "access",
+                melement("conditions"),
+                melement("releaseDate", value_type=ValueType.DATE),
+            ),
+        ),
+        structural(
+            "investigation",
+            attribute(
+                "experimentConditions",
+                repeatable=True,
+                dynamic=DynamicSpec(
+                    entity_tag="conditionSet",
+                    name_tag="setName",
+                    source_tag="facility",
+                    item_tag="condition",
+                    label_tag="parameter",
+                    defs_tag="definedBy",
+                    value_tag="reading",
+                ),
+            ),
+            attribute(
+                "dataHolding",
+                melement("locator"),
+                melement("format"),
+                melement("sizeBytes", value_type=ValueType.INTEGER),
+                sub_attribute(
+                    "timeWindow",
+                    melement("start", value_type=ValueType.DATE),
+                    melement("end", value_type=ValueType.DATE),
+                ),
+                repeatable=True,
+            ),
+        ),
+    )
+    return AnnotatedSchema(root, name="CLRC")
+
+
+def sample_study(
+    study_id: str = "clrc:study:0001",
+    keywords=("neutron scattering", "condensed matter"),
+    beam_current: float = 180.0,
+) -> str:
+    """One synthetic CLRC study document (ISIS-flavoured)."""
+    doc = element(
+        "study",
+        element("studyID", study_id),
+        element(
+            "investigator",
+            element("name", "Dr. Grace Evans"),
+            element("institution", "CLRC Rutherford Appleton Laboratory"),
+            element("role", "principal investigator"),
+        ),
+        element(
+            "metadata",
+            element(
+                "topic",
+                element("discipline", "physics"),
+                *[element("keyword", k) for k in keywords],
+            ),
+            element(
+                "description",
+                element("purpose", "structure determination"),
+                element("abstract", "Neutron diffraction study of a layered oxide."),
+            ),
+            element(
+                "access",
+                element("conditions", "embargoed"),
+                element("releaseDate", "2007-01-01"),
+            ),
+        ),
+        element(
+            "investigation",
+            element(
+                "experimentConditions",
+                element(
+                    "conditionSet",
+                    element("setName", "beamline"),
+                    element("facility", "ISIS"),
+                ),
+                element(
+                    "condition",
+                    element("parameter", "beam-current"),
+                    element("definedBy", "ISIS"),
+                    element("reading", str(beam_current)),
+                ),
+                element(
+                    "condition",
+                    element("parameter", "sample-environment"),
+                    element("definedBy", "ISIS"),
+                    element(
+                        "condition",
+                        element("parameter", "temperature"),
+                        element("definedBy", "ISIS"),
+                        element("reading", "4.2"),
+                    ),
+                ),
+            ),
+            element(
+                "dataHolding",
+                element("locator", "srb://clrc/raw/run-5512.nxs"),
+                element("format", "NeXus"),
+                element("sizeBytes", "52428800"),
+                element(
+                    "timeWindow",
+                    element("start", "2005-11-02"),
+                    element("end", "2005-11-03"),
+                ),
+            ),
+        ),
+    )
+    return pretty_print(doc)
+
+
+def define_isis_conditions(catalog) -> None:
+    """Register the ISIS dynamic condition vocabulary used by
+    :func:`sample_study` (admin scope)."""
+    beamline = catalog.define_attribute(
+        "beamline", "ISIS", host="experimentConditions"
+    )
+    catalog.define_element(beamline, "beam-current", "ISIS", ValueType.FLOAT)
+    environment = catalog.define_attribute(
+        "sample-environment", "ISIS", host="experimentConditions", parent=beamline
+    )
+    catalog.define_element(environment, "temperature", "ISIS", ValueType.FLOAT)

@@ -1,0 +1,147 @@
+"""Context and containment queries (paper §7).
+
+The conclusion singles out myLEAD's "ability to perform complex context
+queries" and notes the GUI "addresses queries from a containment
+viewpoint, but it does not address searching for objects based on a
+broader context".  This module provides both viewpoints on top of the
+service's experiment/file hierarchy:
+
+* **containment** — find experiments *containing* files that match a
+  metadata query (any-file or all-files semantics);
+* **context** — find objects whose *context* (the sibling files of the
+  same experiment) matches a query, e.g. "model outputs from
+  experiments that also contain a radar-observation file".
+
+Both reuse the ordinary attribute-query machinery, so every criterion
+is still validated against the definition registry and answered by the
+Fig-4 plan; the context layer only adds set algebra over the
+containment links.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.query import ObjectQuery
+from ..errors import QueryError
+from .service import Experiment, MyLeadService
+
+
+class ContextSearch:
+    """Containment/context search over a myLEAD service."""
+
+    def __init__(self, service: MyLeadService) -> None:
+        self.service = service
+
+    # ------------------------------------------------------------------
+    # Containment viewpoint
+    # ------------------------------------------------------------------
+    def experiments_containing(
+        self,
+        user: str,
+        query: ObjectQuery,
+        mode: str = "any",
+    ) -> List[Experiment]:
+        """Experiments with matching files visible to ``user``.
+
+        ``mode="any"``: at least one visible file matches.
+        ``mode="all"``: every visible file matches (experiments whose
+        visible file set is empty never match).
+        """
+        if mode not in ("any", "all"):
+            raise QueryError(f"mode must be 'any' or 'all', not {mode!r}")
+        matching = set(self.service.query(user, query))
+        out: List[Experiment] = []
+        for experiment in self._experiments():
+            visible = [
+                oid
+                for oid in experiment.file_ids
+                if self.service.is_visible(user, oid)
+            ]
+            if not visible:
+                continue
+            hits = [oid for oid in visible if oid in matching]
+            if mode == "any" and hits:
+                out.append(experiment)
+            elif mode == "all" and len(hits) == len(visible):
+                out.append(experiment)
+        return out
+
+    def files_matching_in(
+        self,
+        user: str,
+        experiment: Experiment,
+        query: ObjectQuery,
+    ) -> List[int]:
+        """Matching files of one experiment, visibility-filtered."""
+        matching = set(self.service.query(user, query))
+        return [
+            oid
+            for oid in experiment.file_ids
+            if oid in matching and self.service.is_visible(user, oid)
+        ]
+
+    # ------------------------------------------------------------------
+    # Broader-context viewpoint
+    # ------------------------------------------------------------------
+    def objects_in_context(
+        self,
+        user: str,
+        context_query: ObjectQuery,
+        object_query: Optional[ObjectQuery] = None,
+    ) -> List[int]:
+        """Objects whose experiment also contains a match for
+        ``context_query``.
+
+        With ``object_query`` the returned objects must themselves match
+        it; without, every visible file of a context-matching experiment
+        is returned.  An object does not count as its own context — the
+        context match must come from a *different* file, which is what
+        makes this "broader context" rather than plain containment.
+        """
+        context_matches = set(self.service.query(user, context_query))
+        candidates = (
+            set(self.service.query(user, object_query))
+            if object_query is not None
+            else None
+        )
+        out: List[int] = []
+        for experiment in self._experiments():
+            visible = [
+                oid
+                for oid in experiment.file_ids
+                if self.service.is_visible(user, oid)
+            ]
+            context_here = [oid for oid in visible if oid in context_matches]
+            if not context_here:
+                continue
+            for oid in visible:
+                # The context must be provided by a sibling, not the
+                # object itself.
+                others = [c for c in context_here if c != oid]
+                if not others:
+                    continue
+                if candidates is not None and oid not in candidates:
+                    continue
+                out.append(oid)
+        return sorted(set(out))
+
+    def context_of(self, user: str, object_id: int) -> List[int]:
+        """The sibling files sharing ``object_id``'s experiment, visible
+        to ``user`` (the object itself excluded)."""
+        experiment_id = self.service._experiment_of_object.get(object_id)
+        if experiment_id is None:
+            return []
+        experiment = self.service.experiment(experiment_id)
+        return [
+            oid
+            for oid in experiment.file_ids
+            if oid != object_id and self.service.is_visible(user, oid)
+        ]
+
+    # ------------------------------------------------------------------
+    def _experiments(self) -> List[Experiment]:
+        return [
+            self.service.experiment(eid)
+            for eid in sorted(self.service._experiments)
+        ]

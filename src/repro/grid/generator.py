@@ -1,0 +1,386 @@
+"""Deterministic synthetic LEAD metadata corpora (substrate S16).
+
+The paper's group evaluated grid metadata systems with a synthetic
+database benchmark ([7], CCGrid'04); in the same spirit this module
+generates metadata documents over the Figure-2 LEAD schema with
+controllable shape:
+
+* keyword attributes (themes/places/strata/temporal) drawn from
+  CF-convention and geographic vocabularies;
+* citation/status/timeperd/bounding structural attributes;
+* dynamic ``detailed`` sections with ARPS- or WRF-style namelist
+  parameter groups, with a configurable sub-attribute nesting depth
+  (the E3 sweep variable);
+* optional **planted markers** — theme keywords inserted into a known
+  fraction of documents so query selectivity is exact by construction
+  (the E8 sweep variable).
+
+Generation is deterministic: document ``i`` of a given config is always
+byte-identical (each document seeds its own ``random.Random``), so
+benchmarks are reproducible and corpora never need to be shipped.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..xmlkit import Element, element, pretty_print
+from .namelist import NamelistGroup, namelist_to_detailed
+
+# ---------------------------------------------------------------------------
+# Vocabularies
+# ---------------------------------------------------------------------------
+
+CF_STANDARD_NAMES = [
+    "air_temperature", "air_pressure", "air_pressure_at_cloud_base",
+    "air_pressure_at_cloud_top", "convective_precipitation_amount",
+    "convective_precipitation_flux", "relative_humidity", "dew_point_temperature",
+    "wind_speed", "wind_from_direction", "eastward_wind", "northward_wind",
+    "upward_air_velocity", "atmosphere_boundary_layer_thickness",
+    "cloud_area_fraction", "cloud_base_altitude", "precipitation_amount",
+    "precipitation_flux", "snowfall_amount", "soil_moisture_content",
+    "soil_temperature", "surface_air_pressure", "surface_temperature",
+    "tendency_of_air_temperature", "geopotential_height", "specific_humidity",
+    "equivalent_potential_temperature", "convective_available_potential_energy",
+    "convective_inhibition", "storm_relative_helicity", "lifted_index",
+    "vertical_wind_shear", "radar_reflectivity", "composite_reflectivity",
+    "hail_diameter", "tornado_probability", "lightning_flash_rate",
+    "graupel_mixing_ratio", "rain_water_mixing_ratio", "snow_mixing_ratio",
+]
+
+PLACE_KEYWORDS = [
+    "Oklahoma", "Kansas", "Nebraska", "Texas", "Iowa", "Missouri", "Arkansas",
+    "Colorado", "New Mexico", "Louisiana", "Illinois", "Indiana", "Minnesota",
+    "South Dakota", "Great Plains", "Tornado Alley", "Gulf Coast", "Midwest",
+]
+
+STRATUM_KEYWORDS = [
+    "surface", "boundary layer", "lower troposphere", "mid troposphere",
+    "upper troposphere", "tropopause", "stratosphere",
+]
+
+TEMPORAL_KEYWORDS = [
+    "spring 2005", "summer 2005", "fall 2005", "winter 2005",
+    "spring 2006", "summer 2006", "convective season", "nowcast", "forecast",
+]
+
+ORIGINS = [
+    "LEAD Project", "CAPS", "NCSA", "Unidata", "Indiana University",
+    "University of Oklahoma", "Millersville University", "Howard University",
+]
+
+PROGRESS_VALUES = ["Complete", "In work", "Planned"]
+
+#: ARPS-style namelist parameter pools: group -> [(param, kind)] where
+#: kind is "int", "float", or "str".
+ARPS_GROUPS: Dict[str, List[Tuple[str, str]]] = {
+    "grid": [
+        ("nx", "int"), ("ny", "int"), ("nz", "int"),
+        ("dx", "float"), ("dy", "float"), ("dz", "float"),
+        ("strhopt", "int"), ("dzmin", "float"), ("ctrlat", "float"),
+        ("ctrlon", "float"),
+    ],
+    "timestep": [
+        ("dtbig", "float"), ("dtsml", "float"), ("tstart", "float"),
+        ("tstop", "float"), ("vimplct", "int"),
+    ],
+    "physics": [
+        ("mphyopt", "int"), ("cnvctopt", "int"), ("sfcphy", "int"),
+        ("radopt", "int"), ("kfsubsattrig", "int"),
+    ],
+    "initialization": [
+        ("initopt", "int"), ("inifmt", "int"), ("inifile", "str"),
+        ("inigbf", "str"),
+    ],
+}
+
+WRF_GROUPS: Dict[str, List[Tuple[str, str]]] = {
+    "domains": [
+        ("time_step", "int"), ("max_dom", "int"), ("e_we", "int"),
+        ("e_sn", "int"), ("e_vert", "int"), ("dx", "float"), ("dy", "float"),
+        ("grid_id", "int"), ("parent_id", "int"),
+    ],
+    "physics": [
+        ("mp_physics", "int"), ("ra_lw_physics", "int"), ("ra_sw_physics", "int"),
+        ("sf_surface_physics", "int"), ("bl_pbl_physics", "int"),
+        ("cu_physics", "int"),
+    ],
+    "dynamics": [
+        ("w_damping", "int"), ("diff_opt", "int"), ("km_opt", "int"),
+        ("khdif", "float"), ("kvdif", "float"), ("non_hydrostatic", "str"),
+    ],
+}
+
+MODELS = {"ARPS": ARPS_GROUPS, "WRF": WRF_GROUPS}
+
+
+class PlantedMarker:
+    """Plants theme keyword ``keyword`` into every ``period``-th document
+    (offset 0), giving the marker an exact selectivity of 1/period."""
+
+    __slots__ = ("keyword", "period")
+
+    def __init__(self, keyword: str, period: int) -> None:
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        self.keyword = keyword
+        self.period = period
+
+    def applies_to(self, index: int) -> bool:
+        return index % self.period == 0
+
+    @property
+    def selectivity(self) -> float:
+        return 1.0 / self.period
+
+
+class CorpusConfig:
+    """Shape of a generated corpus.
+
+    Parameters
+    ----------
+    seed:
+        Base seed; document ``i`` derives its own RNG from ``seed + i``.
+    themes / places:
+        Instances of the repeatable keyword attributes per document.
+    keys_per_theme:
+        ``themekey`` values per theme instance.
+    dynamic_groups:
+        Namelist parameter groups per document (0 disables the dynamic
+        section).
+    params_per_group:
+        Parameters per group.
+    dynamic_depth:
+        Nesting depth of dynamic sub-attributes: 1 = flat parameters;
+        each extra level wraps ``params_per_group`` parameters inside a
+        chain of sub-attributes (the E3 sweep).
+    models:
+        Which model vocabularies to draw from.
+    planted:
+        Markers with exact selectivities (the E8 sweep).
+    """
+
+    def __init__(
+        self,
+        seed: int = 2006,
+        themes: int = 2,
+        places: int = 1,
+        keys_per_theme: int = 3,
+        dynamic_groups: int = 2,
+        params_per_group: int = 6,
+        dynamic_depth: int = 2,
+        models: Sequence[str] = ("ARPS", "WRF"),
+        planted: Sequence[PlantedMarker] = (),
+    ) -> None:
+        if dynamic_depth < 1:
+            raise ValueError("dynamic_depth must be >= 1")
+        for model in models:
+            if model not in MODELS:
+                raise ValueError(f"unknown model {model!r}")
+        self.seed = seed
+        self.themes = themes
+        self.places = places
+        self.keys_per_theme = keys_per_theme
+        self.dynamic_groups = dynamic_groups
+        self.params_per_group = params_per_group
+        self.dynamic_depth = dynamic_depth
+        self.models = tuple(models)
+        self.planted = tuple(planted)
+
+
+class LeadCorpusGenerator:
+    """Deterministic generator of LEAD metadata documents."""
+
+    def __init__(self, config: Optional[CorpusConfig] = None) -> None:
+        self.config = config or CorpusConfig()
+
+    # ------------------------------------------------------------------
+    # Documents
+    # ------------------------------------------------------------------
+    def document_tree(self, index: int) -> Element:
+        """The ``index``-th document as an element tree."""
+        cfg = self.config
+        rng = random.Random(cfg.seed * 1_000_003 + index)
+
+        keywords = element("keywords")
+        for t in range(cfg.themes):
+            theme = element("theme", element("themekt", "CF NetCDF"))
+            chosen = rng.sample(CF_STANDARD_NAMES, min(cfg.keys_per_theme, len(CF_STANDARD_NAMES)))
+            for key in chosen:
+                theme.append(element("themekey", key))
+            if t == 0:
+                for marker in cfg.planted:
+                    if marker.applies_to(index):
+                        theme.append(element("themekey", marker.keyword))
+            keywords.append(theme)
+        for _ in range(cfg.places):
+            place = element("place", element("placekt", "GNIS"))
+            for key in rng.sample(PLACE_KEYWORDS, min(2, len(PLACE_KEYWORDS))):
+                place.append(element("placekey", key))
+            keywords.append(place)
+        keywords.append(
+            element(
+                "stratum",
+                element("stratkt", "LEAD"),
+                element("stratkey", rng.choice(STRATUM_KEYWORDS)),
+            )
+        )
+        keywords.append(
+            element(
+                "temporal",
+                element("tempkt", "LEAD"),
+                element("tempkey", rng.choice(TEMPORAL_KEYWORDS)),
+            )
+        )
+
+        year = rng.choice([2004, 2005, 2006])
+        month = rng.randint(1, 12)
+        day = rng.randint(1, 28)
+        pubdate = f"{year:04d}-{month:02d}-{day:02d}"
+        idinfo = element(
+            "idinfo",
+            element(
+                "status",
+                element("progress", rng.choice(PROGRESS_VALUES)),
+                element("update", rng.choice(["Continually", "As needed", "None planned"])),
+            ),
+            element(
+                "citation",
+                element("origin", rng.choice(ORIGINS)),
+                element("pubdate", pubdate),
+                element("title", f"Forecast run {index:06d}"),
+            ),
+            element(
+                "timeperd",
+                element("begdate", pubdate),
+                element("enddate", f"{year:04d}-{month:02d}-{min(day + 1, 28):02d}"),
+            ),
+            keywords,
+            element("accconst", rng.choice(["None", "Project members only"])),
+            element("useconst", "Research use"),
+        )
+
+        west = round(rng.uniform(-105.0, -95.0), 3)
+        south = round(rng.uniform(30.0, 38.0), 3)
+        geospatial = element(
+            "geospatial",
+            element(
+                "spdom",
+                element(
+                    "bounding",
+                    element("westbc", str(west)),
+                    element("eastbc", str(round(west + rng.uniform(2.0, 6.0), 3))),
+                    element("northbc", str(round(south + rng.uniform(2.0, 6.0), 3))),
+                    element("southbc", str(south)),
+                ),
+            ),
+            element(
+                "vertdom",
+                element("vertmin", "0.0"),
+                element("vertmax", str(round(rng.uniform(12000.0, 20000.0), 1))),
+            ),
+        )
+        sections = self._dynamic_sections(rng)
+        if sections:
+            # Optional wrappers are emitted only when non-empty; an
+            # empty <eainfo/> holds no metadata attribute and therefore
+            # could not be reconstructed from CLOBs (paper §5).
+            geospatial.append(element("eainfo", *sections))
+
+        return element(
+            "LEADresource",
+            element("resourceID", f"lead:resource:{self.config.seed}:{index:06d}"),
+            element("data", idinfo, geospatial),
+        )
+
+    def document(self, index: int) -> str:
+        """The ``index``-th document as pretty-printed XML text."""
+        return pretty_print(self.document_tree(index))
+
+    def documents(self, count: int) -> Iterator[str]:
+        for i in range(count):
+            yield self.document(i)
+
+    # ------------------------------------------------------------------
+    # Dynamic sections
+    # ------------------------------------------------------------------
+    def _dynamic_sections(self, rng: random.Random) -> List[Element]:
+        cfg = self.config
+        sections: List[Element] = []
+        if cfg.dynamic_groups == 0:
+            return sections
+        model = rng.choice(cfg.models)
+        pools = MODELS[model]
+        group_names = list(pools)
+        rng.shuffle(group_names)
+        for g in range(cfg.dynamic_groups):
+            group_name = group_names[g % len(group_names)]
+            pool = pools[group_name]
+            group = NamelistGroup(group_name)
+            chosen = pool[: cfg.params_per_group]
+            for param, kind in chosen:
+                group.set(param, [self._value_for(rng, kind)])
+            detailed = namelist_to_detailed(group, model)
+            if cfg.dynamic_depth > 1:
+                self._nest(detailed, group_name, model, rng, cfg.dynamic_depth - 1)
+            sections.append(detailed)
+        return sections
+
+    def _nest(self, detailed: Element, group_name: str, model: str,
+              rng: random.Random, extra_levels: int) -> None:
+        """Wrap a chain of sub-attributes (``<attr>`` items) of the given
+        depth under ``detailed``, each level carrying one parameter."""
+        parent = detailed
+        for level in range(1, extra_levels + 1):
+            sub = element(
+                "attr",
+                element("attrlabl", f"{group_name}-section-l{level}"),
+                element("attrdefs", model),
+            )
+            sub.append(
+                element(
+                    "attr",
+                    element("attrlabl", f"{group_name}-param-l{level}"),
+                    element("attrdefs", model),
+                    element("attrv", str(self._value_for(rng, "float"))),
+                )
+            )
+            parent.append(sub)
+            parent = sub
+
+    @staticmethod
+    def _value_for(rng: random.Random, kind: str):
+        if kind == "int":
+            return rng.randint(0, 100)
+        if kind == "float":
+            return round(rng.uniform(0.0, 5000.0), 3)
+        return rng.choice(["arps25may.bin", "wrfinput_d01", "initial.grb", ".true."])
+
+    # ------------------------------------------------------------------
+    # Definitions
+    # ------------------------------------------------------------------
+    def register_definitions(self, catalog) -> None:
+        """Register every dynamic definition this generator can emit, so
+        corpora shred without warnings (value types per parameter kind).
+        Safe to call once per catalog."""
+        from ..core.schema import ValueType
+
+        kind_types = {"int": ValueType.INTEGER, "float": ValueType.FLOAT,
+                      "str": ValueType.STRING}
+        for model in self.config.models:
+            for group_name, pool in MODELS[model].items():
+                attr_def = catalog.define_attribute(group_name, model, host="detailed")
+                for param, kind in pool:
+                    catalog.define_element(attr_def, param, model, kind_types[kind])
+                # Nesting chain definitions (E3 sweeps reuse them).
+                parent = attr_def
+                for level in range(1, self.config.dynamic_depth):
+                    sub = catalog.define_attribute(
+                        f"{group_name}-section-l{level}", model,
+                        host="detailed", parent=parent,
+                    )
+                    catalog.define_element(
+                        sub, f"{group_name}-param-l{level}", model, ValueType.FLOAT
+                    )
+                    parent = sub

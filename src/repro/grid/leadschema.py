@@ -1,0 +1,226 @@
+"""The LEAD metadata schema of the paper's Figure 2, annotated.
+
+The LEAD schema is FGDC-derived.  Figure 2 shows a partial tree with
+metadata attributes bolded, metadata elements italicized, and the
+schema-level global ordering as circled numbers.  This module encodes
+that tree with the paper's annotations:
+
+* ``resourceID`` — a leaf directly under the root, hence itself a
+  metadata attribute ("both a metadata attribute and a metadata
+  element").
+* ``status`` (progress, update), ``citation`` (origin, pubdate, title),
+  ``timeperd`` — structural attributes under ``idinfo``.
+* ``keywords`` — structural node containing the repeatable keyword
+  attributes ``theme`` (themekt, themekey*), ``place``, ``stratum``,
+  ``temporal``.
+* ``accconst``, ``useconst`` — leaf attributes for access/use
+  constraints.
+* ``geospatial`` — structural, containing ``spdom`` (bounding,
+  dsgpoly), ``spattemp``, ``vertdom`` and ``eainfo``.
+* ``eainfo/detailed`` — the **dynamic** attribute section: repeatable,
+  recursive (``attr`` within ``attr``), resolved by name/source from
+  ``enttypl``/``enttypds`` and ``attrlabl``/``attrdefs`` (§3).
+* ``eainfo/overview`` — entity overview (eaover, eadetcit).
+
+The computed global ordering numbers the 23 at-or-above-attribute nodes
+exactly as the algorithm of §2 prescribes; see
+``tests/figures/test_fig2_lead_schema.py`` for the assertions and
+EXPERIMENTS.md (F2) for the one node whose published circled number the
+paper's text renders ambiguously.
+"""
+
+from __future__ import annotations
+
+from ..core.schema import (
+    AnnotatedSchema,
+    DynamicSpec,
+    ValueType,
+    attribute,
+    melement,
+    structural,
+)
+
+
+def lead_schema() -> AnnotatedSchema:
+    """Build the annotated LEAD schema of Figure 2 (fresh instance)."""
+    root = structural(
+        "LEADresource",
+        attribute("resourceID", required=True),
+        structural(
+            "data",
+            structural(
+                "idinfo",
+                attribute(
+                    "status",
+                    melement("progress"),
+                    melement("update"),
+                ),
+                attribute(
+                    "citation",
+                    melement("origin", repeatable=True),
+                    melement("pubdate", value_type=ValueType.DATE),
+                    melement("title"),
+                ),
+                attribute(
+                    "timeperd",
+                    melement("begdate", value_type=ValueType.DATE),
+                    melement("enddate", value_type=ValueType.DATE),
+                ),
+                structural(
+                    "keywords",
+                    attribute(
+                        "theme",
+                        melement("themekt"),
+                        melement("themekey", repeatable=True),
+                        repeatable=True,
+                    ),
+                    attribute(
+                        "place",
+                        melement("placekt"),
+                        melement("placekey", repeatable=True),
+                        repeatable=True,
+                    ),
+                    attribute(
+                        "stratum",
+                        melement("stratkt"),
+                        melement("stratkey", repeatable=True),
+                        repeatable=True,
+                    ),
+                    attribute(
+                        "temporal",
+                        melement("tempkt"),
+                        melement("tempkey", repeatable=True),
+                        repeatable=True,
+                    ),
+                ),
+                attribute("accconst"),
+                attribute("useconst"),
+            ),
+            structural(
+                "geospatial",
+                structural(
+                    "spdom",
+                    attribute(
+                        "bounding",
+                        melement("westbc", value_type=ValueType.FLOAT),
+                        melement("eastbc", value_type=ValueType.FLOAT),
+                        melement("northbc", value_type=ValueType.FLOAT),
+                        melement("southbc", value_type=ValueType.FLOAT),
+                    ),
+                    attribute(
+                        "dsgpoly",
+                        melement("dsgpolyx", value_type=ValueType.FLOAT, repeatable=True),
+                        melement("dsgpolyy", value_type=ValueType.FLOAT, repeatable=True),
+                        repeatable=True,
+                    ),
+                ),
+                attribute(
+                    "spattemp",
+                    melement("sptbegin", value_type=ValueType.DATE),
+                    melement("sptend", value_type=ValueType.DATE),
+                ),
+                attribute(
+                    "vertdom",
+                    melement("vertmin", value_type=ValueType.FLOAT),
+                    melement("vertmax", value_type=ValueType.FLOAT),
+                ),
+                structural(
+                    "eainfo",
+                    attribute(
+                        "detailed",
+                        repeatable=True,
+                        dynamic=DynamicSpec(
+                            entity_tag="enttyp",
+                            name_tag="enttypl",
+                            source_tag="enttypds",
+                            item_tag="attr",
+                            label_tag="attrlabl",
+                            defs_tag="attrdefs",
+                            value_tag="attrv",
+                        ),
+                    ),
+                    attribute(
+                        "overview",
+                        melement("eaover"),
+                        melement("eadetcit", repeatable=True),
+                        repeatable=True,
+                    ),
+                ),
+            ),
+        ),
+    )
+    return AnnotatedSchema(root, name="LEAD")
+
+
+#: The paper's Figure 3 example document (verbatim structure; the
+#: ``. . .`` elisions of the figure are omitted).
+FIG3_DOCUMENT = """\
+<LEADresource>
+    <resourceID>lead:ARPS-forecast-001</resourceID>
+    <data>
+        <idinfo>
+            <keywords>
+                <theme>
+                    <themekt>CF NetCDF</themekt>
+                    <themekey>convective_precipitation_amount</themekey>
+                    <themekey>convective_precipitation_flux</themekey>
+                </theme>
+                <theme>
+                    <themekt>CF NetCDF</themekt>
+                    <themekey>air_pressure_at_cloud_base</themekey>
+                    <themekey>air_pressure_at_cloud_top</themekey>
+                </theme>
+            </keywords>
+        </idinfo>
+        <geospatial>
+            <eainfo>
+                <detailed>
+                    <enttyp>
+                        <enttypl>grid</enttypl>
+                        <enttypds>ARPS</enttypds>
+                    </enttyp>
+                    <attr>
+                        <attrlabl>grid-stretching</attrlabl>
+                        <attrdefs>ARPS</attrdefs>
+                        <attr>
+                            <attrlabl>dzmin</attrlabl>
+                            <attrdefs>ARPS</attrdefs>
+                            <attrv>100.000</attrv>
+                        </attr>
+                        <attr>
+                            <attrlabl>reference-height</attrlabl>
+                            <attrdefs>ARPS</attrdefs>
+                            <attrv>0</attrv>
+                        </attr>
+                    </attr>
+                    <attr>
+                        <attrlabl>dx</attrlabl>
+                        <attrdefs>ARPS</attrdefs>
+                        <attrv>1000.000</attrv>
+                    </attr>
+                    <attr>
+                        <attrlabl>dz</attrlabl>
+                        <attrdefs>ARPS</attrdefs>
+                        <attrv>500.000</attrv>
+                    </attr>
+                </detailed>
+            </eainfo>
+        </geospatial>
+    </data>
+</LEADresource>
+"""
+
+
+def define_fig3_attributes(catalog) -> None:
+    """Register the dynamic definitions the Figure 3 document uses, at
+    administrator scope: the ("grid", "ARPS") attribute with elements
+    dx/dz, and its ("grid-stretching", "ARPS") sub-attribute with
+    elements dzmin/reference-height."""
+    grid = catalog.define_attribute("grid", "ARPS", host="detailed")
+    catalog.define_element(grid, "dx", "ARPS", ValueType.FLOAT)
+    catalog.define_element(grid, "dz", "ARPS", ValueType.FLOAT)
+    stretching = catalog.define_attribute(
+        "grid-stretching", "ARPS", host="detailed", parent=grid
+    )
+    catalog.define_element(stretching, "dzmin", "ARPS", ValueType.FLOAT)
+    catalog.define_element(stretching, "reference-height", "ARPS", ValueType.FLOAT)

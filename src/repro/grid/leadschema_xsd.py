@@ -1,0 +1,203 @@
+"""The Figure-2 LEAD schema as an *annotated XML Schema* document.
+
+This is the §7 "framework" form of :func:`repro.grid.lead_schema`: the
+same community schema, with catalog annotations carried in standard
+``xs:annotation/xs:appinfo`` hooks instead of Python constructors.
+``lead_schema_from_xsd()`` loads it through :mod:`repro.core.xsd`; the
+test suite asserts it is node-for-node equivalent to the hand-built
+schema (same partition, same global ordering).
+"""
+
+from __future__ import annotations
+
+from ..core.xsd import load_xsd
+
+_ATTR = '<xs:annotation><xs:appinfo><catalog:attribute/></xs:appinfo></xs:annotation>'
+
+LEAD_XSD = f"""\
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"
+           xmlns:catalog="urn:repro:catalog">
+
+  <xs:complexType name="keywordListType">
+    <xs:sequence>
+      <xs:element name="placeholder" type="xs:string" minOccurs="0"/>
+    </xs:sequence>
+  </xs:complexType>
+
+  <xs:element name="LEADresource">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="resourceID" type="xs:string">
+          {_ATTR}
+        </xs:element>
+        <xs:element name="data" minOccurs="0">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="idinfo" minOccurs="0">
+                <xs:complexType>
+                  <xs:sequence>
+                    <xs:element name="status" minOccurs="0">
+                      {_ATTR}
+                      <xs:complexType>
+                        <xs:sequence>
+                          <xs:element name="progress" type="xs:string" minOccurs="0"/>
+                          <xs:element name="update" type="xs:string" minOccurs="0"/>
+                        </xs:sequence>
+                      </xs:complexType>
+                    </xs:element>
+                    <xs:element name="citation" minOccurs="0">
+                      {_ATTR}
+                      <xs:complexType>
+                        <xs:sequence>
+                          <xs:element name="origin" type="xs:string" minOccurs="0" maxOccurs="unbounded"/>
+                          <xs:element name="pubdate" type="xs:date" minOccurs="0"/>
+                          <xs:element name="title" type="xs:string" minOccurs="0"/>
+                        </xs:sequence>
+                      </xs:complexType>
+                    </xs:element>
+                    <xs:element name="timeperd" minOccurs="0">
+                      {_ATTR}
+                      <xs:complexType>
+                        <xs:sequence>
+                          <xs:element name="begdate" type="xs:date" minOccurs="0"/>
+                          <xs:element name="enddate" type="xs:date" minOccurs="0"/>
+                        </xs:sequence>
+                      </xs:complexType>
+                    </xs:element>
+                    <xs:element name="keywords" minOccurs="0">
+                      <xs:complexType>
+                        <xs:sequence>
+                          <xs:element name="theme" minOccurs="0" maxOccurs="unbounded">
+                            {_ATTR}
+                            <xs:complexType>
+                              <xs:sequence>
+                                <xs:element name="themekt" type="xs:string" minOccurs="0"/>
+                                <xs:element name="themekey" type="xs:string" minOccurs="0" maxOccurs="unbounded"/>
+                              </xs:sequence>
+                            </xs:complexType>
+                          </xs:element>
+                          <xs:element name="place" minOccurs="0" maxOccurs="unbounded">
+                            {_ATTR}
+                            <xs:complexType>
+                              <xs:sequence>
+                                <xs:element name="placekt" type="xs:string" minOccurs="0"/>
+                                <xs:element name="placekey" type="xs:string" minOccurs="0" maxOccurs="unbounded"/>
+                              </xs:sequence>
+                            </xs:complexType>
+                          </xs:element>
+                          <xs:element name="stratum" minOccurs="0" maxOccurs="unbounded">
+                            {_ATTR}
+                            <xs:complexType>
+                              <xs:sequence>
+                                <xs:element name="stratkt" type="xs:string" minOccurs="0"/>
+                                <xs:element name="stratkey" type="xs:string" minOccurs="0" maxOccurs="unbounded"/>
+                              </xs:sequence>
+                            </xs:complexType>
+                          </xs:element>
+                          <xs:element name="temporal" minOccurs="0" maxOccurs="unbounded">
+                            {_ATTR}
+                            <xs:complexType>
+                              <xs:sequence>
+                                <xs:element name="tempkt" type="xs:string" minOccurs="0"/>
+                                <xs:element name="tempkey" type="xs:string" minOccurs="0" maxOccurs="unbounded"/>
+                              </xs:sequence>
+                            </xs:complexType>
+                          </xs:element>
+                        </xs:sequence>
+                      </xs:complexType>
+                    </xs:element>
+                    <xs:element name="accconst" type="xs:string" minOccurs="0">
+                      {_ATTR}
+                    </xs:element>
+                    <xs:element name="useconst" type="xs:string" minOccurs="0">
+                      {_ATTR}
+                    </xs:element>
+                  </xs:sequence>
+                </xs:complexType>
+              </xs:element>
+              <xs:element name="geospatial" minOccurs="0">
+                <xs:complexType>
+                  <xs:sequence>
+                    <xs:element name="spdom" minOccurs="0">
+                      <xs:complexType>
+                        <xs:sequence>
+                          <xs:element name="bounding" minOccurs="0">
+                            {_ATTR}
+                            <xs:complexType>
+                              <xs:sequence>
+                                <xs:element name="westbc" type="xs:double" minOccurs="0"/>
+                                <xs:element name="eastbc" type="xs:double" minOccurs="0"/>
+                                <xs:element name="northbc" type="xs:double" minOccurs="0"/>
+                                <xs:element name="southbc" type="xs:double" minOccurs="0"/>
+                              </xs:sequence>
+                            </xs:complexType>
+                          </xs:element>
+                          <xs:element name="dsgpoly" minOccurs="0" maxOccurs="unbounded">
+                            {_ATTR}
+                            <xs:complexType>
+                              <xs:sequence>
+                                <xs:element name="dsgpolyx" type="xs:double" minOccurs="0" maxOccurs="unbounded"/>
+                                <xs:element name="dsgpolyy" type="xs:double" minOccurs="0" maxOccurs="unbounded"/>
+                              </xs:sequence>
+                            </xs:complexType>
+                          </xs:element>
+                        </xs:sequence>
+                      </xs:complexType>
+                    </xs:element>
+                    <xs:element name="spattemp" minOccurs="0">
+                      {_ATTR}
+                      <xs:complexType>
+                        <xs:sequence>
+                          <xs:element name="sptbegin" type="xs:date" minOccurs="0"/>
+                          <xs:element name="sptend" type="xs:date" minOccurs="0"/>
+                        </xs:sequence>
+                      </xs:complexType>
+                    </xs:element>
+                    <xs:element name="vertdom" minOccurs="0">
+                      {_ATTR}
+                      <xs:complexType>
+                        <xs:sequence>
+                          <xs:element name="vertmin" type="xs:double" minOccurs="0"/>
+                          <xs:element name="vertmax" type="xs:double" minOccurs="0"/>
+                        </xs:sequence>
+                      </xs:complexType>
+                    </xs:element>
+                    <xs:element name="eainfo" minOccurs="0">
+                      <xs:complexType>
+                        <xs:sequence>
+                          <xs:element name="detailed" minOccurs="0" maxOccurs="unbounded">
+                            <xs:annotation><xs:appinfo>
+                              <catalog:dynamic entity="enttyp" name="enttypl"
+                                               source="enttypds" item="attr"
+                                               label="attrlabl" defs="attrdefs"
+                                               value="attrv"/>
+                            </xs:appinfo></xs:annotation>
+                          </xs:element>
+                          <xs:element name="overview" minOccurs="0" maxOccurs="unbounded">
+                            {_ATTR}
+                            <xs:complexType>
+                              <xs:sequence>
+                                <xs:element name="eaover" type="xs:string" minOccurs="0"/>
+                                <xs:element name="eadetcit" type="xs:string" minOccurs="0" maxOccurs="unbounded"/>
+                              </xs:sequence>
+                            </xs:complexType>
+                          </xs:element>
+                        </xs:sequence>
+                      </xs:complexType>
+                    </xs:element>
+                  </xs:sequence>
+                </xs:complexType>
+              </xs:element>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>
+"""
+
+
+def lead_schema_from_xsd():
+    """Load the LEAD schema from its annotated-XSD form."""
+    return load_xsd(LEAD_XSD, name="LEAD")

@@ -1,0 +1,290 @@
+"""Fortran namelist files → dynamic metadata attributes (paper §3).
+
+The paper motivates dynamic attributes with the ARPS and WRF weather
+models, whose detailed parameters live in Fortran *namelist* files —
+"which cannot be built into the structure of the schema because
+scientists must be able to define new parameters as they continue to
+enhance the models".
+
+This module provides the ingestion path a LEAD workflow would use:
+
+* :func:`parse_namelist` — a parser for the namelist subset the models
+  use: ``&group ... /`` blocks, scalar and array values, integers,
+  reals (including ``1.0e-3`` and Fortran's ``1.0d-3``), quoted
+  strings, logicals (``.true.``/``.false.``), repeat counts (``3*0.5``)
+  and ``!`` comments.
+* :func:`namelist_to_detailed` — render one group as a ``detailed``
+  dynamic-attribute element (``enttypl`` = group name, ``enttypds`` =
+  model name, one ``attr`` item per parameter; array values become
+  repeated items under the same label).
+* :func:`register_namelist_definitions` — bulk-register the attribute
+  and element definitions a namelist implies, with value types inferred
+  per parameter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from ..errors import ReproError
+from ..xmlkit import Element, element
+
+Scalar = Union[int, float, str, bool]
+
+
+class NamelistError(ReproError):
+    """Malformed namelist input."""
+
+
+class NamelistGroup:
+    """One ``&name ... /`` group: an ordered parameter mapping."""
+
+    __slots__ = ("name", "parameters")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.parameters: Dict[str, List[Scalar]] = {}
+
+    def set(self, key: str, values: List[Scalar]) -> None:
+        self.parameters[key] = values
+
+    def scalars(self) -> Dict[str, Scalar]:
+        """Parameters with exactly one value."""
+        return {k: v[0] for k, v in self.parameters.items() if len(v) == 1}
+
+    def __len__(self) -> int:
+        return len(self.parameters)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"NamelistGroup({self.name!r}, parameters={len(self.parameters)})"
+
+
+def parse_namelist(text: str) -> List[NamelistGroup]:
+    """Parse namelist ``text`` into its groups, in file order."""
+    groups: List[NamelistGroup] = []
+    current: Optional[NamelistGroup] = None
+    pending_key: Optional[str] = None
+    pending_values: List[Scalar] = []
+
+    def flush() -> None:
+        nonlocal pending_key, pending_values
+        if pending_key is not None:
+            assert current is not None
+            if not pending_values:
+                raise NamelistError(f"parameter {pending_key!r} has no value")
+            current.set(pending_key, pending_values)
+        pending_key = None
+        pending_values = []
+
+    for raw_line in text.splitlines():
+        line = _strip_comment(raw_line).strip()
+        if not line:
+            continue
+        if line in ("/", "&end", "$end"):
+            if current is None:
+                raise NamelistError("group terminator outside a group")
+            flush()
+            groups.append(current)
+            current = None
+            continue
+        if line.startswith("&"):
+            if current is not None:
+                raise NamelistError(
+                    f"group &{current.name} not terminated before &{line[1:]}"
+                )
+            name = line[1:].strip()
+            if not name:
+                raise NamelistError("group with empty name")
+            current = NamelistGroup(name.lower())
+            continue
+        if current is None:
+            raise NamelistError(f"content outside any group: {line!r}")
+        # One line may hold several comma-separated assignments and/or a
+        # continuation of the previous parameter's array values.
+        for chunk in _split_assignments(line):
+            if "=" in chunk:
+                flush()
+                key, _, value_part = chunk.partition("=")
+                pending_key = key.strip().lower()
+                if not pending_key.replace("_", "").replace("%", "").isalnum():
+                    raise NamelistError(f"invalid parameter name {key.strip()!r}")
+                pending_values = _parse_values(value_part)
+            else:
+                if pending_key is None:
+                    raise NamelistError(f"value without parameter: {chunk!r}")
+                pending_values.extend(_parse_values(chunk))
+    if current is not None:
+        raise NamelistError(f"group &{current.name} not terminated")
+    return groups
+
+
+def _strip_comment(line: str) -> str:
+    """Remove a trailing ``!`` comment, respecting quoted strings."""
+    out = []
+    in_quote: Optional[str] = None
+    for ch in line:
+        if in_quote:
+            out.append(ch)
+            if ch == in_quote:
+                in_quote = None
+            continue
+        if ch in ("'", '"'):
+            in_quote = ch
+            out.append(ch)
+            continue
+        if ch == "!":
+            break
+        out.append(ch)
+    return "".join(out)
+
+
+def _split_assignments(line: str) -> List[str]:
+    """Split ``a = 1, b = 2`` into assignment chunks; array values stay
+    with their key (split only at commas that precede ``name =``)."""
+    tokens = [t.strip() for t in _split_respecting_quotes(line, ",")]
+    chunks: List[str] = []
+    for token in tokens:
+        if not token:
+            continue
+        if "=" in token or not chunks:
+            chunks.append(token)
+        else:
+            chunks[-1] += ", " + token
+    # Re-split: values merged above should be separate "continuation"
+    # chunks so _parse_values handles each; simplest is to keep the
+    # merged form — _parse_values splits on commas itself.
+    return chunks
+
+
+def _split_respecting_quotes(text: str, sep: str) -> List[str]:
+    parts: List[str] = []
+    buf: List[str] = []
+    in_quote: Optional[str] = None
+    for ch in text:
+        if in_quote:
+            buf.append(ch)
+            if ch == in_quote:
+                in_quote = None
+            continue
+        if ch in ("'", '"'):
+            in_quote = ch
+            buf.append(ch)
+            continue
+        if ch == sep:
+            parts.append("".join(buf))
+            buf = []
+            continue
+        buf.append(ch)
+    parts.append("".join(buf))
+    return parts
+
+
+def _parse_values(text: str) -> List[Scalar]:
+    values: List[Scalar] = []
+    for token in _split_respecting_quotes(text, ","):
+        token = token.strip()
+        if not token:
+            continue
+        # Repeat syntax: 3*0.5
+        if "*" in token and not token.startswith(("'", '"')):
+            count_part, _, value_part = token.partition("*")
+            try:
+                repeat = int(count_part.strip())
+            except ValueError:
+                raise NamelistError(f"bad repeat count in {token!r}") from None
+            value = _parse_scalar(value_part.strip())
+            values.extend([value] * repeat)
+        else:
+            values.append(_parse_scalar(token))
+    return values
+
+
+def _parse_scalar(token: str) -> Scalar:
+    if not token:
+        raise NamelistError("empty value")
+    if token[0] in ("'", '"'):
+        if len(token) < 2 or token[-1] != token[0]:
+            raise NamelistError(f"unterminated string {token!r}")
+        return token[1:-1]
+    low = token.lower()
+    if low in (".true.", ".t.", "t"):
+        return True
+    if low in (".false.", ".f.", "f"):
+        return False
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    # Fortran double-precision exponent: 1.0d-3
+    normalized = low.replace("d", "e")
+    try:
+        return float(normalized)
+    except ValueError:
+        raise NamelistError(f"cannot parse value {token!r}") from None
+
+
+# ---------------------------------------------------------------------------
+# Rendering as dynamic metadata attributes
+# ---------------------------------------------------------------------------
+
+def _scalar_text(value: Scalar) -> str:
+    if isinstance(value, bool):
+        return ".true." if value else ".false."
+    return str(value)
+
+
+def namelist_to_detailed(
+    group: NamelistGroup,
+    source: str,
+    entity_tag: str = "enttyp",
+    name_tag: str = "enttypl",
+    source_tag: str = "enttypds",
+    item_tag: str = "attr",
+    label_tag: str = "attrlabl",
+    defs_tag: str = "attrdefs",
+    value_tag: str = "attrv",
+) -> Element:
+    """Render ``group`` as a ``detailed`` dynamic-attribute element.
+
+    Array-valued parameters become repeated items under the same label,
+    which shred into repeated element rows (queryable with any-match
+    semantics).
+    """
+    detailed = element(
+        "detailed",
+        element(entity_tag, element(name_tag, group.name), element(source_tag, source)),
+    )
+    for key, values in group.parameters.items():
+        for value in values:
+            detailed.append(
+                element(
+                    item_tag,
+                    element(label_tag, key),
+                    element(defs_tag, source),
+                    element(value_tag, _scalar_text(value)),
+                )
+            )
+    return detailed
+
+
+def register_namelist_definitions(catalog, groups: List[NamelistGroup], source: str,
+                                  user: Optional[str] = None) -> Dict[str, object]:
+    """Register attribute/element definitions for every group, with
+    value types inferred from the first value of each parameter.
+    Returns the created attribute definitions by group name."""
+    from ..core.schema import ValueType
+
+    defs: Dict[str, object] = {}
+    for group in groups:
+        attr_def = catalog.define_attribute(group.name, source, host="detailed", user=user)
+        defs[group.name] = attr_def
+        for key, values in group.parameters.items():
+            sample = values[0]
+            if isinstance(sample, bool) or isinstance(sample, str):
+                vtype = ValueType.STRING
+            elif isinstance(sample, int):
+                vtype = ValueType.INTEGER
+            else:
+                vtype = ValueType.FLOAT
+            catalog.define_element(attr_def, key, source, vtype, user=user)
+    return defs

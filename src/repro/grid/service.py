@@ -1,0 +1,282 @@
+"""A myLEAD-like personal metadata catalog service (substrate S17).
+
+The paper situates the hybrid store inside **myLEAD** — a *personal*
+metadata catalog: scientists capture metadata as experiments run, keep
+unpublished data private, and organize files under experiments.  This
+facade provides that context on top of :class:`HybridCatalog`:
+
+* users, experiments (aggregations) and files;
+* per-object visibility (private until published) enforced on query
+  and fetch;
+* per-user private dynamic attribute definitions (delegated to the
+  registry's user scopes).
+
+The service is deliberately thin: all storage and matching behaviour is
+the catalog's; the service adds ownership and containment, which is the
+part of the grid environment the paper treats as given.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Set
+
+from ..core.catalog import HybridCatalog, IngestReceipt
+from ..core.query import ObjectQuery
+from ..core.schema import AnnotatedSchema
+from ..errors import CatalogError
+from ..xmlkit import element, pretty_print
+
+
+class User:
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"User({self.name!r})"
+
+
+class Experiment:
+    """An aggregation of files owned by one user."""
+
+    __slots__ = ("experiment_id", "name", "owner", "object_id", "file_ids")
+
+    def __init__(self, experiment_id: int, name: str, owner: str, object_id: int) -> None:
+        self.experiment_id = experiment_id
+        self.name = name
+        self.owner = owner
+        self.object_id = object_id
+        self.file_ids: List[int] = []
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Experiment({self.name!r}, files={len(self.file_ids)})"
+
+
+class MyLeadService:
+    """Users + experiments + visibility on top of one hybrid catalog."""
+
+    def __init__(self, schema: AnnotatedSchema, catalog: Optional[HybridCatalog] = None) -> None:
+        self.catalog = catalog if catalog is not None else HybridCatalog(schema)
+        self._users: Dict[str, User] = {}
+        self._experiments: Dict[int, Experiment] = {}
+        self._experiment_ids = itertools.count(1)
+        self._owner_of: Dict[int, str] = {}
+        self._public: Set[int] = set()
+        self._experiment_of_object: Dict[int, int] = {}
+        # Provenance links: derived object -> source objects (the LEAD
+        # lineage motif — which process inputs produced this product).
+        self._derived_from: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Users
+    # ------------------------------------------------------------------
+    def create_user(self, name: str) -> User:
+        if name in self._users:
+            raise CatalogError(f"user {name!r} already exists")
+        if not name:
+            raise CatalogError("user name cannot be empty")
+        user = User(name)
+        self._users[name] = user
+        return user
+
+    def _require_user(self, name: str) -> User:
+        try:
+            return self._users[name]
+        except KeyError:
+            raise CatalogError(f"no user {name!r}") from None
+
+    def users(self) -> List[str]:
+        return sorted(self._users)
+
+    # ------------------------------------------------------------------
+    # Experiments and files
+    # ------------------------------------------------------------------
+    def create_experiment(self, user: str, name: str) -> Experiment:
+        """Create an experiment aggregation; it is cataloged as an object
+        itself with minimal metadata so it is searchable."""
+        self._require_user(user)
+        experiment_id = next(self._experiment_ids)
+        document = self._experiment_record(user, name, experiment_id)
+        receipt = self.catalog.ingest(document, name=name, owner=user, user=user)
+        experiment = Experiment(experiment_id, name, user, receipt.object_id)
+        self._experiments[experiment_id] = experiment
+        self._owner_of[receipt.object_id] = user
+        return experiment
+
+    def _experiment_record(self, user: str, name: str, experiment_id: int) -> str:
+        """The minimal schema-valid document cataloging an experiment:
+        the schema's root plus its identifier leaf attribute.  Works for
+        any annotated schema whose root carries a leaf attribute (both
+        LEAD's ``resourceID`` and CLRC's ``studyID`` do); subclasses may
+        override to produce richer experiment metadata."""
+        schema = self.catalog.schema
+        id_leaf = next(
+            (
+                child
+                for child in schema.root.children
+                if child.is_attribute and child.is_element
+            ),
+            None,
+        )
+        if id_leaf is None:
+            raise CatalogError(
+                f"schema {schema.name!r} has no identifier leaf attribute "
+                "under the root; override _experiment_record to catalog "
+                "experiments"
+            )
+        doc = element(
+            schema.root.tag,
+            element(id_leaf.tag, f"experiment:{user}:{experiment_id}"),
+        )
+        return pretty_print(doc)
+
+    def experiment(self, experiment_id: int) -> Experiment:
+        try:
+            return self._experiments[experiment_id]
+        except KeyError:
+            raise CatalogError(f"no experiment {experiment_id}") from None
+
+    def add_file(
+        self,
+        user: str,
+        experiment: Experiment,
+        document: str,
+        name: str = "",
+        public: bool = False,
+    ) -> IngestReceipt:
+        """Catalog a file's metadata under ``experiment``."""
+        self._require_user(user)
+        if experiment.owner != user:
+            raise CatalogError(
+                f"experiment {experiment.name!r} belongs to {experiment.owner!r}"
+            )
+        receipt = self.catalog.ingest(document, name=name, owner=user, user=user)
+        experiment.file_ids.append(receipt.object_id)
+        self._owner_of[receipt.object_id] = user
+        self._experiment_of_object[receipt.object_id] = experiment.experiment_id
+        if public:
+            self._public.add(receipt.object_id)
+        return receipt
+
+    def publish(self, user: str, object_id: int) -> None:
+        """Make an object visible to every user."""
+        self._require_owner(user, object_id)
+        self._public.add(object_id)
+
+    def unpublish(self, user: str, object_id: int) -> None:
+        self._require_owner(user, object_id)
+        self._public.discard(object_id)
+
+    def _require_owner(self, user: str, object_id: int) -> None:
+        self._require_user(user)
+        owner = self._owner_of.get(object_id)
+        if owner is None:
+            raise CatalogError(f"no object {object_id}")
+        if owner != user:
+            raise CatalogError(f"object {object_id} belongs to {owner!r}")
+
+    def is_visible(self, user: str, object_id: int) -> bool:
+        return self._owner_of.get(object_id) == user or object_id in self._public
+
+    # ------------------------------------------------------------------
+    # Provenance (the LEAD lineage motif)
+    # ------------------------------------------------------------------
+    def record_derivation(self, user: str, derived_id: int, source_id: int) -> None:
+        """Record that ``derived_id`` was produced from ``source_id``
+        (e.g. a forecast product derived from an initialization file).
+        The derived object must belong to ``user``; the source must at
+        least be visible to them.  Cycles are rejected."""
+        self._require_owner(user, derived_id)
+        if not self.is_visible(user, source_id):
+            raise CatalogError(f"object {source_id} is not visible to {user!r}")
+        if derived_id == source_id:
+            raise CatalogError("an object cannot derive from itself")
+        if derived_id in self.provenance_closure(source_id):
+            raise CatalogError(
+                f"derivation {derived_id} <- {source_id} would create a cycle"
+            )
+        self._derived_from.setdefault(derived_id, []).append(source_id)
+
+    def sources_of(self, user: str, object_id: int) -> List[int]:
+        """Direct provenance sources visible to ``user``."""
+        self._require_user(user)
+        return [
+            oid
+            for oid in self._derived_from.get(object_id, [])
+            if self.is_visible(user, oid)
+        ]
+
+    def provenance_closure(self, object_id: int) -> Set[int]:
+        """All transitive sources of ``object_id`` (unfiltered)."""
+        out: Set[int] = set()
+        frontier = list(self._derived_from.get(object_id, []))
+        while frontier:
+            current = frontier.pop()
+            if current in out:
+                continue
+            out.add(current)
+            frontier.extend(self._derived_from.get(current, []))
+        return out
+
+    def derived_products(self, user: str, object_id: int) -> List[int]:
+        """Objects visible to ``user`` that derive (directly) from
+        ``object_id``."""
+        self._require_user(user)
+        return sorted(
+            derived
+            for derived, sources in self._derived_from.items()
+            if object_id in sources and self.is_visible(user, derived)
+        )
+
+    def query_derived_from_matching(self, user: str, query: ObjectQuery) -> List[int]:
+        """Objects whose provenance chain includes a match for ``query``
+        — 'products computed from data like this'."""
+        matches = set(self.query(user, query))
+        out = []
+        for derived in self._derived_from:
+            if not self.is_visible(user, derived):
+                continue
+            if self.provenance_closure(derived) & matches:
+                out.append(derived)
+        return sorted(out)
+
+    # ------------------------------------------------------------------
+    # Definitions
+    # ------------------------------------------------------------------
+    def define_private_attribute(self, user: str, name: str, source: str,
+                                 host: str = "detailed"):
+        """A dynamic attribute definition private to ``user`` (paper §3:
+        user-level definitions)."""
+        self._require_user(user)
+        return self.catalog.define_attribute(name, source, host=host, user=user)
+
+    # ------------------------------------------------------------------
+    # Query / fetch with visibility
+    # ------------------------------------------------------------------
+    def query(self, user: str, query: ObjectQuery) -> List[int]:
+        """Objects matching ``query`` that ``user`` may see (their own
+        plus published ones)."""
+        self._require_user(user)
+        ids = self.catalog.query(query, user=user)
+        return [i for i in ids if self.is_visible(user, i)]
+
+    def fetch(self, user: str, object_ids: List[int]) -> Dict[int, str]:
+        self._require_user(user)
+        for object_id in object_ids:
+            if not self.is_visible(user, object_id):
+                raise CatalogError(
+                    f"object {object_id} is not visible to {user!r}"
+                )
+        return self.catalog.fetch(object_ids)
+
+    def search(self, user: str, query: ObjectQuery) -> List[str]:
+        ids = self.query(user, query)
+        responses = self.fetch(user, ids)
+        return [responses[i] for i in ids]
+
+    def experiment_contents(self, user: str, experiment: Experiment) -> List[int]:
+        """File object ids of an experiment visible to ``user``."""
+        self._require_user(user)
+        return [i for i in experiment.file_ids if self.is_visible(user, i)]

@@ -1,0 +1,130 @@
+"""Query workloads over generated corpora (substrate S16).
+
+Produces :class:`~repro.core.query.ObjectQuery` mixes that exercise the
+catalog the way the paper's scientists would:
+
+* **keyword queries** — themes/places by keyword (CONTAINS/EQ);
+* **model-parameter queries** — dynamic attributes with numeric range
+  criteria on namelist parameters;
+* **nested queries** — dynamic sub-attribute chains of configurable
+  depth (the E3 shape);
+* **planted-marker queries** — exact-selectivity theme lookups for E8.
+
+Workloads are deterministic for a given seed so baseline comparisons
+run the identical query sequence.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..core.query import AttributeCriteria, ObjectQuery, Op
+from .generator import CF_STANDARD_NAMES, MODELS, CorpusConfig, PlantedMarker
+
+
+class WorkloadGenerator:
+    """Deterministic query mixes matched to a :class:`CorpusConfig`."""
+
+    def __init__(self, config: CorpusConfig, seed: int = 42) -> None:
+        self.config = config
+        self.seed = seed
+
+    def _rng(self, index: int) -> random.Random:
+        return random.Random(self.seed * 7_368_787 + index)
+
+    # ------------------------------------------------------------------
+    # Individual query shapes
+    # ------------------------------------------------------------------
+    def keyword_query(self, index: int) -> ObjectQuery:
+        """Theme-keyword lookup (structural, repeatable attribute)."""
+        rng = self._rng(index)
+        keyword = rng.choice(CF_STANDARD_NAMES)
+        theme = AttributeCriteria("theme").add_element("themekey", "", keyword, Op.EQ)
+        return ObjectQuery().add_attribute(theme)
+
+    def parameter_query(self, index: int, model: Optional[str] = None) -> ObjectQuery:
+        """Numeric range criterion on one dynamic namelist parameter."""
+        rng = self._rng(index)
+        model = model or rng.choice(self.config.models)
+        pools = MODELS[model]
+        group_name = rng.choice(list(pools))
+        numeric = [(p, k) for p, k in pools[group_name][: self.config.params_per_group]
+                   if k in ("int", "float")]
+        if not numeric:
+            return self.keyword_query(index)
+        param, kind = rng.choice(numeric)
+        threshold = rng.randint(0, 100) if kind == "int" else round(rng.uniform(0.0, 5000.0), 3)
+        attr = AttributeCriteria(group_name, model).add_element(
+            param, model, threshold, rng.choice([Op.LE, Op.GE])
+        )
+        return ObjectQuery().add_attribute(attr)
+
+    def nested_query(self, index: int, depth: Optional[int] = None,
+                     model: Optional[str] = None) -> ObjectQuery:
+        """A dynamic sub-attribute chain of the corpus's nesting depth,
+        anchored at the group attribute, with a numeric criterion on the
+        deepest level's parameter."""
+        rng = self._rng(index)
+        model = model or rng.choice(self.config.models)
+        pools = MODELS[model]
+        group_name = rng.choice(list(pools))
+        depth = depth if depth is not None else self.config.dynamic_depth - 1
+        top = AttributeCriteria(group_name, model)
+        current = top
+        for level in range(1, depth + 1):
+            sub = AttributeCriteria(f"{group_name}-section-l{level}", model)
+            if level == depth:
+                sub.add_element(f"{group_name}-param-l{level}", model, 0.0, Op.GE)
+            current.add_attribute(sub)
+            current = sub
+        return ObjectQuery().add_attribute(top)
+
+    def marker_query(self, marker: PlantedMarker) -> ObjectQuery:
+        """Exact-selectivity lookup of a planted theme keyword."""
+        theme = AttributeCriteria("theme").add_element(
+            "themekey", "", marker.keyword, Op.EQ
+        )
+        return ObjectQuery().add_attribute(theme)
+
+    def conjunctive_query(self, index: int) -> ObjectQuery:
+        """Keyword AND parameter criteria together (multi-attribute AND)."""
+        rng = self._rng(index)
+        query = self.keyword_query(index)
+        model = rng.choice(self.config.models)
+        pools = MODELS[model]
+        group_name = rng.choice(list(pools))
+        numeric = [(p, k) for p, k in pools[group_name][: self.config.params_per_group]
+                   if k in ("int", "float")]
+        if numeric:
+            param, _kind = rng.choice(numeric)
+            attr = AttributeCriteria(group_name, model).add_element(
+                param, model, 0, Op.GE
+            )
+            query.add_attribute(attr)
+        return query
+
+    # ------------------------------------------------------------------
+    # Mixes
+    # ------------------------------------------------------------------
+    def mixed(self, count: int) -> List[ObjectQuery]:
+        """The standard E2 mix: 40% keyword, 30% parameter, 20% nested,
+        10% conjunctive."""
+        queries: List[ObjectQuery] = []
+        for i in range(count):
+            bucket = i % 10
+            if bucket < 4:
+                queries.append(self.keyword_query(i))
+            elif bucket < 7:
+                queries.append(self.parameter_query(i))
+            elif bucket < 9:
+                queries.append(self.nested_query(i))
+            else:
+                queries.append(self.conjunctive_query(i))
+        return queries
+
+    def keyword_only(self, count: int) -> List[ObjectQuery]:
+        return [self.keyword_query(i) for i in range(count)]
+
+    def nested_only(self, count: int, depth: int) -> List[ObjectQuery]:
+        return [self.nested_query(i, depth=depth) for i in range(count)]

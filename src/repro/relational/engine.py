@@ -1,0 +1,89 @@
+"""The Database object: a registry of named tables plus temp tables.
+
+The catalog and baselines each create their tables through one
+:class:`Database`, so storage accounting (bench E5) and debugging have a
+single place to enumerate everything a scheme stores.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .errors import TableError
+from .table import Table
+from .types import Column
+
+
+class Database:
+    """Named tables, temp-table lifecycle, and storage accounting."""
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self._tables: Dict[str, Table] = {}
+        self._temp_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        primary_key: Optional[Sequence[str]] = None,
+    ) -> Table:
+        if name in self._tables:
+            raise TableError(f"table {name!r} already exists")
+        table = Table(name, columns, primary_key)
+        self._tables[name] = table
+        return table
+
+    def create_temp_table(self, prefix: str, columns: Sequence[Column]) -> Table:
+        """A uniquely named table for per-query scratch data (paper §4:
+        query criteria are inserted into temporary tables)."""
+        name = f"{prefix}_{next(self._temp_counter)}"
+        return self.create_table(name, columns)
+
+    def drop_table(self, name: str) -> None:
+        try:
+            del self._tables[name]
+        except KeyError:
+            raise TableError(f"no table {name!r}") from None
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise TableError(f"no table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def tables(self) -> List[Table]:
+        return list(self._tables.values())
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def row_counts(self) -> Dict[str, int]:
+        return {name: len(t) for name, t in self._tables.items()}
+
+    def total_rows(self) -> int:
+        return sum(len(t) for t in self._tables.values())
+
+    def estimated_bytes(self) -> int:
+        return sum(t.estimated_bytes() for t in self._tables.values())
+
+    def storage_report(self) -> List[Tuple[str, int, int]]:
+        """Per-table ``(name, rows, bytes)`` sorted by size, for E5."""
+        report = [
+            (name, len(t), t.estimated_bytes()) for name, t in self._tables.items()
+        ]
+        report.sort(key=lambda item: item[2], reverse=True)
+        return report
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Database({self.name!r}, tables={len(self._tables)})"

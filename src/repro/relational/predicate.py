@@ -1,0 +1,267 @@
+"""Predicate expressions over named-column rows.
+
+Predicates form a tiny AST (comparisons, boolean combinators, IN, NULL
+tests) that is *compiled once* into a Python closure over positional
+rows — per the HPC guideline of hoisting work out of inner loops, no
+per-row name lookups or isinstance dispatch happen during a scan.
+
+The same AST renders to a SQL ``WHERE`` fragment so the sqlite backend
+can execute identical logical plans (used by the backend-equivalence
+property tests and bench E9).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+RowPredicate = Callable[[tuple], bool]
+
+
+class Predicate:
+    """Base class; combinators build trees with ``&``, ``|``, ``~``."""
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And([self, other])
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or([self, other])
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+    def compile(self, columns: Sequence[str]) -> RowPredicate:
+        """Compile into a closure over rows with the given column order."""
+        raise NotImplementedError
+
+    def to_sql(self) -> Tuple[str, List[Any]]:
+        """Render as a parameterized SQL fragment ``(sql, params)``."""
+        raise NotImplementedError
+
+    def referenced_columns(self) -> List[str]:
+        raise NotImplementedError
+
+
+_OPS: Dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class Comparison(Predicate):
+    """``column <op> constant``.  NULLs never match (SQL semantics)."""
+
+    __slots__ = ("column", "op", "value")
+
+    def __init__(self, column: str, op: str, value: Any) -> None:
+        if op not in _OPS:
+            raise ValueError(f"unknown comparison operator {op!r}")
+        self.column = column
+        self.op = op
+        self.value = value
+
+    def compile(self, columns: Sequence[str]) -> RowPredicate:
+        idx = list(columns).index(self.column)
+        fn = _OPS[self.op]
+        value = self.value
+        return lambda row: row[idx] is not None and fn(row[idx], value)
+
+    def to_sql(self) -> Tuple[str, List[Any]]:
+        # The engine's predicates are two-valued ("NULL never matches",
+        # classical negation above); the NULL guard keeps the SQL
+        # rendering equivalent even under NOT, where SQL's three-valued
+        # logic would otherwise diverge.
+        return (
+            f"({self.column} IS NOT NULL AND {self.column} {self.op} ?)",
+            [self.value],
+        )
+
+    def referenced_columns(self) -> List[str]:
+        return [self.column]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"({self.column} {self.op} {self.value!r})"
+
+
+class In(Predicate):
+    """``column IN (values)`` with hash-set membership."""
+
+    __slots__ = ("column", "values")
+
+    def __init__(self, column: str, values) -> None:
+        self.column = column
+        self.values = frozenset(values)
+
+    def compile(self, columns: Sequence[str]) -> RowPredicate:
+        idx = list(columns).index(self.column)
+        values = self.values
+        return lambda row: row[idx] in values
+
+    def to_sql(self) -> Tuple[str, List[Any]]:
+        ordered = sorted(self.values, key=repr)
+        marks = ", ".join("?" for _ in ordered)
+        # NULL guard: see Comparison.to_sql.
+        return (
+            f"({self.column} IS NOT NULL AND {self.column} IN ({marks}))",
+            list(ordered),
+        )
+
+    def referenced_columns(self) -> List[str]:
+        return [self.column]
+
+
+class IsNull(Predicate):
+    __slots__ = ("column", "negated")
+
+    def __init__(self, column: str, negated: bool = False) -> None:
+        self.column = column
+        self.negated = negated
+
+    def compile(self, columns: Sequence[str]) -> RowPredicate:
+        idx = list(columns).index(self.column)
+        if self.negated:
+            return lambda row: row[idx] is not None
+        return lambda row: row[idx] is None
+
+    def to_sql(self) -> Tuple[str, List[Any]]:
+        return f"{self.column} IS {'NOT ' if self.negated else ''}NULL", []
+
+    def referenced_columns(self) -> List[str]:
+        return [self.column]
+
+
+class And(Predicate):
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: List[Predicate]) -> None:
+        flat: List[Predicate] = []
+        for p in parts:
+            if isinstance(p, And):
+                flat.extend(p.parts)
+            else:
+                flat.append(p)
+        self.parts = flat
+
+    def compile(self, columns: Sequence[str]) -> RowPredicate:
+        fns = [p.compile(columns) for p in self.parts]
+        if len(fns) == 2:
+            f0, f1 = fns
+            return lambda row: f0(row) and f1(row)
+        return lambda row: all(fn(row) for fn in fns)
+
+    def to_sql(self) -> Tuple[str, List[Any]]:
+        frags, params = [], []
+        for p in self.parts:
+            sql, ps = p.to_sql()
+            frags.append(f"({sql})")
+            params.extend(ps)
+        return " AND ".join(frags), params
+
+    def referenced_columns(self) -> List[str]:
+        out: List[str] = []
+        for p in self.parts:
+            out.extend(p.referenced_columns())
+        return out
+
+
+class Or(Predicate):
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: List[Predicate]) -> None:
+        flat: List[Predicate] = []
+        for p in parts:
+            if isinstance(p, Or):
+                flat.extend(p.parts)
+            else:
+                flat.append(p)
+        self.parts = flat
+
+    def compile(self, columns: Sequence[str]) -> RowPredicate:
+        fns = [p.compile(columns) for p in self.parts]
+        return lambda row: any(fn(row) for fn in fns)
+
+    def to_sql(self) -> Tuple[str, List[Any]]:
+        frags, params = [], []
+        for p in self.parts:
+            sql, ps = p.to_sql()
+            frags.append(f"({sql})")
+            params.extend(ps)
+        return " OR ".join(frags), params
+
+    def referenced_columns(self) -> List[str]:
+        out: List[str] = []
+        for p in self.parts:
+            out.extend(p.referenced_columns())
+        return out
+
+
+class Not(Predicate):
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: Predicate) -> None:
+        self.inner = inner
+
+    def compile(self, columns: Sequence[str]) -> RowPredicate:
+        fn = self.inner.compile(columns)
+        return lambda row: not fn(row)
+
+    def to_sql(self) -> Tuple[str, List[Any]]:
+        sql, params = self.inner.to_sql()
+        return f"NOT ({sql})", params
+
+    def referenced_columns(self) -> List[str]:
+        return self.inner.referenced_columns()
+
+
+class TruePredicate(Predicate):
+    """Matches every row; the identity for AND chains built in loops."""
+
+    def compile(self, columns: Sequence[str]) -> RowPredicate:
+        return lambda row: True
+
+    def to_sql(self) -> Tuple[str, List[Any]]:
+        return "1 = 1", []
+
+    def referenced_columns(self) -> List[str]:
+        return []
+
+
+# Terse constructors -----------------------------------------------------
+
+def eq(column: str, value: Any) -> Comparison:
+    return Comparison(column, "=", value)
+
+
+def ne(column: str, value: Any) -> Comparison:
+    return Comparison(column, "!=", value)
+
+
+def lt(column: str, value: Any) -> Comparison:
+    return Comparison(column, "<", value)
+
+
+def le(column: str, value: Any) -> Comparison:
+    return Comparison(column, "<=", value)
+
+
+def gt(column: str, value: Any) -> Comparison:
+    return Comparison(column, ">", value)
+
+
+def ge(column: str, value: Any) -> Comparison:
+    return Comparison(column, ">=", value)
+
+
+def in_(column: str, values) -> In:
+    return In(column, values)
+
+
+def is_null(column: str) -> IsNull:
+    return IsNull(column)
+
+
+def not_null(column: str) -> IsNull:
+    return IsNull(column, negated=True)

@@ -1,0 +1,313 @@
+"""Materialized relations and the relational-algebra operators.
+
+A :class:`Relation` is an immutable (column-names, row-list) pair — the
+intermediate result format flowing between operators.  Operators are
+free functions so plans compose as plain Python expressions; each one
+materializes its output, which keeps the cost model transparent for the
+benchmarks (every operator's work is visible, nothing is deferred).
+
+Join strategy: equi-joins are hash joins (build on the smaller input),
+the only join the catalog's plans need.  Grouped aggregation is
+one-pass hash aggregation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .errors import PlanError
+from .predicate import Predicate
+from .table import Table
+
+
+class Relation:
+    """An ordered bag of tuples with named columns."""
+
+    __slots__ = ("columns", "rows")
+
+    def __init__(self, columns: Sequence[str], rows: List[tuple]) -> None:
+        self.columns: Tuple[str, ...] = tuple(columns)
+        self.rows = rows
+
+    @classmethod
+    def from_table(cls, table: Table) -> "Relation":
+        return cls(table.column_names, table.rows())
+
+    def position(self, column: str) -> int:
+        try:
+            return self.columns.index(column)
+        except ValueError:
+            raise PlanError(f"relation has no column {column!r} (has {self.columns})") from None
+
+    def positions(self, columns: Sequence[str]) -> Tuple[int, ...]:
+        return tuple(self.position(c) for c in columns)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def column_values(self, column: str) -> List[Any]:
+        p = self.position(column)
+        return [row[p] for row in self.rows]
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        cols = self.columns
+        return [dict(zip(cols, row)) for row in self.rows]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Relation({list(self.columns)}, rows={len(self.rows)})"
+
+
+def scan(table: Table) -> Relation:
+    """Full scan of a table into a relation."""
+    return Relation.from_table(table)
+
+
+def select(relation: Relation, predicate: Predicate) -> Relation:
+    """Filter rows by a predicate."""
+    fn = predicate.compile(relation.columns)
+    return Relation(relation.columns, [row for row in relation.rows if fn(row)])
+
+
+def project(relation: Relation, columns: Sequence[str]) -> Relation:
+    """Keep only ``columns`` (in the given order)."""
+    positions = relation.positions(columns)
+    rows = [tuple(row[p] for p in positions) for row in relation.rows]
+    return Relation(columns, rows)
+
+
+def rename(relation: Relation, mapping: Dict[str, str]) -> Relation:
+    """Rename columns; unmentioned columns keep their names."""
+    columns = [mapping.get(c, c) for c in relation.columns]
+    if len(set(columns)) != len(columns):
+        raise PlanError(f"rename produced duplicate columns: {columns}")
+    return Relation(columns, relation.rows)
+
+
+def distinct(relation: Relation) -> Relation:
+    """Remove duplicate rows, preserving first-seen order."""
+    seen = set()
+    rows = []
+    for row in relation.rows:
+        if row not in seen:
+            seen.add(row)
+            rows.append(row)
+    return Relation(relation.columns, rows)
+
+
+def extend(relation: Relation, column: str, fn: Callable[[tuple], Any]) -> Relation:
+    """Append a computed column."""
+    rows = [row + (fn(row),) for row in relation.rows]
+    return Relation(list(relation.columns) + [column], rows)
+
+
+def constant_column(relation: Relation, column: str, value: Any) -> Relation:
+    rows = [row + (value,) for row in relation.rows]
+    return Relation(list(relation.columns) + [column], rows)
+
+
+def union_all(a: Relation, b: Relation) -> Relation:
+    if a.columns != b.columns:
+        raise PlanError(f"union of incompatible relations: {a.columns} vs {b.columns}")
+    return Relation(a.columns, a.rows + b.rows)
+
+
+def order_by(relation: Relation, columns: Sequence[str], descending: bool = False) -> Relation:
+    positions = relation.positions(columns)
+    rows = sorted(
+        relation.rows,
+        key=lambda row: tuple(row[p] for p in positions),
+        reverse=descending,
+    )
+    return Relation(relation.columns, rows)
+
+
+def limit(relation: Relation, n: int) -> Relation:
+    return Relation(relation.columns, relation.rows[:n])
+
+
+def hash_join(
+    left: Relation,
+    right: Relation,
+    on: Sequence[Tuple[str, str]],
+    right_prefix: str = "",
+) -> Relation:
+    """Equi-join: ``on`` is a list of ``(left_column, right_column)``.
+
+    Output columns are all of ``left`` followed by the non-join columns
+    of ``right`` (join columns would be duplicates).  ``right_prefix``
+    disambiguates remaining collisions.  Builds the hash table on the
+    smaller input.
+    """
+    left_keys = [l for l, _ in on]
+    right_keys = [r for _, r in on]
+    lpos = left.positions(left_keys)
+    rpos = right.positions(right_keys)
+
+    right_keep = [i for i, c in enumerate(right.columns) if c not in right_keys]
+    right_out_names = []
+    for i in right_keep:
+        name = right_prefix + right.columns[i]
+        if name in left.columns:
+            raise PlanError(
+                f"join output column collision on {name!r}; pass right_prefix"
+            )
+        right_out_names.append(name)
+    out_columns = list(left.columns) + right_out_names
+
+    rows: List[tuple] = []
+    if len(left.rows) <= len(right.rows):
+        # Build on left, probe right.
+        buckets: Dict[tuple, List[tuple]] = {}
+        for row in left.rows:
+            key = tuple(row[p] for p in lpos)
+            if None in key:
+                continue
+            buckets.setdefault(key, []).append(row)
+        for rrow in right.rows:
+            key = tuple(rrow[p] for p in rpos)
+            matches = buckets.get(key)
+            if matches:
+                tail = tuple(rrow[i] for i in right_keep)
+                for lrow in matches:
+                    rows.append(lrow + tail)
+    else:
+        buckets = {}
+        for rrow in right.rows:
+            key = tuple(rrow[p] for p in rpos)
+            if None in key:
+                continue
+            buckets.setdefault(key, []).append(tuple(rrow[i] for i in right_keep))
+        for lrow in left.rows:
+            key = tuple(lrow[p] for p in lpos)
+            tails = buckets.get(key)
+            if tails:
+                for tail in tails:
+                    rows.append(lrow + tail)
+    return Relation(out_columns, rows)
+
+
+def semi_join(left: Relation, right: Relation, on: Sequence[Tuple[str, str]]) -> Relation:
+    """Rows of ``left`` with at least one match in ``right``."""
+    lpos = left.positions([l for l, _ in on])
+    rpos = right.positions([r for _, r in on])
+    keys = {tuple(row[p] for p in rpos) for row in right.rows}
+    rows = [row for row in left.rows if tuple(row[p] for p in lpos) in keys]
+    return Relation(left.columns, rows)
+
+
+def anti_join(left: Relation, right: Relation, on: Sequence[Tuple[str, str]]) -> Relation:
+    """Rows of ``left`` with no match in ``right``."""
+    lpos = left.positions([l for l, _ in on])
+    rpos = right.positions([r for _, r in on])
+    keys = {tuple(row[p] for p in rpos) for row in right.rows}
+    rows = [row for row in left.rows if tuple(row[p] for p in lpos) not in keys]
+    return Relation(left.columns, rows)
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+class Aggregate:
+    """Specification of one aggregate output column."""
+
+    __slots__ = ("kind", "column", "alias")
+
+    KINDS = ("count", "count_distinct", "sum", "min", "max")
+
+    def __init__(self, kind: str, column: Optional[str], alias: str) -> None:
+        if kind not in self.KINDS:
+            raise PlanError(f"unknown aggregate {kind!r}")
+        if kind != "count" and column is None:
+            raise PlanError(f"aggregate {kind!r} requires a column")
+        self.kind = kind
+        self.column = column
+        self.alias = alias
+
+
+def count(alias: str = "count") -> Aggregate:
+    return Aggregate("count", None, alias)
+
+
+def count_distinct(column: str, alias: str) -> Aggregate:
+    return Aggregate("count_distinct", column, alias)
+
+
+def agg_sum(column: str, alias: str) -> Aggregate:
+    return Aggregate("sum", column, alias)
+
+
+def agg_min(column: str, alias: str) -> Aggregate:
+    return Aggregate("min", column, alias)
+
+
+def agg_max(column: str, alias: str) -> Aggregate:
+    return Aggregate("max", column, alias)
+
+
+def group_by(
+    relation: Relation,
+    keys: Sequence[str],
+    aggregates: Sequence[Aggregate],
+) -> Relation:
+    """Hash aggregation: one output row per distinct key combination.
+
+    With an empty ``keys`` a single row is produced (even for empty
+    input, matching SQL's global-aggregate semantics).
+    """
+    key_pos = relation.positions(keys)
+    agg_pos = [
+        relation.position(a.column) if a.column is not None else -1 for a in aggregates
+    ]
+
+    groups: Dict[tuple, List[Any]] = {}
+
+    def fresh_state() -> List[Any]:
+        state: List[Any] = []
+        for a in aggregates:
+            if a.kind == "count":
+                state.append(0)
+            elif a.kind == "count_distinct":
+                state.append(set())
+            elif a.kind == "sum":
+                state.append(0)
+            else:  # min / max
+                state.append(None)
+        return state
+
+    for row in relation.rows:
+        key = tuple(row[p] for p in key_pos)
+        state = groups.get(key)
+        if state is None:
+            state = fresh_state()
+            groups[key] = state
+        for i, a in enumerate(aggregates):
+            if a.kind == "count":
+                state[i] += 1
+                continue
+            value = row[agg_pos[i]]
+            if value is None:
+                continue
+            if a.kind == "count_distinct":
+                state[i].add(value)
+            elif a.kind == "sum":
+                state[i] += value
+            elif a.kind == "min":
+                state[i] = value if state[i] is None or value < state[i] else state[i]
+            elif a.kind == "max":
+                state[i] = value if state[i] is None or value > state[i] else state[i]
+
+    if not keys and not groups:
+        groups[()] = fresh_state()
+
+    out_columns = list(keys) + [a.alias for a in aggregates]
+    rows: List[tuple] = []
+    for key, state in groups.items():
+        finals = [
+            len(s) if isinstance(s, set) else s for s in state
+        ]
+        rows.append(key + tuple(finals))
+    return Relation(out_columns, rows)

@@ -1,0 +1,305 @@
+"""Heap tables with hash and sorted secondary indexes.
+
+Rows are stored as plain tuples in a Python list (the "heap"); deleted
+slots are tombstoned with ``None`` and compacted lazily.  Indexes map
+key tuples to lists of row ids.  This mirrors the storage model of the
+RDBMS the paper ran on closely enough for the relative costs the
+benchmarks measure (scans vs index lookups vs joins) to be meaningful.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .errors import ConstraintError, TableError
+from .predicate import Predicate
+from .types import Column
+
+
+class HashIndex:
+    """Equality index: key tuple -> list of row ids."""
+
+    __slots__ = ("name", "columns", "positions", "unique", "buckets")
+
+    def __init__(self, name: str, columns: Sequence[str], positions: Sequence[int], unique: bool) -> None:
+        self.name = name
+        self.columns = tuple(columns)
+        self.positions = tuple(positions)
+        self.unique = unique
+        self.buckets: Dict[tuple, List[int]] = {}
+
+    def key_of(self, row: tuple) -> tuple:
+        positions = self.positions
+        return tuple(row[p] for p in positions)
+
+    def add(self, rowid: int, row: tuple) -> None:
+        key = self.key_of(row)
+        bucket = self.buckets.get(key)
+        if bucket is None:
+            self.buckets[key] = [rowid]
+        else:
+            if self.unique:
+                raise ConstraintError(
+                    f"unique index {self.name!r} violated for key {key!r}"
+                )
+            bucket.append(rowid)
+
+    def remove(self, rowid: int, row: tuple) -> None:
+        key = self.key_of(row)
+        bucket = self.buckets.get(key)
+        if bucket is not None:
+            try:
+                bucket.remove(rowid)
+            except ValueError:
+                pass
+            if not bucket:
+                del self.buckets[key]
+
+    def lookup(self, key: tuple) -> List[int]:
+        return self.buckets.get(key, [])
+
+
+class SortedIndex:
+    """Ordered index over a single column supporting range probes.
+
+    Maintained as parallel sorted lists (keys, rowids) via ``bisect`` —
+    adequate for the mostly-append workload of a metadata catalog.
+    NULL keys are not indexed (matching SQL b-tree behaviour for range
+    predicates, where NULL never matches).
+    """
+
+    __slots__ = ("name", "column", "position", "keys", "rowids")
+
+    def __init__(self, name: str, column: str, position: int) -> None:
+        self.name = name
+        self.column = column
+        self.position = position
+        self.keys: List[Any] = []
+        self.rowids: List[int] = []
+
+    def add(self, rowid: int, row: tuple) -> None:
+        key = row[self.position]
+        if key is None:
+            return
+        i = bisect.bisect_right(self.keys, key)
+        self.keys.insert(i, key)
+        self.rowids.insert(i, rowid)
+
+    def remove(self, rowid: int, row: tuple) -> None:
+        key = row[self.position]
+        if key is None:
+            return
+        i = bisect.bisect_left(self.keys, key)
+        while i < len(self.keys) and self.keys[i] == key:
+            if self.rowids[i] == rowid:
+                del self.keys[i]
+                del self.rowids[i]
+                return
+            i += 1
+
+    def range(self, low: Any = None, high: Any = None, low_inclusive: bool = True, high_inclusive: bool = True) -> List[int]:
+        lo = 0
+        hi = len(self.keys)
+        if low is not None:
+            lo = bisect.bisect_left(self.keys, low) if low_inclusive else bisect.bisect_right(self.keys, low)
+        if high is not None:
+            hi = bisect.bisect_right(self.keys, high) if high_inclusive else bisect.bisect_left(self.keys, high)
+        return self.rowids[lo:hi]
+
+
+class Table:
+    """A heap table with a schema, optional primary key, and indexes."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        primary_key: Optional[Sequence[str]] = None,
+    ) -> None:
+        if not columns:
+            raise TableError(f"table {name!r} needs at least one column")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise TableError(f"table {name!r} has duplicate column names")
+        self.name = name
+        self.columns: Tuple[Column, ...] = tuple(columns)
+        self.column_names: Tuple[str, ...] = tuple(names)
+        self._positions: Dict[str, int] = {n: i for i, n in enumerate(names)}
+        self._rows: List[Optional[tuple]] = []
+        self._live = 0
+        self._hash_indexes: List[HashIndex] = []
+        self._sorted_indexes: List[SortedIndex] = []
+        self.primary_key: Optional[Tuple[str, ...]] = None
+        if primary_key:
+            self.primary_key = tuple(primary_key)
+            self.create_index("pk_" + name, primary_key, unique=True)
+
+    # ------------------------------------------------------------------
+    # Schema helpers
+    # ------------------------------------------------------------------
+    def position(self, column: str) -> int:
+        try:
+            return self._positions[column]
+        except KeyError:
+            raise TableError(f"table {self.name!r} has no column {column!r}") from None
+
+    def positions(self, columns: Sequence[str]) -> Tuple[int, ...]:
+        return tuple(self.position(c) for c in columns)
+
+    def ddl(self) -> str:
+        """Render as SQL DDL (used by the sqlite backend)."""
+        cols = ", ".join(c.ddl() for c in self.columns)
+        pk = f", PRIMARY KEY ({', '.join(self.primary_key)})" if self.primary_key else ""
+        return f"CREATE TABLE {self.name} ({cols}{pk})"
+
+    # ------------------------------------------------------------------
+    # Indexes
+    # ------------------------------------------------------------------
+    def create_index(self, name: str, columns: Sequence[str], unique: bool = False) -> HashIndex:
+        positions = self.positions(columns)
+        index = HashIndex(name, columns, positions, unique)
+        for rowid, row in enumerate(self._rows):
+            if row is not None:
+                index.add(rowid, row)
+        self._hash_indexes.append(index)
+        return index
+
+    def create_sorted_index(self, name: str, column: str) -> SortedIndex:
+        index = SortedIndex(name, column, self.position(column))
+        for rowid, row in enumerate(self._rows):
+            if row is not None:
+                index.add(rowid, row)
+        self._sorted_indexes.append(index)
+        return index
+
+    def find_hash_index(self, columns: Sequence[str]) -> Optional[HashIndex]:
+        want = tuple(columns)
+        for index in self._hash_indexes:
+            if index.columns == want:
+                return index
+        return None
+
+    def find_sorted_index(self, column: str) -> Optional[SortedIndex]:
+        for index in self._sorted_indexes:
+            if index.column == column:
+                return index
+        return None
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, values: Sequence[Any]) -> int:
+        """Insert a full row (positional); returns the row id."""
+        if len(values) != len(self.columns):
+            raise TableError(
+                f"table {self.name!r} expects {len(self.columns)} values, got {len(values)}"
+            )
+        row = tuple(col.validate(v) for col, v in zip(self.columns, values))
+        rowid = len(self._rows)
+        # Validate unique indexes before touching any of them so a
+        # constraint failure leaves the table unchanged.
+        for index in self._hash_indexes:
+            if index.unique and index.lookup(index.key_of(row)):
+                raise ConstraintError(
+                    f"unique index {index.name!r} violated for key {index.key_of(row)!r}"
+                )
+        self._rows.append(row)
+        self._live += 1
+        for index in self._hash_indexes:
+            index.add(rowid, row)
+        for sindex in self._sorted_indexes:
+            sindex.add(rowid, row)
+        return rowid
+
+    def insert_dict(self, **values: Any) -> int:
+        """Insert by column name; omitted columns get NULL."""
+        row = [None] * len(self.columns)
+        for name, value in values.items():
+            row[self.position(name)] = value
+        return self.insert(row)
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def delete_where(self, predicate: Predicate) -> int:
+        fn = predicate.compile(self.column_names)
+        deleted = 0
+        for rowid, row in enumerate(self._rows):
+            if row is not None and fn(row):
+                self._tombstone(rowid, row)
+                deleted += 1
+        return deleted
+
+    def clear(self) -> None:
+        self._rows.clear()
+        self._live = 0
+        for index in self._hash_indexes:
+            index.buckets.clear()
+        for sindex in self._sorted_indexes:
+            sindex.keys.clear()
+            sindex.rowids.clear()
+
+    def _tombstone(self, rowid: int, row: tuple) -> None:
+        self._rows[rowid] = None
+        self._live -= 1
+        for index in self._hash_indexes:
+            index.remove(rowid, row)
+        for sindex in self._sorted_indexes:
+            sindex.remove(rowid, row)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._live
+
+    def scan(self) -> Iterator[tuple]:
+        """All live rows in insertion order."""
+        for row in self._rows:
+            if row is not None:
+                yield row
+
+    def rows(self) -> List[tuple]:
+        return [row for row in self._rows if row is not None]
+
+    def fetch(self, rowid: int) -> tuple:
+        row = self._rows[rowid]
+        if row is None:
+            raise TableError(f"row {rowid} of table {self.name!r} was deleted")
+        return row
+
+    def lookup(self, columns: Sequence[str], key: Sequence[Any]) -> List[tuple]:
+        """Equality lookup, via an index when one covers ``columns``."""
+        index = self.find_hash_index(columns)
+        key_t = tuple(key)
+        if index is not None:
+            return [self._rows[rid] for rid in index.lookup(key_t)]  # type: ignore[misc]
+        positions = self.positions(columns)
+        return [
+            row
+            for row in self.scan()
+            if tuple(row[p] for p in positions) == key_t
+        ]
+
+    def estimated_bytes(self) -> int:
+        """Rough storage accounting used by the storage benchmarks (E5)."""
+        total = 0
+        for row in self.scan():
+            for value in row:
+                if value is None:
+                    total += 1
+                elif isinstance(value, str):
+                    total += len(value)
+                elif isinstance(value, float):
+                    total += 8
+                else:
+                    total += 8
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.name!r}, rows={self._live})"

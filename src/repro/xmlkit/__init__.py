@@ -1,0 +1,37 @@
+"""``repro.xmlkit`` — a small span-preserving XML toolkit (system S1).
+
+The catalog's shredder needs byte-exact subtree CLOBs, so this package
+provides its own parser that records source spans on every element; see
+:mod:`repro.xmlkit.parser` for the rationale.
+
+Public surface:
+
+* :func:`parse`, :func:`parse_fragment` — strict parsing with spans.
+* :class:`Element`, :class:`Document`, :func:`element` — the node model.
+* :func:`pretty_print`, :func:`canonical` — serialization helpers.
+* :func:`escape_text`, :func:`escape_attribute`, :func:`unescape`.
+"""
+
+from .escape import escape_attribute, escape_text, unescape
+from .nodes import Document, Element, element
+from .parser import XMLSyntaxError, parse, parse_fragment, parse_span
+from .serializer import canonical, pretty_print
+from .xpath import XPathError, xpath, xpath_exists
+
+__all__ = [
+    "Document",
+    "Element",
+    "XMLSyntaxError",
+    "XPathError",
+    "canonical",
+    "element",
+    "escape_attribute",
+    "escape_text",
+    "parse",
+    "parse_fragment",
+    "parse_span",
+    "pretty_print",
+    "unescape",
+    "xpath",
+    "xpath_exists",
+]

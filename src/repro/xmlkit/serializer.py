@@ -1,0 +1,86 @@
+"""Serialization helpers: pretty printing and canonical forms.
+
+The catalog's response builder emits compact XML (``Element.to_xml``);
+this module adds the human-facing pretty printer used by the examples,
+and the canonical form the round-trip tests compare with.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .escape import escape_attribute, escape_text
+from .nodes import Document, Element
+
+
+def pretty_print(node, indent: str = "    ") -> str:
+    """Indented serialization of an :class:`Element` or :class:`Document`.
+
+    Text children that are pure whitespace are dropped (they are assumed
+    to be pre-existing indentation); mixed content with significant text
+    is emitted inline so no character data is altered.
+    """
+    if isinstance(node, Document):
+        node = node.root
+    out: List[str] = []
+    _pretty(node, out, indent, 0)
+    return "".join(out)
+
+
+def _pretty(element: Element, out: List[str], indent: str, depth: int) -> None:
+    pad = indent * depth
+    out.append(pad)
+    out.append(f"<{element.tag}")
+    for name, value in element.attributes.items():
+        out.append(f' {name}="{escape_attribute(value)}"')
+    meaningful = [
+        c for c in element.children if isinstance(c, Element) or c.strip()
+    ]
+    if not meaningful:
+        out.append("/>\n")
+        return
+    if all(isinstance(c, str) for c in meaningful):
+        text = "".join(meaningful)
+        out.append(f">{escape_text(text)}</{element.tag}>\n")
+        return
+    out.append(">\n")
+    for child in meaningful:
+        if isinstance(child, Element):
+            _pretty(child, out, indent, depth + 1)
+        else:
+            out.append(indent * (depth + 1))
+            out.append(escape_text(child.strip()))
+            out.append("\n")
+    out.append(pad)
+    out.append(f"</{element.tag}>\n")
+
+
+def canonical(node) -> str:
+    """A whitespace-insensitive canonical serialization.
+
+    Two documents that differ only in inter-element whitespace and
+    attribute ordering canonicalize to identical strings.  Significant
+    text is stripped of leading/trailing whitespace, which is the
+    equality the metadata catalog guarantees (the paper's responses are
+    rebuilt from CLOBs with fresh inter-element layout).
+    """
+    if isinstance(node, Document):
+        node = node.root
+    out: List[str] = []
+    _canonical(node, out)
+    return "".join(out)
+
+
+def _canonical(element: Element, out: List[str]) -> None:
+    out.append(f"<{element.tag}")
+    for name in sorted(element.attributes):
+        out.append(f' {name}="{escape_attribute(element.attributes[name])}"')
+    out.append(">")
+    for child in element.children:
+        if isinstance(child, Element):
+            _canonical(child, out)
+        else:
+            stripped = child.strip()
+            if stripped:
+                out.append(escape_text(stripped))
+    out.append(f"</{element.tag}>")

@@ -1,0 +1,323 @@
+"""An XPath-lite evaluator over :class:`~repro.xmlkit.nodes.Element`.
+
+The paper's §4 shows the XQuery/XPath a scientist would have to write
+against a general XML store — path navigation with nested predicates —
+before presenting the attribute-query API that replaces it.  This
+module implements the navigational subset those examples use, so tests
+can prove the equivalence and the CLOB baseline can answer general
+path queries (the one thing a document store does that shredded
+schemes must emulate):
+
+* absolute and relative location paths with ``/`` (child) and ``//``
+  (descendant-or-self) steps, and ``*`` wildcards;
+* predicates ``[...]`` combining ``and`` / ``or``;
+* predicate operands: relative paths (existence), or comparisons
+  ``path op literal`` with ``= != < <= > >=``;
+* literals: single/double-quoted strings and numbers (comparison is
+  numeric when both sides parse as numbers, mirroring XPath's coercion
+  for the equality-on-text cases the paper uses, e.g. ``attrv eq 1000``
+  matching ``1000.000``).
+
+Not supported (not needed for the era's metadata queries): axes other
+than child/descendant, attribute nodes, position predicates, functions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from .nodes import Element
+
+
+class XPathError(ValueError):
+    """Malformed XPath-lite expression."""
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+class _Step:
+    __slots__ = ("name", "descendant", "predicates")
+
+    def __init__(self, name: str, descendant: bool) -> None:
+        self.name = name
+        self.descendant = descendant
+        self.predicates: List["_Expr"] = []
+
+
+class _Path:
+    __slots__ = ("steps", "absolute")
+
+    def __init__(self, steps: List[_Step], absolute: bool) -> None:
+        self.steps = steps
+        self.absolute = absolute
+
+
+class _Comparison:
+    __slots__ = ("path", "op", "value")
+
+    def __init__(self, path: _Path, op: Optional[str], value) -> None:
+        self.path = path
+        self.op = op
+        self.value = value
+
+
+class _Bool:
+    __slots__ = ("kind", "parts")
+
+    def __init__(self, kind: str, parts: List) -> None:
+        self.kind = kind  # "and" | "or"
+        self.parts = parts
+
+
+_Expr = Union[_Comparison, _Bool]
+
+_OPS = ("!=", "<=", ">=", "=", "<", ">")
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> XPathError:
+        return XPathError(f"{message} at offset {self.pos} in {self.text!r}")
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] in " \t\n":
+            self.pos += 1
+
+    def peek(self, literal: str) -> bool:
+        return self.text.startswith(literal, self.pos)
+
+    def take(self, literal: str) -> bool:
+        if self.peek(literal):
+            self.pos += len(literal)
+            return True
+        return False
+
+    def parse(self) -> _Path:
+        path = self.parse_path(require_absolute=True)
+        self.skip_ws()
+        if self.pos != len(self.text):
+            raise self.error("trailing content")
+        return path
+
+    def parse_path(self, require_absolute: bool = False) -> _Path:
+        self.skip_ws()
+        absolute = False
+        descendant = False
+        if self.take("//"):
+            absolute = True
+            descendant = True
+        elif self.take("/"):
+            absolute = True
+        elif require_absolute:
+            raise self.error("expected '/' or '//'")
+        steps = [self.parse_step(descendant)]
+        while True:
+            if self.take("//"):
+                steps.append(self.parse_step(True))
+            elif self.take("/"):
+                steps.append(self.parse_step(False))
+            else:
+                break
+        return _Path(steps, absolute)
+
+    def parse_step(self, descendant: bool) -> _Step:
+        self.skip_ws()
+        start = self.pos
+        if self.take("*"):
+            name = "*"
+        else:
+            while self.pos < len(self.text) and (
+                self.text[self.pos].isalnum() or self.text[self.pos] in "_-."
+            ):
+                self.pos += 1
+            name = self.text[start:self.pos]
+            if not name:
+                raise self.error("expected an element name")
+        step = _Step(name, descendant)
+        self.skip_ws()
+        while self.take("["):
+            step.predicates.append(self.parse_or())
+            self.skip_ws()
+            if not self.take("]"):
+                raise self.error("expected ']'")
+            self.skip_ws()
+        return step
+
+    def parse_or(self) -> _Expr:
+        parts = [self.parse_and()]
+        while True:
+            self.skip_ws()
+            if self.take("or "):
+                parts.append(self.parse_and())
+            else:
+                break
+        return parts[0] if len(parts) == 1 else _Bool("or", parts)
+
+    def parse_and(self) -> _Expr:
+        parts = [self.parse_comparison()]
+        while True:
+            self.skip_ws()
+            if self.take("and "):
+                parts.append(self.parse_comparison())
+            else:
+                break
+        return parts[0] if len(parts) == 1 else _Bool("and", parts)
+
+    def parse_comparison(self) -> _Comparison:
+        self.skip_ws()
+        if self.take("("):
+            inner = self.parse_or()
+            self.skip_ws()
+            if not self.take(")"):
+                raise self.error("expected ')'")
+            # Wrap a parenthesized boolean as a degenerate comparison.
+            wrapper = _Comparison(_Path([], False), None, None)
+            wrapper.path = None  # type: ignore[assignment]
+            wrapper.op = "()"
+            wrapper.value = inner
+            return wrapper
+        path = self.parse_path()
+        self.skip_ws()
+        for op in _OPS:
+            if self.take(op):
+                self.skip_ws()
+                return _Comparison(path, op, self.parse_literal())
+        return _Comparison(path, None, None)
+
+    def parse_literal(self):
+        self.skip_ws()
+        if self.pos >= len(self.text):
+            raise self.error("expected a literal")
+        quote = self.text[self.pos]
+        if quote in ("'", '"'):
+            end = self.text.find(quote, self.pos + 1)
+            if end < 0:
+                raise self.error("unterminated string literal")
+            value = self.text[self.pos + 1 : end]
+            self.pos = end + 1
+            return value
+        start = self.pos
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isdigit() or self.text[self.pos] in ".-+eE"
+        ):
+            self.pos += 1
+        token = self.text[start:self.pos]
+        try:
+            return float(token)
+        except ValueError:
+            raise self.error(f"bad literal {token!r}") from None
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+
+def _step_candidates(context: Element, step: _Step) -> List[Element]:
+    if step.descendant:
+        # ``a//b``: every proper descendant of the context.
+        pool = [n for n in context.iter() if n is not context]
+    else:
+        pool = context.child_elements()
+    if step.name == "*":
+        return pool
+    return [n for n in pool if n.tag == step.name]
+
+
+def _evaluate_steps(contexts: Sequence[Element], steps: Sequence[_Step]) -> List[Element]:
+    current = list(contexts)
+    for step in steps:
+        next_nodes: List[Element] = []
+        seen = set()
+        for context in current:
+            for candidate in _step_candidates(context, step):
+                if id(candidate) in seen:
+                    continue
+                if all(_holds(predicate, candidate) for predicate in step.predicates):
+                    seen.add(id(candidate))
+                    next_nodes.append(candidate)
+        current = next_nodes
+        if not current:
+            break
+    return current
+
+
+def _holds(expr: _Expr, context: Element) -> bool:
+    if isinstance(expr, _Bool):
+        if expr.kind == "and":
+            return all(_holds(p, context) for p in expr.parts)
+        return any(_holds(p, context) for p in expr.parts)
+    if expr.op == "()":
+        return _holds(expr.value, context)
+    nodes = _evaluate_steps([context], expr.path.steps)
+    if expr.op is None:
+        return bool(nodes)
+    for node in nodes:
+        if _compare(node.deep_text().strip(), expr.op, expr.value):
+            return True
+    return False
+
+
+def _compare(text: str, op: str, literal) -> bool:
+    left: Union[str, float] = text
+    right = literal
+    if isinstance(literal, float):
+        try:
+            left = float(text)
+        except ValueError:
+            return False
+    elif isinstance(literal, str):
+        # Numeric coercion when both sides look numeric (the paper's
+        # `attrv eq 1000` vs stored "1000.000").
+        try:
+            left = float(text)
+            right = float(literal)
+        except ValueError:
+            left, right = text, literal
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    return left >= right
+
+
+def xpath(root: Element, expression: str) -> List[Element]:
+    """Evaluate ``expression`` against ``root``; returns matched elements
+    in document order (duplicates removed).
+
+    The first step of an absolute path matches the root element itself
+    (``/LEADresource/...`` with a ``LEADresource`` root), matching how
+    the paper's examples address documents.
+    """
+    path = _Parser(expression).parse()
+    first, rest = path.steps[0], path.steps[1:]
+    if first.descendant:
+        starts = [
+            n
+            for n in root.iter()
+            if (first.name == "*" or n.tag == first.name)
+            and all(_holds(p, n) for p in first.predicates)
+        ]
+    else:
+        starts = (
+            [root]
+            if (first.name == "*" or root.tag == first.name)
+            and all(_holds(p, root) for p in first.predicates)
+            else []
+        )
+    return _evaluate_steps(starts, rest)
+
+
+def xpath_exists(root: Element, expression: str) -> bool:
+    """True when the path selects at least one element."""
+    return bool(xpath(root, expression))

@@ -1,0 +1,114 @@
+"""Unit tests for the sqlite hybrid store."""
+
+import pytest
+
+from repro.backends import SqliteHybridStore
+from repro.core import AttributeCriteria, HybridCatalog, ObjectQuery, Op, PlanTrace
+from repro.errors import CatalogError
+from repro.grid import FIG3_DOCUMENT, define_fig3_attributes, lead_schema
+from repro.xmlkit import canonical, parse
+
+
+@pytest.fixture()
+def catalog():
+    cat = HybridCatalog(lead_schema(), store=SqliteHybridStore())
+    define_fig3_attributes(cat)
+    cat.ingest(FIG3_DOCUMENT, name="fig3")
+    return cat
+
+
+def paper_query():
+    crit = AttributeCriteria("grid", "ARPS").add_element("dx", "ARPS", 1000)
+    sub = AttributeCriteria("grid-stretching", "ARPS").add_element("dzmin", None, 100)
+    crit.add_attribute(sub)
+    return ObjectQuery().add_attribute(crit)
+
+
+class TestLifecycle:
+    def test_double_install_rejected(self):
+        store = SqliteHybridStore()
+        store.install_schema(lead_schema())
+        with pytest.raises(CatalogError):
+            store.install_schema(lead_schema())
+
+    def test_object_count(self, catalog):
+        assert catalog.store.object_count() == 1
+        assert catalog.store.has_object(1)
+        assert not catalog.store.has_object(2)
+
+    def test_delete_object(self, catalog):
+        catalog.delete(1)
+        assert catalog.store.object_count() == 0
+        query = ObjectQuery().add_attribute(AttributeCriteria("theme"))
+        assert catalog.query(query) == []
+
+    def test_delete_unknown_raises(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.store.delete_object(9)
+
+    def test_storage_report_covers_tables(self, catalog):
+        names = {n for n, _r, _b in catalog.storage_report()}
+        assert {"objects", "clobs", "attributes", "elements"} <= names
+
+
+class TestSqlPlan:
+    def test_paper_query(self, catalog):
+        assert catalog.query(paper_query()) == [1]
+
+    def test_trace_stages(self, catalog):
+        trace = PlanTrace()
+        catalog.query(paper_query(), trace=trace)
+        assert trace.stage_names() == [
+            "query-criteria",
+            "elements-meeting-criteria",
+            "attributes-direct",
+            "attributes-indirect",
+            "object-ids",
+        ]
+
+    def test_all_operators(self, catalog):
+        cases = [
+            ("dx", 1000, Op.EQ, [1]),
+            ("dx", 1000, Op.NE, []),
+            ("dx", 500, Op.GT, [1]),
+            ("dx", 1000, Op.GE, [1]),
+            ("dx", 2000, Op.LT, [1]),
+            ("dx", 999, Op.LE, []),
+        ]
+        for name, value, op, expected in cases:
+            query = ObjectQuery().add_attribute(
+                AttributeCriteria("grid", "ARPS").add_element(name, "ARPS", value, op)
+            )
+            assert catalog.query(query) == expected, (name, op)
+
+    def test_contains_operator(self, catalog):
+        query = ObjectQuery().add_attribute(
+            AttributeCriteria("theme").add_element("themekey", "", "cloud", Op.CONTAINS)
+        )
+        assert catalog.query(query) == [1]
+
+    def test_existence_only_criterion(self, catalog):
+        query = ObjectQuery().add_attribute(AttributeCriteria("theme"))
+        assert catalog.query(query) == [1]
+
+    def test_temp_tables_cleaned_up(self, catalog):
+        for _ in range(3):
+            catalog.query(paper_query())
+        leftovers = catalog.store.connection.execute(
+            "SELECT name FROM sqlite_temp_master WHERE type='table'"
+        ).fetchall()
+        assert leftovers == []
+
+
+class TestSqlResponse:
+    def test_roundtrip(self, catalog):
+        response = catalog.fetch([1])[1]
+        assert canonical(parse(response)) == canonical(parse(FIG3_DOCUMENT))
+
+    def test_unknown_object_absent(self, catalog):
+        assert set(catalog.fetch([1, 7])) == {1}
+
+    def test_multi_object_fetch(self, catalog):
+        catalog.ingest(FIG3_DOCUMENT)
+        responses = catalog.fetch([1, 2])
+        assert canonical(parse(responses[1])) == canonical(parse(responses[2]))

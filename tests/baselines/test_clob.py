@@ -1,0 +1,64 @@
+"""Unit tests for the whole-document CLOB baseline."""
+
+import pytest
+
+from repro.baselines import ClobCatalog
+from repro.core import AttributeCriteria, HybridCatalog, ObjectQuery
+from repro.errors import CatalogError
+from repro.grid import FIG3_DOCUMENT, define_fig3_attributes, lead_schema
+from repro.xmlkit import XMLSyntaxError
+
+
+@pytest.fixture()
+def clob_catalog():
+    hybrid = HybridCatalog(lead_schema())
+    define_fig3_attributes(hybrid)
+    catalog = ClobCatalog(lead_schema(), registry=hybrid.registry)
+    catalog.ingest(FIG3_DOCUMENT, name="fig3")
+    return catalog
+
+
+class TestIngest:
+    def test_object_ids_assigned(self, clob_catalog):
+        assert clob_catalog.ingest(FIG3_DOCUMENT) == 2
+
+    def test_malformed_rejected(self, clob_catalog):
+        with pytest.raises(XMLSyntaxError):
+            clob_catalog.ingest("<broken>")
+
+    def test_single_row_per_document(self, clob_catalog):
+        report = dict(
+            (name, rows) for name, rows, _bytes in clob_catalog.storage_report()
+        )
+        assert report["documents"] == 1
+
+
+class TestFetch:
+    def test_returns_exact_original_text(self, clob_catalog):
+        assert clob_catalog.fetch([1])[1] == FIG3_DOCUMENT
+
+    def test_unknown_object_raises(self, clob_catalog):
+        with pytest.raises(CatalogError):
+            clob_catalog.fetch([9])
+
+
+class TestQuery:
+    def test_parse_and_scan_matches(self, clob_catalog):
+        query = ObjectQuery().add_attribute(
+            AttributeCriteria("grid", "ARPS").add_element("dx", "ARPS", 1000)
+        )
+        assert clob_catalog.query(query) == [1]
+
+    def test_no_match(self, clob_catalog):
+        query = ObjectQuery().add_attribute(
+            AttributeCriteria("grid", "ARPS").add_element("dx", "ARPS", 1)
+        )
+        assert clob_catalog.query(query) == []
+
+    def test_every_document_parsed_per_query(self, clob_catalog):
+        """The scheme's cost model: query cost grows with corpus size
+        regardless of selectivity (no shredded rows to index)."""
+        for _ in range(4):
+            clob_catalog.ingest(FIG3_DOCUMENT)
+        query = ObjectQuery().add_attribute(AttributeCriteria("theme"))
+        assert clob_catalog.query(query) == [1, 2, 3, 4, 5]

@@ -1,0 +1,103 @@
+"""Unit tests for the edge-table baseline."""
+
+import pytest
+
+from repro.baselines import EdgeCatalog
+from repro.core import AttributeCriteria, HybridCatalog, ObjectQuery, Op
+from repro.errors import CatalogError
+from repro.grid import FIG3_DOCUMENT, define_fig3_attributes, lead_schema
+from repro.xmlkit import canonical, parse
+
+
+@pytest.fixture()
+def edge_catalog():
+    hybrid = HybridCatalog(lead_schema())
+    define_fig3_attributes(hybrid)
+    catalog = EdgeCatalog(lead_schema(), registry=hybrid.registry)
+    catalog.ingest(FIG3_DOCUMENT, name="fig3")
+    return catalog
+
+
+class TestIngest:
+    def test_one_edge_per_element(self, edge_catalog):
+        report = dict((n, r) for n, r, _b in edge_catalog.storage_report())
+        element_count = sum(1 for _ in parse(FIG3_DOCUMENT).root.iter())
+        assert report["edges"] == element_count
+
+    def test_leaf_values_stored(self, edge_catalog):
+        report = dict((n, r) for n, r, _b in edge_catalog.storage_report())
+        assert report["values_text"] > 0
+        # Numeric value table holds the parseable subset.
+        assert 0 < report["values_num"] < report["values_text"]
+
+
+class TestStructuralQueries:
+    def test_theme_keyword(self, edge_catalog):
+        query = ObjectQuery().add_attribute(
+            AttributeCriteria("theme").add_element(
+                "themekey", "", "air_pressure_at_cloud_base"
+            )
+        )
+        assert edge_catalog.query(query) == [1]
+
+    def test_leaf_attribute_by_own_name(self, edge_catalog):
+        query = ObjectQuery().add_attribute(
+            AttributeCriteria("resourceID").add_element(
+                "resourceID", "", "lead:ARPS-forecast-001"
+            )
+        )
+        assert edge_catalog.query(query) == [1]
+
+    def test_no_match(self, edge_catalog):
+        query = ObjectQuery().add_attribute(
+            AttributeCriteria("theme").add_element("themekey", "", "nope")
+        )
+        assert edge_catalog.query(query) == []
+
+
+class TestDynamicQueries:
+    def test_entity_navigation(self, edge_catalog):
+        query = ObjectQuery().add_attribute(
+            AttributeCriteria("grid", "ARPS").add_element("dx", "ARPS", 1000)
+        )
+        assert edge_catalog.query(query) == [1]
+
+    def test_numeric_comparison_from_value_table(self, edge_catalog):
+        query = ObjectQuery().add_attribute(
+            AttributeCriteria("grid", "ARPS").add_element("dz", "ARPS", 400, Op.GE)
+        )
+        assert edge_catalog.query(query) == [1]
+
+    def test_nested_sub_attribute_walk(self, edge_catalog):
+        crit = AttributeCriteria("grid", "ARPS").add_element("dx", "ARPS", 1000)
+        sub = AttributeCriteria("grid-stretching", "ARPS").add_element("dzmin", None, 100)
+        crit.add_attribute(sub)
+        assert edge_catalog.query(ObjectQuery().add_attribute(crit)) == [1]
+
+    def test_wrong_source_rejected_by_navigation(self, edge_catalog):
+        query = ObjectQuery().add_attribute(
+            AttributeCriteria("grid", "WRF").add_element("dx", "WRF", 1000)
+        )
+        assert edge_catalog.query(query) == []
+
+    def test_empty_query_rejected(self, edge_catalog):
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError):
+            edge_catalog.query(ObjectQuery())
+
+
+class TestReconstruction:
+    def test_tree_rebuild_canonical_equal(self, edge_catalog):
+        rebuilt = edge_catalog.fetch([1])[1]
+        assert canonical(parse(rebuilt)) == canonical(parse(FIG3_DOCUMENT))
+
+    def test_sibling_order_preserved(self, edge_catalog):
+        rebuilt = edge_catalog.fetch([1])[1]
+        assert rebuilt.index("convective_precipitation_amount") < rebuilt.index(
+            "air_pressure_at_cloud_base"
+        )
+
+    def test_unknown_object_raises(self, edge_catalog):
+        with pytest.raises(CatalogError):
+            edge_catalog.fetch([42])

@@ -1,0 +1,130 @@
+"""Unit tests for the schema-inlining baseline."""
+
+import pytest
+
+from repro.baselines import InliningCatalog
+from repro.core import AttributeCriteria, HybridCatalog, ObjectQuery, Op
+from repro.errors import CatalogError, ShredError
+from repro.grid import FIG3_DOCUMENT, define_fig3_attributes, lead_schema
+from repro.xmlkit import canonical, parse
+
+
+@pytest.fixture()
+def inlining():
+    hybrid = HybridCatalog(lead_schema())
+    define_fig3_attributes(hybrid)
+    catalog = InliningCatalog(lead_schema(), registry=hybrid.registry)
+    catalog.ingest(FIG3_DOCUMENT, name="fig3")
+    return catalog
+
+
+class TestTableDerivation:
+    def test_root_table_exists(self, inlining):
+        names = {n for n, _r, _b in inlining.storage_report()}
+        assert "t_leadresource" in names
+
+    def test_repeatable_attributes_split_off(self, inlining):
+        names = {n for n, _r, _b in inlining.storage_report()}
+        theme_tables = [n for n in names if n.endswith("__theme")]
+        assert len(theme_tables) == 1
+
+    def test_set_valued_leaves_split_off(self, inlining):
+        names = {n for n, _r, _b in inlining.storage_report()}
+        assert any(n.endswith("__themekey") for n in names)
+
+    def test_dynamic_section_gets_item_table(self, inlining):
+        names = {n for n, _r, _b in inlining.storage_report()}
+        assert any(n.endswith("__detailed") for n in names)
+        assert any(n.endswith("__detailed_item") for n in names)
+
+    def test_single_occurrence_leaves_inlined(self, inlining):
+        table = inlining.root_spec.table
+        assert any("resourceid" in c for c in table.column_names)
+
+    def test_numeric_shadow_columns(self, inlining):
+        # bounding westbc is a FLOAT element inlined into the root table.
+        table = inlining.root_spec.table
+        assert any(c.endswith("westbc_num") for c in table.column_names)
+
+
+class TestIngest:
+    def test_row_counts(self, inlining):
+        report = dict((n, r) for n, r, _b in inlining.storage_report())
+        assert report["t_leadresource"] == 1
+        theme_table = next(n for n in report if n.endswith("__theme"))
+        assert report[theme_table] == 2
+        item_table = next(n for n in report if n.endswith("__detailed_item"))
+        assert report[item_table] == 5  # grid-stretching, dzmin, ref-height, dx, dz
+
+    def test_unknown_element_rejected(self, inlining):
+        with pytest.raises(ShredError):
+            inlining.ingest("<LEADresource><bogus/></LEADresource>")
+
+    def test_wrong_root_rejected(self, inlining):
+        with pytest.raises(ShredError):
+            inlining.ingest("<other/>")
+
+
+class TestQueries:
+    def test_repeatable_attribute_semijoin(self, inlining):
+        query = ObjectQuery().add_attribute(
+            AttributeCriteria("theme").add_element(
+                "themekey", "", "convective_precipitation_flux"
+            )
+        )
+        assert inlining.query(query) == [1]
+
+    def test_inlined_leaf_attribute(self, inlining):
+        query = ObjectQuery().add_attribute(
+            AttributeCriteria("resourceID").add_element(
+                "resourceID", "", "lead:ARPS-forecast-001"
+            )
+        )
+        assert inlining.query(query) == [1]
+
+    def test_dynamic_entity_filter(self, inlining):
+        query = ObjectQuery().add_attribute(
+            AttributeCriteria("grid", "ARPS").add_element("dx", "ARPS", 1000)
+        )
+        assert inlining.query(query) == [1]
+
+    def test_dynamic_numeric_range(self, inlining):
+        query = ObjectQuery().add_attribute(
+            AttributeCriteria("grid", "ARPS").add_element("dz", "ARPS", 499.0, Op.GT)
+        )
+        assert inlining.query(query) == [1]
+
+    def test_dynamic_sub_attribute_self_joins(self, inlining):
+        crit = AttributeCriteria("grid", "ARPS")
+        sub = AttributeCriteria("grid-stretching", "ARPS").add_element(
+            "dzmin", None, 100
+        )
+        crit.add_attribute(sub)
+        assert inlining.query(ObjectQuery().add_attribute(crit)) == [1]
+
+    def test_no_match(self, inlining):
+        query = ObjectQuery().add_attribute(
+            AttributeCriteria("grid", "ARPS").add_element("dx", "ARPS", 7)
+        )
+        assert inlining.query(query) == []
+
+    def test_existence_of_inlined_attribute(self, inlining):
+        # status is absent from the Fig-3 document: existence must fail
+        # even though the (inlined) root row exists.
+        query = ObjectQuery().add_attribute(AttributeCriteria("status"))
+        assert inlining.query(query) == []
+
+
+class TestReconstruction:
+    def test_canonical_roundtrip(self, inlining):
+        rebuilt = inlining.fetch([1])[1]
+        assert canonical(parse(rebuilt)) == canonical(parse(FIG3_DOCUMENT))
+
+    def test_unknown_object_raises(self, inlining):
+        with pytest.raises(CatalogError):
+            inlining.fetch([5])
+
+    def test_empty_wrappers_pruned(self, inlining):
+        rebuilt = inlining.fetch([1])[1]
+        # Fig-3 has no spdom/bounding content: wrappers must not appear.
+        assert "<spdom>" not in rebuilt

@@ -1,0 +1,94 @@
+"""Unit tests for the scan oracle."""
+
+import pytest
+
+from repro.baselines import evaluate_shredded_query
+from repro.core import AttributeCriteria, HybridCatalog, ObjectQuery, Op, shred_query
+from repro.grid import FIG3_DOCUMENT, define_fig3_attributes, lead_schema
+from repro.xmlkit import parse
+
+
+@pytest.fixture(scope="module")
+def env():
+    catalog = HybridCatalog(lead_schema())
+    define_fig3_attributes(catalog)
+    shred = catalog.shredder.shred(parse(FIG3_DOCUMENT))
+    return catalog, shred
+
+
+def run(env, criteria):
+    catalog, shred = env
+    query = ObjectQuery().add_attribute(criteria)
+    return evaluate_shredded_query(shred_query(query, catalog.registry), shred)
+
+
+class TestScanOracle:
+    def test_matching_element(self, env):
+        crit = AttributeCriteria("grid", "ARPS").add_element("dx", "ARPS", 1000)
+        assert run(env, crit)
+
+    def test_non_matching_element(self, env):
+        crit = AttributeCriteria("grid", "ARPS").add_element("dx", "ARPS", 9999)
+        assert not run(env, crit)
+
+    def test_sub_attribute_chain(self, env):
+        crit = AttributeCriteria("grid", "ARPS")
+        sub = AttributeCriteria("grid-stretching", "ARPS").add_element("dzmin", None, 100)
+        crit.add_attribute(sub)
+        assert run(env, crit)
+
+    def test_sub_attribute_value_mismatch(self, env):
+        crit = AttributeCriteria("grid", "ARPS")
+        sub = AttributeCriteria("grid-stretching", "ARPS").add_element("dzmin", None, 1)
+        crit.add_attribute(sub)
+        assert not run(env, crit)
+
+    def test_existence_only(self, env):
+        assert run(env, AttributeCriteria("theme"))
+        assert not run(env, AttributeCriteria("place"))
+
+    def test_repeatable_attribute_any_instance(self, env):
+        crit = AttributeCriteria("theme").add_element(
+            "themekey", "", "air_pressure_at_cloud_top"
+        )
+        assert run(env, crit)
+
+    def test_multiple_criteria_single_instance_semantics(self, env):
+        # themekt=CF NetCDF AND themekey=convective_... hold in theme #1
+        crit = (
+            AttributeCriteria("theme")
+            .add_element("themekt", "", "CF NetCDF")
+            .add_element("themekey", "", "convective_precipitation_flux")
+        )
+        assert run(env, crit)
+
+    def test_criteria_split_across_instances_fail(self, env):
+        # No single theme instance holds both keywords.
+        crit = (
+            AttributeCriteria("theme")
+            .add_element("themekey", "", "convective_precipitation_flux")
+            .add_element("themekey", "", "air_pressure_at_cloud_top")
+        )
+        assert not run(env, crit)
+
+    def test_contains_operator(self, env):
+        crit = AttributeCriteria("theme").add_element(
+            "themekey", "", "cloud", Op.CONTAINS
+        )
+        assert run(env, crit)
+
+    def test_conjunction_of_top_criteria(self, env):
+        catalog, shred = env
+        query = ObjectQuery()
+        query.add_attribute(AttributeCriteria("theme"))
+        query.add_attribute(
+            AttributeCriteria("grid", "ARPS").add_element("dz", "ARPS", 500)
+        )
+        assert evaluate_shredded_query(shred_query(query, catalog.registry), shred)
+
+    def test_conjunction_fails_if_one_leg_fails(self, env):
+        catalog, shred = env
+        query = ObjectQuery()
+        query.add_attribute(AttributeCriteria("theme"))
+        query.add_attribute(AttributeCriteria("place"))
+        assert not evaluate_shredded_query(shred_query(query, catalog.registry), shred)

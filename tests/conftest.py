@@ -1,0 +1,57 @@
+"""Shared fixtures: the LEAD schema, a Figure-3 catalog, small corpora."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import HybridCatalog
+from repro.grid import (
+    FIG3_DOCUMENT,
+    CorpusConfig,
+    LeadCorpusGenerator,
+    PlantedMarker,
+    define_fig3_attributes,
+    lead_schema,
+)
+
+
+@pytest.fixture()
+def schema():
+    return lead_schema()
+
+
+@pytest.fixture()
+def fig3_catalog(schema):
+    """A hybrid catalog with the Fig-3 dynamic definitions registered and
+    the Fig-3 document ingested as object 1."""
+    catalog = HybridCatalog(schema)
+    define_fig3_attributes(catalog)
+    catalog.ingest(FIG3_DOCUMENT, name="fig3", owner="jensen")
+    return catalog
+
+
+@pytest.fixture(scope="session")
+def corpus_config():
+    return CorpusConfig(
+        seed=1106,
+        themes=2,
+        places=1,
+        keys_per_theme=3,
+        dynamic_groups=2,
+        params_per_group=5,
+        dynamic_depth=3,
+        planted=[PlantedMarker("planted_every_5", 5), PlantedMarker("planted_every_2", 2)],
+    )
+
+
+@pytest.fixture(scope="session")
+def corpus_docs(corpus_config):
+    return list(LeadCorpusGenerator(corpus_config).documents(24))
+
+
+@pytest.fixture()
+def corpus_catalog(corpus_config, corpus_docs):
+    catalog = HybridCatalog(lead_schema())
+    LeadCorpusGenerator(corpus_config).register_definitions(catalog)
+    catalog.ingest_many(corpus_docs)
+    return catalog

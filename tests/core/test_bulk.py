@@ -1,0 +1,88 @@
+"""Unit tests for the parallel bulk loader."""
+
+import pytest
+
+from repro.core import HybridCatalog
+from repro.core.bulk import BulkLoader
+from repro.errors import CatalogError
+from repro.grid import CorpusConfig, LeadCorpusGenerator, lead_schema
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    config = CorpusConfig(seed=21, themes=2, dynamic_groups=2, dynamic_depth=2)
+    generator = LeadCorpusGenerator(config)
+    return generator, list(generator.documents(12))
+
+
+def fresh_catalog(generator):
+    catalog = HybridCatalog(lead_schema())
+    generator.register_definitions(catalog)
+    return catalog
+
+
+def table_rows(catalog, name):
+    return sorted(catalog.store.db.table(name).scan())
+
+
+class TestSerialPath:
+    def test_single_process_matches_ingest_many(self, corpus):
+        generator, documents = corpus
+        sequential = fresh_catalog(generator)
+        sequential.ingest_many(documents)
+        bulk = fresh_catalog(generator)
+        BulkLoader(bulk, processes=1).load(documents)
+        for table in ("clobs", "attributes", "elements", "attr_ancestors"):
+            assert table_rows(sequential, table) == table_rows(bulk, table), table
+
+    def test_receipts_in_order(self, corpus):
+        generator, documents = corpus
+        catalog = fresh_catalog(generator)
+        receipts = BulkLoader(catalog, processes=1).load(documents)
+        assert [r.object_id for r in receipts] == list(range(1, len(documents) + 1))
+
+    def test_names_assigned(self, corpus):
+        generator, documents = corpus
+        catalog = fresh_catalog(generator)
+        BulkLoader(catalog, processes=1).load(documents, name_prefix="run")
+        assert catalog.object_name(1) == "run-1"
+
+
+class TestParallelPath:
+    def test_parallel_matches_sequential(self, corpus):
+        generator, documents = corpus
+        sequential = fresh_catalog(generator)
+        sequential.ingest_many(documents)
+        parallel = fresh_catalog(generator)
+        BulkLoader(parallel, processes=2).load(documents)
+        for table in ("clobs", "attributes", "elements", "attr_ancestors"):
+            assert table_rows(sequential, table) == table_rows(parallel, table), table
+
+    def test_queries_work_after_parallel_load(self, corpus):
+        from repro.core import AttributeCriteria, ObjectQuery
+
+        generator, documents = corpus
+        catalog = fresh_catalog(generator)
+        BulkLoader(catalog, processes=2).load(documents)
+        query = ObjectQuery().add_attribute(AttributeCriteria("theme"))
+        assert catalog.query(query) == list(range(1, len(documents) + 1))
+
+    def test_mixed_load_then_ingest_ids_continue(self, corpus):
+        generator, documents = corpus
+        catalog = fresh_catalog(generator)
+        BulkLoader(catalog, processes=1).load(documents[:3])
+        receipt = catalog.ingest(documents[3])
+        assert receipt.object_id == 4
+
+
+class TestGuards:
+    def test_auto_define_catalog_rejected(self, corpus):
+        generator, _documents = corpus
+        catalog = HybridCatalog(lead_schema(), on_unknown="define")
+        with pytest.raises(CatalogError, match="pre-registered vocabulary"):
+            BulkLoader(catalog)
+
+    def test_default_processes_positive(self, corpus):
+        generator, _documents = corpus
+        loader = BulkLoader(fresh_catalog(generator))
+        assert loader.processes >= 1

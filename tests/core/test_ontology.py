@@ -1,0 +1,221 @@
+"""Unit tests for ontology-enhanced search (paper §3)."""
+
+import pytest
+
+from repro.backends import SqliteHybridStore
+from repro.core import (
+    AttributeCriteria,
+    HybridCatalog,
+    ObjectQuery,
+    Ontology,
+    Op,
+    expand_query,
+    shred_query,
+)
+from repro.errors import QueryError
+from repro.grid import CorpusConfig, LeadCorpusGenerator, cf_ontology, lead_schema
+
+
+@pytest.fixture()
+def onto():
+    o = Ontology("test")
+    o.add_term("precipitation", synonyms=["rainfall"])
+    o.add_term("rain_amount", broader="precipitation")
+    o.add_term("snow_amount", synonyms=["snowfall"], broader="precipitation")
+    o.add_term("weather")
+    return o
+
+
+class TestOntologyGraph:
+    def test_canonical_resolves_synonyms(self, onto):
+        assert onto.canonical("rainfall") == "precipitation"
+        assert onto.canonical("precipitation") == "precipitation"
+        assert onto.canonical("nope") is None
+
+    def test_expand_includes_synonyms_and_narrower(self, onto):
+        expanded = onto.expand("precipitation")
+        assert expanded == {
+            "precipitation", "rainfall", "rain_amount", "snow_amount", "snowfall",
+        }
+
+    def test_expand_without_narrower(self, onto):
+        assert onto.expand("precipitation", include_narrower=False) == {
+            "precipitation", "rainfall",
+        }
+
+    def test_expand_via_synonym(self, onto):
+        assert "rain_amount" in onto.expand("rainfall")
+
+    def test_synonyms_of(self, onto):
+        assert onto.synonyms_of("precipitation") == {"rainfall"}
+        assert onto.synonyms_of("rainfall") == {"rainfall"}  # via canonical
+        assert onto.synonyms_of("unknown") == set()
+
+    def test_unknown_term_expands_to_itself(self, onto):
+        assert onto.expand("mystery") == {"mystery"}
+
+    def test_narrower_closure_transitive(self, onto):
+        onto.add_term("drizzle_amount", broader="rain_amount")
+        assert "drizzle_amount" in onto.narrower_closure("precipitation")
+
+    def test_cycle_rejected(self, onto):
+        with pytest.raises(ValueError, match="cycle"):
+            onto.add_term("precipitation", broader="rain_amount")
+
+    def test_self_broader_rejected(self, onto):
+        with pytest.raises(ValueError):
+            onto.add_term("x", broader="x")
+
+    def test_synonym_collision_rejected(self, onto):
+        with pytest.raises(ValueError, match="already belongs"):
+            onto.add_term("weather", synonyms=["rainfall"])
+
+    def test_empty_term_rejected(self, onto):
+        with pytest.raises(ValueError):
+            onto.add_term("")
+
+    def test_len_counts_canonical_terms(self, onto):
+        assert len(onto) == 4
+
+
+class TestQueryExpansion:
+    def test_eq_on_known_term_becomes_in_set(self, onto):
+        query = ObjectQuery().add_attribute(
+            AttributeCriteria("theme").add_element("themekey", "", "precipitation")
+        )
+        expanded = expand_query(query, onto)
+        criterion = expanded.attributes[0].elements[0]
+        assert criterion.op is Op.IN_SET
+        assert "rain_amount" in criterion.value
+
+    def test_unknown_terms_untouched(self, onto):
+        query = ObjectQuery().add_attribute(
+            AttributeCriteria("theme").add_element("themekey", "", "obscure")
+        )
+        expanded = expand_query(query, onto)
+        criterion = expanded.attributes[0].elements[0]
+        assert criterion.op is Op.EQ and criterion.value == "obscure"
+
+    def test_numeric_criteria_untouched(self, onto):
+        query = ObjectQuery().add_attribute(
+            AttributeCriteria("grid", "ARPS").add_element("dx", "ARPS", 1000, Op.GE)
+        )
+        expanded = expand_query(query, onto)
+        assert expanded.attributes[0].elements[0].op is Op.GE
+
+    def test_sub_attributes_expanded_recursively(self, onto):
+        top = AttributeCriteria("grid", "ARPS")
+        sub = AttributeCriteria("tags", "ARPS").add_element("kw", "ARPS", "rainfall")
+        top.add_attribute(sub)
+        expanded = expand_query(ObjectQuery().add_attribute(top), onto)
+        assert expanded.attributes[0].sub_attributes[0].elements[0].op is Op.IN_SET
+
+    def test_original_query_not_mutated(self, onto):
+        query = ObjectQuery().add_attribute(
+            AttributeCriteria("theme").add_element("themekey", "", "precipitation")
+        )
+        expand_query(query, onto)
+        assert query.attributes[0].elements[0].op is Op.EQ
+
+    def test_empty_query_rejected(self, onto):
+        with pytest.raises(QueryError):
+            expand_query(ObjectQuery(), onto)
+
+    def test_term_with_no_expansion_stays_eq(self):
+        onto = Ontology()
+        onto.add_term("lonely")
+        query = ObjectQuery().add_attribute(
+            AttributeCriteria("theme").add_element("themekey", "", "lonely")
+        )
+        expanded = expand_query(query, onto)
+        assert expanded.attributes[0].elements[0].op is Op.EQ
+
+
+class TestInSetEndToEnd:
+    @pytest.fixture(params=["memory", "sqlite"])
+    def catalog(self, request):
+        store = SqliteHybridStore() if request.param == "sqlite" else None
+        cat = HybridCatalog(lead_schema(), store=store)
+        gen = LeadCorpusGenerator(CorpusConfig(seed=5, themes=2, keys_per_theme=4))
+        gen.register_definitions(cat)
+        cat.ingest_many(list(gen.documents(15)))
+        return cat
+
+    def test_expanded_equals_union_of_equalities(self, catalog):
+        onto = cf_ontology()
+        narrow = ObjectQuery().add_attribute(
+            AttributeCriteria("theme").add_element("themekey", "", "precipitation")
+        )
+        expanded = expand_query(narrow, onto)
+        expected = set()
+        for term in onto.expand("precipitation"):
+            q = ObjectQuery().add_attribute(
+                AttributeCriteria("theme").add_element("themekey", "", term)
+            )
+            expected |= set(catalog.query(q))
+        assert set(catalog.query(expanded)) == expected
+        assert expected  # the corpus does contain precipitation variables
+
+    def test_in_set_numeric(self, catalog):
+        query = ObjectQuery().add_attribute(
+            AttributeCriteria("grid", "ARPS").add_element(
+                "nx", "ARPS", [10, 20, 30, 40, 50], Op.IN_SET
+            )
+        )
+        result = catalog.query(query)
+        manual = set()
+        for v in (10, 20, 30, 40, 50):
+            q = ObjectQuery().add_attribute(
+                AttributeCriteria("grid", "ARPS").add_element("nx", "ARPS", v)
+            )
+            manual |= set(catalog.query(q))
+        assert set(result) == manual
+
+    def test_in_set_shredding_validation(self, catalog):
+        with pytest.raises(QueryError, match="no values"):
+            shred_query(
+                ObjectQuery().add_attribute(
+                    AttributeCriteria("theme").add_element(
+                        "themekey", "", [], Op.IN_SET
+                    )
+                ),
+                catalog.registry,
+            )
+        with pytest.raises(QueryError, match="iterable"):
+            shred_query(
+                ObjectQuery().add_attribute(
+                    AttributeCriteria("grid", "ARPS").add_element(
+                        "nx", "ARPS", 5, Op.IN_SET
+                    )
+                ),
+                catalog.registry,
+            )
+        with pytest.raises(QueryError, match="non-numeric"):
+            shred_query(
+                ObjectQuery().add_attribute(
+                    AttributeCriteria("grid", "ARPS").add_element(
+                        "nx", "ARPS", ["a"], Op.IN_SET
+                    )
+                ),
+                catalog.registry,
+            )
+
+
+class TestCfOntology:
+    def test_builds_and_covers_generator_vocabulary(self):
+        from repro.grid import CF_STANDARD_NAMES
+
+        onto = cf_ontology()
+        known = sum(1 for name in CF_STANDARD_NAMES if onto.knows(name))
+        assert known == len(CF_STANDARD_NAMES) - len(
+            [n for n in CF_STANDARD_NAMES if not onto.knows(n)]
+        )
+        # Every top category expands to at least two concrete variables.
+        for category in ("precipitation", "pressure", "temperature", "wind"):
+            assert len(onto.expand(category)) >= 3
+
+    def test_everything_under_the_root_category(self):
+        onto = cf_ontology()
+        closure = onto.narrower_closure("atmospheric_variable")
+        assert "tornado_probability" in closure
+        assert "air_pressure_at_cloud_base" in closure

@@ -1,0 +1,178 @@
+"""Unit tests for schema-level global ordering and the [19] ablations."""
+
+import pytest
+
+from repro.core import (
+    AnnotatedSchema,
+    DeweyOrdering,
+    GlobalDocumentOrdering,
+    LocalOrdering,
+    SchemaLevelOrdering,
+    ancestor_pairs,
+    attribute,
+    melement,
+    structural,
+    sub_attribute,
+)
+from repro.xmlkit import element, parse
+
+
+@pytest.fixture()
+def nested_schema():
+    return AnnotatedSchema(
+        structural(
+            "root",
+            attribute("first"),
+            structural(
+                "mid",
+                attribute("a", melement("x"), repeatable=True),
+                structural("deep", attribute("b", melement("y"))),
+            ),
+            attribute("last"),
+        )
+    )
+
+
+class TestGlobalOrder:
+    def test_preorder_numbers(self, nested_schema):
+        tags = {n.tag: n.order for n in nested_schema.ordered_nodes}
+        assert tags == {"root": 1, "first": 2, "mid": 3, "a": 4, "deep": 5, "b": 6, "last": 7}
+
+    def test_attribute_last_child_is_self(self, nested_schema):
+        a = nested_schema.attribute_by_tag("a")
+        assert a.last_child_order == a.order
+
+    def test_structural_last_child_spans_subtree(self, nested_schema):
+        mid = nested_schema.node_by_order(3)
+        assert mid.tag == "mid"
+        assert mid.last_child_order == 6
+
+    def test_root_last_child_is_max_order(self, nested_schema):
+        assert nested_schema.root.last_child_order == 7
+
+    def test_nodes_inside_attributes_not_ordered(self, nested_schema):
+        a = nested_schema.attribute_by_tag("a")
+        x = a.find_child("x")
+        assert x.order is None
+
+    def test_ordering_deterministic_across_builds(self):
+        def build():
+            return AnnotatedSchema(
+                structural("root", attribute("p"), structural("m", attribute("q")))
+            )
+
+        first = [(n.tag, n.order, n.last_child_order) for n in build().ordered_nodes]
+        second = [(n.tag, n.order, n.last_child_order) for n in build().ordered_nodes]
+        assert first == second
+
+
+class TestAncestorPairs:
+    def test_pairs(self, nested_schema):
+        pairs = set(ancestor_pairs(nested_schema.ordered_nodes))
+        assert (6, 5) in pairs  # b -> deep
+        assert (6, 3) in pairs  # b -> mid
+        assert (6, 1) in pairs  # b -> root
+        assert (1, 1) not in pairs  # root has no ancestors
+
+    def test_pair_count(self, nested_schema):
+        # root:0 first:1 mid:1 a:2 deep:2 b:3 last:1 -> 10
+        assert len(ancestor_pairs(nested_schema.ordered_nodes)) == 10
+
+
+@pytest.fixture()
+def doc():
+    return parse(
+        "<root><a><x>1</x></a><a><x>2</x></a><b><y><z>3</z></y></b></root>"
+    ).root
+
+
+class TestGlobalDocumentOrdering:
+    def test_assign_preorder(self, doc):
+        keys = GlobalDocumentOrdering().assign(doc)
+        assert keys[id(doc)] == (1,)
+        flat = sorted(keys.values())
+        assert flat == [(i,) for i in range(1, 9)]
+
+    def test_insert_at_front_renumbers_everything_after(self, doc):
+        cost = GlobalDocumentOrdering().insert_cost(doc, doc, 0)
+        assert cost == 7  # all elements except the root
+
+    def test_append_at_end_costs_zero(self, doc):
+        cost = GlobalDocumentOrdering().insert_cost(doc, doc, 3)
+        assert cost == 0
+
+    def test_insert_mid_siblings(self, doc):
+        cost = GlobalDocumentOrdering().insert_cost(doc, doc, 1)
+        assert cost == 5  # second <a> subtree (2) + <b> subtree (3)
+
+
+class TestLocalAndDewey:
+    def test_local_keys_are_sibling_paths(self, doc):
+        keys = LocalOrdering().assign(doc)
+        first_a = doc.child_elements()[0]
+        assert keys[id(first_a)] == (1, 1)
+        z = doc.child_elements()[2].child_elements()[0].child_elements()[0]
+        assert keys[id(z)] == (1, 3, 1, 1)
+
+    def test_local_insert_cost_counts_following_subtrees(self, doc):
+        cost = LocalOrdering().insert_cost(doc, doc, 0)
+        assert cost == 2 + 2 + 3
+
+    def test_dewey_matches_local_semantics(self, doc):
+        assert DeweyOrdering().assign(doc) == LocalOrdering().assign(doc)
+        assert DeweyOrdering().insert_cost(doc, doc, 1) == LocalOrdering().insert_cost(doc, doc, 1)
+
+
+class TestSchemaLevelOrdering:
+    def test_keys_use_schema_order_and_sequence(self, nested_schema):
+        document = parse(
+            "<root><first>v</first><mid><a><x>1</x></a><a><x>2</x></a></mid></root>"
+        ).root
+        ordering = SchemaLevelOrdering(nested_schema)
+        keys = ordering.assign(document)
+        mid = document.find("mid")
+        first_a, second_a = mid.find_all("a")
+        assert keys[id(first_a)] == (4, 1)
+        assert keys[id(second_a)] == (4, 2)
+        assert keys[id(document)] == (1, 0)
+        # Content inside attribute CLOBs carries no keys.
+        assert id(first_a.find("x")) not in keys
+
+    def test_total_order_matches_document_order(self, nested_schema):
+        document = parse(
+            "<root><first>v</first><mid><a><x>1</x></a><a><x>2</x></a>"
+            "<deep><b><y>3</y></b></deep></mid><last>w</last></root>"
+        ).root
+        keys = SchemaLevelOrdering(nested_schema).assign(document)
+        keyed = [e for e in document.iter() if id(e) in keys]
+        sort_keys = [keys[id(e)] for e in keyed]
+        assert sort_keys == sorted(sort_keys)
+
+    def test_append_costs_zero(self, nested_schema):
+        document = parse("<root><mid><a><x>1</x></a></mid></root>").root
+        mid = document.find("mid")
+        ordering = SchemaLevelOrdering(nested_schema)
+        assert ordering.insert_cost(document, mid, 1) == 0
+
+    def test_middle_insert_renumbers_only_same_tag_siblings(self, nested_schema):
+        document = parse(
+            "<root><mid><a><x>1</x></a><a><x>2</x></a></mid></root>"
+        ).root
+        mid = document.find("mid")
+        ordering = SchemaLevelOrdering(nested_schema)
+        assert ordering.insert_cost(document, mid, 0) == 2
+
+    def test_update_cost_strictly_below_document_orderings(self, nested_schema):
+        """The paper's claim: schema-level ordering avoids the update
+        costs of per-document total orderings."""
+        document = parse(
+            "<root><mid>"
+            + "".join(f"<a><x>{i}</x></a>" for i in range(10))
+            + "</mid></root>"
+        ).root
+        mid = document.find("mid")
+        schema_cost = SchemaLevelOrdering(nested_schema).insert_cost(document, mid, 5)
+        global_cost = GlobalDocumentOrdering().insert_cost(document, mid, 5)
+        dewey_cost = DeweyOrdering().insert_cost(document, mid, 5)
+        assert schema_cost < global_cost
+        assert schema_cost < dewey_cost

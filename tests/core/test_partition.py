@@ -1,0 +1,134 @@
+"""Unit tests for the partition-rule validator (paper §2 rules R2-R5,
+consistency constraints C1-C3)."""
+
+import pytest
+
+from repro.core import (
+    AnnotatedSchema,
+    DynamicSpec,
+    NodeKind,
+    SchemaNode,
+    attribute,
+    melement,
+    structural,
+    sub_attribute,
+)
+from repro.errors import SchemaError
+
+
+def build(root):
+    return AnnotatedSchema(root)
+
+
+class TestValidSchemas:
+    def test_minimal(self):
+        build(structural("root", attribute("a")))
+
+    def test_nested_sub_attributes(self):
+        build(
+            structural(
+                "root",
+                attribute(
+                    "a",
+                    melement("x"),
+                    sub_attribute("s", melement("y"), sub_attribute("t", melement("z"))),
+                ),
+            )
+        )
+
+    def test_repeatable_attribute_allowed(self):
+        build(structural("root", attribute("a", melement("x"), repeatable=True)))
+
+    def test_repeatable_element_inside_attribute_allowed(self):
+        build(structural("root", attribute("a", melement("x", repeatable=True))))
+
+    def test_dynamic_on_attribute_allowed(self):
+        build(structural("root", attribute("d", dynamic=DynamicSpec())))
+
+    def test_xml_attributes_on_element_allowed(self):
+        build(structural("root", attribute("a", melement("x", has_xml_attributes=True))))
+
+
+class TestRootRules:
+    def test_root_must_be_structural(self):
+        with pytest.raises(SchemaError, match="root"):
+            build(attribute("root", melement("x")))
+
+    def test_root_cannot_be_repeatable(self):
+        with pytest.raises(SchemaError, match="repeatable"):
+            build(structural("root", attribute("a"), repeatable=True))
+
+
+class TestRuleR2Repeatable:
+    def test_repeatable_structural_rejected(self):
+        with pytest.raises(SchemaError, match="R2"):
+            build(
+                structural(
+                    "root",
+                    structural("seq", attribute("a"), repeatable=True),
+                )
+            )
+
+
+class TestRuleR3XmlAttributes:
+    def test_structural_with_xml_attributes_rejected(self):
+        node = structural("holder", attribute("a"))
+        node.has_xml_attributes = True
+        with pytest.raises(SchemaError, match="R3"):
+            build(structural("root", node))
+
+
+class TestRuleR4Dynamic:
+    def test_dynamic_on_element_rejected(self):
+        leaf = melement("x")
+        leaf.dynamic = DynamicSpec()
+        with pytest.raises(SchemaError, match="R4"):
+            build(structural("root", attribute("a", leaf)))
+
+
+class TestRuleR5Leaves:
+    def test_structural_leaf_rejected(self):
+        with pytest.raises(SchemaError, match="R5"):
+            build(structural("root", structural("empty")))
+
+
+class TestConsistency:
+    def test_attribute_inside_attribute_rejected(self):
+        inner = attribute("inner", melement("x"))
+        with pytest.raises(SchemaError, match="C1"):
+            build(structural("root", SchemaNode("outer", NodeKind.ATTRIBUTE, [inner])))
+
+    def test_structural_inside_attribute_rejected(self):
+        inner = structural("wrap", attribute("a"))
+        with pytest.raises(SchemaError, match="C2"):
+            build(structural("root", SchemaNode("outer", NodeKind.ATTRIBUTE, [inner])))
+
+    def test_element_outside_attribute_rejected(self):
+        with pytest.raises(SchemaError, match="R5/C2"):
+            build(structural("root", melement("stray"), attribute("a")))
+
+    def test_sub_attribute_outside_attribute_rejected(self):
+        sub = sub_attribute("s", melement("x"))
+        with pytest.raises(SchemaError, match="R5/C2"):
+            build(structural("root", sub, attribute("a")))
+
+    def test_element_with_children_rejected(self):
+        bad = SchemaNode("x", NodeKind.ELEMENT, [melement("y")])
+        with pytest.raises(SchemaError, match="C3"):
+            build(structural("root", SchemaNode("a", NodeKind.ATTRIBUTE, [bad])))
+
+    def test_shared_node_rejected(self):
+        shared = melement("x")
+        a = attribute("a", shared)
+        b = SchemaNode("b", NodeKind.ATTRIBUTE, [shared])  # steals parent pointer
+        with pytest.raises(SchemaError, match="parent pointer"):
+            build(structural("root", a, b))
+
+    def test_non_queryable_only_on_attributes(self):
+        bad = melement("x")
+        bad.queryable = False
+        with pytest.raises(SchemaError, match="queryable"):
+            build(structural("root", attribute("a", bad)))
+
+    def test_non_queryable_attribute_allowed(self):
+        build(structural("root", attribute("a", melement("x"), queryable=False)))

@@ -1,0 +1,206 @@
+"""Unit tests for the Fig-4 count-matching planner (memory store)."""
+
+import pytest
+
+from repro.core import (
+    AttributeCriteria,
+    HybridCatalog,
+    ObjectQuery,
+    Op,
+    PlanTrace,
+)
+from repro.grid import lead_schema
+from repro.core.schema import ValueType
+from repro.xmlkit import element, pretty_print
+
+
+def make_doc(rid, themekeys=(), grids=()):
+    """A minimal LEAD document with given theme keywords and ARPS grid
+    parameter dicts (each possibly with a nested 'sub' dict)."""
+    keywords = element("keywords")
+    if themekeys:
+        theme = element("theme", element("themekt", "CF"))
+        for key in themekeys:
+            theme.append(element("themekey", key))
+        keywords.append(theme)
+    idinfo = element("idinfo", keywords) if themekeys else element("idinfo")
+    eainfo = element("eainfo")
+    for grid in grids:
+        detailed = element(
+            "detailed",
+            element("enttyp", element("enttypl", "grid"), element("enttypds", "ARPS")),
+        )
+        for key, value in grid.items():
+            if key == "sub":
+                sub = element(
+                    "attr",
+                    element("attrlabl", "stretch"),
+                    element("attrdefs", "ARPS"),
+                )
+                for sk, sv in value.items():
+                    sub.append(
+                        element(
+                            "attr",
+                            element("attrlabl", sk),
+                            element("attrdefs", "ARPS"),
+                            element("attrv", str(sv)),
+                        )
+                    )
+                detailed.append(sub)
+            else:
+                detailed.append(
+                    element(
+                        "attr",
+                        element("attrlabl", key),
+                        element("attrdefs", "ARPS"),
+                        element("attrv", str(value)),
+                    )
+                )
+        eainfo.append(detailed)
+    return pretty_print(
+        element(
+            "LEADresource",
+            element("resourceID", rid),
+            element("data", idinfo, element("geospatial", eainfo)),
+        )
+    )
+
+
+@pytest.fixture()
+def catalog():
+    cat = HybridCatalog(lead_schema())
+    grid = cat.define_attribute("grid", "ARPS")
+    cat.define_element(grid, "dx", "ARPS", ValueType.FLOAT)
+    cat.define_element(grid, "dz", "ARPS", ValueType.FLOAT)
+    stretch = cat.define_attribute("stretch", "ARPS", parent=grid)
+    cat.define_element(stretch, "dzmin", "ARPS", ValueType.FLOAT)
+    cat.ingest(make_doc("o1", ["rain", "hail"], [{"dx": 1000, "dz": 500}]))
+    cat.ingest(make_doc("o2", ["rain"], [{"dx": 2000, "sub": {"dzmin": 100}}]))
+    cat.ingest(make_doc("o3", ["snow"], [{"dx": 1000, "sub": {"dzmin": 50}}]))
+    cat.ingest(make_doc("o4", [], [{"dx": 1000}, {"dx": 3000, "sub": {"dzmin": 100}}]))
+    return cat
+
+
+def q(attr):
+    return ObjectQuery().add_attribute(attr)
+
+
+class TestSingleAttribute:
+    def test_string_equality(self, catalog):
+        crit = AttributeCriteria("theme").add_element("themekey", "", "rain")
+        assert catalog.query(q(crit)) == [1, 2]
+
+    def test_numeric_equality(self, catalog):
+        crit = AttributeCriteria("grid", "ARPS").add_element("dx", "ARPS", 1000)
+        assert catalog.query(q(crit)) == [1, 3, 4]
+
+    def test_numeric_range(self, catalog):
+        crit = AttributeCriteria("grid", "ARPS").add_element("dx", "ARPS", 1500, Op.GE)
+        assert catalog.query(q(crit)) == [2, 4]
+
+    def test_contains(self, catalog):
+        crit = AttributeCriteria("theme").add_element("themekey", "", "ai", Op.CONTAINS)
+        assert catalog.query(q(crit)) == [1, 2]  # hail, rain both contain "ai"
+
+    def test_no_match(self, catalog):
+        crit = AttributeCriteria("theme").add_element("themekey", "", "fog")
+        assert catalog.query(q(crit)) == []
+
+    def test_existence_only(self, catalog):
+        crit = AttributeCriteria("theme")
+        assert catalog.query(q(crit)) == [1, 2, 3]
+
+    def test_leaf_attribute_value(self, catalog):
+        crit = AttributeCriteria("resourceID").add_element("resourceID", "", "o2")
+        assert catalog.query(q(crit)) == [2]
+
+
+class TestMultipleDirectElements:
+    def test_both_must_match_same_instance(self, catalog):
+        crit = (
+            AttributeCriteria("grid", "ARPS")
+            .add_element("dx", "ARPS", 1000)
+            .add_element("dz", "ARPS", 500)
+        )
+        assert catalog.query(q(crit)) == [1]
+
+    def test_count_matching_requires_distinct_criteria(self, catalog):
+        """Two criteria satisfied by the same single element value must
+        not double-count: dx=1000 and dx>=999 are two distinct criteria
+        both matched by one element — instance qualifies."""
+        crit = (
+            AttributeCriteria("grid", "ARPS")
+            .add_element("dx", "ARPS", 1000)
+            .add_element("dx", "ARPS", 999, Op.GE)
+        )
+        assert catalog.query(q(crit)) == [1, 3, 4]
+
+    def test_criteria_not_satisfiable_across_instances(self, catalog):
+        """Object 4 has dx=1000 in one instance and dzmin=100 in another;
+        requiring them in one attribute tree must not match o4's split."""
+        crit = AttributeCriteria("grid", "ARPS").add_element("dx", "ARPS", 1000)
+        sub = AttributeCriteria("stretch", "ARPS").add_element("dzmin", "ARPS", 100)
+        crit.add_attribute(sub)
+        assert catalog.query(q(crit)) == []
+
+
+class TestSubAttributes:
+    def test_paper_shape_query(self, catalog):
+        crit = AttributeCriteria("grid", "ARPS").add_element("dx", "ARPS", 2000)
+        sub = AttributeCriteria("stretch", "ARPS").add_element("dzmin", "ARPS", 100)
+        crit.add_attribute(sub)
+        assert catalog.query(q(crit)) == [2]
+
+    def test_sub_attribute_value_filters(self, catalog):
+        crit = AttributeCriteria("grid", "ARPS")
+        sub = AttributeCriteria("stretch", "ARPS").add_element("dzmin", "ARPS", 50)
+        crit.add_attribute(sub)
+        assert catalog.query(q(crit)) == [3]
+
+    def test_sub_attribute_existence(self, catalog):
+        crit = AttributeCriteria("grid", "ARPS")
+        crit.add_attribute(AttributeCriteria("stretch", "ARPS"))
+        assert catalog.query(q(crit)) == [2, 3, 4]
+
+
+class TestConjunction:
+    def test_two_top_attributes_intersect(self, catalog):
+        query = ObjectQuery()
+        query.add_attribute(AttributeCriteria("theme").add_element("themekey", "", "rain"))
+        query.add_attribute(AttributeCriteria("grid", "ARPS").add_element("dx", "ARPS", 1000))
+        assert catalog.query(query) == [1]
+
+    def test_empty_intersection_short_circuits(self, catalog):
+        query = ObjectQuery()
+        query.add_attribute(AttributeCriteria("theme").add_element("themekey", "", "fog"))
+        query.add_attribute(AttributeCriteria("grid", "ARPS"))
+        trace = PlanTrace()
+        assert catalog.query(query, trace=trace) == []
+
+
+class TestPlanTrace:
+    def test_stages_in_figure_order(self, catalog):
+        trace = PlanTrace()
+        crit = AttributeCriteria("grid", "ARPS").add_element("dx", "ARPS", 1000)
+        catalog.query(q(crit), trace=trace)
+        assert trace.stage_names() == [
+            "query-criteria",
+            "elements-meeting-criteria",
+            "attributes-direct",
+            "attributes-indirect",
+            "object-ids",
+        ]
+
+    def test_row_counts_recorded(self, catalog):
+        trace = PlanTrace()
+        crit = AttributeCriteria("grid", "ARPS").add_element("dx", "ARPS", 1000)
+        catalog.query(q(crit), trace=trace)
+        rows = {s.name: s.rows for s in trace.stages}
+        assert rows["elements-meeting-criteria"] == 3  # one dx=1000 in o1, o3, o4
+        assert rows["object-ids"] == 3
+
+    def test_describe_renders(self, catalog):
+        trace = PlanTrace()
+        catalog.query(q(AttributeCriteria("theme")), trace=trace)
+        text = trace.describe()
+        assert "object-ids" in text and "rows" in text

@@ -1,0 +1,148 @@
+"""Tests for the §4 simplified plan ("If the attributes specified in the
+query do not have multiple instances within a single object in the
+data, or if there are not sub-attributes in the query criteria, then
+the query can be significantly simplified")."""
+
+import pytest
+
+from repro.backends import SqliteHybridStore
+from repro.core import (
+    AttributeCriteria,
+    HybridCatalog,
+    ObjectQuery,
+    Op,
+    PlanTrace,
+    shred_query,
+)
+from repro.grid import FIG3_DOCUMENT, define_fig3_attributes, lead_schema
+from repro.xmlkit import element, pretty_print
+
+
+def doc(rid, progress=None, title=None, themekeys=()):
+    idinfo = element("idinfo")
+    if progress:
+        idinfo.append(
+            element("status", element("progress", progress), element("update", "n"))
+        )
+    if title:
+        idinfo.append(
+            element("citation", element("origin", "LEAD"), element("title", title))
+        )
+    if themekeys:
+        theme = element("theme", element("themekt", "CF"))
+        for key in themekeys:
+            theme.append(element("themekey", key))
+        idinfo.append(element("keywords", theme))
+    return pretty_print(
+        element(
+            "LEADresource",
+            element("resourceID", rid),
+            element("data", idinfo),
+        )
+    )
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def catalog(request):
+    store = SqliteHybridStore() if request.param == "sqlite" else None
+    cat = HybridCatalog(lead_schema(), store=store)
+    define_fig3_attributes(cat)
+    cat.ingest(doc("o1", progress="Complete", title="alpha run"))
+    cat.ingest(doc("o2", progress="In work", title="beta run"))
+    cat.ingest(doc("o3", progress="Complete", themekeys=["rain"]))
+    return cat
+
+
+def status_query(progress):
+    return ObjectQuery().add_attribute(
+        AttributeCriteria("status").add_element("progress", "", progress)
+    )
+
+
+class TestEligibility:
+    def test_single_instance_structural_is_simple(self, catalog):
+        shredded = catalog.shred_query(status_query("Complete"))
+        assert shredded.simple
+
+    def test_repeatable_attribute_not_simple(self, catalog):
+        query = ObjectQuery().add_attribute(
+            AttributeCriteria("theme").add_element("themekey", "", "rain")
+        )
+        assert not catalog.shred_query(query).simple
+
+    def test_dynamic_attribute_not_simple(self, catalog):
+        query = ObjectQuery().add_attribute(
+            AttributeCriteria("grid", "ARPS").add_element("dx", "ARPS", 1)
+        )
+        assert not catalog.shred_query(query).simple
+
+    def test_sub_attribute_criteria_not_simple(self, catalog):
+        crit = AttributeCriteria("grid", "ARPS")
+        crit.add_attribute(AttributeCriteria("grid-stretching", "ARPS"))
+        assert not catalog.shred_query(ObjectQuery().add_attribute(crit)).simple
+
+    def test_leaf_attribute_is_simple(self, catalog):
+        query = ObjectQuery().add_attribute(
+            AttributeCriteria("resourceID").add_element("resourceID", "", "o1")
+        )
+        assert catalog.shred_query(query).simple
+
+
+class TestSimplePlanResults:
+    def test_single_criterion(self, catalog):
+        assert catalog.query(status_query("Complete")) == [1, 3]
+
+    def test_multi_element_criteria_same_attribute(self, catalog):
+        query = ObjectQuery().add_attribute(
+            AttributeCriteria("status")
+            .add_element("progress", "", "Complete")
+            .add_element("update", "", "n")
+        )
+        assert catalog.query(query) == [1, 3]
+
+    def test_conjunction_of_simple_attributes(self, catalog):
+        query = status_query("Complete")
+        query.add_attribute(
+            AttributeCriteria("citation").add_element("title", "", "run", Op.CONTAINS)
+        )
+        assert catalog.query(query) == [1]
+
+    def test_existence_only(self, catalog):
+        query = ObjectQuery().add_attribute(AttributeCriteria("citation"))
+        assert catalog.query(query) == [1, 2]
+
+    def test_no_match(self, catalog):
+        assert catalog.query(status_query("Planned")) == []
+
+
+class TestSimplePlanTrace:
+    def test_skips_inverted_list_stage(self, catalog):
+        trace = PlanTrace()
+        catalog.query(status_query("Complete"), trace=trace)
+        assert "attributes-indirect" not in trace.stage_names()
+        assert "simplified plan" in trace.stages[0].note
+
+    def test_general_plan_keeps_all_stages(self, catalog):
+        trace = PlanTrace()
+        query = ObjectQuery().add_attribute(AttributeCriteria("theme"))
+        catalog.query(query, trace=trace)
+        assert "attributes-indirect" in trace.stage_names()
+
+
+class TestEquivalenceWithGeneralPlan:
+    def test_forced_general_plan_agrees(self, catalog):
+        """Overriding the dispatch flag must not change any answer."""
+        for query in (
+            status_query("Complete"),
+            status_query("In work"),
+            ObjectQuery().add_attribute(AttributeCriteria("citation")),
+            ObjectQuery().add_attribute(
+                AttributeCriteria("resourceID").add_element("resourceID", "", "o2")
+            ),
+        ):
+            shredded = catalog.shred_query(query)
+            assert shredded.simple
+            simple_ids = catalog.store.match_objects(shredded)
+            shredded.simple = False
+            general_ids = catalog.store.match_objects(shredded)
+            assert simple_ids == general_ids

@@ -1,0 +1,71 @@
+"""Unit tests for the memory hybrid store's table layout."""
+
+import pytest
+
+from repro.core import HybridCatalog, MemoryHybridStore
+from repro.errors import CatalogError
+from repro.grid import FIG3_DOCUMENT, define_fig3_attributes, lead_schema
+
+
+class TestInstall:
+    def test_double_install_rejected(self, schema):
+        store = MemoryHybridStore()
+        store.install_schema(schema)
+        with pytest.raises(CatalogError):
+            store.install_schema(schema)
+
+    def test_schema_order_table_loaded(self, schema):
+        store = MemoryHybridStore()
+        store.install_schema(schema)
+        table = store.db.table("schema_order")
+        assert len(table) == len(schema.ordered_nodes)
+        root_row = table.lookup(["node_order"], [1])[0]
+        assert root_row[1] == "LEADresource"
+        assert root_row[2] == schema.max_order()
+
+    def test_node_ancestors_loaded(self, schema):
+        store = MemoryHybridStore()
+        store.install_schema(schema)
+        theme_order = schema.attribute_by_tag("theme").order
+        ancestors = {
+            row[1]
+            for row in store.db.table("node_ancestors").lookup(
+                ["node_order"], [theme_order]
+            )
+        }
+        expected = {n.order for n in schema.attribute_by_tag("theme").ancestors()}
+        assert ancestors == expected
+
+
+class TestObjectRows(object):
+    def test_store_rows_per_figure3(self, fig3_catalog):
+        db = fig3_catalog.store.db
+        assert len(db.table("objects")) == 1
+        assert len(db.table("clobs")) == 4
+        assert len(db.table("attributes")) == 5
+        assert len(db.table("elements")) == 11
+
+    def test_clob_never_indexed(self, fig3_catalog):
+        clobs = fig3_catalog.store.db.table("clobs")
+        for index in clobs._hash_indexes:
+            assert "content" not in index.columns
+
+    def test_delete_purges_all_tables(self, fig3_catalog):
+        fig3_catalog.delete(1)
+        db = fig3_catalog.store.db
+        for name in ("objects", "clobs", "attributes", "elements", "attr_ancestors"):
+            assert len(db.table(name)) == 0, name
+
+    def test_delete_unknown_raises(self, fig3_catalog):
+        with pytest.raises(CatalogError):
+            fig3_catalog.store.delete_object(77)
+
+    def test_has_object(self, fig3_catalog):
+        assert fig3_catalog.store.has_object(1)
+        assert not fig3_catalog.store.has_object(2)
+
+    def test_definition_sync_idempotent(self, fig3_catalog):
+        table = fig3_catalog.store.db.table("attr_defs")
+        before = len(table)
+        fig3_catalog.store.sync_definitions(fig3_catalog.registry)
+        assert len(table) == before

@@ -1,0 +1,302 @@
+"""Unit tests for the annotated-XSD loader (paper §7 framework)."""
+
+import pytest
+
+from repro.core import NodeKind, ValueType
+from repro.core.xsd import load_xsd
+from repro.errors import SchemaError
+from repro.grid import lead_schema
+from repro.grid.leadschema_xsd import LEAD_XSD, lead_schema_from_xsd
+
+ATTR = "<xs:annotation><xs:appinfo><c:attribute/></xs:appinfo></xs:annotation>"
+
+
+def wrap(body: str) -> str:
+    return (
+        '<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema" '
+        'xmlns:c="urn:repro:catalog">'
+        + body
+        + "</xs:schema>"
+    )
+
+
+MINIMAL = wrap(
+    f"""
+    <xs:element name="root">
+      <xs:complexType><xs:sequence>
+        <xs:element name="label" type="xs:string">{ATTR}</xs:element>
+        <xs:element name="box" minOccurs="0" maxOccurs="unbounded">
+          {ATTR}
+          <xs:complexType><xs:sequence>
+            <xs:element name="width" type="xs:double" minOccurs="0"/>
+            <xs:element name="count" type="xs:int" minOccurs="0"/>
+            <xs:element name="made" type="xs:date" minOccurs="0"/>
+            <xs:element name="inner" minOccurs="0">
+              <xs:complexType><xs:sequence>
+                <xs:element name="depth" type="xs:double" minOccurs="0"/>
+              </xs:sequence></xs:complexType>
+            </xs:element>
+          </xs:sequence></xs:complexType>
+        </xs:element>
+      </xs:sequence></xs:complexType>
+    </xs:element>
+    """
+)
+
+
+class TestBasicLoading:
+    def test_minimal_schema_loads(self):
+        schema = load_xsd(MINIMAL)
+        assert schema.root.tag == "root"
+        assert [n.tag for n in schema.attributes()] == ["label", "box"]
+
+    def test_leaf_attribute(self):
+        schema = load_xsd(MINIMAL)
+        label = schema.attribute_by_tag("label")
+        assert label.is_element and label.kind is NodeKind.ATTRIBUTE
+
+    def test_occurrence_mapping(self):
+        schema = load_xsd(MINIMAL)
+        box = schema.attribute_by_tag("box")
+        assert box.repeatable and not box.required
+        label = schema.attribute_by_tag("label")
+        assert label.required and not label.repeatable
+
+    def test_simple_type_mapping(self):
+        schema = load_xsd(MINIMAL)
+        box = schema.attribute_by_tag("box")
+        types = {c.tag: c.value_type for c in box.children}
+        assert types["width"] is ValueType.FLOAT
+        assert types["count"] is ValueType.INTEGER
+        assert types["made"] is ValueType.DATE
+
+    def test_interior_below_attribute_is_sub_attribute(self):
+        schema = load_xsd(MINIMAL)
+        box = schema.attribute_by_tag("box")
+        inner = box.find_child("inner")
+        assert inner.kind is NodeKind.SUB_ATTRIBUTE
+        assert inner.find_child("depth").kind is NodeKind.ELEMENT
+
+    def test_global_ordering_assigned(self):
+        schema = load_xsd(MINIMAL)
+        assert [n.order for n in schema.ordered_nodes] == [1, 2, 3]
+
+    def test_queryable_false_marker(self):
+        text = wrap(
+            """
+            <xs:element name="root">
+              <xs:complexType><xs:sequence>
+                <xs:element name="hidden" type="xs:string">
+                  <xs:annotation><xs:appinfo>
+                    <c:attribute queryable="false"/>
+                  </xs:appinfo></xs:annotation>
+                </xs:element>
+              </xs:sequence></xs:complexType>
+            </xs:element>
+            """
+        )
+        schema = load_xsd(text)
+        assert not schema.attribute_by_tag("hidden").queryable
+
+
+class TestNamedTypes:
+    def test_type_reference_resolved(self):
+        text = wrap(
+            f"""
+            <xs:complexType name="boxType">
+              <xs:sequence>
+                <xs:element name="width" type="xs:double" minOccurs="0"/>
+              </xs:sequence>
+            </xs:complexType>
+            <xs:element name="root">
+              <xs:complexType><xs:sequence>
+                <xs:element name="box" type="boxType">{ATTR}</xs:element>
+              </xs:sequence></xs:complexType>
+            </xs:element>
+            """
+        )
+        schema = load_xsd(text)
+        box = schema.attribute_by_tag("box")
+        assert box.find_child("width").value_type is ValueType.FLOAT
+
+    def test_unknown_type_reference(self):
+        text = wrap(
+            f"""
+            <xs:element name="root">
+              <xs:complexType><xs:sequence>
+                <xs:element name="box" type="nope">{ATTR}</xs:element>
+              </xs:sequence></xs:complexType>
+            </xs:element>
+            """
+        )
+        with pytest.raises(SchemaError, match="unknown type"):
+            load_xsd(text)
+
+    def test_non_dynamic_recursion_rejected(self):
+        text = wrap(
+            f"""
+            <xs:complexType name="loopType">
+              <xs:sequence>
+                <xs:element name="again" type="loopType" minOccurs="0"/>
+              </xs:sequence>
+            </xs:complexType>
+            <xs:element name="root">
+              <xs:complexType><xs:sequence>
+                <xs:element name="loop" type="loopType">{ATTR}</xs:element>
+              </xs:sequence></xs:complexType>
+            </xs:element>
+            """
+        )
+        with pytest.raises(SchemaError, match="recursive type"):
+            load_xsd(text)
+
+
+class TestDynamicMarker:
+    def test_dynamic_defaults_to_lead_convention(self):
+        text = wrap(
+            """
+            <xs:element name="root">
+              <xs:complexType><xs:sequence>
+                <xs:element name="section" maxOccurs="unbounded" minOccurs="0">
+                  <xs:annotation><xs:appinfo><c:dynamic/></xs:appinfo></xs:annotation>
+                </xs:element>
+                <xs:element name="id" type="xs:string">
+                  <xs:annotation><xs:appinfo><c:attribute/></xs:appinfo></xs:annotation>
+                </xs:element>
+              </xs:sequence></xs:complexType>
+            </xs:element>
+            """
+        )
+        schema = load_xsd(text)
+        section = schema.attribute_by_tag("section")
+        assert section.dynamic is not None
+        assert section.dynamic.entity_tag == "enttyp"
+
+    def test_dynamic_custom_tags(self):
+        text = wrap(
+            """
+            <xs:element name="root">
+              <xs:complexType><xs:sequence>
+                <xs:element name="params" minOccurs="0">
+                  <xs:annotation><xs:appinfo>
+                    <c:dynamic entity="head" name="n" source="s"
+                               item="p" label="k" defs="d" value="v"/>
+                  </xs:appinfo></xs:annotation>
+                </xs:element>
+                <xs:element name="id" type="xs:string">
+                  <xs:annotation><xs:appinfo><c:attribute/></xs:appinfo></xs:annotation>
+                </xs:element>
+              </xs:sequence></xs:complexType>
+            </xs:element>
+            """
+        )
+        spec = load_xsd(text).attribute_by_tag("params").dynamic
+        assert (spec.entity_tag, spec.name_tag, spec.item_tag) == ("head", "n", "p")
+
+
+class TestErrors:
+    def test_non_schema_root(self):
+        with pytest.raises(SchemaError, match="xs:schema"):
+            load_xsd("<other/>")
+
+    def test_unannotated_leaf_rejected(self):
+        text = wrap(
+            """
+            <xs:element name="root">
+              <xs:complexType><xs:sequence>
+                <xs:element name="stray" type="xs:string"/>
+              </xs:sequence></xs:complexType>
+            </xs:element>
+            """
+        )
+        with pytest.raises(SchemaError, match="outside any metadata attribute"):
+            load_xsd(text)
+
+    def test_annotated_root_rejected(self):
+        text = wrap(
+            f"""
+            <xs:element name="root">
+              {ATTR}
+              <xs:complexType><xs:sequence>
+                <xs:element name="x" type="xs:string"/>
+              </xs:sequence></xs:complexType>
+            </xs:element>
+            """
+        )
+        with pytest.raises(SchemaError):
+            load_xsd(text)
+
+    def test_attribute_inside_attribute_rejected(self):
+        text = wrap(
+            f"""
+            <xs:element name="root">
+              <xs:complexType><xs:sequence>
+                <xs:element name="outer">
+                  {ATTR}
+                  <xs:complexType><xs:sequence>
+                    <xs:element name="innerattr" type="xs:string">{ATTR}</xs:element>
+                  </xs:sequence></xs:complexType>
+                </xs:element>
+              </xs:sequence></xs:complexType>
+            </xs:element>
+            """
+        )
+        with pytest.raises(SchemaError, match="inside another attribute"):
+            load_xsd(text)
+
+    def test_two_top_level_elements_rejected(self):
+        text = wrap("<xs:element name='a'/><xs:element name='b'/>")
+        with pytest.raises(SchemaError, match="exactly one"):
+            load_xsd(text)
+
+    def test_unknown_marker_rejected(self):
+        text = wrap(
+            """
+            <xs:element name="root">
+              <xs:complexType><xs:sequence>
+                <xs:element name="x" type="xs:string">
+                  <xs:annotation><xs:appinfo><c:bogus/></xs:appinfo></xs:annotation>
+                </xs:element>
+              </xs:sequence></xs:complexType>
+            </xs:element>
+            """
+        )
+        with pytest.raises(SchemaError, match="unknown catalog annotation"):
+            load_xsd(text)
+
+
+class TestLeadXsdEquivalence:
+    """The annotated-XSD form of Figure 2 loads to a schema identical to
+    the hand-built one."""
+
+    @staticmethod
+    def _flatten(schema):
+        return [
+            (
+                n.path(), n.kind.value, n.order, n.last_child_order,
+                n.repeatable, n.required, n.queryable, n.value_type.value,
+                None if n.dynamic is None else (
+                    n.dynamic.entity_tag, n.dynamic.name_tag,
+                    n.dynamic.source_tag, n.dynamic.item_tag,
+                    n.dynamic.label_tag, n.dynamic.defs_tag,
+                    n.dynamic.value_tag,
+                ),
+            )
+            for n in schema.iter_nodes()
+        ]
+
+    def test_node_for_node_equivalent(self):
+        assert self._flatten(lead_schema_from_xsd()) == self._flatten(lead_schema())
+
+    def test_catalog_built_from_xsd_works(self):
+        from repro.core import AttributeCriteria, HybridCatalog, ObjectQuery
+        from repro.grid import FIG3_DOCUMENT, define_fig3_attributes
+
+        catalog = HybridCatalog(lead_schema_from_xsd())
+        define_fig3_attributes(catalog)
+        receipt = catalog.ingest(FIG3_DOCUMENT)
+        assert receipt.warnings == []
+        query = ObjectQuery().add_attribute(
+            AttributeCriteria("grid", "ARPS").add_element("dx", "ARPS", 1000)
+        )
+        assert catalog.query(query) == [receipt.object_id]

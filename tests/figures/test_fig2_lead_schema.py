@@ -1,0 +1,127 @@
+"""F2 — Figure 2: the annotated LEAD schema and its global ordering.
+
+The figure shows the partial LEAD schema with metadata attributes
+bolded, metadata elements italicized, and the schema-level global
+ordering as circled numbers 1..23.  These tests pin our encoding to the
+figure: the same 23 ordered nodes, the same attribute/element
+partition, pre-order numbering with last-child orders.
+
+(The paper's narration gives theme's circled number as 10 where strict
+pre-order over the figure's visible nodes yields 9; the figure text is
+ambiguous in the available rendering — see EXPERIMENTS.md F2.)
+"""
+
+import pytest
+
+from repro.core import NodeKind
+from repro.grid import lead_schema
+
+EXPECTED_ORDER = [
+    (1, "LEADresource", 23),
+    (2, "resourceID", 2),
+    (3, "data", 23),
+    (4, "idinfo", 14),
+    (5, "status", 5),
+    (6, "citation", 6),
+    (7, "timeperd", 7),
+    (8, "keywords", 12),
+    (9, "theme", 9),
+    (10, "place", 10),
+    (11, "stratum", 11),
+    (12, "temporal", 12),
+    (13, "accconst", 13),
+    (14, "useconst", 14),
+    (15, "geospatial", 23),
+    (16, "spdom", 18),
+    (17, "bounding", 17),
+    (18, "dsgpoly", 18),
+    (19, "spattemp", 19),
+    (20, "vertdom", 20),
+    (21, "eainfo", 23),
+    (22, "detailed", 22),
+    (23, "overview", 23),
+]
+
+ATTRIBUTES = {
+    "resourceID", "status", "citation", "timeperd", "theme", "place",
+    "stratum", "temporal", "accconst", "useconst", "bounding", "dsgpoly",
+    "spattemp", "vertdom", "detailed", "overview",
+}
+
+ELEMENTS = {
+    "progress", "update", "origin", "pubdate", "title", "begdate", "enddate",
+    "themekt", "themekey", "placekt", "placekey", "stratkt", "stratkey",
+    "tempkt", "tempkey", "westbc", "eastbc", "northbc", "southbc",
+    "dsgpolyx", "dsgpolyy", "sptbegin", "sptend", "vertmin", "vertmax",
+    "eaover", "eadetcit",
+}
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return lead_schema()
+
+
+class TestFigure2Ordering:
+    def test_twenty_three_ordered_nodes(self, schema):
+        assert len(schema.ordered_nodes) == 23
+
+    def test_global_ordering_table(self, schema):
+        actual = [
+            (n.order, n.tag, n.last_child_order) for n in schema.ordered_nodes
+        ]
+        assert actual == EXPECTED_ORDER
+
+    def test_attribute_last_child_equals_own_order(self, schema):
+        for node in schema.attributes():
+            assert node.last_child_order == node.order, node.tag
+
+
+class TestFigure2Partition:
+    def test_bolded_nodes_are_attributes(self, schema):
+        actual = {n.tag for n in schema.attributes()}
+        assert actual == ATTRIBUTES
+
+    def test_italicized_nodes_are_elements(self, schema):
+        actual = {
+            n.tag
+            for n in schema.iter_nodes()
+            if n.kind is NodeKind.ELEMENT
+        }
+        assert actual == ELEMENTS
+
+    def test_resource_id_is_both_attribute_and_element(self, schema):
+        rid = schema.attribute_by_tag("resourceID")
+        assert rid.is_attribute and rid.is_element
+
+    def test_keyword_attributes_repeatable(self, schema):
+        for tag in ("theme", "place", "stratum", "temporal"):
+            assert schema.attribute_by_tag(tag).repeatable, tag
+
+    def test_detailed_is_the_dynamic_attribute(self, schema):
+        detailed = schema.attribute_by_tag("detailed")
+        assert detailed.dynamic is not None
+        spec = detailed.dynamic
+        assert (spec.entity_tag, spec.name_tag, spec.source_tag) == (
+            "enttyp", "enttypl", "enttypds",
+        )
+        assert (spec.item_tag, spec.label_tag, spec.defs_tag, spec.value_tag) == (
+            "attr", "attrlabl", "attrdefs", "attrv",
+        )
+
+    def test_single_attribute_per_root_to_leaf_path(self, schema):
+        """The §6 invariant making the hybrid approach space-efficient."""
+        for node in schema.iter_nodes():
+            if not node.children:
+                count = sum(
+                    1
+                    for n in [node] + node.ancestors()
+                    if n.kind is NodeKind.ATTRIBUTE
+                )
+                assert count == 1, node.path()
+
+    def test_describe_shows_figure_annotations(self, schema):
+        text = schema.describe()
+        assert "theme [ATTRIBUTE] #9 (repeatable)" in text
+        assert "detailed [ATTRIBUTE] #22 (repeatable, dynamic)" in text
+        assert "resourceID [ATTRIBUTE] #2 (leaf)" in text

@@ -1,0 +1,132 @@
+"""The full pipeline on the CLRC-style schema — the §7 generality claim
+("this approach generalizes to metadata in other scientific grid
+environments")."""
+
+import pytest
+
+from repro.backends import SqliteHybridStore
+from repro.core import AttributeCriteria, HybridCatalog, NodeKind, ObjectQuery, Op
+from repro.grid.clrcschema import clrc_schema, define_isis_conditions, sample_study
+from repro.xmlkit import canonical, parse
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def catalog(request):
+    store = SqliteHybridStore() if request.param == "sqlite" else None
+    cat = HybridCatalog(clrc_schema(), store=store)
+    define_isis_conditions(cat)
+    cat.ingest(sample_study(), name="study-1")
+    cat.ingest(
+        sample_study("clrc:study:0002", keywords=("protein crystallography",),
+                     beam_current=140.0),
+        name="study-2",
+    )
+    return cat
+
+
+class TestSchema:
+    def test_partition_validates(self):
+        schema = clrc_schema()
+        attributes = {n.tag for n in schema.attributes()}
+        assert "experimentConditions" in attributes
+        assert "dataHolding" in attributes
+        assert schema.attribute_by_tag("studyID").is_element
+
+    def test_global_ordering_covers_schema(self):
+        schema = clrc_schema()
+        orders = [n.order for n in schema.ordered_nodes]
+        assert orders == list(range(1, len(orders) + 1))
+
+    def test_structural_sub_attribute(self):
+        schema = clrc_schema()
+        holding = schema.attribute_by_tag("dataHolding")
+        window = holding.find_child("timeWindow")
+        assert window.kind is NodeKind.SUB_ATTRIBUTE
+
+    def test_custom_dynamic_tags(self):
+        spec = clrc_schema().attribute_by_tag("experimentConditions").dynamic
+        assert spec.entity_tag == "conditionSet"
+        assert spec.item_tag == "condition"
+        assert spec.value_tag == "reading"
+
+
+class TestPipeline:
+    def test_ingest_clean(self, catalog):
+        receipt = catalog.ingest(sample_study("clrc:study:0003"))
+        assert receipt.warnings == []
+
+    def test_roundtrip(self, catalog):
+        response = catalog.fetch([1])[1]
+        assert canonical(parse(response)) == canonical(parse(sample_study()))
+
+    def test_keyword_query(self, catalog):
+        query = ObjectQuery().add_attribute(
+            AttributeCriteria("topic").add_element(
+                "keyword", "", "protein crystallography"
+            )
+        )
+        assert catalog.query(query) == [2]
+
+    def test_dynamic_condition_query(self, catalog):
+        query = ObjectQuery().add_attribute(
+            AttributeCriteria("beamline", "ISIS").add_element(
+                "beam-current", "ISIS", 150.0, Op.GE
+            )
+        )
+        assert catalog.query(query) == [1]
+
+    def test_nested_dynamic_condition(self, catalog):
+        crit = AttributeCriteria("beamline", "ISIS")
+        sub = AttributeCriteria("sample-environment", "ISIS").add_element(
+            "temperature", "ISIS", 4.2
+        )
+        crit.add_attribute(sub)
+        assert catalog.query(ObjectQuery().add_attribute(crit)) == [1, 2]
+
+    def test_structural_sub_attribute_query(self, catalog):
+        crit = AttributeCriteria("dataHolding").add_element("format", "", "NeXus")
+        window = AttributeCriteria("timeWindow").add_element(
+            "start", "", "2005-11-01", Op.GE
+        )
+        crit.add_attribute(window)
+        assert catalog.query(ObjectQuery().add_attribute(crit)) == [1, 2]
+
+    def test_date_range_query(self, catalog):
+        """DATE elements compare as normalized ISO strings — a range on
+        releaseDate works on both backends."""
+        query = ObjectQuery().add_attribute(
+            AttributeCriteria("access")
+            .add_element("releaseDate", "", "2006-06-30", Op.GE)
+            .add_element("releaseDate", "", "2007-12-31", Op.LE)
+        )
+        assert catalog.query(query) == [1, 2]
+        none = ObjectQuery().add_attribute(
+            AttributeCriteria("access").add_element(
+                "releaseDate", "", "2006-06-30", Op.LE
+            )
+        )
+        assert catalog.query(none) == []
+
+    def test_integer_element_query(self, catalog):
+        query = ObjectQuery().add_attribute(
+            AttributeCriteria("dataHolding").add_element(
+                "sizeBytes", "", 10_000_000, Op.GE
+            )
+        )
+        assert catalog.query(query) == [1, 2]
+
+    def test_integrity(self, catalog):
+        from repro.core import check_catalog
+
+        assert check_catalog(catalog, deep=True) == []
+
+    def test_xsd_roundtrip_of_clrc_schema(self):
+        from repro.core import load_xsd, schema_to_xsd
+
+        schema = clrc_schema()
+        reloaded = load_xsd(schema_to_xsd(schema), name="CLRC")
+        assert [n.tag for n in reloaded.ordered_nodes] == [
+            n.tag for n in schema.ordered_nodes
+        ]
+        spec = reloaded.attribute_by_tag("experimentConditions").dynamic
+        assert spec.item_tag == "condition"

@@ -1,0 +1,116 @@
+"""Unit tests for containment/context queries (paper §7)."""
+
+import pytest
+
+from repro.core import AttributeCriteria, ObjectQuery
+from repro.errors import QueryError
+from repro.grid import ContextSearch, MyLeadService, lead_schema
+from repro.xmlkit import element, pretty_print
+
+
+def doc(rid, keywords):
+    theme = element("theme", element("themekt", "CF"))
+    for key in keywords:
+        theme.append(element("themekey", key))
+    return pretty_print(
+        element(
+            "LEADresource",
+            element("resourceID", rid),
+            element("data", element("idinfo", element("keywords", theme))),
+        )
+    )
+
+
+def key_query(key):
+    return ObjectQuery().add_attribute(
+        AttributeCriteria("theme").add_element("themekey", "", key)
+    )
+
+
+@pytest.fixture()
+def env():
+    service = MyLeadService(lead_schema())
+    service.create_user("ann")
+    service.create_user("bob")
+    search = ContextSearch(service)
+
+    exp_a = service.create_experiment("ann", "exp-a")
+    a1 = service.add_file("ann", exp_a, doc("a1", ["radar", "rain"]), public=True)
+    a2 = service.add_file("ann", exp_a, doc("a2", ["model"]), public=True)
+
+    exp_b = service.create_experiment("ann", "exp-b")
+    b1 = service.add_file("ann", exp_b, doc("b1", ["model"]), public=True)
+
+    exp_c = service.create_experiment("ann", "exp-c")
+    c1 = service.add_file("ann", exp_c, doc("c1", ["radar"]))  # private
+
+    return service, search, (exp_a, exp_b, exp_c), (a1, a2, b1, c1)
+
+
+class TestContainment:
+    def test_any_mode(self, env):
+        _service, search, (exp_a, exp_b, exp_c), _files = env
+        hits = search.experiments_containing("ann", key_query("radar"))
+        assert [e.name for e in hits] == ["exp-a", "exp-c"]
+
+    def test_all_mode(self, env):
+        _service, search, (exp_a, exp_b, _exp_c), _files = env
+        hits = search.experiments_containing("ann", key_query("model"), mode="all")
+        assert [e.name for e in hits] == ["exp-b"]
+
+    def test_visibility_filters_containment(self, env):
+        _service, search, _exps, _files = env
+        hits = search.experiments_containing("bob", key_query("radar"))
+        assert [e.name for e in hits] == ["exp-a"]  # c1 is private to ann
+
+    def test_invalid_mode(self, env):
+        _service, search, _exps, _files = env
+        with pytest.raises(QueryError):
+            search.experiments_containing("ann", key_query("radar"), mode="some")
+
+    def test_files_matching_in(self, env):
+        _service, search, (exp_a, _b, _c), (a1, a2, _b1, _c1) = env
+        assert search.files_matching_in("ann", exp_a, key_query("rain")) == [
+            a1.object_id
+        ]
+
+
+class TestBroaderContext:
+    def test_objects_in_radar_context(self, env):
+        """'model outputs from experiments that also contain radar data'."""
+        _service, search, _exps, (a1, a2, b1, _c1) = env
+        hits = search.objects_in_context(
+            "ann", context_query=key_query("radar"), object_query=key_query("model")
+        )
+        assert hits == [a2.object_id]  # b1's experiment lacks radar
+
+    def test_context_without_object_filter(self, env):
+        _service, search, _exps, (a1, a2, _b1, _c1) = env
+        hits = search.objects_in_context("ann", key_query("radar"))
+        assert hits == [a2.object_id]  # a1 is the context itself, excluded
+
+    def test_object_is_not_its_own_context(self, env):
+        _service, search, _exps, (a1, _a2, _b1, c1) = env
+        # c1 matches radar but is alone in exp-c: no sibling context.
+        hits = search.objects_in_context("ann", key_query("radar"))
+        assert c1.object_id not in hits
+
+    def test_two_context_matches_cover_each_other(self, env):
+        service, search, (exp_a, _b, _c), _files = env
+        d1 = service.add_file("ann", exp_a, doc("d1", ["radar"]), public=True)
+        hits = search.objects_in_context("ann", key_query("radar"))
+        # Now a1 and d1 are each other's context; a2 qualifies too.
+        assert len(hits) == 3
+
+    def test_visibility_in_context(self, env):
+        _service, search, _exps, (a1, a2, _b1, _c1) = env
+        hits = search.objects_in_context("bob", key_query("radar"))
+        assert hits == [a2.object_id]
+
+    def test_context_of(self, env):
+        service, search, (exp_a, _b, _c), (a1, a2, _b1, _c1) = env
+        assert search.context_of("ann", a1.object_id) == [a2.object_id]
+        assert search.context_of("bob", a1.object_id) == [a2.object_id]
+        # Objects outside any experiment (the experiment records
+        # themselves) have no context.
+        assert search.context_of("ann", exp_a.object_id) == []

@@ -1,0 +1,124 @@
+"""Unit tests for the synthetic corpus generator."""
+
+import pytest
+
+from repro.core import HybridCatalog
+from repro.grid import (
+    CorpusConfig,
+    LeadCorpusGenerator,
+    PlantedMarker,
+    lead_schema,
+)
+from repro.xmlkit import parse
+
+
+class TestDeterminism:
+    def test_same_config_same_documents(self):
+        a = LeadCorpusGenerator(CorpusConfig(seed=9)).document(3)
+        b = LeadCorpusGenerator(CorpusConfig(seed=9)).document(3)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = LeadCorpusGenerator(CorpusConfig(seed=9)).document(0)
+        b = LeadCorpusGenerator(CorpusConfig(seed=10)).document(0)
+        assert a != b
+
+    def test_different_indices_differ(self):
+        gen = LeadCorpusGenerator(CorpusConfig(seed=9))
+        assert gen.document(0) != gen.document(1)
+
+
+class TestShape:
+    def test_documents_are_wellformed(self):
+        gen = LeadCorpusGenerator(CorpusConfig(seed=2))
+        for doc in gen.documents(5):
+            assert parse(doc).root.tag == "LEADresource"
+
+    def test_theme_count_honored(self):
+        gen = LeadCorpusGenerator(CorpusConfig(seed=2, themes=4))
+        doc = parse(gen.document(0))
+        keywords = doc.root.find("data").find("idinfo").find("keywords")
+        assert len(keywords.find_all("theme")) == 4
+
+    def test_keys_per_theme_honored(self):
+        gen = LeadCorpusGenerator(CorpusConfig(seed=2, keys_per_theme=5))
+        doc = parse(gen.document(0))
+        theme = doc.root.find("data").find("idinfo").find("keywords").find("theme")
+        assert len(theme.find_all("themekey")) == 5
+
+    def test_dynamic_groups_honored(self):
+        gen = LeadCorpusGenerator(CorpusConfig(seed=2, dynamic_groups=3))
+        doc = parse(gen.document(0))
+        eainfo = doc.root.find("data").find("geospatial").find("eainfo")
+        assert len(eainfo.find_all("detailed")) == 3
+
+    def test_zero_dynamic_groups(self):
+        gen = LeadCorpusGenerator(CorpusConfig(seed=2, dynamic_groups=0))
+        doc = parse(gen.document(0))
+        eainfo = doc.root.find("data").find("geospatial").find("eainfo")
+        assert eainfo is None or eainfo.find_all("detailed") == []
+
+    def test_nesting_depth(self):
+        gen = LeadCorpusGenerator(CorpusConfig(seed=2, dynamic_depth=4, dynamic_groups=1))
+        doc = parse(gen.document(0))
+        detailed = doc.root.find("data").find("geospatial").find("eainfo").find("detailed")
+        depth = 0
+        node = detailed
+        while True:
+            nested = [
+                a for a in node.find_all("attr")
+                if a.find_all("attr")
+            ]
+            if not nested:
+                break
+            node = nested[0]
+            depth += 1
+        assert depth == 3  # dynamic_depth - 1 extra levels
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            CorpusConfig(dynamic_depth=0)
+        with pytest.raises(ValueError):
+            CorpusConfig(models=("NOPE",))
+        with pytest.raises(ValueError):
+            PlantedMarker("k", 0)
+
+
+class TestPlantedMarkers:
+    def test_exact_selectivity(self):
+        marker = PlantedMarker("magic_keyword", 4)
+        gen = LeadCorpusGenerator(CorpusConfig(seed=2, planted=[marker]))
+        hits = [
+            i for i, doc in enumerate(gen.documents(20)) if "magic_keyword" in doc
+        ]
+        assert hits == [0, 4, 8, 12, 16]
+        assert marker.selectivity == 0.25
+
+    def test_marker_queryable_end_to_end(self):
+        from repro.grid import WorkloadGenerator
+
+        marker = PlantedMarker("magic_keyword", 4)
+        config = CorpusConfig(seed=2, planted=[marker])
+        gen = LeadCorpusGenerator(config)
+        catalog = HybridCatalog(lead_schema())
+        gen.register_definitions(catalog)
+        catalog.ingest_many(list(gen.documents(12)))
+        query = WorkloadGenerator(config).marker_query(marker)
+        assert catalog.query(query) == [1, 5, 9]
+
+
+class TestDefinitions:
+    def test_corpus_shreds_clean_after_registration(self):
+        config = CorpusConfig(seed=5, dynamic_depth=3)
+        gen = LeadCorpusGenerator(config)
+        catalog = HybridCatalog(lead_schema())
+        gen.register_definitions(catalog)
+        receipts = catalog.ingest_many(list(gen.documents(10)))
+        assert sum(len(r.warnings) for r in receipts) == 0
+
+    def test_without_registration_warnings_accumulate(self):
+        config = CorpusConfig(seed=5)
+        gen = LeadCorpusGenerator(config)
+        catalog = HybridCatalog(lead_schema())
+        receipts = catalog.ingest_many(list(gen.documents(3)))
+        assert sum(len(r.warnings) for r in receipts) > 0

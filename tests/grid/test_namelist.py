@@ -1,0 +1,167 @@
+"""Unit tests for the Fortran namelist parser and its rendering as
+dynamic metadata attributes."""
+
+import pytest
+
+from repro.core import HybridCatalog, ValueType
+from repro.grid import (
+    NamelistError,
+    NamelistGroup,
+    lead_schema,
+    namelist_to_detailed,
+    parse_namelist,
+    register_namelist_definitions,
+)
+
+ARPS_SAMPLE = """
+! ARPS input file fragment
+&grid
+  nx = 67, ny = 67, nz = 35,
+  dx = 1000.0,
+  dz = 500.0,
+  strhopt = 1,      ! vertical stretching option
+  dzmin = 100.0,
+/
+&timestep
+  dtbig = 6.0, dtsml = 1.0,
+  tstop = 21600.0,
+/
+"""
+
+
+class TestParsing:
+    def test_groups_in_order(self):
+        groups = parse_namelist(ARPS_SAMPLE)
+        assert [g.name for g in groups] == ["grid", "timestep"]
+
+    def test_scalar_values_typed(self):
+        grid = parse_namelist(ARPS_SAMPLE)[0]
+        assert grid.parameters["nx"] == [67]
+        assert grid.parameters["dx"] == [1000.0]
+
+    def test_comments_stripped(self):
+        grid = parse_namelist(ARPS_SAMPLE)[0]
+        assert grid.parameters["strhopt"] == [1]
+
+    def test_strings_quoted(self):
+        groups = parse_namelist("&g\n f = 'input.bin',\n s = \"two words\"\n/")
+        assert groups[0].parameters["f"] == ["input.bin"]
+        assert groups[0].parameters["s"] == ["two words"]
+
+    def test_string_with_comment_char_inside(self):
+        groups = parse_namelist("&g\n f = 'a!b'  ! real comment\n/")
+        assert groups[0].parameters["f"] == ["a!b"]
+
+    def test_logicals(self):
+        groups = parse_namelist("&g\n a = .true., b = .false.\n/")
+        assert groups[0].parameters["a"] == [True]
+        assert groups[0].parameters["b"] == [False]
+
+    def test_arrays(self):
+        groups = parse_namelist("&g\n v = 1.0, 2.0, 3.0\n/")
+        assert groups[0].parameters["v"] == [1.0, 2.0, 3.0]
+
+    def test_repeat_counts(self):
+        groups = parse_namelist("&g\n v = 3*0.5\n/")
+        assert groups[0].parameters["v"] == [0.5, 0.5, 0.5]
+
+    def test_fortran_double_exponent(self):
+        groups = parse_namelist("&g\n x = 1.5d-3\n/")
+        assert groups[0].parameters["x"] == [0.0015]
+
+    def test_multiline_array_continuation(self):
+        groups = parse_namelist("&g\n v = 1.0,\n     2.0,\n     3.0\n/")
+        assert groups[0].parameters["v"] == [1.0, 2.0, 3.0]
+
+    def test_group_names_lowercased(self):
+        assert parse_namelist("&GRID\n x = 1\n/")[0].name == "grid"
+
+    def test_scalars_helper(self):
+        groups = parse_namelist("&g\n a = 1\n v = 1, 2\n/")
+        assert groups[0].scalars() == {"a": 1}
+
+    def test_end_terminator_variants(self):
+        assert parse_namelist("&g\n x = 1\n&end")[0].parameters["x"] == [1]
+
+
+class TestParsingErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "x = 1\n",                       # content outside group
+            "&g\n x = 1\n",                  # unterminated group
+            "&g\n&h\n/\n/",                  # nested group start
+            "&\n/",                          # empty group name
+            "&g\n = 1\n/",                   # missing name
+            "&g\n x = \n/",                  # missing value
+            "&g\n x = 'unterminated\n/",     # bad string
+            "&g\n x = a*b\n/",               # bad repeat
+            "/",                             # terminator alone
+        ],
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(NamelistError):
+            parse_namelist(bad)
+
+
+class TestRendering:
+    def test_detailed_structure(self):
+        grid = parse_namelist(ARPS_SAMPLE)[0]
+        detailed = namelist_to_detailed(grid, "ARPS")
+        enttyp = detailed.find("enttyp")
+        assert enttyp.find("enttypl").text() == "grid"
+        assert enttyp.find("enttypds").text() == "ARPS"
+        labels = [a.find("attrlabl").text() for a in detailed.find_all("attr")]
+        assert labels[:3] == ["nx", "ny", "nz"]
+
+    def test_array_renders_repeated_items(self):
+        group = NamelistGroup("g")
+        group.set("v", [1.0, 2.0])
+        detailed = namelist_to_detailed(group, "M")
+        values = [a.find("attrv").text() for a in detailed.find_all("attr")]
+        assert values == ["1.0", "2.0"]
+
+    def test_logical_renders_fortran_form(self):
+        group = NamelistGroup("g")
+        group.set("flag", [True])
+        detailed = namelist_to_detailed(group, "M")
+        assert detailed.find("attr").find("attrv").text() == ".true."
+
+
+class TestEndToEnd:
+    def test_namelist_to_catalog_roundtrip(self):
+        """The §3 motivation: ARPS namelist parameters become queryable
+        dynamic metadata attributes."""
+        from repro.core import AttributeCriteria, ObjectQuery, Op
+        from repro.xmlkit import element, pretty_print
+
+        catalog = HybridCatalog(lead_schema())
+        groups = parse_namelist(ARPS_SAMPLE)
+        defs = register_namelist_definitions(catalog, groups, "ARPS")
+        assert set(defs) == {"grid", "timestep"}
+
+        eainfo = element("eainfo")
+        for group in groups:
+            eainfo.append(namelist_to_detailed(group, "ARPS"))
+        doc = element(
+            "LEADresource",
+            element("resourceID", "run-1"),
+            element("data", element("idinfo"), element("geospatial", eainfo)),
+        )
+        receipt = catalog.ingest(pretty_print(doc))
+        assert receipt.warnings == []
+
+        query = ObjectQuery().add_attribute(
+            AttributeCriteria("grid", "ARPS").add_element("dzmin", "ARPS", 150.0, Op.LE)
+        )
+        assert catalog.query(query) == [receipt.object_id]
+
+    def test_registered_types_inferred(self):
+        catalog = HybridCatalog(lead_schema())
+        groups = parse_namelist(ARPS_SAMPLE)
+        register_namelist_definitions(catalog, groups, "ARPS")
+        grid = catalog.registry.lookup_attribute("grid", "ARPS")
+        nx = catalog.registry.lookup_element(grid, "nx", "ARPS")
+        dx = catalog.registry.lookup_element(grid, "dx", "ARPS")
+        assert nx.value_type is ValueType.INTEGER
+        assert dx.value_type is ValueType.FLOAT

@@ -1,0 +1,116 @@
+"""Unit tests for provenance links (the LEAD lineage motif)."""
+
+import pytest
+
+from repro.core import AttributeCriteria, ObjectQuery
+from repro.errors import CatalogError
+from repro.grid import MyLeadService, lead_schema
+from repro.xmlkit import element, pretty_print
+
+
+def doc(rid, keyword):
+    return pretty_print(
+        element(
+            "LEADresource",
+            element("resourceID", rid),
+            element(
+                "data",
+                element(
+                    "idinfo",
+                    element(
+                        "keywords",
+                        element(
+                            "theme",
+                            element("themekt", "CF"),
+                            element("themekey", keyword),
+                        ),
+                    ),
+                ),
+            ),
+        )
+    )
+
+
+@pytest.fixture()
+def env():
+    service = MyLeadService(lead_schema())
+    service.create_user("ann")
+    service.create_user("bob")
+    exp = service.create_experiment("ann", "chain")
+    raw = service.add_file("ann", exp, doc("raw", "radar"), public=True)
+    initial = service.add_file("ann", exp, doc("init", "analysis"), public=True)
+    forecast = service.add_file("ann", exp, doc("fcst", "model"), public=True)
+    service.record_derivation("ann", initial.object_id, raw.object_id)
+    service.record_derivation("ann", forecast.object_id, initial.object_id)
+    return service, raw.object_id, initial.object_id, forecast.object_id
+
+
+def key_query(key):
+    return ObjectQuery().add_attribute(
+        AttributeCriteria("theme").add_element("themekey", "", key)
+    )
+
+
+class TestLinks:
+    def test_direct_sources(self, env):
+        service, raw, initial, forecast = env
+        assert service.sources_of("ann", forecast) == [initial]
+        assert service.sources_of("ann", initial) == [raw]
+        assert service.sources_of("ann", raw) == []
+
+    def test_transitive_closure(self, env):
+        service, raw, initial, forecast = env
+        assert service.provenance_closure(forecast) == {raw, initial}
+
+    def test_derived_products(self, env):
+        service, raw, initial, forecast = env
+        assert service.derived_products("ann", raw) == [initial]
+        assert service.derived_products("ann", initial) == [forecast]
+
+    def test_cycle_rejected(self, env):
+        service, raw, _initial, forecast = env
+        with pytest.raises(CatalogError, match="cycle"):
+            service.record_derivation("ann", raw, forecast)
+
+    def test_self_derivation_rejected(self, env):
+        service, raw, *_ = env
+        with pytest.raises(CatalogError):
+            service.record_derivation("ann", raw, raw)
+
+    def test_only_owner_records(self, env):
+        service, raw, initial, _forecast = env
+        with pytest.raises(CatalogError, match="belongs to"):
+            service.record_derivation("bob", initial, raw)
+
+    def test_invisible_source_rejected(self, env):
+        service, _raw, _initial, forecast = env
+        exp = service.create_experiment("bob", "private-exp")
+        hidden = service.add_file("bob", exp, doc("h", "secret"))
+        with pytest.raises(CatalogError, match="not visible"):
+            service.record_derivation("ann", forecast, hidden.object_id)
+
+
+class TestProvenanceQueries:
+    def test_derived_from_matching(self, env):
+        """'products computed from radar data' finds the whole chain."""
+        service, raw, initial, forecast = env
+        assert service.query_derived_from_matching("ann", key_query("radar")) == [
+            initial, forecast,
+        ]
+
+    def test_no_matches(self, env):
+        service, *_ = env
+        assert service.query_derived_from_matching("ann", key_query("nothing")) == []
+
+    def test_visibility_filters_results(self, env):
+        service, raw, initial, forecast = env
+        service.unpublish("ann", forecast)
+        assert service.query_derived_from_matching("bob", key_query("radar")) == [
+            initial,
+        ]
+
+    def test_sources_filtered_by_visibility(self, env):
+        service, raw, initial, _forecast = env
+        service.unpublish("ann", raw)
+        assert service.sources_of("bob", initial) == []
+        assert service.sources_of("ann", initial) == [raw]

@@ -1,0 +1,119 @@
+"""Unit tests for the myLEAD-like service facade."""
+
+import pytest
+
+from repro.core import AttributeCriteria, ObjectQuery
+from repro.errors import CatalogError
+from repro.grid import FIG3_DOCUMENT, MyLeadService, lead_schema
+
+
+@pytest.fixture()
+def service():
+    svc = MyLeadService(lead_schema())
+    svc.create_user("ann")
+    svc.create_user("bob")
+    return svc
+
+
+def theme_query():
+    return ObjectQuery().add_attribute(AttributeCriteria("theme"))
+
+
+class TestUsers:
+    def test_duplicate_user_rejected(self, service):
+        with pytest.raises(CatalogError):
+            service.create_user("ann")
+
+    def test_empty_name_rejected(self, service):
+        with pytest.raises(CatalogError):
+            service.create_user("")
+
+    def test_unknown_user_rejected_everywhere(self, service):
+        with pytest.raises(CatalogError):
+            service.create_experiment("ghost", "x")
+        with pytest.raises(CatalogError):
+            service.query("ghost", theme_query())
+
+    def test_users_listed(self, service):
+        assert service.users() == ["ann", "bob"]
+
+
+class TestExperiments:
+    def test_experiment_is_cataloged_object(self, service):
+        exp = service.create_experiment("ann", "tornado-study")
+        assert service.catalog.object_name(exp.object_id) == "tornado-study"
+
+    def test_add_file_links_to_experiment(self, service):
+        exp = service.create_experiment("ann", "e1")
+        receipt = service.add_file("ann", exp, FIG3_DOCUMENT, name="f1")
+        assert receipt.object_id in exp.file_ids
+
+    def test_cannot_add_to_foreign_experiment(self, service):
+        exp = service.create_experiment("ann", "e1")
+        with pytest.raises(CatalogError, match="belongs to"):
+            service.add_file("bob", exp, FIG3_DOCUMENT)
+
+    def test_experiment_lookup(self, service):
+        exp = service.create_experiment("ann", "e1")
+        assert service.experiment(exp.experiment_id) is exp
+        with pytest.raises(CatalogError):
+            service.experiment(999)
+
+
+class TestVisibility:
+    def test_private_by_default(self, service):
+        exp = service.create_experiment("ann", "e1")
+        receipt = service.add_file("ann", exp, FIG3_DOCUMENT)
+        assert service.query("ann", theme_query()) == [receipt.object_id]
+        assert service.query("bob", theme_query()) == []
+
+    def test_publish_makes_visible(self, service):
+        exp = service.create_experiment("ann", "e1")
+        receipt = service.add_file("ann", exp, FIG3_DOCUMENT)
+        service.publish("ann", receipt.object_id)
+        assert service.query("bob", theme_query()) == [receipt.object_id]
+
+    def test_unpublish_hides_again(self, service):
+        exp = service.create_experiment("ann", "e1")
+        receipt = service.add_file("ann", exp, FIG3_DOCUMENT, public=True)
+        service.unpublish("ann", receipt.object_id)
+        assert service.query("bob", theme_query()) == []
+
+    def test_only_owner_can_publish(self, service):
+        exp = service.create_experiment("ann", "e1")
+        receipt = service.add_file("ann", exp, FIG3_DOCUMENT)
+        with pytest.raises(CatalogError):
+            service.publish("bob", receipt.object_id)
+
+    def test_fetch_enforces_visibility(self, service):
+        exp = service.create_experiment("ann", "e1")
+        receipt = service.add_file("ann", exp, FIG3_DOCUMENT)
+        with pytest.raises(CatalogError, match="not visible"):
+            service.fetch("bob", [receipt.object_id])
+        assert receipt.object_id in service.fetch("ann", [receipt.object_id])
+
+    def test_search_returns_only_visible(self, service):
+        exp_a = service.create_experiment("ann", "e1")
+        service.add_file("ann", exp_a, FIG3_DOCUMENT)
+        exp_b = service.create_experiment("bob", "e2")
+        public = service.add_file("bob", exp_b, FIG3_DOCUMENT, public=True)
+        results = service.search("ann", theme_query())
+        # ann sees her own file and bob's published one.
+        assert len(results) == 2
+
+    def test_experiment_contents_filtered(self, service):
+        exp = service.create_experiment("ann", "e1")
+        own = service.add_file("ann", exp, FIG3_DOCUMENT)
+        assert service.experiment_contents("ann", exp) == [own.object_id]
+        assert service.experiment_contents("bob", exp) == []
+
+
+class TestPrivateDefinitions:
+    def test_private_attribute_scoped_to_user(self, service):
+        attr = service.define_private_attribute("ann", "my-model", "ARPS")
+        assert attr.scope == "ann"
+        assert service.catalog.registry.lookup_attribute("my-model", "ARPS") is None
+        assert (
+            service.catalog.registry.lookup_attribute("my-model", "ARPS", user="ann")
+            is attr
+        )

@@ -1,0 +1,95 @@
+"""Unit tests for the query workload generator."""
+
+import pytest
+
+from repro.core import HybridCatalog, ObjectQuery
+from repro.grid import (
+    CorpusConfig,
+    LeadCorpusGenerator,
+    PlantedMarker,
+    WorkloadGenerator,
+    lead_schema,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return CorpusConfig(seed=77, dynamic_depth=3, planted=[PlantedMarker("wk", 3)])
+
+
+@pytest.fixture(scope="module")
+def catalog(config):
+    cat = HybridCatalog(lead_schema())
+    gen = LeadCorpusGenerator(config)
+    gen.register_definitions(cat)
+    cat.ingest_many(list(gen.documents(15)))
+    return cat
+
+
+class TestDeterminism:
+    def test_same_seed_same_queries(self, config):
+        a = WorkloadGenerator(config, seed=5).keyword_query(3)
+        b = WorkloadGenerator(config, seed=5).keyword_query(3)
+        assert a.attributes[0].elements[0].value == b.attributes[0].elements[0].value
+
+    def test_different_indices_vary(self, config):
+        wl = WorkloadGenerator(config)
+        values = {
+            wl.keyword_query(i).attributes[0].elements[0].value for i in range(10)
+        }
+        assert len(values) > 1
+
+
+class TestShapes:
+    def test_keyword_query_shape(self, config):
+        q = WorkloadGenerator(config).keyword_query(0)
+        assert q.attributes[0].name == "theme"
+        assert q.attributes[0].elements[0].name == "themekey"
+
+    def test_parameter_query_is_numeric_range(self, config):
+        from repro.core import Op
+
+        q = WorkloadGenerator(config).parameter_query(0)
+        criterion = q.attributes[0].elements[0]
+        assert criterion.op in (Op.LE, Op.GE)
+        assert isinstance(criterion.value, (int, float))
+
+    def test_nested_query_depth(self, config):
+        q = WorkloadGenerator(config).nested_query(0, depth=2)
+        top = q.attributes[0]
+        assert len(top.sub_attributes) == 1
+        assert len(top.sub_attributes[0].sub_attributes) == 1
+        deepest = top.sub_attributes[0].sub_attributes[0]
+        assert deepest.elements  # criterion lives at the deepest level
+
+    def test_conjunctive_query_has_two_tops(self, config):
+        q = WorkloadGenerator(config).conjunctive_query(0)
+        assert len(q.attributes) == 2
+
+    def test_mixed_proportions(self, config):
+        queries = WorkloadGenerator(config).mixed(20)
+        assert len(queries) == 20
+        keyword = sum(1 for q in queries if q.attributes[0].name == "theme" and len(q.attributes) == 1)
+        assert keyword == 8  # 40%
+
+
+class TestExecutability:
+    def test_all_mixed_queries_run(self, config, catalog):
+        for query in WorkloadGenerator(config).mixed(20):
+            catalog.query(query)  # must not raise
+
+    def test_nested_only_runs(self, config, catalog):
+        for query in WorkloadGenerator(config).nested_only(5, depth=2):
+            catalog.query(query)
+
+    def test_keyword_only_runs(self, config, catalog):
+        queries = WorkloadGenerator(config).keyword_only(5)
+        assert len(queries) == 5
+        assert all(q.attributes[0].name == "theme" for q in queries)
+        for query in queries:
+            catalog.query(query)
+
+    def test_marker_query_selectivity(self, config, catalog):
+        marker = config.planted[0]
+        ids = catalog.query(WorkloadGenerator(config).marker_query(marker))
+        assert ids == [1, 4, 7, 10, 13]

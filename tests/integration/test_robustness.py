@@ -1,0 +1,121 @@
+"""Robustness: escaping, unicode, large documents, adversarial values.
+
+Metadata values flow through many layers (parser → shredder → store →
+query comparison → CLOB splice → reparse); these tests push values that
+break naive implementations through the whole pipeline.
+"""
+
+import pytest
+
+from repro.backends import SqliteHybridStore
+from repro.core import (
+    AnnotatedSchema,
+    AttributeCriteria,
+    HybridCatalog,
+    ObjectQuery,
+    Op,
+    attribute,
+    melement,
+    structural,
+)
+from repro.xmlkit import canonical, element, escape_text, parse, pretty_print
+
+NASTY_VALUES = [
+    "x < y & z > w",
+    'quotes "double" and \'single\'',
+    "unicode: ☃ ℃ – µm",
+    "  leading and trailing  ",
+    "tags <not-a-tag/> inside",
+    "&amp; pre-escaped-looking",
+    "newlines\nand\ttabs",
+]
+
+
+def simple_schema():
+    return AnnotatedSchema(
+        structural(
+            "root",
+            attribute("item", melement("value"), repeatable=True),
+        )
+    )
+
+
+def doc_with_values(values):
+    root = element("root")
+    for value in values:
+        root.append(element("item", element("value", value)))
+    return root.to_xml()
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def catalog(request):
+    store = SqliteHybridStore() if request.param == "sqlite" else None
+    return HybridCatalog(simple_schema(), store=store)
+
+
+class TestAdversarialValues:
+    def test_roundtrip(self, catalog):
+        text = doc_with_values(NASTY_VALUES)
+        receipt = catalog.ingest(text)
+        response = catalog.fetch([receipt.object_id])[receipt.object_id]
+        assert canonical(parse(response)) == canonical(parse(text))
+
+    @pytest.mark.parametrize("value", NASTY_VALUES)
+    def test_queryable_by_exact_value(self, catalog, value):
+        catalog.ingest(doc_with_values(NASTY_VALUES))
+        query = ObjectQuery().add_attribute(
+            AttributeCriteria("item").add_element("value", "", value.strip())
+        )
+        assert catalog.query(query) == [1]
+
+    def test_contains_across_escaped_chars(self, catalog):
+        catalog.ingest(doc_with_values(NASTY_VALUES))
+        query = ObjectQuery().add_attribute(
+            AttributeCriteria("item").add_element("value", "", "y & z", Op.CONTAINS)
+        )
+        assert catalog.query(query) == [1]
+
+    def test_angle_brackets_do_not_break_clobs(self, catalog):
+        catalog.ingest(doc_with_values(["a <b> c"]))
+        response = catalog.fetch([1])[1]
+        reparsed = parse(response)
+        item = reparsed.root.find("item")
+        assert item.find("value").text() == "a <b> c"
+
+    def test_sql_injection_shaped_values(self, catalog):
+        evil = "'; DROP TABLE clobs; --"
+        catalog.ingest(doc_with_values([evil]))
+        query = ObjectQuery().add_attribute(
+            AttributeCriteria("item").add_element("value", "", evil)
+        )
+        assert catalog.query(query) == [1]
+        # The store survived.
+        assert catalog.fetch([1])
+
+
+class TestLargeDocuments:
+    def test_many_instances(self, catalog):
+        values = [f"value-{i:05d}" for i in range(500)]
+        receipt = catalog.ingest(doc_with_values(values))
+        assert receipt.clob_count == 500
+        query = ObjectQuery().add_attribute(
+            AttributeCriteria("item").add_element("value", "", "value-00499")
+        )
+        assert catalog.query(query) == [1]
+        response = catalog.fetch([1])[1]
+        assert response.count("<item>") == 500
+        # Instance order is preserved end to end.
+        assert response.index("value-00000") < response.index("value-00499")
+
+    def test_long_values(self, catalog):
+        long_value = "x" * 50_000
+        catalog.ingest(doc_with_values([long_value]))
+        response = catalog.fetch([1])[1]
+        assert long_value in response
+
+
+class TestEscapingHelpers:
+    def test_escape_text_roundtrip_via_document(self):
+        for value in NASTY_VALUES:
+            fragment = f"<v>{escape_text(value)}</v>"
+            assert parse(fragment).root.text() == value

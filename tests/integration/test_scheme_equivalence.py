@@ -1,0 +1,102 @@
+"""Integration: all four storage schemes answer identically.
+
+The hybrid catalog, inlining, edge-table, and CLOB baselines share one
+generated corpus and one definition registry; every workload query must
+return the same object ids from each, and every scheme's reconstruction
+must be canonically equal to the ingested document.
+"""
+
+import pytest
+
+from repro.baselines import ClobCatalog, EdgeCatalog, HybridScheme, InliningCatalog
+from repro.core import HybridCatalog
+from repro.grid import LeadCorpusGenerator, WorkloadGenerator, lead_schema
+from repro.xmlkit import canonical, parse
+
+
+@pytest.fixture(scope="module")
+def schemes(corpus_config, corpus_docs):
+    catalog = HybridCatalog(lead_schema())
+    LeadCorpusGenerator(corpus_config).register_definitions(catalog)
+    built = {
+        "hybrid": HybridScheme(catalog),
+        "inlining": InliningCatalog(lead_schema(), registry=catalog.registry),
+        "edge": EdgeCatalog(lead_schema(), registry=catalog.registry),
+        "clob": ClobCatalog(lead_schema(), registry=catalog.registry),
+    }
+    for scheme in built.values():
+        scheme.ingest_many(corpus_docs)
+    return built
+
+
+class TestQueryEquivalence:
+    def test_mixed_workload(self, schemes, corpus_config):
+        workload = WorkloadGenerator(corpus_config)
+        for i, query in enumerate(workload.mixed(24)):
+            expected = schemes["hybrid"].query(query)
+            for name in ("inlining", "edge", "clob"):
+                assert schemes[name].query(query) == expected, f"query {i} on {name}"
+
+    def test_planted_markers(self, schemes, corpus_config):
+        workload = WorkloadGenerator(corpus_config)
+        for marker in corpus_config.planted:
+            query = workload.marker_query(marker)
+            expected = schemes["hybrid"].query(query)
+            assert len(expected) == len(
+                [i for i in range(24) if marker.applies_to(i)]
+            )
+            for name in ("inlining", "edge", "clob"):
+                assert schemes[name].query(query) == expected, name
+
+    def test_in_set_criteria(self, schemes):
+        """Ontology-style IN_SET criteria agree across all schemes, for
+        both string and numeric element types."""
+        from repro.core import AttributeCriteria, ObjectQuery, Op
+        from repro.grid import CF_STANDARD_NAMES
+
+        string_query = ObjectQuery().add_attribute(
+            AttributeCriteria("theme").add_element(
+                "themekey", "", frozenset(CF_STANDARD_NAMES[:8]), Op.IN_SET
+            )
+        )
+        numeric_query = ObjectQuery().add_attribute(
+            AttributeCriteria("grid", "ARPS").add_element(
+                "nx", "ARPS", [i for i in range(0, 101, 5)], Op.IN_SET
+            )
+        )
+        for query in (string_query, numeric_query):
+            expected = schemes["hybrid"].query(query)
+            for name in ("inlining", "edge", "clob"):
+                assert schemes[name].query(query) == expected, name
+
+    def test_nested_depths(self, schemes, corpus_config):
+        workload = WorkloadGenerator(corpus_config)
+        for depth in range(1, corpus_config.dynamic_depth):
+            for i in range(4):
+                query = workload.nested_query(i, depth=depth)
+                expected = schemes["hybrid"].query(query)
+                for name in ("inlining", "edge", "clob"):
+                    assert schemes[name].query(query) == expected, (depth, i, name)
+
+
+class TestReconstructionEquivalence:
+    def test_every_scheme_roundtrips(self, schemes, corpus_docs):
+        sample_ids = [1, 8, 17, 24]
+        for name, scheme in schemes.items():
+            responses = scheme.fetch(sample_ids)
+            for oid in sample_ids:
+                expected = canonical(parse(corpus_docs[oid - 1]))
+                actual = canonical(parse(responses[oid]))
+                assert actual == expected, f"{name} object {oid}"
+
+
+class TestStorageShape:
+    def test_hybrid_pays_dual_storage(self, schemes):
+        """E5's expected shape: the hybrid stores both CLOBs and rows,
+        so its footprint exceeds the single-representation schemes."""
+        hybrid = schemes["hybrid"].total_bytes()
+        assert hybrid > schemes["clob"].total_bytes()
+        assert hybrid > schemes["inlining"].total_bytes()
+
+    def test_clob_scheme_has_one_row_per_document(self, schemes, corpus_docs):
+        assert schemes["clob"].total_rows() == len(corpus_docs)

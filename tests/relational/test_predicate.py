@@ -1,0 +1,133 @@
+"""Unit tests for the compiled predicate language."""
+
+import pytest
+
+from repro.relational import (
+    And,
+    Not,
+    Or,
+    TruePredicate,
+    eq,
+    ge,
+    gt,
+    in_,
+    is_null,
+    le,
+    lt,
+    ne,
+    not_null,
+)
+
+COLUMNS = ("a", "b", "c")
+
+
+def run(predicate, row):
+    return predicate.compile(COLUMNS)(row)
+
+
+class TestComparisons:
+    def test_eq(self):
+        assert run(eq("a", 5), (5, 0, 0))
+        assert not run(eq("a", 5), (6, 0, 0))
+
+    def test_ne(self):
+        assert run(ne("b", "x"), (0, "y", 0))
+
+    def test_ordering_operators(self):
+        row = (10, 0, 0)
+        assert run(gt("a", 5), row)
+        assert run(ge("a", 10), row)
+        assert not run(lt("a", 10), row)
+        assert run(le("a", 10), row)
+
+    def test_null_never_matches(self):
+        for p in (eq("a", 5), ne("a", 5), lt("a", 5), gt("a", 5)):
+            assert not run(p, (None, 0, 0))
+
+    def test_unknown_operator_rejected(self):
+        from repro.relational.predicate import Comparison
+
+        with pytest.raises(ValueError):
+            Comparison("a", "<>", 1)
+
+    def test_unknown_column_raises_at_compile(self):
+        with pytest.raises(ValueError):
+            eq("zzz", 1).compile(COLUMNS)
+
+
+class TestCombinators:
+    def test_and_operator(self):
+        p = eq("a", 1) & eq("b", 2)
+        assert run(p, (1, 2, 0))
+        assert not run(p, (1, 3, 0))
+
+    def test_or_operator(self):
+        p = eq("a", 1) | eq("a", 2)
+        assert run(p, (2, 0, 0))
+        assert not run(p, (3, 0, 0))
+
+    def test_not_operator(self):
+        assert run(~eq("a", 1), (2, 0, 0))
+
+    def test_nested_and_flattens(self):
+        p = And([eq("a", 1) & eq("b", 2), eq("c", 3)])
+        assert len(p.parts) == 3
+
+    def test_nested_or_flattens(self):
+        p = Or([eq("a", 1) | eq("a", 2), eq("a", 3)])
+        assert len(p.parts) == 3
+
+    def test_three_way_and(self):
+        p = eq("a", 1) & eq("b", 2) & eq("c", 3)
+        assert run(p, (1, 2, 3))
+        assert not run(p, (1, 2, 4))
+
+
+class TestMembershipAndNull:
+    def test_in(self):
+        p = in_("a", [1, 2, 3])
+        assert run(p, (2, 0, 0))
+        assert not run(p, (4, 0, 0))
+
+    def test_is_null(self):
+        assert run(is_null("a"), (None, 0, 0))
+        assert not run(is_null("a"), (1, 0, 0))
+
+    def test_not_null(self):
+        assert run(not_null("a"), (1, 0, 0))
+        assert not run(not_null("a"), (None, 0, 0))
+
+    def test_true_predicate(self):
+        assert run(TruePredicate(), (None, None, None))
+
+
+class TestSqlRendering:
+    def test_comparison_sql_null_guarded(self):
+        sql, params = eq("a", 5).to_sql()
+        assert sql == "(a IS NOT NULL AND a = ?)"
+        assert params == [5]
+
+    def test_and_sql(self):
+        sql, params = (eq("a", 1) & ne("b", 2)).to_sql()
+        assert sql == "((a IS NOT NULL AND a = ?)) AND ((b IS NOT NULL AND b != ?))"
+        assert params == [1, 2]
+
+    def test_in_sql_parameter_count(self):
+        sql, params = in_("a", [3, 1, 2]).to_sql()
+        assert sql.count("?") == 3
+        assert "IS NOT NULL" in sql
+        assert sorted(params) == [1, 2, 3]
+
+    def test_null_sql(self):
+        assert is_null("a").to_sql() == ("a IS NULL", [])
+        assert not_null("a").to_sql() == ("a IS NOT NULL", [])
+
+    def test_not_sql(self):
+        sql, _ = (~eq("a", 1)).to_sql()
+        assert sql == "NOT ((a IS NOT NULL AND a = ?))"
+
+
+class TestReferencedColumns:
+    def test_collects_all(self):
+        p = (eq("a", 1) & eq("b", 2)) | is_null("c")
+        assert sorted(set(p.referenced_columns())) == ["a", "b", "c"]

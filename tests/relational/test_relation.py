@@ -1,0 +1,221 @@
+"""Unit tests for the relational-algebra operators."""
+
+import pytest
+
+from repro.relational import (
+    PlanError,
+    Relation,
+    Table,
+    agg_max,
+    agg_min,
+    agg_sum,
+    anti_join,
+    constant_column,
+    count,
+    count_distinct,
+    distinct,
+    eq,
+    extend,
+    ge,
+    group_by,
+    hash_join,
+    integer,
+    limit,
+    order_by,
+    project,
+    rename,
+    scan,
+    select,
+    semi_join,
+    text,
+    union_all,
+)
+
+
+@pytest.fixture()
+def orders():
+    return Relation(
+        ("order_id", "customer", "total"),
+        [
+            (1, "ann", 10),
+            (2, "bob", 25),
+            (3, "ann", 5),
+            (4, "cat", 25),
+        ],
+    )
+
+
+@pytest.fixture()
+def customers():
+    return Relation(
+        ("name", "city"),
+        [("ann", "oslo"), ("bob", "rome"), ("dee", "bern")],
+    )
+
+
+class TestBasics:
+    def test_scan_materializes_table(self):
+        t = Table("t", [integer("x"), text("s")])
+        t.insert([1, "a"])
+        r = scan(t)
+        assert r.columns == ("x", "s")
+        assert r.rows == [(1, "a")]
+
+    def test_select(self, orders):
+        r = select(orders, ge("total", 20))
+        assert len(r) == 2
+
+    def test_project_reorders(self, orders):
+        r = project(orders, ["total", "customer"])
+        assert r.columns == ("total", "customer")
+        assert r.rows[0] == (10, "ann")
+
+    def test_project_unknown_column(self, orders):
+        with pytest.raises(PlanError):
+            project(orders, ["zzz"])
+
+    def test_rename(self, orders):
+        r = rename(orders, {"customer": "who"})
+        assert "who" in r.columns and "customer" not in r.columns
+
+    def test_rename_collision_rejected(self, orders):
+        with pytest.raises(PlanError):
+            rename(orders, {"customer": "total"})
+
+    def test_distinct_preserves_first_order(self):
+        r = distinct(Relation(("x",), [(1,), (2,), (1,), (3,)]))
+        assert r.rows == [(1,), (2,), (3,)]
+
+    def test_extend_computed_column(self, orders):
+        r = extend(orders, "double", lambda row: row[2] * 2)
+        assert r.rows[0][-1] == 20
+
+    def test_constant_column(self, orders):
+        r = constant_column(orders, "tag", "T")
+        assert all(row[-1] == "T" for row in r.rows)
+
+    def test_union_all(self, orders):
+        r = union_all(orders, orders)
+        assert len(r) == 8
+
+    def test_union_all_incompatible(self, orders, customers):
+        with pytest.raises(PlanError):
+            union_all(orders, customers)
+
+    def test_order_by(self, orders):
+        r = order_by(orders, ["total", "order_id"])
+        assert [row[0] for row in r.rows] == [3, 1, 2, 4]
+
+    def test_order_by_descending(self, orders):
+        r = order_by(orders, ["order_id"], descending=True)
+        assert [row[0] for row in r.rows] == [4, 3, 2, 1]
+
+    def test_limit(self, orders):
+        assert len(limit(orders, 2)) == 2
+
+    def test_to_dicts(self, orders):
+        assert orders.to_dicts()[0] == {"order_id": 1, "customer": "ann", "total": 10}
+
+    def test_column_values(self, orders):
+        assert orders.column_values("customer") == ["ann", "bob", "ann", "cat"]
+
+
+class TestJoins:
+    def test_hash_join_inner_semantics(self, orders, customers):
+        r = hash_join(orders, customers, on=[("customer", "name")])
+        assert len(r) == 3  # cat has no customer row, dee no orders
+        assert r.columns == ("order_id", "customer", "total", "city")
+
+    def test_hash_join_multiplicity(self):
+        left = Relation(("k",), [(1,), (1,)])
+        right = Relation(("k", "v"), [(1, "a"), (1, "b")])
+        r = hash_join(left, right, on=[("k", "k")])
+        assert len(r) == 4
+
+    def test_hash_join_null_keys_never_match(self):
+        left = Relation(("k",), [(None,)])
+        right = Relation(("k", "v"), [(None, "x")])
+        assert len(hash_join(left, right, on=[("k", "k")])) == 0
+
+    def test_hash_join_build_side_symmetry(self):
+        # Results must not depend on which input is smaller.
+        small = Relation(("k", "a"), [(1, "x")])
+        big = Relation(("k", "b"), [(1, "p"), (2, "q"), (1, "r")])
+        r1 = hash_join(small, big, on=[("k", "k")])
+        r2 = hash_join(big, small, on=[("k", "k")])
+        assert len(r1) == len(r2) == 2
+
+    def test_hash_join_column_collision_needs_prefix(self):
+        left = Relation(("k", "v"), [(1, "a")])
+        right = Relation(("k", "v"), [(1, "b")])
+        with pytest.raises(PlanError):
+            hash_join(left, right, on=[("k", "k")])
+        r = hash_join(left, right, on=[("k", "k")], right_prefix="r_")
+        assert r.columns == ("k", "v", "r_v")
+
+    def test_multi_key_join(self):
+        left = Relation(("a", "b"), [(1, 2), (1, 3)])
+        right = Relation(("a", "b", "v"), [(1, 2, "hit"), (1, 9, "miss")])
+        r = hash_join(left, right, on=[("a", "a"), ("b", "b")])
+        assert r.rows == [(1, 2, "hit")]
+
+    def test_semi_join(self, orders, customers):
+        r = semi_join(orders, customers, on=[("customer", "name")])
+        assert {row[1] for row in r.rows} == {"ann", "bob"}
+        assert r.columns == orders.columns
+
+    def test_anti_join(self, orders, customers):
+        r = anti_join(orders, customers, on=[("customer", "name")])
+        assert {row[1] for row in r.rows} == {"cat"}
+
+
+class TestGroupBy:
+    def test_count_per_group(self, orders):
+        r = group_by(orders, ["customer"], [count("n")])
+        assert dict(r.rows) == {"ann": 2, "bob": 1, "cat": 1}
+
+    def test_sum_min_max(self, orders):
+        r = group_by(
+            orders,
+            ["customer"],
+            [agg_sum("total", "s"), agg_min("total", "lo"), agg_max("total", "hi")],
+        )
+        by_customer = {row[0]: row[1:] for row in r.rows}
+        assert by_customer["ann"] == (15, 5, 10)
+
+    def test_count_distinct(self):
+        r = Relation(("k", "v"), [(1, "a"), (1, "a"), (1, "b")])
+        g = group_by(r, ["k"], [count_distinct("v", "nv")])
+        assert g.rows == [(1, 2)]
+
+    def test_global_aggregate_on_empty_input(self):
+        r = Relation(("x",), [])
+        g = group_by(r, [], [count("n"), agg_max("x", "mx")])
+        assert g.rows == [(0, None)]
+
+    def test_grouped_aggregate_on_empty_input(self):
+        r = Relation(("k", "x"), [])
+        g = group_by(r, ["k"], [count("n")])
+        assert g.rows == []
+
+    def test_nulls_ignored_by_aggregates(self):
+        r = Relation(("k", "v"), [(1, None), (1, 5)])
+        g = group_by(r, ["k"], [agg_sum("v", "s"), agg_min("v", "lo")])
+        assert g.rows == [(1, 5, 5)]
+
+    def test_count_counts_rows_including_null_values(self):
+        r = Relation(("k", "v"), [(1, None), (1, 5)])
+        g = group_by(r, ["k"], [count("n")])
+        assert g.rows == [(1, 2)]
+
+    def test_unknown_aggregate_kind(self):
+        from repro.relational.relation import Aggregate
+
+        with pytest.raises(PlanError):
+            Aggregate("median", "x", "m")
+
+    def test_non_count_requires_column(self):
+        from repro.relational.relation import Aggregate
+
+        with pytest.raises(PlanError):
+            Aggregate("sum", None, "s")

@@ -1,0 +1,71 @@
+"""Property-based tests: operators agree with naive reference semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational import (
+    Relation,
+    agg_max,
+    agg_sum,
+    anti_join,
+    count,
+    distinct,
+    group_by,
+    hash_join,
+    semi_join,
+)
+
+keys = st.integers(min_value=0, max_value=5)
+values = st.integers(min_value=-10, max_value=10)
+rows = st.lists(st.tuples(keys, values), max_size=30)
+
+
+@settings(max_examples=100, deadline=None)
+@given(rows, rows)
+def test_hash_join_matches_nested_loop(left_rows, right_rows):
+    left = Relation(("k", "lv"), left_rows)
+    right = Relation(("k", "rv"), right_rows)
+    joined = hash_join(left, right, on=[("k", "k")])
+    expected = sorted(
+        (lk, lv, rv)
+        for (lk, lv) in left_rows
+        for (rk, rv) in right_rows
+        if lk == rk
+    )
+    assert sorted(joined.rows) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(rows, rows)
+def test_semi_and_anti_join_partition_left(left_rows, right_rows):
+    left = Relation(("k", "lv"), left_rows)
+    right = Relation(("k", "rv"), right_rows)
+    semi = semi_join(left, right, on=[("k", "k")])
+    anti = anti_join(left, right, on=[("k", "k")])
+    assert sorted(semi.rows + anti.rows) == sorted(left_rows)
+    right_keys = {k for k, _ in right_rows}
+    assert all(k in right_keys for k, _ in semi.rows)
+    assert all(k not in right_keys for k, _ in anti.rows)
+
+
+@settings(max_examples=100, deadline=None)
+@given(rows)
+def test_group_by_matches_manual_aggregation(data):
+    relation = Relation(("k", "v"), data)
+    grouped = group_by(relation, ["k"], [count("n"), agg_sum("v", "s"), agg_max("v", "mx")])
+    expected = {}
+    for k, v in data:
+        n, s, mx = expected.get(k, (0, 0, None))
+        expected[k] = (n + 1, s + v, v if mx is None or v > mx else mx)
+    assert {row[0]: row[1:] for row in grouped.rows} == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(rows)
+def test_distinct_is_idempotent_and_set_equal(data):
+    relation = Relation(("k", "v"), data)
+    once = distinct(relation)
+    twice = distinct(once)
+    assert once.rows == twice.rows
+    assert set(once.rows) == set(data)
+    assert len(once.rows) == len(set(data))

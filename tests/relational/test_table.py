@@ -1,0 +1,176 @@
+"""Unit tests for heap tables and indexes."""
+
+import pytest
+
+from repro.relational import (
+    ConstraintError,
+    Table,
+    TableError,
+    eq,
+    integer,
+    real,
+    text,
+)
+
+
+@pytest.fixture()
+def people():
+    t = Table(
+        "people",
+        [integer("id", nullable=False), text("name"), real("age")],
+        primary_key=["id"],
+    )
+    t.insert([1, "ann", 30.0])
+    t.insert([2, "bob", 40.0])
+    t.insert([3, "cat", 30.0])
+    return t
+
+
+class TestSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(TableError):
+            Table("t", [integer("x"), text("x")])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(TableError):
+            Table("t", [])
+
+    def test_position_lookup(self, people):
+        assert people.position("name") == 1
+
+    def test_unknown_column_raises(self, people):
+        with pytest.raises(TableError):
+            people.position("zzz")
+
+    def test_ddl(self, people):
+        ddl = people.ddl()
+        assert ddl.startswith("CREATE TABLE people (")
+        assert "PRIMARY KEY (id)" in ddl
+
+
+class TestInsert:
+    def test_insert_returns_rowids(self):
+        t = Table("t", [integer("x")])
+        assert t.insert([1]) == 0
+        assert t.insert([2]) == 1
+
+    def test_wrong_arity_rejected(self, people):
+        with pytest.raises(TableError):
+            people.insert([4, "dee"])
+
+    def test_type_validation_applied(self, people):
+        with pytest.raises(TypeError):
+            people.insert(["x", "dee", 1.0])
+
+    def test_insert_dict_fills_nulls(self, people):
+        people.insert_dict(id=4, name="dee")
+        assert people.lookup(["id"], [4])[0][2] is None
+
+    def test_insert_many_counts(self):
+        t = Table("t", [integer("x")])
+        assert t.insert_many([[i] for i in range(5)]) == 5
+        assert len(t) == 5
+
+    def test_primary_key_enforced(self, people):
+        with pytest.raises(ConstraintError):
+            people.insert([1, "dup", None])
+
+    def test_failed_insert_leaves_table_unchanged(self, people):
+        before = len(people)
+        with pytest.raises(ConstraintError):
+            people.insert([2, "dup", None])
+        assert len(people) == before
+        assert len(people.lookup(["id"], [2])) == 1
+
+    def test_real_column_coerces_int(self, people):
+        people.insert([4, "dee", 25])
+        assert people.lookup(["id"], [4])[0][2] == 25.0
+
+
+class TestIndexes:
+    def test_hash_index_lookup(self, people):
+        people.create_index("by_age", ["age"])
+        rows = people.lookup(["age"], [30.0])
+        assert {r[1] for r in rows} == {"ann", "cat"}
+
+    def test_index_backfills_existing_rows(self, people):
+        index = people.create_index("by_name", ["name"])
+        assert index.lookup(("bob",)) != []
+
+    def test_lookup_without_index_scans(self, people):
+        rows = people.lookup(["name"], ["bob"])
+        assert rows[0][0] == 2
+
+    def test_unique_index_rejects_duplicates(self, people):
+        with pytest.raises(ConstraintError):
+            people.create_index("uniq_age", ["age"], unique=True)
+
+    def test_index_maintained_on_insert(self, people):
+        people.create_index("by_age", ["age"])
+        people.insert([4, "dee", 50.0])
+        assert len(people.lookup(["age"], [50.0])) == 1
+
+    def test_sorted_index_range(self, people):
+        people.create_sorted_index("age_sorted", "age")
+        index = people.find_sorted_index("age")
+        rowids = index.range(low=30.0, high=35.0)
+        assert len(rowids) == 2
+
+    def test_sorted_index_open_ranges(self, people):
+        index = people.create_sorted_index("age_sorted", "age")
+        assert len(index.range(low=31.0)) == 1
+        assert len(index.range(high=31.0)) == 2
+        assert len(index.range()) == 3
+
+    def test_sorted_index_exclusive_bounds(self, people):
+        index = people.create_sorted_index("age_sorted", "age")
+        assert len(index.range(low=30.0, low_inclusive=False)) == 1
+
+    def test_sorted_index_skips_nulls(self):
+        t = Table("t", [integer("x")])
+        t.insert([None])
+        t.insert([5])
+        index = t.create_sorted_index("by_x", "x")
+        assert index.range() == [1]
+
+
+class TestDelete:
+    def test_delete_where(self, people):
+        deleted = people.delete_where(eq("age", 30.0))
+        assert deleted == 2
+        assert len(people) == 1
+
+    def test_delete_updates_indexes(self, people):
+        people.create_index("by_age", ["age"])
+        people.delete_where(eq("id", 1))
+        assert {r[1] for r in people.lookup(["age"], [30.0])} == {"cat"}
+
+    def test_deleted_rows_not_scanned(self, people):
+        people.delete_where(eq("id", 2))
+        assert [r[0] for r in people.scan()] == [1, 3]
+
+    def test_fetch_deleted_row_raises(self, people):
+        people.delete_where(eq("id", 1))
+        with pytest.raises(TableError):
+            people.fetch(0)
+
+    def test_clear(self, people):
+        people.create_index("by_age", ["age"])
+        people.clear()
+        assert len(people) == 0
+        assert people.lookup(["age"], [30.0]) == []
+
+    def test_reinsert_pk_after_delete(self, people):
+        people.delete_where(eq("id", 1))
+        people.insert([1, "ann2", 31.0])
+        assert people.lookup(["id"], [1])[0][1] == "ann2"
+
+
+class TestAccounting:
+    def test_estimated_bytes_positive(self, people):
+        assert people.estimated_bytes() > 0
+
+    def test_estimated_bytes_counts_strings(self):
+        t = Table("t", [text("s")])
+        t.insert(["abcd"])
+        assert t.estimated_bytes() == 4

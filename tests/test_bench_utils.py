@@ -1,0 +1,106 @@
+"""Unit tests for the benchmark harness utilities."""
+
+import pytest
+
+from repro.bench import (
+    ALL_SCHEMES,
+    ResultTable,
+    build_schemes,
+    empty_schemes,
+    measure,
+    speedup,
+    throughput,
+)
+from repro.grid import CorpusConfig
+
+
+class TestResultTable:
+    def test_render_alignment(self):
+        table = ResultTable("title", ["name", "value"])
+        table.add_row("short", 1)
+        table.add_row("much-longer-name", 123.456)
+        rendered = table.render()
+        lines = rendered.splitlines()
+        assert lines[0] == "title"
+        assert "much-longer-name" in rendered
+        assert all(len(lines[2]) == len(lines[3]) for _ in [0])
+
+    def test_wrong_arity_rejected(self):
+        table = ResultTable("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_column_values(self):
+        table = ResultTable("t", ["a", "b"])
+        table.add_row(1, "x")
+        table.add_row(2, "y")
+        assert table.column_values("a") == [1, 2]
+        assert table.column_values("b") == ["x", "y"]
+
+    def test_float_formatting(self):
+        from repro.bench.tables import _format
+
+        assert _format(0) == "0"
+        assert _format(0.0) == "0"
+        assert _format(123.456) == "123.5"
+        assert _format(1.23456) == "1.235"
+        assert _format(0.000123) == "1.230e-04"
+        assert _format("text") == "text"
+
+    def test_empty_table_renders(self):
+        table = ResultTable("empty", ["a"])
+        assert "empty" in table.render()
+
+
+class TestTiming:
+    def test_measure_returns_positive_time_and_result(self):
+        seconds, result = measure(lambda: sum(range(100)), repeat=2)
+        assert seconds >= 0
+        assert result == 4950
+
+    def test_measure_takes_best_of_repeats(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            return len(calls)
+
+        _seconds, result = measure(fn, repeat=3, number=2)
+        assert len(calls) == 6
+        assert result == 6
+
+    def test_throughput(self):
+        assert throughput(10, 2.0) == 5.0
+        assert throughput(10, 0.0) == 0.0
+
+    def test_speedup(self):
+        assert speedup(1.0, 12.3) == "12.3x"
+        assert speedup(0.0, 1.0) == "n/a"
+
+
+class TestSchemeBuilders:
+    def test_build_schemes_loads_all(self):
+        schemes = build_schemes(CorpusConfig(seed=1), 3)
+        assert set(schemes) == set(ALL_SCHEMES)
+        assert all(s.total_rows() > 0 for s in schemes.values())
+
+    def test_build_subset(self):
+        schemes = build_schemes(CorpusConfig(seed=1), 2, schemes=["hybrid", "clob"])
+        assert set(schemes) == {"hybrid", "clob"}
+
+    def test_empty_schemes_have_no_documents(self):
+        schemes = empty_schemes(CorpusConfig(seed=1), schemes=["clob"])
+        assert schemes["clob"].total_rows() == 0
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            build_schemes(CorpusConfig(seed=1), 1, schemes=["oracle9i"])
+        with pytest.raises(ValueError):
+            empty_schemes(CorpusConfig(seed=1), schemes=["oracle9i"])
+
+    def test_schemes_share_definitions(self):
+        """All schemes resolve the same dynamic definitions (one shared
+        registry), so comparisons measure storage, not bookkeeping."""
+        schemes = build_schemes(CorpusConfig(seed=1), 2,
+                                schemes=["hybrid", "edge"])
+        assert schemes["edge"].registry is schemes["hybrid"].catalog.registry

@@ -1,0 +1,74 @@
+"""Unit tests for XML escaping/unescaping."""
+
+import pytest
+
+from repro.xmlkit import escape_attribute, escape_text, unescape
+
+
+class TestEscapeText:
+    def test_plain_text_unchanged(self):
+        assert escape_text("hello world") == "hello world"
+
+    def test_ampersand(self):
+        assert escape_text("a & b") == "a &amp; b"
+
+    def test_angle_brackets(self):
+        assert escape_text("<tag>") == "&lt;tag&gt;"
+
+    def test_mixed(self):
+        assert escape_text("a<b & c>d") == "a&lt;b &amp; c&gt;d"
+
+    def test_quote_not_escaped_in_text(self):
+        assert escape_text('say "hi"') == 'say "hi"'
+
+    def test_empty(self):
+        assert escape_text("") == ""
+
+
+class TestEscapeAttribute:
+    def test_double_quote_escaped(self):
+        assert escape_attribute('a "b" c') == "a &quot;b&quot; c"
+
+    def test_ampersand_and_lt(self):
+        assert escape_attribute("<&") == "&lt;&amp;"
+
+    def test_plain_unchanged(self):
+        assert escape_attribute("plain") == "plain"
+
+
+class TestUnescape:
+    def test_named_entities(self):
+        assert unescape("&amp;&lt;&gt;&quot;&apos;") == "&<>\"'"
+
+    def test_decimal_reference(self):
+        assert unescape("&#65;") == "A"
+
+    def test_hex_reference(self):
+        assert unescape("&#x41;") == "A"
+        assert unescape("&#X41;") == "A"
+
+    def test_no_entities_passthrough(self):
+        assert unescape("plain text") == "plain text"
+
+    def test_unicode_reference(self):
+        assert unescape("&#x2603;") == "☃"
+
+    def test_unterminated_raises(self):
+        with pytest.raises(ValueError, match="unterminated"):
+            unescape("a &amp b")
+
+    def test_unknown_entity_raises(self):
+        with pytest.raises(ValueError, match="unknown entity"):
+            unescape("&bogus;")
+
+    def test_empty_reference_raises(self):
+        with pytest.raises(ValueError, match="empty entity"):
+            unescape("&;")
+
+    def test_roundtrip_text(self):
+        original = "temp < 30 & pressure > 1000"
+        assert unescape(escape_text(original)) == original
+
+    def test_roundtrip_attribute(self):
+        original = 'he said "x < y & z"'
+        assert unescape(escape_attribute(original)) == original

