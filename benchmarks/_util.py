@@ -1,12 +1,23 @@
 """Benchmark output helper: print each experiment table and persist it
 under ``benchmarks/results/`` so the numbers EXPERIMENTS.md cites can be
-regenerated and diffed."""
+regenerated and diffed.
+
+Each ``emit`` writes three artifacts per experiment:
+
+* ``<experiment>.txt`` — the rendered console table (human diffing);
+* ``BENCH_<experiment>.json`` — the same table as structured data, so
+  the perf trajectory can be tracked across PRs by machine;
+* ``BENCH_<experiment>_metrics.json`` — a snapshot of the process
+  metrics registry, recording what the pipeline *did* during the run
+  (row counts, plan-stage sizes, sqlite statement counts).
+"""
 
 from __future__ import annotations
 
+import json
 import pathlib
 
-from repro.bench import ResultTable
+from repro.bench import ResultTable, dump_metrics
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -25,3 +36,22 @@ def emit(experiment: str, table: ResultTable) -> None:
         parts = [p for p in parts if p and not p.startswith(table.title)]
         existing = ("\n\n".join(parts) + "\n\n") if parts else ""
     path.write_text(existing + block)
+    _emit_json(experiment, table)
+    dump_metrics(RESULTS_DIR / f"BENCH_{experiment}_metrics.json")
+
+
+def _emit_json(experiment: str, table: ResultTable) -> None:
+    """Merge this table into ``BENCH_<experiment>.json`` (one file per
+    experiment, one entry per table title — mirroring the txt blocks)."""
+    path = RESULTS_DIR / f"BENCH_{experiment}.json"
+    data = {"experiment": experiment, "tables": {}}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except ValueError:
+            pass
+    data.setdefault("tables", {})[table.title] = {
+        "columns": table.columns,
+        "rows": table.rows,
+    }
+    path.write_text(json.dumps(data, indent=2, sort_keys=True))

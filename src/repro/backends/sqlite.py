@@ -26,14 +26,16 @@ from __future__ import annotations
 
 import itertools
 import sqlite3
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.definitions import DefinitionRegistry
 from ..core.ordering import ancestor_pairs
 from ..core.schema import AnnotatedSchema
 from ..core.shredder import ShredResult
-from ..core.storage import HybridStore, PlanTrace
+from ..core.storage import HybridStore, PlanTrace, record_plan
 from ..errors import CatalogError
+from ..obs.metrics import MetricsRegistry
 
 _DDL = """
 CREATE TABLE objects (
@@ -109,11 +111,113 @@ CREATE TABLE elem_defs (
 _BIG_SEQ = 1 << 60
 
 
+class _StatementCounters:
+    """Pre-resolved metric handles for one registry (resolving a metric
+    by name on every statement would double the wrapper's cost)."""
+
+    __slots__ = ("registry", "execute", "executemany", "script",
+                 "rows", "txn_seconds")
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        statements = registry.counter(
+            "sqlite_statements_total",
+            "SQL statements issued against the sqlite backend",
+            labels=("kind",),
+        )
+        self.execute = statements.labels(kind="execute")
+        self.executemany = statements.labels(kind="executemany")
+        self.script = statements.labels(kind="script")
+        self.rows = registry.counter(
+            "sqlite_rows_fetched_total", "rows fetched from sqlite cursors"
+        )
+        self.txn_seconds = registry.histogram(
+            "sqlite_txn_seconds", "sqlite transaction commit wall time"
+        )
+
+
+class _TrackedCursor:
+    """Counts rows as they are fetched; otherwise a transparent proxy."""
+
+    __slots__ = ("_cursor", "_counters")
+
+    def __init__(self, cursor, counters: _StatementCounters) -> None:
+        self._cursor = cursor
+        self._counters = counters
+
+    def fetchone(self):
+        row = self._cursor.fetchone()
+        if row is not None:
+            self._counters.rows.inc()
+        return row
+
+    def fetchall(self):
+        rows = self._cursor.fetchall()
+        self._counters.rows.inc(len(rows))
+        return rows
+
+    def __iter__(self):
+        for row in self._cursor:
+            self._counters.rows.inc()
+            yield row
+
+    def __getattr__(self, name):
+        return getattr(self._cursor, name)
+
+
+class _TrackedConnection:
+    """Counts statements and times commits; the metric handles follow
+    the owning store's bound registry (the catalog may re-bind after
+    the connection is created)."""
+
+    __slots__ = ("_connection", "_store", "_counters")
+
+    def __init__(self, connection: sqlite3.Connection, store: "SqliteHybridStore") -> None:
+        self._connection = connection
+        self._store = store
+        self._counters: Optional[_StatementCounters] = None
+
+    def _c(self) -> _StatementCounters:
+        registry = self._store.metrics_registry()
+        counters = self._counters
+        if counters is None or counters.registry is not registry:
+            counters = _StatementCounters(registry)
+            self._counters = counters
+        return counters
+
+    def execute(self, sql, params=()):
+        counters = self._c()
+        counters.execute.inc()
+        return _TrackedCursor(self._connection.execute(sql, params), counters)
+
+    def executemany(self, sql, rows):
+        counters = self._c()
+        counters.executemany.inc()
+        return _TrackedCursor(self._connection.executemany(sql, rows), counters)
+
+    def executescript(self, script):
+        counters = self._c()
+        counters.script.inc()
+        return _TrackedCursor(self._connection.executescript(script), counters)
+
+    def commit(self) -> None:
+        counters = self._c()
+        start = time.perf_counter()
+        self._connection.commit()
+        counters.txn_seconds.observe(time.perf_counter() - start)
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def __getattr__(self, name):
+        return getattr(self._connection, name)
+
+
 class SqliteHybridStore(HybridStore):
     """The hybrid layout and plans on a real RDBMS (sqlite)."""
 
     def __init__(self, path: str = ":memory:") -> None:
-        self.connection = sqlite3.connect(path)
+        self.connection = _TrackedConnection(sqlite3.connect(path), self)
         self.connection.execute("PRAGMA journal_mode = MEMORY")
         self.connection.execute("PRAGMA synchronous = OFF")
         self.schema: Optional[AnnotatedSchema] = None
@@ -460,6 +564,7 @@ class SqliteHybridStore(HybridStore):
                 cur.execute(f"DROP TABLE {table}")
             object_ids = [row[0] for row in rows]
             trace.add("object-ids", len(object_ids))
+            record_plan(trace, self.metrics_registry())
             return object_ids
 
         # Stage 2: direct count matching + existence-only candidates.
@@ -533,6 +638,7 @@ class SqliteHybridStore(HybridStore):
             cur.execute(f"DROP TABLE {table}")
         object_ids = [row[0] for row in rows]
         trace.add("object-ids", len(object_ids))
+        record_plan(trace, self.metrics_registry())
         return object_ids
 
     # ------------------------------------------------------------------
@@ -589,6 +695,13 @@ class SqliteHybridStore(HybridStore):
             if object_id not in responses:
                 responses[object_id] = f"<{root_tag}></{root_tag}>"
         cur.execute(f"DROP TABLE {req}")
+        registry = self.metrics_registry()
+        registry.counter(
+            "response_documents_total", "tagged XML responses built"
+        ).inc(len(responses))
+        registry.counter(
+            "response_bytes_total", "bytes of tagged XML serialized"
+        ).inc(sum(len(text) for text in responses.values()))
         return responses
 
     # ------------------------------------------------------------------

@@ -1,6 +1,6 @@
 """``repro.bench`` — benchmark harness utilities (S18)."""
 
-from .harness import ALL_SCHEMES, build_schemes, empty_schemes
+from .harness import ALL_SCHEMES, build_schemes, dump_metrics, empty_schemes
 from .tables import ResultTable, speedup
 from .timing import measure, throughput
 
@@ -8,6 +8,7 @@ __all__ = [
     "ALL_SCHEMES",
     "ResultTable",
     "build_schemes",
+    "dump_metrics",
     "empty_schemes",
     "measure",
     "speedup",

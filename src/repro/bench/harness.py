@@ -7,15 +7,33 @@ then measures storage architecture, not definition bookkeeping.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+import pathlib
+from typing import Dict, Optional, Sequence, Union
 
 from ..baselines import ClobCatalog, EdgeCatalog, HybridScheme, InliningCatalog
 from ..baselines.base import CatalogScheme
 from ..core.catalog import HybridCatalog
 from ..grid.generator import CorpusConfig, LeadCorpusGenerator
 from ..grid.leadschema import lead_schema
+from ..obs import MetricsRegistry, default_registry, render_json
 
 ALL_SCHEMES = ("hybrid", "inlining", "edge", "clob")
+
+
+def dump_metrics(
+    path: Union[str, pathlib.Path],
+    registry: Optional[MetricsRegistry] = None,
+) -> pathlib.Path:
+    """Write a JSON snapshot of ``registry`` (default: the process
+    registry) to ``path`` — benchmarks call this next to their timing
+    results so each run records *what the pipeline did* (row counts,
+    statement counts, stage sizes) alongside how long it took."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if registry is None:
+        registry = default_registry()
+    path.write_text(render_json(registry))
+    return path
 
 
 def build_schemes(

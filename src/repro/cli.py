@@ -16,6 +16,14 @@ Commands::
     python -m repro fetch   --db cat.db ID [ID ...]
     python -m repro schema  --db cat.db   (or --xsd schema.xsd)
     python -m repro info    --db cat.db
+    python -m repro stats   --db cat.db [--format table|json|prom] [--reset]
+
+Observability: every command records metrics (ingest/query timings,
+shredder row counts, per-stage plan rows, sqlite statement counts) into
+a registry that is persisted as a ``<db>.metrics.json`` sidecar, so
+counters accumulate across invocations — ``repro stats`` renders the
+accumulated registry, and ``--metrics-json PATH`` on any command dumps
+the registry (including that command's contribution) to ``PATH``.
 
 Query criteria syntax: ``--attr`` starts a top-level attribute
 criterion; subsequent ``--elem`` comparisons attach to the most recent
@@ -47,6 +55,13 @@ from .core import (
 )
 from .errors import ReproError
 from .grid import lead_schema
+from .obs import (
+    MetricsRegistry,
+    load_snapshot,
+    render_json,
+    render_prometheus,
+    render_table,
+)
 
 _OPS = {
     "=": Op.EQ, "==": Op.EQ, "!=": Op.NE, "<": Op.LT, "<=": Op.LE,
@@ -71,8 +86,17 @@ def _schema_for(db_path: str, xsd: Optional[str]):
     return lead_schema()
 
 
-def _open(db_path: str, xsd: Optional[str] = None) -> HybridCatalog:
-    return HybridCatalog(_schema_for(db_path, xsd), store=SqliteHybridStore(db_path))
+def _open(db_path: str, registry: MetricsRegistry,
+          xsd: Optional[str] = None) -> HybridCatalog:
+    return HybridCatalog(
+        _schema_for(db_path, xsd),
+        store=SqliteHybridStore(db_path),
+        metrics=registry,
+    )
+
+
+def _metrics_sidecar(db_path: str) -> pathlib.Path:
+    return pathlib.Path(db_path + ".metrics.json")
 
 
 def _split_name(token: str):
@@ -146,13 +170,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Hybrid XML-relational metadata catalog"
     )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--metrics-json", metavar="PATH", default=None,
+        help="dump the metrics registry as JSON to PATH after the command",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("init", help="create a new catalog file")
+    def add_parser(name, **kwargs):
+        return sub.add_parser(name, parents=[common], **kwargs)
+
+    p = add_parser("init", help="create a new catalog file")
     p.add_argument("--db", required=True)
     p.add_argument("--xsd", help="annotated schema (defaults to the LEAD schema)")
 
-    p = sub.add_parser("define", help="register a dynamic attribute definition")
+    p = add_parser("define", help="register a dynamic attribute definition")
     p.add_argument("--db", required=True)
     p.add_argument("name")
     p.add_argument("source")
@@ -162,18 +194,18 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="NAME:TYPE", help="element definition(s)")
     p.add_argument("--user", default=None)
 
-    p = sub.add_parser("ingest", help="ingest metadata documents")
+    p = add_parser("ingest", help="ingest metadata documents")
     p.add_argument("--db", required=True)
     p.add_argument("files", nargs="+")
     p.add_argument("--owner", default="")
     p.add_argument("--user", default=None)
 
-    p = sub.add_parser("add", help="add an attribute fragment to an object")
+    p = add_parser("add", help="add an attribute fragment to an object")
     p.add_argument("--db", required=True)
     p.add_argument("object_id", type=int)
     p.add_argument("fragment", help="file holding one attribute element")
 
-    p = sub.add_parser("query", help="find objects by attribute criteria")
+    p = add_parser("query", help="find objects by attribute criteria")
     p.add_argument("--db", required=True)
     p.add_argument("--attr", dest="attrs", action=_OrderedFlag, default=[])
     p.add_argument("--elem", dest="elems", action=_OrderedFlag, default=[])
@@ -183,21 +215,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--user", default=None)
     p.set_defaults(flag_order=[])
 
-    p = sub.add_parser("fetch", help="reconstruct objects as XML")
+    p = add_parser("fetch", help="reconstruct objects as XML")
     p.add_argument("--db", required=True)
     p.add_argument("ids", type=int, nargs="+")
 
-    p = sub.add_parser("schema", help="print the annotated schema")
+    p = add_parser("schema", help="print the annotated schema")
     p.add_argument("--db")
     p.add_argument("--xsd")
 
-    p = sub.add_parser("info", help="catalog statistics")
+    p = add_parser("info", help="catalog statistics")
     p.add_argument("--db", required=True)
 
-    p = sub.add_parser("fsck", help="check catalog integrity")
+    p = add_parser("fsck", help="check catalog integrity")
     p.add_argument("--db", required=True)
     p.add_argument("--deep", action="store_true",
                    help="also parse every stored CLOB")
+
+    p = add_parser("stats", help="show accumulated catalog metrics")
+    p.add_argument("--db", required=True)
+    p.add_argument("--format", choices=("table", "json", "prom"),
+                   default="table", help="output format (default: table)")
+    p.add_argument("--reset", action="store_true",
+                   help="clear the accumulated metrics after printing")
     return parser
 
 
@@ -211,12 +250,34 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _dispatch(args) -> int:
+    """Set up the invocation's metrics registry (seeded from the
+    catalog's sidecar so counters accumulate across processes), run the
+    command, then persist/dump the registry."""
+    registry = MetricsRegistry()
+    db = getattr(args, "db", None)
+    sidecar = _metrics_sidecar(db) if db else None
+    if sidecar is not None and sidecar.exists():
+        load_snapshot(registry, sidecar.read_text())
+    code = _run_command(args, registry)
+    if (
+        sidecar is not None
+        and args.command != "stats"
+        and pathlib.Path(db).exists()
+    ):
+        sidecar.write_text(render_json(registry))
+    metrics_json = getattr(args, "metrics_json", None)
+    if metrics_json:
+        pathlib.Path(metrics_json).write_text(render_json(registry))
+    return code
+
+
+def _run_command(args, registry: MetricsRegistry) -> int:
     if args.command == "init":
         if pathlib.Path(args.db).exists():
             print(f"error: {args.db} already exists", file=sys.stderr)
             return 1
         schema = _schema_for(args.db, args.xsd)
-        HybridCatalog(schema, store=SqliteHybridStore(args.db))
+        HybridCatalog(schema, store=SqliteHybridStore(args.db), metrics=registry)
         if args.xsd:
             pathlib.Path(args.db + ".xsd").write_text(
                 pathlib.Path(args.xsd).read_text()
@@ -230,7 +291,21 @@ def _dispatch(args) -> int:
         print(schema.describe())
         return 0
 
-    catalog = _open(args.db)
+    if args.command == "stats":
+        if args.format == "json":
+            print(render_json(registry))
+        elif args.format == "prom":
+            print(render_prometheus(registry), end="")
+        else:
+            rendered = render_table(registry)
+            print(rendered if rendered else "(no metrics recorded)")
+        if args.reset:
+            sidecar = _metrics_sidecar(args.db)
+            if sidecar.exists():
+                sidecar.unlink()
+        return 0
+
+    catalog = _open(args.db, registry)
 
     if args.command == "define":
         host = args.host

@@ -28,6 +28,8 @@ import itertools
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import CatalogError
+from ..obs.metrics import MetricsRegistry, default_registry
+from ..obs.tracing import Tracer, default_tracer
 from ..xmlkit import Document, parse
 from .definitions import AttributeDef, DefinitionRegistry, ElementDef
 from .query import ObjectQuery, ShreddedQuery, shred_query
@@ -66,9 +68,21 @@ class HybridCatalog:
         schema: AnnotatedSchema,
         store: Optional[HybridStore] = None,
         on_unknown: str = "store",
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.schema = schema
+        # Observability: an explicit registry scopes this catalog's
+        # numbers (per-catalog override); otherwise everything lands in
+        # the process-global default.  The tracer feeds the same
+        # registry so span-duration histograms stay co-located.
+        self.metrics = metrics if metrics is not None else default_registry()
+        if tracer is not None:
+            self.tracer = tracer
+        else:
+            self.tracer = default_tracer() if metrics is None else Tracer(metrics)
         self.store: HybridStore = store if store is not None else MemoryHybridStore()
+        self.store.bind_metrics(self.metrics)
         reopened = self.store.is_initialized()
         if reopened:
             # Reopening a persisted catalog: verify the schema matches
@@ -77,7 +91,9 @@ class HybridCatalog:
         else:
             self.store.install_schema(schema)
         self.registry = DefinitionRegistry(schema)
-        self.shredder = Shredder(schema, self.registry, on_unknown=on_unknown)
+        self.shredder = Shredder(
+            schema, self.registry, on_unknown=on_unknown, metrics=self.metrics
+        )
         self._names: Dict[int, str] = {}
         if reopened:
             attr_rows, elem_rows = self.store.load_definition_rows()
@@ -139,14 +155,23 @@ class HybridCatalog:
         :class:`~repro.xmlkit.Document`.  ``user`` scopes dynamic
         definition lookups (and auto-definitions in ``"define"`` mode).
         """
-        if isinstance(document, str):
-            document = parse(document)
-        shred = self.shredder.shred(document, user=user)
-        if shred.defined:
-            self.store.sync_definitions(self.registry)
-        object_id = next(self._object_ids)
-        self.store.store_object(object_id, name, owner, shred)
-        self._names[object_id] = name
+        with self.tracer.span("catalog.ingest", object_name=name) as current:
+            if isinstance(document, str):
+                document = parse(document)
+            shred = self.shredder.shred(document, user=user)
+            if shred.defined:
+                self.store.sync_definitions(self.registry)
+            object_id = next(self._object_ids)
+            self.store.store_object(object_id, name, owner, shred)
+            self._names[object_id] = name
+            current.set(object_id=object_id, clobs=len(shred.clobs),
+                        warnings=len(shred.warnings))
+        self.metrics.counter(
+            "catalog_ingests_total", "documents ingested"
+        ).inc()
+        self.metrics.gauge(
+            "catalog_objects", "objects currently cataloged"
+        ).set(len(self._names))
         return IngestReceipt(object_id, name, shred)
 
     def ingest_many(
@@ -163,6 +188,10 @@ class HybridCatalog:
     def delete(self, object_id: int) -> None:
         self.store.delete_object(object_id)
         self._names.pop(object_id, None)
+        self.metrics.counter("catalog_deletes_total", "objects deleted").inc()
+        self.metrics.gauge(
+            "catalog_objects", "objects currently cataloged"
+        ).set(len(self._names))
 
     # ------------------------------------------------------------------
     # Incremental attribute maintenance (paper §5: "as metadata
@@ -237,8 +266,16 @@ class HybridCatalog:
         trace: Optional[PlanTrace] = None,
     ) -> List[int]:
         """Match objects; returns sorted object ids (paper §4)."""
-        shredded = self.shred_query(query, user=user)
-        return self.store.match_objects(shredded, trace)
+        with self.tracer.span("catalog.query") as current:
+            shredded = self.shred_query(query, user=user)
+            current.set(
+                attribute_criteria=len(shredded.qattrs),
+                element_criteria=len(shredded.qelems),
+            )
+            ids = self.store.match_objects(shredded, trace)
+            current.set(matches=len(ids))
+        self.metrics.counter("catalog_queries_total", "queries executed").inc()
+        return ids
 
     def shred_query(self, query: ObjectQuery, user: Optional[str] = None) -> ShreddedQuery:
         """Expose query shredding separately (used by benchmarks and the
@@ -250,7 +287,8 @@ class HybridCatalog:
     # ------------------------------------------------------------------
     def fetch(self, object_ids: Sequence[int]) -> Dict[int, str]:
         """Rebuild tagged XML responses for ``object_ids`` (paper §5)."""
-        return self.store.build_responses(object_ids)
+        with self.tracer.span("catalog.fetch", requested=len(object_ids)):
+            return self.store.build_responses(object_ids)
 
     def search(
         self,
@@ -259,9 +297,10 @@ class HybridCatalog:
         trace: Optional[PlanTrace] = None,
     ) -> List[str]:
         """Query and fetch in one call; responses in object-id order."""
-        ids = self.query(query, user=user, trace=trace)
-        responses = self.fetch(ids)
-        return [responses[i] for i in ids]
+        with self.tracer.span("catalog.search"):
+            ids = self.query(query, user=user, trace=trace)
+            responses = self.fetch(ids)
+            return [responses[i] for i in ids]
 
     # ------------------------------------------------------------------
     # Accounting

@@ -33,7 +33,7 @@ from collections import defaultdict
 from typing import Dict, List, Optional, Set, Tuple
 
 from .query import Op, ShreddedQuery
-from .storage import MemoryHybridStore, PlanTrace
+from .storage import MemoryHybridStore, PlanTrace, record_plan
 
 Instance = Tuple[int, int]  # (object_id, seq_id)
 
@@ -51,7 +51,9 @@ def match_objects_memory(
     if trace is None:
         trace = PlanTrace()
     if query.simple:
-        return _match_objects_simple(store, query, trace)
+        object_ids = _match_objects_simple(store, query, trace)
+        record_plan(trace, store.metrics_registry())
+        return object_ids
     trace.add(
         "query-criteria",
         len(query.qattrs) + len(query.qelems),
@@ -163,6 +165,7 @@ def match_objects_memory(
             break
     object_ids = sorted(result or set())
     trace.add("object-ids", len(object_ids))
+    record_plan(trace, store.metrics_registry())
     return object_ids
 
 

@@ -86,4 +86,15 @@ def build_responses_memory(
             events.append((row[1], row[2], _CONTENT, 0, row[3]))
         events.sort(key=lambda e: (e[0], e[1], e[2], e[3]))
         responses[object_id] = "".join(e[4] for e in events)
+    _record_build(store, responses)
     return responses
+
+
+def _record_build(store: MemoryHybridStore, responses: Dict[int, str]) -> None:
+    registry = store.metrics_registry()
+    registry.counter(
+        "response_documents_total", "tagged XML responses built"
+    ).inc(len(responses))
+    registry.counter(
+        "response_bytes_total", "bytes of tagged XML serialized"
+    ).inc(sum(len(text) for text in responses.values()))

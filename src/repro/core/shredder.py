@@ -29,9 +29,11 @@ element has no definition in the registry:
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import ShredError, ValidationError
+from ..obs.metrics import MetricsRegistry, default_registry
 from ..xmlkit import Document, Element
 from .definitions import AttributeDef, DefinitionRegistry, ElementDef
 from .schema import AnnotatedSchema, DynamicSpec, NodeKind, SchemaNode, ValueType
@@ -177,12 +179,47 @@ class Shredder:
         schema: AnnotatedSchema,
         registry: DefinitionRegistry,
         on_unknown: str = "store",
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if on_unknown not in ON_UNKNOWN_POLICIES:
             raise ValueError(f"on_unknown must be one of {ON_UNKNOWN_POLICIES}")
         self.schema = schema
         self.registry = registry
         self.on_unknown = on_unknown
+        self._metrics = metrics
+        self._handles = None
+
+    def _observe(self, result: ShredResult, seconds: float) -> None:
+        """Account one shred into the metrics registry.  Handles are
+        resolved once and cached — this sits on the ingest hot path."""
+        registry = self._metrics if self._metrics is not None else default_registry()
+        if self._handles is None or self._handles[0] is not registry:
+            self._handles = (
+                registry,
+                registry.histogram("shredder_shred_seconds",
+                                   "wall time of one document/fragment shred"),
+                registry.counter("shredder_documents_total",
+                                 "documents and fragments shredded"),
+                registry.counter("shredder_clobs_total",
+                                 "CLOB rows produced by shredding"),
+                registry.counter("shredder_attribute_rows_total",
+                                 "attribute-instance rows produced"),
+                registry.counter("shredder_element_rows_total",
+                                 "element-value rows produced"),
+                registry.counter("shredder_inverted_rows_total",
+                                 "inverted-list rows produced"),
+                registry.counter("shredder_warnings_total",
+                                 "validation warnings recorded"),
+            )
+        (_, h_seconds, c_docs, c_clobs, c_attrs, c_elems, c_inverted,
+         c_warnings) = self._handles
+        h_seconds.observe(seconds)
+        c_docs.inc()
+        c_clobs.inc(len(result.clobs))
+        c_attrs.inc(len(result.attributes))
+        c_elems.inc(len(result.elements))
+        c_inverted.inc(len(result.inverted))
+        c_warnings.inc(len(result.warnings))
 
     # ------------------------------------------------------------------
     # Entry point
@@ -196,8 +233,10 @@ class Shredder:
                 f"document root {root.tag!r} does not match schema root "
                 f"{self.schema.root.tag!r}"
             )
+        start = time.perf_counter()
         state = _ShredState(document, user, ShredResult())
         self._walk_structural(root, self.schema.root, state)
+        self._observe(state.result, time.perf_counter() - start)
         return state.result
 
     def shred_attribute_fragment(
@@ -228,8 +267,10 @@ class Shredder:
             raise ShredError(
                 f"attribute <{root.tag}> allows a single instance"
             )
+        start = time.perf_counter()
         state = _ShredState(document, user, ShredResult(), seq_base=seq_base)
         self._shred_attribute(root, snode, clob_seq, state)
+        self._observe(state.result, time.perf_counter() - start)
         return state.result
 
     # ------------------------------------------------------------------

@@ -40,6 +40,8 @@ import abc
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import CatalogError
+from ..obs.metrics import MetricsRegistry, default_registry
+from ..obs.tracing import current_span
 from ..relational import Database, clob, eq, integer, real, text
 from .definitions import DefinitionRegistry
 from .ordering import ancestor_pairs
@@ -62,7 +64,14 @@ class PlanStage:
 
 
 class PlanTrace:
-    """Ordered stage list recorded while matching a query."""
+    """Ordered stage list recorded while matching a query.
+
+    Stages are mirrored into the observability layer by the planners:
+    each stage lands on the active :func:`repro.obs.span` as an event
+    and its row count is observed into the ``planner_stage_rows``
+    histogram, so the Fig-4 trace and the metrics pipeline are one
+    mechanism.
+    """
 
     def __init__(self) -> None:
         self.stages: List[PlanStage] = []
@@ -71,19 +80,73 @@ class PlanTrace:
         self.stages.append(PlanStage(name, rows, note))
 
     def describe(self) -> str:
-        width = max((len(s.name) for s in self.stages), default=0)
+        if not self.stages:
+            return "(no stages)"
+        width = max(len(s.name) for s in self.stages)
         lines = []
         for s in self.stages:
             note = f"  -- {s.note}" if s.note else ""
             lines.append(f"{s.name:<{width}}  {s.rows:>8} rows{note}")
         return "\n".join(lines)
 
+    def as_dict(self) -> dict:
+        """Structured export (mirrors :meth:`repro.obs.Span.as_dict`)."""
+        return {
+            "stages": [
+                {"name": s.name, "rows": s.rows, "note": s.note}
+                for s in self.stages
+            ]
+        }
+
     def stage_names(self) -> List[str]:
         return [s.name for s in self.stages]
 
 
+#: Row-count buckets for the per-stage histograms (row counts span
+#: 0 .. corpus * criteria, so powers of ten).
+ROW_BUCKETS = (0, 1, 5, 10, 50, 100, 500, 1000, 5000, 10000,
+               50000, 100000, float("inf"))
+
+
+def record_plan(trace: PlanTrace, registry: MetricsRegistry) -> None:
+    """Mirror an executed plan trace into the observability layer:
+    one ``planner_stage_rows{stage=...}`` observation per stage, plus
+    span events on the active query span (both backends call this at
+    the end of ``match_objects``)."""
+    stage_rows = registry.histogram(
+        "planner_stage_rows",
+        "row count produced by each query-plan stage",
+        labels=("stage",),
+        buckets=ROW_BUCKETS,
+    )
+    span = current_span()
+    for stage in trace.stages:
+        stage_rows.labels(stage=stage.name).observe(stage.rows)
+        if span is not None:
+            if stage.note:
+                span.event(stage.name, rows=stage.rows, note=stage.note)
+            else:
+                span.event(stage.name, rows=stage.rows)
+    registry.counter(
+        "planner_queries_total", "query plans executed"
+    ).inc()
+
+
 class HybridStore(abc.ABC):
-    """Backend interface for the hybrid catalog."""
+    """Backend interface for the hybrid catalog.
+
+    ``metrics`` is the registry instrumentation in the store and the
+    planners report to; the owning catalog binds its own registry via
+    :meth:`bind_metrics`, and unbound stores fall back to the process
+    default."""
+
+    metrics: Optional[MetricsRegistry] = None
+
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
+        self.metrics = registry
+
+    def metrics_registry(self) -> MetricsRegistry:
+        return self.metrics if self.metrics is not None else default_registry()
 
     @abc.abstractmethod
     def install_schema(self, schema: AnnotatedSchema) -> None:

@@ -59,6 +59,17 @@ class MyLeadService:
 
     def __init__(self, schema: AnnotatedSchema, catalog: Optional[HybridCatalog] = None) -> None:
         self.catalog = catalog if catalog is not None else HybridCatalog(schema)
+        # Service-level accounting (AMGA-style per-operation counters)
+        # lands in the owning catalog's registry.
+        self._ops = self.catalog.metrics.counter(
+            "service_ops_total",
+            "myLEAD service operations by kind and user",
+            labels=("op", "user"),
+        )
+        self._denied = self.catalog.metrics.counter(
+            "service_visibility_denied_total",
+            "objects withheld from a user by the visibility check",
+        )
         self._users: Dict[str, User] = {}
         self._experiments: Dict[int, Experiment] = {}
         self._experiment_ids = itertools.count(1)
@@ -97,6 +108,7 @@ class MyLeadService:
         """Create an experiment aggregation; it is cataloged as an object
         itself with minimal metadata so it is searchable."""
         self._require_user(user)
+        self._ops.labels(op="create_experiment", user=user).inc()
         experiment_id = next(self._experiment_ids)
         document = self._experiment_record(user, name, experiment_id)
         receipt = self.catalog.ingest(document, name=name, owner=user, user=user)
@@ -148,6 +160,7 @@ class MyLeadService:
     ) -> IngestReceipt:
         """Catalog a file's metadata under ``experiment``."""
         self._require_user(user)
+        self._ops.labels(op="add_file", user=user).inc()
         if experiment.owner != user:
             raise CatalogError(
                 f"experiment {experiment.name!r} belongs to {experiment.owner!r}"
@@ -163,10 +176,12 @@ class MyLeadService:
     def publish(self, user: str, object_id: int) -> None:
         """Make an object visible to every user."""
         self._require_owner(user, object_id)
+        self._ops.labels(op="publish", user=user).inc()
         self._public.add(object_id)
 
     def unpublish(self, user: str, object_id: int) -> None:
         self._require_owner(user, object_id)
+        self._ops.labels(op="unpublish", user=user).inc()
         self._public.discard(object_id)
 
     def _require_owner(self, user: str, object_id: int) -> None:
@@ -259,19 +274,27 @@ class MyLeadService:
         """Objects matching ``query`` that ``user`` may see (their own
         plus published ones)."""
         self._require_user(user)
+        self._ops.labels(op="query", user=user).inc()
         ids = self.catalog.query(query, user=user)
-        return [i for i in ids if self.is_visible(user, i)]
+        visible = [i for i in ids if self.is_visible(user, i)]
+        if len(visible) < len(ids):
+            self._denied.inc(len(ids) - len(visible))
+        return visible
 
     def fetch(self, user: str, object_ids: List[int]) -> Dict[int, str]:
         self._require_user(user)
+        self._ops.labels(op="fetch", user=user).inc()
         for object_id in object_ids:
             if not self.is_visible(user, object_id):
+                self._denied.inc()
                 raise CatalogError(
                     f"object {object_id} is not visible to {user!r}"
                 )
         return self.catalog.fetch(object_ids)
 
     def search(self, user: str, query: ObjectQuery) -> List[str]:
+        self._require_user(user)
+        self._ops.labels(op="search", user=user).inc()
         ids = self.query(user, query)
         responses = self.fetch(user, ids)
         return [responses[i] for i in ids]

@@ -1,0 +1,64 @@
+"""``repro.obs`` — zero-dependency observability for the hybrid catalog.
+
+Three pieces, threaded through every pipeline layer:
+
+* :mod:`.metrics` — thread-safe counters, gauges, and histograms in a
+  :class:`MetricsRegistry` (process-global default, per-catalog
+  override);
+* :mod:`.tracing` — nested wall-time spans feeding the registry and a
+  ring buffer of recent traces;
+* :mod:`.export` — JSON snapshots and Prometheus text exposition.
+
+See the "Observability" sections of README.md and DESIGN.md for metric
+names and label conventions.
+"""
+
+from .export import (
+    load_snapshot,
+    registry_snapshot,
+    render_json,
+    render_prometheus,
+    render_table,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    default_registry,
+    set_default_registry,
+)
+from .tracing import (
+    Span,
+    SpanEvent,
+    Tracer,
+    current_span,
+    default_tracer,
+    set_default_tracer,
+    span,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "current_span",
+    "default_registry",
+    "default_tracer",
+    "load_snapshot",
+    "registry_snapshot",
+    "render_json",
+    "render_prometheus",
+    "render_table",
+    "set_default_registry",
+    "set_default_tracer",
+    "span",
+]

@@ -1,0 +1,128 @@
+"""Registry exporters: JSON snapshots and Prometheus text exposition.
+
+The JSON form is the persistence/diff format (CLI ``--metrics-json``,
+benchmark snapshots, the per-catalog sidecar); the Prometheus text form
+follows the exposition format scraped by a Prometheus server —
+``# HELP`` / ``# TYPE`` headers, one ``name{labels} value`` sample per
+line, histograms rendered as cumulative ``_bucket{le=...}`` series plus
+``_sum`` and ``_count`` (the shape ``tiled``'s ``/api/v1/metrics``
+endpoint exposes).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List
+
+from .metrics import Histogram, MetricsRegistry
+
+__all__ = [
+    "registry_snapshot",
+    "render_json",
+    "render_prometheus",
+    "render_table",
+    "load_snapshot",
+]
+
+
+def registry_snapshot(registry: MetricsRegistry) -> dict:
+    """The registry as a plain JSON-serializable dict."""
+    return registry.as_dict()
+
+
+def render_json(registry: MetricsRegistry, indent: int = 2) -> str:
+    return json.dumps(registry_snapshot(registry), indent=indent, sort_keys=True)
+
+
+def load_snapshot(registry: MetricsRegistry, text: str) -> None:
+    """Fold a JSON snapshot (``render_json`` output) into ``registry``."""
+    registry.load(json.loads(text))
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_string(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and math.isnan(value):
+        return "NaN"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format."""
+    lines: List[str] = []
+    for family in registry.collect():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labels, metric in family.series():
+            if isinstance(metric, Histogram):
+                for bound, cumulative in metric.cumulative_buckets():
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = _format_value(bound)
+                    lines.append(
+                        f"{family.name}_bucket{_label_string(bucket_labels)} "
+                        f"{cumulative}"
+                    )
+                lines.append(
+                    f"{family.name}_sum{_label_string(labels)} "
+                    f"{_format_value(metric.sum)}"
+                )
+                lines.append(
+                    f"{family.name}_count{_label_string(labels)} "
+                    f"{metric.count}"
+                )
+            else:
+                lines.append(
+                    f"{family.name}{_label_string(labels)} "
+                    f"{_format_value(metric.value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ---------------------------------------------------------------------------
+# Human-readable console table (the `repro stats` default)
+# ---------------------------------------------------------------------------
+
+def render_table(registry: MetricsRegistry) -> str:
+    """A compact console rendering: one line per series; histograms show
+    count and the p50/p95/p99 summary."""
+    lines: List[str] = []
+    for family in registry.collect():
+        for labels, metric in family.series():
+            name = family.name + _label_string(labels)
+            if isinstance(metric, Histogram):
+                s = metric.summary()
+                if not s["count"]:
+                    lines.append(f"{name}  count=0")
+                    continue
+                lines.append(
+                    f"{name}  count={s['count']}  sum={s['sum']:.6f}  "
+                    f"p50={s['p50']:.6f}  p95={s['p95']:.6f}  "
+                    f"p99={s['p99']:.6f}"
+                )
+            else:
+                lines.append(f"{name}  {_format_value(metric.value)}")
+    return "\n".join(lines)

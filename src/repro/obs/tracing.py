@@ -1,0 +1,204 @@
+"""Lightweight nested spans over the hybrid pipeline.
+
+A span measures one operation's wall time and carries free-form
+attributes (object names, criteria counts) that would be too high
+cardinality for metric labels.  Spans nest via a context variable, so
+``catalog.search`` naturally contains ``catalog.query`` which contains
+the planner stages, and each completed *root* span is kept in a small
+ring buffer for post-hoc inspection::
+
+    with span("catalog.ingest", object_name="forecast-001"):
+        ...
+    default_tracer().recent()[-1].describe()
+
+Every span also feeds the metrics registry: a span named ``a.b``
+observes its duration into the histogram ``a_b_seconds``, so the same
+instrumentation yields both traces and latency distributions.  Plan
+stages recorded by the planner attach to the active span as events
+(this folds the Fig-4 ``PlanTrace`` into the one tracing mechanism).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Dict, List, Optional
+
+from .metrics import MetricsRegistry, default_registry
+
+__all__ = [
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "current_span",
+    "default_tracer",
+    "set_default_tracer",
+    "span",
+]
+
+#: Completed root spans kept per tracer.
+RING_SIZE = 64
+
+_current: ContextVar[Optional["Span"]] = ContextVar("repro_obs_span", default=None)
+
+
+class SpanEvent:
+    """A point-in-time annotation inside a span (e.g. one plan stage)."""
+
+    __slots__ = ("name", "fields")
+
+    def __init__(self, name: str, fields: Dict[str, object]) -> None:
+        self.name = name
+        self.fields = fields
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SpanEvent({self.name!r}, {self.fields!r})"
+
+
+class Span:
+    """One timed operation; may contain child spans and events."""
+
+    __slots__ = ("name", "attrs", "start_time", "duration", "children",
+                 "events", "status", "error", "_t0")
+
+    def __init__(self, name: str, attrs: Dict[str, object]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.start_time = time.time()
+        self.duration: Optional[float] = None
+        self.children: List[Span] = []
+        self.events: List[SpanEvent] = []
+        self.status = "ok"
+        self.error: Optional[str] = None
+        self._t0 = time.perf_counter()
+
+    def set(self, **attrs: object) -> None:
+        """Attach attributes after the span has started."""
+        self.attrs.update(attrs)
+
+    def event(self, name: str, **fields: object) -> None:
+        self.events.append(SpanEvent(name, fields))
+
+    def metric_name(self) -> str:
+        return self.name.replace(".", "_").replace("-", "_") + "_seconds"
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "attrs": dict(self.attrs),
+            "start_time": self.start_time,
+            "duration": self.duration,
+            "status": self.status,
+            "error": self.error,
+            "events": [{"name": e.name, **e.fields} for e in self.events],
+            "children": [child.as_dict() for child in self.children],
+        }
+
+    def describe(self, indent: int = 0) -> str:
+        """A readable one-line-per-span tree rendering."""
+        pad = "  " * indent
+        duration = (
+            f"{self.duration * 1e3:9.3f} ms" if self.duration is not None
+            else "  (open)  "
+        )
+        attrs = "".join(f" {k}={v}" for k, v in self.attrs.items())
+        status = "" if self.status == "ok" else f" [{self.status}: {self.error}]"
+        lines = [f"{pad}{duration}  {self.name}{attrs}{status}"]
+        for event in self.events:
+            fields = "".join(f" {k}={v}" for k, v in event.fields.items())
+            lines.append(f"{pad}    · {event.name}{fields}")
+        for child in self.children:
+            lines.append(child.describe(indent + 1))
+        return "\n".join(lines)
+
+    def find(self, name: str) -> Optional["Span"]:
+        """Depth-first search for a descendant span (or self) by name."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Span({self.name!r}, duration={self.duration})"
+
+
+class Tracer:
+    """Creates spans, feeds their durations to a metrics registry, and
+    keeps a ring buffer of recently completed root spans."""
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None,
+                 keep: int = RING_SIZE) -> None:
+        self._metrics = metrics
+        self._recent: deque = deque(maxlen=keep)
+        self._lock = threading.Lock()
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self._metrics if self._metrics is not None else default_registry()
+
+    @contextmanager
+    def span(self, name: str, **attrs: object):
+        current = Span(name, attrs)
+        parent = _current.get()
+        if parent is not None:
+            parent.children.append(current)
+        token = _current.set(current)
+        try:
+            yield current
+        except BaseException as exc:
+            current.status = "error"
+            current.error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            current.duration = time.perf_counter() - current._t0
+            _current.reset(token)
+            self.metrics.histogram(
+                current.metric_name(), f"duration of {name} spans"
+            ).observe(current.duration)
+            if parent is None:
+                with self._lock:
+                    self._recent.append(current)
+
+    def recent(self) -> List[Span]:
+        """Completed root spans, oldest first."""
+        with self._lock:
+            return list(self._recent)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._recent.clear()
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span on this thread/context, if any."""
+    return _current.get()
+
+
+_default_tracer = Tracer()
+_default_lock = threading.Lock()
+
+
+def default_tracer() -> Tracer:
+    """The process-global tracer (feeds the default metrics registry)."""
+    return _default_tracer
+
+
+def set_default_tracer(tracer: Tracer) -> Tracer:
+    """Swap the process-global tracer; returns the previous one."""
+    global _default_tracer
+    with _default_lock:
+        previous = _default_tracer
+        _default_tracer = tracer
+    return previous
+
+
+def span(name: str, **attrs: object):
+    """``with span("catalog.ingest", object_name=...):`` on the default
+    tracer."""
+    return _default_tracer.span(name, **attrs)

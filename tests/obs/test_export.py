@@ -1,0 +1,144 @@
+"""Exporter tests: JSON round-trip, Prometheus exposition golden,
+console table."""
+
+import json
+import math
+import re
+
+from repro.obs import (
+    MetricsRegistry,
+    load_snapshot,
+    render_json,
+    render_prometheus,
+    render_table,
+)
+
+# One Prometheus sample line: name{labels} value
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})? "
+    r"(?P<value>[^ ]+)$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_exposition(text):
+    """Parse the text exposition line by line into (samples, types)."""
+    samples, types = {}, {}
+    for line in text.splitlines():
+        assert line, "exposition must not contain blank lines"
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ")
+            types[name] = kind
+            continue
+        if line.startswith("# HELP "):
+            continue
+        match = _SAMPLE_RE.match(line)
+        assert match, f"unparseable sample line: {line!r}"
+        labels = dict(_LABEL_RE.findall(match.group("labels") or ""))
+        key = (match.group("name"), tuple(sorted(labels.items())))
+        samples[key] = match.group("value")
+    return samples, types
+
+
+def _loaded_registry():
+    registry = MetricsRegistry()
+    registry.counter("shredder_clobs_total", help="CLOBs written").inc(4)
+    registry.gauge("catalog_objects").set(2)
+    ops = registry.counter("service_ops_total", labels=("op",))
+    ops.labels(op="ingest").inc(2)
+    ops.labels(op="query").inc()
+    hist = registry.histogram("catalog_ingest_seconds",
+                              help="ingest latency", buckets=(0.1, 1.0))
+    # Binary-exact values so the rendered _sum is deterministic.
+    hist.observe(0.0625)
+    hist.observe(0.5)
+    hist.observe(7.0)
+    return registry
+
+
+class TestPrometheus:
+    def test_golden_exposition(self):
+        text = render_prometheus(_loaded_registry())
+        expected = "\n".join([
+            "# HELP catalog_ingest_seconds ingest latency",
+            "# TYPE catalog_ingest_seconds histogram",
+            'catalog_ingest_seconds_bucket{le="0.1"} 1',
+            'catalog_ingest_seconds_bucket{le="1"} 2',
+            'catalog_ingest_seconds_bucket{le="+Inf"} 3',
+            "catalog_ingest_seconds_sum 7.5625",
+            "catalog_ingest_seconds_count 3",
+            "# TYPE catalog_objects gauge",
+            "catalog_objects 2",
+            "# TYPE service_ops_total counter",
+            'service_ops_total{op="ingest"} 2',
+            'service_ops_total{op="query"} 1',
+            "# HELP shredder_clobs_total CLOBs written",
+            "# TYPE shredder_clobs_total counter",
+            "shredder_clobs_total 4",
+        ]) + "\n"
+        assert text == expected
+
+    def test_every_line_parses(self):
+        samples, types = _parse_exposition(render_prometheus(_loaded_registry()))
+        assert types == {
+            "catalog_ingest_seconds": "histogram",
+            "catalog_objects": "gauge",
+            "service_ops_total": "counter",
+            "shredder_clobs_total": "counter",
+        }
+        assert samples[("shredder_clobs_total", ())] == "4"
+        assert samples[("service_ops_total", (("op", "ingest"),))] == "2"
+        # Histogram buckets are cumulative and end at +Inf == count.
+        assert samples[("catalog_ingest_seconds_bucket", (("le", "+Inf"),))] == "3"
+        assert samples[("catalog_ingest_seconds_count", ())] == "3"
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        family = registry.counter("x_total", labels=("name",))
+        family.labels(name='we"ird\\path\nline').inc()
+        text = render_prometheus(registry)
+        assert 'name="we\\"ird\\\\path\\nline"' in text
+        samples, _types = _parse_exposition(text)
+        assert len(samples) == 1
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestJson:
+    def test_round_trip_through_text(self):
+        registry = _loaded_registry()
+        text = render_json(registry)
+        data = json.loads(text)
+        assert data["schema"] == "repro.obs/v1"
+        restored = MetricsRegistry()
+        load_snapshot(restored, text)
+        assert restored.counter("shredder_clobs_total").value == 4
+        assert restored.gauge("catalog_objects").value == 2
+        hist = restored.histogram(
+            "catalog_ingest_seconds", buckets=(0.1, 1.0)
+        ).labels()
+        assert hist.count == 3
+        assert hist.sum == 7.5625
+
+    def test_non_finite_values_are_json_safe(self):
+        registry = MetricsRegistry()
+        registry.histogram("x_seconds").labels()  # empty: p50/p95/p99 are nan
+        registry.histogram("y_seconds").observe(math.inf)
+        json.loads(render_json(registry))  # must not raise
+
+
+class TestTable:
+    def test_table_lines(self):
+        text = render_table(_loaded_registry())
+        lines = text.splitlines()
+        assert 'service_ops_total{op="ingest"}  2' in lines
+        assert "catalog_objects  2" in lines
+        hist_line = next(l for l in lines if l.startswith("catalog_ingest_seconds"))
+        assert "count=3" in hist_line and "p50=" in hist_line
+
+    def test_empty_histogram_row(self):
+        registry = MetricsRegistry()
+        registry.histogram("x_seconds").labels()
+        assert "count=0" in render_table(registry)

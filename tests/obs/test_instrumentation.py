@@ -1,0 +1,143 @@
+"""Integration tests: the instrumented pipeline records the expected
+metrics and spans on both backends, without cross-catalog bleed."""
+
+import pytest
+
+from repro.backends import SqliteHybridStore
+from repro.core.catalog import HybridCatalog
+from repro.core.query import AttributeCriteria, ObjectQuery, Op
+from repro.core.storage import PlanTrace
+from repro.errors import CatalogError
+from repro.grid import FIG3_DOCUMENT, define_fig3_attributes, lead_schema
+from repro.grid.service import MyLeadService
+from repro.obs import MetricsRegistry
+
+#: The acceptance-criteria metric names an ingest+query session must hit.
+REQUIRED_METRICS = (
+    "catalog_ingest_seconds",
+    "catalog_query_seconds",
+    "shredder_clobs_total",
+    "planner_stage_rows",
+    "sqlite_statements_total",
+)
+
+
+def _session(store=None):
+    """Run one ingest+query+fetch session against a private registry."""
+    registry = MetricsRegistry()
+    catalog = HybridCatalog(lead_schema(), store=store, metrics=registry)
+    define_fig3_attributes(catalog)
+    catalog.ingest(FIG3_DOCUMENT, name="fig3")
+    grid = AttributeCriteria("grid", "ARPS").add_element("dx", "ARPS", 1000, Op.EQ)
+    query = ObjectQuery().add_attribute(grid)
+    responses = catalog.search(query)
+    assert len(responses) == 1
+    return registry, catalog
+
+
+@pytest.mark.parametrize("backend", ["memory", "sqlite"])
+def test_session_records_required_metrics(backend):
+    store = SqliteHybridStore() if backend == "sqlite" else None
+    registry, _catalog = _session(store)
+    expected = set(REQUIRED_METRICS)
+    if backend == "memory":
+        expected.discard("sqlite_statements_total")
+    missing = expected - set(registry.names())
+    assert not missing, f"missing metrics: {sorted(missing)}"
+
+
+def test_ingest_and_query_counters_and_gauge():
+    registry, catalog = _session()
+    assert registry.counter("catalog_ingests_total").value == 1
+    assert registry.counter("catalog_queries_total").value == 1
+    assert registry.gauge("catalog_objects").value == 1
+    assert registry.counter("shredder_clobs_total").value > 0
+    assert registry.histogram("catalog_ingest_seconds").labels().count == 1
+    catalog.delete(1)
+    assert registry.gauge("catalog_objects").value == 0
+    assert registry.counter("catalog_deletes_total").value == 1
+
+
+def test_planner_stage_rows_labeled_by_stage():
+    registry, _catalog = _session()
+    family = registry.get("planner_stage_rows")
+    stages = {labels["stage"] for labels, _metric in family.series()}
+    assert stages  # at least one Fig-4 stage observed
+    assert all(stages)  # no empty stage labels
+
+
+def test_search_span_nests_query_and_fetch():
+    registry, catalog = _session()
+    roots = [s for s in catalog.tracer.recent() if s.name == "catalog.search"]
+    assert roots, "catalog.search must produce a root span"
+    root = roots[-1]
+    assert root.find("catalog.query") is not None
+    assert root.find("catalog.fetch") is not None
+    # Plan stages fold into the query span as events (one per stage).
+    query_span = root.find("catalog.query")
+    assert query_span.events
+    assert all("rows" in e.fields for e in query_span.events)
+    assert "catalog.query" in root.describe()
+
+
+def test_sqlite_statement_and_row_accounting():
+    registry, _catalog = _session(SqliteHybridStore())
+    kinds = {
+        labels["kind"]
+        for labels, _m in registry.get("sqlite_statements_total").series()
+    }
+    assert "execute" in kinds
+    assert registry.counter("sqlite_rows_fetched_total").value > 0
+    assert registry.histogram("sqlite_txn_seconds").labels().count > 0
+
+
+def test_response_volume_counters():
+    registry, _catalog = _session()
+    assert registry.counter("response_documents_total").value >= 1
+    assert registry.counter("response_bytes_total").value > 0
+
+
+def test_two_catalogs_do_not_share_series():
+    a, _ = _session()
+    b = MetricsRegistry()
+    HybridCatalog(lead_schema(), metrics=b)  # constructed, never ingested
+    assert "catalog_ingest_seconds" in a
+    assert "catalog_ingest_seconds" not in b
+
+
+def test_service_op_and_visibility_counters():
+    registry = MetricsRegistry()
+    catalog = HybridCatalog(lead_schema(), metrics=registry)
+    service = MyLeadService(lead_schema(), catalog)
+    service.create_user("alice")
+    service.create_user("bob")
+    exp = service.create_experiment("alice", "run-1")
+    receipt = service.add_file("alice", exp, FIG3_DOCUMENT, name="f1")
+    ops = registry.get("service_ops_total")
+    recorded = {
+        (labels["op"], labels["user"]): metric.value
+        for labels, metric in ops.series()
+    }
+    assert recorded[("create_experiment", "alice")] == 1
+    assert recorded[("add_file", "alice")] == 1
+    # bob cannot see alice's unpublished file.
+    with pytest.raises(CatalogError):
+        service.fetch("bob", [receipt.object_id])
+    assert registry.counter("service_visibility_denied_total").value >= 1
+
+
+class TestPlanTrace:
+    def test_empty_describe(self):
+        assert PlanTrace().describe() == "(no stages)"
+
+    def test_as_dict(self):
+        trace = PlanTrace()
+        trace.add("candidate-attrs", 12, note="name/source match")
+        trace.add("final", 3)
+        assert trace.as_dict() == {
+            "stages": [
+                {"name": "candidate-attrs", "rows": 12,
+                 "note": "name/source match"},
+                {"name": "final", "rows": 3, "note": ""},
+            ]
+        }

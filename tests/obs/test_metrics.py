@@ -1,0 +1,205 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms)."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    set_default_registry,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_inc_rejected(self):
+        counter = MetricsRegistry().counter("ops_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_labeled_children_are_independent(self):
+        registry = MetricsRegistry()
+        family = registry.counter("ops_total", labels=("op",))
+        family.labels(op="ingest").inc(3)
+        family.labels(op="query").inc()
+        assert family.labels(op="ingest").value == 3
+        assert family.labels(op="query").value == 1
+
+    def test_wrong_labels_rejected(self):
+        family = MetricsRegistry().counter("ops_total", labels=("op",))
+        with pytest.raises(ValueError):
+            family.labels(user="alice")
+
+    def test_same_labels_return_same_child(self):
+        family = MetricsRegistry().counter("ops_total", labels=("op",))
+        assert family.labels(op="x") is family.labels(op="x")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("objects")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(5)
+        assert gauge.value == 7
+
+
+class TestHistogram:
+    def test_observations_bucketed_once(self):
+        hist = Histogram(buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 99.0):
+            hist.observe(value)
+        # Per-bucket: one <=1, one <=2, one in +Inf.
+        cumulative = hist.cumulative_buckets()
+        assert cumulative == [(1.0, 1), (2.0, 2), (math.inf, 3)]
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(101.0)
+
+    def test_inf_bucket_always_present(self):
+        hist = Histogram(buckets=(1.0,))
+        assert hist.bounds[-1] == math.inf
+
+    def test_percentile_exact_and_interpolated(self):
+        hist = Histogram()
+        for value in range(1, 101):  # 1..100
+            hist.observe(float(value))
+        assert hist.percentile(0) == 1.0
+        assert hist.percentile(100) == 100.0
+        # rank = 0.5 * 99 = 49.5 -> halfway between 50 and 51.
+        assert hist.percentile(50) == pytest.approx(50.5)
+        assert hist.percentile(95) == pytest.approx(95.05)
+
+    def test_percentile_empty_is_nan(self):
+        assert math.isnan(Histogram().percentile(50))
+
+    def test_percentile_range_checked(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(101)
+
+    def test_summary_fields(self):
+        hist = Histogram()
+        hist.observe(2.0)
+        hist.observe(4.0)
+        s = hist.summary()
+        assert s["count"] == 2
+        assert s["sum"] == pytest.approx(6.0)
+        assert s["min"] == 2.0
+        assert s["max"] == 4.0
+        assert s["p50"] == pytest.approx(3.0)
+
+    def test_merge_dict_same_buckets(self):
+        a, b = Histogram(buckets=(1.0, 2.0)), Histogram(buckets=(1.0, 2.0))
+        a.observe(0.5)
+        b.observe(1.5)
+        b.merge_dict(a.as_dict())
+        assert b.count == 2
+        assert b.cumulative_buckets()[-1][1] == 2
+
+    def test_merge_dict_rebuckets_mismatched_bounds(self):
+        src = Histogram(buckets=(10.0,))
+        src.observe(0.5)
+        src.observe(5.0)
+        dst = Histogram(buckets=(1.0, 2.0))
+        dst.merge_dict(src.as_dict())
+        assert dst.count == 2
+        # Cumulative +Inf total must still equal the count.
+        assert dst.cumulative_buckets()[-1][1] == 2
+        assert dst.cumulative_buckets()[0] == (1.0, 1)
+
+
+class TestRegistry:
+    def test_get_or_create_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x_total") is registry.counter("x_total")
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total")
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("bad name")
+        with pytest.raises(ValueError):
+            registry.counter("ok_total", labels=("bad-label",))
+
+    def test_collect_sorted_and_contains(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total")
+        registry.counter("a_total")
+        assert registry.names() == ["a_total", "b_total"]
+        assert "a_total" in registry
+        assert registry.get("missing") is None
+
+    def test_snapshot_round_trip(self):
+        src = MetricsRegistry()
+        src.counter("ops_total", labels=("op",)).labels(op="ingest").inc(7)
+        src.gauge("objects").set(3)
+        src.histogram("lat_seconds").observe(0.25)
+        dst = MetricsRegistry()
+        dst.load(src.as_dict())
+        dst.load(src.as_dict())  # counters/histograms accumulate
+        assert dst.counter("ops_total", labels=("op",)).labels(op="ingest").value == 14
+        assert dst.gauge("objects").value == 3  # gauges take the snapshot
+        assert dst.histogram("lat_seconds").labels().count == 2
+
+    def test_default_registry_swap(self):
+        mine = MetricsRegistry()
+        previous = set_default_registry(mine)
+        try:
+            assert default_registry() is mine
+        finally:
+            set_default_registry(previous)
+        assert default_registry() is previous
+
+    def test_default_buckets_cover_sub_ms_to_seconds(self):
+        assert DEFAULT_BUCKETS[0] <= 0.0001
+        assert 10.0 in DEFAULT_BUCKETS
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_are_exact(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total")
+        hist = registry.histogram("lat_seconds")
+        n_threads, per_thread = 8, 2000
+
+        def work():
+            for _ in range(per_thread):
+                counter.inc()
+                hist.observe(0.001)
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == n_threads * per_thread
+        assert hist.labels().count == n_threads * per_thread
+        assert hist.labels().cumulative_buckets()[-1][1] == n_threads * per_thread
+
+    def test_concurrent_label_creation_single_child(self):
+        family = MetricsRegistry().counter("ops_total", labels=("op",))
+        seen = []
+
+        def work():
+            seen.append(family.labels(op="same"))
+
+        threads = [threading.Thread(target=work) for _ in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(child is seen[0] for child in seen)

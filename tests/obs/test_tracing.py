@@ -1,0 +1,114 @@
+"""Unit tests for span tracing (nesting, metrics feed, ring buffer)."""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    current_span,
+    default_tracer,
+    set_default_tracer,
+    span,
+)
+
+
+class TestNesting:
+    def test_children_attach_to_parent(self):
+        tracer = Tracer(MetricsRegistry())
+        with tracer.span("outer") as outer:
+            with tracer.span("inner.first"):
+                pass
+            with tracer.span("inner.second"):
+                pass
+        assert [c.name for c in outer.children] == ["inner.first", "inner.second"]
+        assert all(c.duration is not None for c in outer.children)
+
+    def test_current_span_tracks_innermost(self):
+        tracer = Tracer(MetricsRegistry())
+        assert current_span() is None
+        with tracer.span("outer") as outer:
+            assert current_span() is outer
+            with tracer.span("inner") as inner:
+                assert current_span() is inner
+            assert current_span() is outer
+        assert current_span() is None
+
+    def test_only_roots_enter_ring_buffer(self):
+        tracer = Tracer(MetricsRegistry())
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        assert [s.name for s in tracer.recent()] == ["root"]
+
+    def test_ring_buffer_bounded(self):
+        tracer = Tracer(MetricsRegistry(), keep=3)
+        for i in range(5):
+            with tracer.span(f"op{i}"):
+                pass
+        assert [s.name for s in tracer.recent()] == ["op2", "op3", "op4"]
+        tracer.clear()
+        assert tracer.recent() == []
+
+
+class TestMetricsFeed:
+    def test_span_duration_observed_as_histogram(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry)
+        with tracer.span("catalog.ingest"):
+            pass
+        hist = registry.get("catalog_ingest_seconds").labels()
+        assert hist.count == 1
+        assert hist.sum >= 0
+
+    def test_metric_name_sanitizes_dots_and_dashes(self):
+        tracer = Tracer(MetricsRegistry())
+        with tracer.span("a.b-c") as s:
+            pass
+        assert s.metric_name() == "a_b_c_seconds"
+
+
+class TestErrorsAndEvents:
+    def test_error_status_recorded_and_reraised(self):
+        tracer = Tracer(MetricsRegistry())
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        (root,) = tracer.recent()
+        assert root.status == "error"
+        assert "RuntimeError: boom" in root.error
+        assert root.duration is not None
+
+    def test_events_and_attrs_in_describe(self):
+        tracer = Tracer(MetricsRegistry())
+        with tracer.span("catalog.query", criteria=2) as s:
+            s.event("plan.stage", stage="attr-match", rows=17)
+            s.set(matches=3)
+        text = s.describe()
+        assert "catalog.query" in text
+        assert "criteria=2" in text
+        assert "matches=3" in text
+        assert "plan.stage" in text and "rows=17" in text
+
+    def test_as_dict_and_find(self):
+        tracer = Tracer(MetricsRegistry())
+        with tracer.span("outer") as outer:
+            with tracer.span("inner"):
+                pass
+        data = outer.as_dict()
+        assert data["name"] == "outer"
+        assert data["children"][0]["name"] == "inner"
+        assert outer.find("inner").name == "inner"
+        assert outer.find("missing") is None
+
+
+class TestDefaults:
+    def test_module_level_span_uses_default_tracer(self):
+        mine = Tracer(MetricsRegistry())
+        previous = set_default_tracer(mine)
+        try:
+            with span("standalone"):
+                pass
+            assert default_tracer() is mine
+            assert [s.name for s in mine.recent()] == ["standalone"]
+        finally:
+            set_default_tracer(previous)

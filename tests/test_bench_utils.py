@@ -104,3 +104,81 @@ class TestSchemeBuilders:
         schemes = build_schemes(CorpusConfig(seed=1), 2,
                                 schemes=["hybrid", "edge"])
         assert schemes["edge"].registry is schemes["hybrid"].catalog.registry
+
+
+class TestMetricsDump:
+    def test_dump_metrics_writes_snapshot(self, tmp_path):
+        import json
+
+        from repro.bench import dump_metrics
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("bench_runs_total").inc(2)
+        path = dump_metrics(tmp_path / "nested" / "metrics.json", registry)
+        data = json.loads(path.read_text())
+        assert data["schema"] == "repro.obs/v1"
+        assert data["metrics"][0]["name"] == "bench_runs_total"
+
+    def test_dump_metrics_defaults_to_process_registry(self, tmp_path):
+        import json
+
+        from repro.bench import dump_metrics
+        from repro.obs import MetricsRegistry, set_default_registry
+
+        mine = MetricsRegistry()
+        mine.gauge("marker").set(7)
+        previous = set_default_registry(mine)
+        try:
+            path = dump_metrics(tmp_path / "m.json")
+        finally:
+            set_default_registry(previous)
+        data = json.loads(path.read_text())
+        assert any(m["name"] == "marker" for m in data["metrics"])
+
+
+class TestBenchEmit:
+    @pytest.fixture()
+    def util(self, tmp_path, monkeypatch):
+        """The benchmarks/_util module, redirected to a temp results dir."""
+        import importlib.util
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[1]
+        spec = importlib.util.spec_from_file_location(
+            "bench_util_under_test", root / "benchmarks" / "_util.py")
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        monkeypatch.setattr(module, "RESULTS_DIR", tmp_path)
+        return module
+
+    def test_emit_writes_txt_json_and_metrics(self, util, capsys):
+        import json
+
+        table = ResultTable("E99: demo", ["scheme", "seconds"])
+        table.add_row("hybrid", 0.012)
+        util.emit("e99_demo", table)
+        capsys.readouterr()
+        assert (util.RESULTS_DIR / "e99_demo.txt").exists()
+        data = json.loads((util.RESULTS_DIR / "BENCH_e99_demo.json").read_text())
+        assert data["experiment"] == "e99_demo"
+        assert data["tables"]["E99: demo"]["columns"] == ["scheme", "seconds"]
+        assert data["tables"]["E99: demo"]["rows"] == [["hybrid", 0.012]]
+        metrics = json.loads(
+            (util.RESULTS_DIR / "BENCH_e99_demo_metrics.json").read_text())
+        assert metrics["schema"] == "repro.obs/v1"
+
+    def test_emit_replaces_same_title(self, util, capsys):
+        import json
+
+        first = ResultTable("E99: demo", ["v"])
+        first.add_row(1)
+        util.emit("e99_demo", first)
+        second = ResultTable("E99: demo", ["v"])
+        second.add_row(2)
+        util.emit("e99_demo", second)
+        capsys.readouterr()
+        data = json.loads((util.RESULTS_DIR / "BENCH_e99_demo.json").read_text())
+        assert data["tables"]["E99: demo"]["rows"] == [[2]]
+        txt = (util.RESULTS_DIR / "e99_demo.txt").read_text()
+        assert txt.count("E99: demo") == 1

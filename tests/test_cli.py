@@ -219,3 +219,68 @@ class TestPersistence:
         # Later commands load the sidecar schema transparently.
         code, out, _err = run(capsys, "info", "--db", db)
         assert code == 0
+
+
+class TestStats:
+    def test_stats_after_session(self, loaded, capsys):
+        """Metrics accumulate in the sidecar across CLI invocations and
+        surface through `repro stats`."""
+        code, _out, _err = run(
+            capsys, "query", "--db", loaded,
+            "--attr", "grid/ARPS", "--elem", "dx/ARPS = 1000")
+        assert code == 0
+        code, out, _err = run(capsys, "stats", "--db", loaded)
+        assert code == 0
+        for name in ("catalog_ingest_seconds", "catalog_query_seconds",
+                     "shredder_clobs_total", "planner_stage_rows",
+                     "sqlite_statements_total"):
+            assert name in out, f"{name} missing from stats output"
+
+    def test_stats_json_format(self, loaded, capsys):
+        import json
+
+        code, out, _err = run(capsys, "stats", "--db", loaded, "--format", "json")
+        assert code == 0
+        data = json.loads(out)
+        assert data["schema"] == "repro.obs/v1"
+        assert any(m["name"] == "shredder_clobs_total" for m in data["metrics"])
+
+    def test_stats_prom_format_parses(self, loaded, capsys):
+        code, out, _err = run(capsys, "stats", "--db", loaded, "--format", "prom")
+        assert code == 0
+        assert "# TYPE catalog_ingest_seconds histogram" in out
+        assert 'catalog_ingest_seconds_bucket{le="+Inf"}' in out
+
+    def test_stats_reset_clears_sidecar(self, loaded, capsys):
+        import pathlib
+
+        sidecar = pathlib.Path(loaded + ".metrics.json")
+        assert sidecar.exists()
+        code, _out, _err = run(capsys, "stats", "--db", loaded, "--reset")
+        assert code == 0
+        assert not sidecar.exists()
+        code, out, _err = run(capsys, "stats", "--db", loaded)
+        assert "(no metrics recorded)" in out
+
+    def test_stats_empty_db_reports_none(self, db, capsys):
+        run(capsys, "init", "--db", db)
+        import pathlib
+
+        pathlib.Path(db + ".metrics.json").unlink()
+        code, out, _err = run(capsys, "stats", "--db", db)
+        assert code == 0
+        assert "(no metrics recorded)" in out
+
+    def test_metrics_json_flag(self, loaded, fig3_file, tmp_path, capsys):
+        """--metrics-json dumps this invocation's registry to a file."""
+        import json
+
+        out_path = tmp_path / "run.json"
+        code, _out, _err = run(
+            capsys, "ingest", "--db", loaded, fig3_file,
+            "--metrics-json", str(out_path))
+        assert code == 0
+        data = json.loads(out_path.read_text())
+        names = {m["name"] for m in data["metrics"]}
+        assert "catalog_ingest_seconds" in names
+        assert "shredder_clobs_total" in names
