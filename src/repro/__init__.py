@@ -63,6 +63,7 @@ from .errors import (
     ShredError,
     ValidationError,
 )
+from .faults import FaultError, FaultPlan, RetryPolicy, TransientFault
 
 __version__ = "1.0.0"
 
@@ -76,6 +77,8 @@ __all__ = [
     "DynamicSpec",
     "ElementCriterion",
     "ElementDef",
+    "FaultError",
+    "FaultPlan",
     "HybridCatalog",
     "HybridStore",
     "IngestReceipt",
@@ -89,10 +92,12 @@ __all__ = [
     "QueryError",
     "ReproError",
     "ResponseError",
+    "RetryPolicy",
     "SchemaError",
     "SchemaNode",
     "ShredError",
     "Shredder",
+    "TransientFault",
     "ValidationError",
     "ValueType",
     "attribute",

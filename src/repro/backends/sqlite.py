@@ -20,6 +20,18 @@ actual SQL:
 Equivalence with the memory store is property-tested
 (``tests/integration/test_backend_equivalence.py``) and measured in
 bench E9.
+
+Crash safety (S32): the connection runs in autocommit
+(``isolation_level=None``) and every logical mutation is wrapped in an
+explicit ``BEGIN IMMEDIATE`` … ``COMMIT`` — one commit per operation,
+``ROLLBACK`` on any exception — via the shared
+:class:`~repro.core.storage.HybridStore` transaction protocol.  The
+tracked-connection proxy consults the store's installed
+:class:`~repro.faults.FaultPlan` before each data statement issued
+inside a transaction (site = ``verb:table``), which is how the fault
+suite fails any individual write deterministically.  On-disk catalogs
+get ``journal_mode=WAL`` + ``synchronous=NORMAL`` so a killed process
+cannot corrupt the file; ``:memory:`` catalogs keep the fast pragmas.
 """
 
 from __future__ import annotations
@@ -110,6 +122,31 @@ CREATE TABLE elem_defs (
 
 _BIG_SEQ = 1 << 60
 
+#: Transaction-control verbs that bypass fault injection (they *are*
+#: the crash-safety machinery, not a crash point).
+_CONTROL_VERBS = frozenset(("BEGIN", "COMMIT", "ROLLBACK", "END"))
+
+
+def _statement_site(sql: str) -> str:
+    """``verb:table`` site name for a data statement, matching the
+    memory store's naming so one FaultPlan drives both backends."""
+    tokens = sql.split(None, 5)
+    if not tokens:
+        return "empty"
+    verb = tokens[0].upper()
+    try:
+        if verb == "INSERT":
+            # INSERT INTO t ... / INSERT OR IGNORE INTO t ...
+            table = tokens[2] if tokens[1].upper() == "INTO" else tokens[4]
+            return f"insert:{table}"
+        if verb == "DELETE":
+            return f"delete:{tokens[2]}"
+        if verb == "UPDATE":
+            return f"update:{tokens[1]}"
+    except IndexError:  # pragma: no cover - malformed SQL
+        pass
+    return verb.lower()
+
 
 class _StatementCounters:
     """Pre-resolved metric handles for one registry (resolving a metric
@@ -185,20 +222,33 @@ class _TrackedConnection:
             self._counters = counters
         return counters
 
+    def _maybe_fault(self, sql: str) -> None:
+        store = self._store
+        if store.fault_plan is not None and store._txn_depth > 0:
+            site = _statement_site(sql)
+            if site.split(":", 1)[0].upper() not in _CONTROL_VERBS:
+                store._fault(site)
+
     def execute(self, sql, params=()):
         counters = self._c()
         counters.execute.inc()
+        self._maybe_fault(sql)
         return _TrackedCursor(self._connection.execute(sql, params), counters)
 
     def executemany(self, sql, rows):
         counters = self._c()
         counters.executemany.inc()
+        self._maybe_fault(sql)
         return _TrackedCursor(self._connection.executemany(sql, rows), counters)
 
     def executescript(self, script):
         counters = self._c()
         counters.script.inc()
         return _TrackedCursor(self._connection.executescript(script), counters)
+
+    def execute_control(self, sql) -> None:
+        """Transaction-control statements: uncounted, never faulted."""
+        self._connection.execute(sql)
 
     def commit(self) -> None:
         counters = self._c()
@@ -216,12 +266,39 @@ class _TrackedConnection:
 class SqliteHybridStore(HybridStore):
     """The hybrid layout and plans on a real RDBMS (sqlite)."""
 
-    def __init__(self, path: str = ":memory:") -> None:
-        self.connection = _TrackedConnection(sqlite3.connect(path), self)
-        self.connection.execute("PRAGMA journal_mode = MEMORY")
-        self.connection.execute("PRAGMA synchronous = OFF")
+    def __init__(self, path: str = ":memory:", durable: Optional[bool] = None) -> None:
+        # Autocommit: transactions are explicit (BEGIN IMMEDIATE issued
+        # by the HybridStore transaction protocol), never implicit.
+        self.connection = _TrackedConnection(
+            sqlite3.connect(path, isolation_level=None), self
+        )
+        if durable is None:
+            durable = path != ":memory:" and not path.startswith("file::memory:")
+        if durable:
+            # On-disk catalogs: WAL survives a killed process and keeps
+            # readers unblocked during a write transaction.
+            self.connection.execute("PRAGMA journal_mode = WAL")
+            self.connection.execute("PRAGMA synchronous = NORMAL")
+        else:
+            self.connection.execute("PRAGMA journal_mode = MEMORY")
+            self.connection.execute("PRAGMA synchronous = OFF")
         self.schema: Optional[AnnotatedSchema] = None
         self._temp_ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Transactions (explicit BEGIN IMMEDIATE / COMMIT / ROLLBACK)
+    # ------------------------------------------------------------------
+    def _txn_begin(self, site: str) -> None:
+        self.connection.execute_control("BEGIN IMMEDIATE")
+
+    def _txn_commit(self, site: str) -> None:
+        self.connection.commit()
+
+    def _txn_rollback(self, site: str) -> None:
+        # BEGIN itself may have failed (lock contention); only roll back
+        # a transaction that actually started.
+        if self.connection.in_transaction:
+            self.connection.rollback()
 
     # ------------------------------------------------------------------
     # DDL / definitions
@@ -271,18 +348,28 @@ class SqliteHybridStore(HybridStore):
             raise CatalogError("schema already installed")
         cur = self.connection
         self.schema = schema
+        # DDL runs in autocommit (sqlite's executescript commits any
+        # pending transaction anyway); the ordering rows are one txn.
         cur.executescript(_DDL)
-        cur.executemany(
-            "INSERT INTO schema_order VALUES (?, ?, ?)",
-            [(n.order, n.tag, n.last_child_order) for n in schema.ordered_nodes],
-        )
-        cur.executemany(
-            "INSERT INTO node_ancestors VALUES (?, ?)",
-            ancestor_pairs(schema.ordered_nodes),
-        )
-        cur.commit()
+
+        def write() -> None:
+            cur.executemany(
+                "INSERT INTO schema_order VALUES (?, ?, ?)",
+                [(n.order, n.tag, n.last_child_order) for n in schema.ordered_nodes],
+            )
+            cur.executemany(
+                "INSERT INTO node_ancestors VALUES (?, ?)",
+                ancestor_pairs(schema.ordered_nodes),
+            )
+
+        self.run_transaction("install_schema", write)
 
     def sync_definitions(self, registry: DefinitionRegistry) -> None:
+        self.run_transaction(
+            "sync_definitions", lambda: self._sync_definitions(registry)
+        )
+
+    def _sync_definitions(self, registry: DefinitionRegistry) -> None:
         cur = self.connection
         cur.executemany(
             "INSERT OR IGNORE INTO attr_defs VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
@@ -299,18 +386,25 @@ class SqliteHybridStore(HybridStore):
                 for e in registry.all_elements()
             ],
         )
-        cur.commit()
 
     # ------------------------------------------------------------------
     # Ingest
     # ------------------------------------------------------------------
     def store_object(self, object_id: int, name: str, owner: str, shred: ShredResult) -> None:
-        self.connection.execute(
-            "INSERT INTO objects VALUES (?, ?, ?)", (object_id, name, owner)
-        )
-        self.append_rows(object_id, shred)
+        def write() -> None:
+            self.connection.execute(
+                "INSERT INTO objects VALUES (?, ?, ?)", (object_id, name, owner)
+            )
+            self._append_rows(object_id, shred)
+
+        self.run_transaction("store_object", write)
 
     def append_rows(self, object_id: int, shred: ShredResult) -> None:
+        self.run_transaction(
+            "append_rows", lambda: self._append_rows(object_id, shred)
+        )
+
+    def _append_rows(self, object_id: int, shred: ShredResult) -> None:
         cur = self.connection
         cur.executemany(
             "INSERT INTO clobs VALUES (?, ?, ?, ?)",
@@ -339,15 +433,21 @@ class SqliteHybridStore(HybridStore):
                 for i in shred.inverted
             ],
         )
-        cur.commit()
 
     def delete_object(self, object_id: int) -> None:
         if not self.has_object(object_id):
             raise CatalogError(f"no object {object_id}")
-        cur = self.connection
-        for table in ("objects", "clobs", "attributes", "elements", "attr_ancestors"):
-            cur.execute(f"DELETE FROM {table} WHERE object_id = ?", (object_id,))
-        cur.commit()
+
+        def write() -> None:
+            cur = self.connection
+            for table in (
+                "objects", "clobs", "attributes", "elements", "attr_ancestors"
+            ):
+                cur.execute(
+                    f"DELETE FROM {table} WHERE object_id = ?", (object_id,)
+                )
+
+        self.run_transaction("delete_object", write)
 
     def has_object(self, object_id: int) -> bool:
         row = self.connection.execute(
@@ -374,6 +474,14 @@ class SqliteHybridStore(HybridStore):
         return {attr_id: seq for attr_id, seq in rows}
 
     def remove_attribute_instance(
+        self, object_id: int, attr_id: int, seq_id: int
+    ) -> None:
+        self.run_transaction(
+            "remove_attribute_instance",
+            lambda: self._remove_attribute_instance(object_id, attr_id, seq_id),
+        )
+
+    def _remove_attribute_instance(
         self, object_id: int, attr_id: int, seq_id: int
     ) -> None:
         cur = self.connection
@@ -426,7 +534,6 @@ class SqliteHybridStore(HybridStore):
             "AND clob_seq = ?",
             (object_id, clob_order, clob_seq),
         )
-        cur.commit()
 
     # ------------------------------------------------------------------
     # Query (Fig 4 in SQL)

@@ -16,7 +16,14 @@ Commands::
     python -m repro fetch   --db cat.db ID [ID ...]
     python -m repro schema  --db cat.db   (or --xsd schema.xsd)
     python -m repro info    --db cat.db
+    python -m repro fsck    --db cat.db [--deep]
     python -m repro stats   --db cat.db [--format table|json|prom] [--reset]
+
+Write commands run each logical operation in one explicit transaction
+and retry transient sqlite failures (``database is locked``) with
+exponential backoff; ``--retry-attempts`` / ``--retry-backoff`` tune
+that policy per invocation (the catalog file is shared state, so
+another process may hold the write lock).
 
 Observability: every command records metrics (ingest/query timings,
 shredder row counts, per-stage plan rows, sqlite statement counts) into
@@ -54,6 +61,7 @@ from .core import (
     load_xsd,
 )
 from .errors import ReproError
+from .faults import DEFAULT_RETRY, RetryPolicy
 from .grid import lead_schema
 from .obs import (
     MetricsRegistry,
@@ -97,6 +105,23 @@ def _open(db_path: str, registry: MetricsRegistry,
 
 def _metrics_sidecar(db_path: str) -> pathlib.Path:
     return pathlib.Path(db_path + ".metrics.json")
+
+
+def _cli_retry_policy(args) -> RetryPolicy:
+    """The store retry policy from ``--retry-attempts``/``--retry-backoff``,
+    keeping the defaults for whichever knob was not given."""
+    return RetryPolicy(
+        max_attempts=(
+            args.retry_attempts
+            if args.retry_attempts is not None
+            else DEFAULT_RETRY.max_attempts
+        ),
+        base_delay=(
+            args.retry_backoff
+            if args.retry_backoff is not None
+            else DEFAULT_RETRY.base_delay
+        ),
+    )
 
 
 def _split_name(token: str):
@@ -174,6 +199,16 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument(
         "--metrics-json", metavar="PATH", default=None,
         help="dump the metrics registry as JSON to PATH after the command",
+    )
+    common.add_argument(
+        "--retry-attempts", type=int, default=None, metavar="N",
+        help="max attempts for a write transaction hitting a transient "
+             f"sqlite error (default: {DEFAULT_RETRY.max_attempts})",
+    )
+    common.add_argument(
+        "--retry-backoff", type=float, default=None, metavar="SECONDS",
+        help="initial backoff before a retry, doubled per attempt "
+             f"(default: {DEFAULT_RETRY.base_delay})",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -306,6 +341,12 @@ def _run_command(args, registry: MetricsRegistry) -> int:
         return 0
 
     catalog = _open(args.db, registry)
+    if args.retry_attempts is not None or args.retry_backoff is not None:
+        try:
+            catalog.store.set_retry_policy(_cli_retry_policy(args))
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
 
     if args.command == "define":
         host = args.host

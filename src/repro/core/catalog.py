@@ -145,7 +145,7 @@ class HybridCatalog:
     def ingest(
         self,
         document: Union[str, Document],
-        name: str = "",
+        name: Optional[str] = "",
         owner: str = "",
         user: Optional[str] = None,
     ) -> IngestReceipt:
@@ -154,15 +154,26 @@ class HybridCatalog:
         ``document`` may be XML text or a pre-parsed
         :class:`~repro.xmlkit.Document`.  ``user`` scopes dynamic
         definition lookups (and auto-definitions in ``"define"`` mode).
+        ``name=None`` auto-names the object ``object-<id>`` from its
+        allocated id.  All writes (definition sync + object rows) are
+        one store transaction: a failure anywhere leaves the catalog
+        exactly as it was.
         """
         with self.tracer.span("catalog.ingest", object_name=name) as current:
             if isinstance(document, str):
                 document = parse(document)
             shred = self.shredder.shred(document, user=user)
-            if shred.defined:
-                self.store.sync_definitions(self.registry)
             object_id = next(self._object_ids)
-            self.store.store_object(object_id, name, owner, shred)
+            if name is None:
+                name = f"object-{object_id}"
+                current.set(object_name=name)
+
+            def write() -> None:
+                if shred.defined:
+                    self.store.sync_definitions(self.registry)
+                self.store.store_object(object_id, name, owner, shred)
+
+            self.store.run_transaction("catalog.ingest", write)
             self._names[object_id] = name
             current.set(object_id=object_id, clobs=len(shred.clobs),
                         warnings=len(shred.warnings))
@@ -180,14 +191,18 @@ class HybridCatalog:
         owner: str = "",
         user: Optional[str] = None,
     ) -> List[IngestReceipt]:
+        # name=None derives object-<id> from the allocated object id, so
+        # names stay unique across calls (a positional counter would
+        # restart at 1 every invocation and hand out duplicates).
         return [
-            self.ingest(doc, name=f"object-{i}", owner=owner, user=user)
-            for i, doc in enumerate(documents, start=1)
+            self.ingest(doc, name=None, owner=owner, user=user)
+            for doc in documents
         ]
 
     def delete(self, object_id: int) -> None:
-        self.store.delete_object(object_id)
-        self._names.pop(object_id, None)
+        with self.tracer.span("catalog.delete", object_id=object_id):
+            self.store.delete_object(object_id)
+            self._names.pop(object_id, None)
         self.metrics.counter("catalog_deletes_total", "objects deleted").inc()
         self.metrics.gauge(
             "catalog_objects", "objects currently cataloged"
@@ -227,9 +242,13 @@ class HybridCatalog:
             seq_base=self.store.instance_counts(object_id),
             user=user,
         )
-        if shred.defined:
-            self.store.sync_definitions(self.registry)
-        self.store.append_rows(object_id, shred)
+
+        def write() -> None:
+            if shred.defined:
+                self.store.sync_definitions(self.registry)
+            self.store.append_rows(object_id, shred)
+
+        self.store.run_transaction("catalog.add_attribute", write)
         return IngestReceipt(object_id, self.object_name(object_id), shred)
 
     def remove_attribute(

@@ -37,9 +37,11 @@ holds the identical layout in stdlib sqlite.  Both implement
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Optional, Sequence, Tuple
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import CatalogError
+from ..faults import DEFAULT_RETRY, FaultPlan, RetryPolicy
 from ..obs.metrics import MetricsRegistry, default_registry
 from ..obs.tracing import current_span
 from ..relational import Database, clob, eq, integer, real, text
@@ -138,15 +140,175 @@ class HybridStore(abc.ABC):
     ``metrics`` is the registry instrumentation in the store and the
     planners report to; the owning catalog binds its own registry via
     :meth:`bind_metrics`, and unbound stores fall back to the process
-    default."""
+    default.
+
+    Every mutation runs inside a transaction: subclasses implement the
+    ``_txn_begin``/``_txn_commit``/``_txn_rollback`` primitives (sqlite
+    issues ``BEGIN IMMEDIATE``; the memory store journals undo entries)
+    and the shared :meth:`transaction` / :meth:`run_transaction` logic
+    handles reentrancy, rollback on any exception, bounded retry with
+    exponential backoff for transient failures, and the
+    ``txn_commits_total`` / ``txn_rollbacks_total`` /
+    ``txn_retries_total`` metrics.  A :class:`~repro.faults.FaultPlan`
+    installed via :meth:`install_faults` is consulted before every
+    statement issued inside a transaction (write paths only), which is
+    how the crash-safety suite proves any mid-write failure leaves the
+    catalog fsck-clean."""
 
     metrics: Optional[MetricsRegistry] = None
+    fault_plan: Optional[FaultPlan] = None
+    retry_policy: RetryPolicy = DEFAULT_RETRY
+    _txn_depth: int = 0
 
     def bind_metrics(self, registry: MetricsRegistry) -> None:
         self.metrics = registry
 
     def metrics_registry(self) -> MetricsRegistry:
         return self.metrics if self.metrics is not None else default_registry()
+
+    # ------------------------------------------------------------------
+    # Crash safety: transactions, fault injection, retry
+    # ------------------------------------------------------------------
+    def install_faults(self, plan: FaultPlan) -> FaultPlan:
+        """Arm a fault plan on this store's write paths; returns it."""
+        self.fault_plan = plan
+        return plan
+
+    def clear_faults(self) -> None:
+        self.fault_plan = None
+
+    def set_retry_policy(self, policy: RetryPolicy) -> None:
+        self.retry_policy = policy
+
+    def _fault(self, site: str) -> None:
+        """Injection point: called before each write-path statement."""
+        plan = self.fault_plan
+        if plan is not None and self._txn_depth > 0:
+            plan.before(site, self.metrics_registry())
+
+    def in_transaction(self) -> bool:
+        return self._txn_depth > 0
+
+    @abc.abstractmethod
+    def _txn_begin(self, site: str) -> None:
+        """Start a backend transaction."""
+
+    @abc.abstractmethod
+    def _txn_commit(self, site: str) -> None:
+        """Commit the backend transaction."""
+
+    @abc.abstractmethod
+    def _txn_rollback(self, site: str) -> None:
+        """Roll the backend transaction back; must tolerate a
+        transaction that never fully started."""
+
+    _txn_counter_cache: Optional[Tuple[MetricsRegistry, dict]] = None
+
+    def _txn_counter(self, name: str, help: str, site: str):
+        # Resolved handles are cached per (name, site) — one registry
+        # dict walk per transaction would show up in E1.
+        registry = self.metrics_registry()
+        cache = self._txn_counter_cache
+        if cache is None or cache[0] is not registry:
+            cache = (registry, {})
+            self._txn_counter_cache = cache
+        try:
+            return cache[1][(name, site)]
+        except KeyError:
+            child = registry.counter(
+                name, help, labels=("site",)
+            ).labels(site=site)
+            cache[1][(name, site)] = child
+            return child
+
+    @contextmanager
+    def transaction(self, site: str = "txn") -> Iterator[None]:
+        """One transaction around the ``with`` body; reentrant (a nested
+        ``transaction()`` joins the outer one, so a logical catalog
+        operation commits exactly once)."""
+        if self._txn_depth > 0:
+            self._txn_depth += 1
+            try:
+                yield
+            finally:
+                self._txn_depth -= 1
+            return
+        self._txn_depth = 1
+        try:
+            self._txn_begin(site)
+            yield
+        except BaseException:
+            self._txn_depth = 0
+            self._txn_rollback(site)
+            self._txn_counter(
+                "txn_rollbacks_total", "transactions rolled back", site
+            ).inc()
+            raise
+        self._txn_depth = 0
+        try:
+            self._txn_commit(site)
+        except BaseException:
+            self._txn_rollback(site)
+            self._txn_counter(
+                "txn_rollbacks_total", "transactions rolled back", site
+            ).inc()
+            raise
+        self._txn_counter(
+            "txn_commits_total", "transactions committed", site
+        ).inc()
+
+    def run_transaction(self, site: str, fn: Callable[[], "object"]):
+        """Run ``fn`` inside one transaction, retrying the whole thing
+        (the rollback restored a clean state) on transient failures —
+        sqlite ``database is locked`` — per the store's retry policy.
+        Already inside a transaction, ``fn`` simply joins it: retry is
+        the outermost operation's business.
+
+        This is the write hot path (every ingest crosses it), so the
+        transaction bracketing is inlined rather than delegated to the
+        :meth:`transaction` context manager."""
+        if self._txn_depth > 0:
+            return fn()
+        policy = self.retry_policy
+        attempt = 1
+        while True:
+            self._txn_depth = 1
+            try:
+                self._txn_begin(site)
+                result = fn()
+            except BaseException as exc:
+                self._txn_depth = 0
+                self._txn_rollback(site)
+                self._txn_counter(
+                    "txn_rollbacks_total", "transactions rolled back", site
+                ).inc()
+                if (
+                    isinstance(exc, Exception)
+                    and attempt < policy.max_attempts
+                    and policy.is_transient(exc)
+                ):
+                    self._txn_counter(
+                        "txn_retries_total",
+                        "transactions retried after a transient failure",
+                        site,
+                    ).inc()
+                    policy.pause(attempt)
+                    attempt += 1
+                    continue
+                raise
+            self._txn_depth = 0
+            try:
+                self._txn_commit(site)
+            except BaseException:
+                self._txn_rollback(site)
+                self._txn_counter(
+                    "txn_rollbacks_total", "transactions rolled back", site
+                ).inc()
+                raise
+            self._txn_counter(
+                "txn_commits_total", "transactions committed", site
+            ).inc()
+            return result
 
     @abc.abstractmethod
     def install_schema(self, schema: AnnotatedSchema) -> None:
@@ -235,6 +397,17 @@ class MemoryHybridStore(HybridStore):
     def __init__(self) -> None:
         self.db = Database("hybrid")
         self.schema: Optional[AnnotatedSchema] = None
+
+    # -- Transactions (engine undo journal) -----------------------------
+    def _txn_begin(self, site: str) -> None:
+        self.db.begin()
+
+    def _txn_commit(self, site: str) -> None:
+        self.db.commit()
+
+    def _txn_rollback(self, site: str) -> None:
+        if self.db.in_transaction():
+            self.db.rollback()
 
     # -- DDL ------------------------------------------------------------
     def install_schema(self, schema: AnnotatedSchema) -> None:
@@ -350,10 +523,16 @@ class MemoryHybridStore(HybridStore):
             anc_table.insert([node_order, anc_order])
 
     def sync_definitions(self, registry: DefinitionRegistry) -> None:
+        self.run_transaction(
+            "sync_definitions", lambda: self._sync_definitions(registry)
+        )
+
+    def _sync_definitions(self, registry: DefinitionRegistry) -> None:
         attr_table = self.db.table("attr_defs")
         known = {row[0] for row in attr_table.scan()}
         for d in registry.all_attributes():
             if d.attr_id not in known:
+                self._fault("insert:attr_defs")
                 attr_table.insert(
                     [
                         d.attr_id, d.name, d.source, d.parent_id, d.schema_order,
@@ -364,6 +543,7 @@ class MemoryHybridStore(HybridStore):
         known = {row[0] for row in elem_table.scan()}
         for e in registry.all_elements():
             if e.elem_id not in known:
+                self._fault("insert:elem_defs")
                 elem_table.insert(
                     [e.elem_id, e.attr_id, e.name, e.source, e.value_type.value, e.scope]
                 )
@@ -372,21 +552,33 @@ class MemoryHybridStore(HybridStore):
     def store_object(
         self, object_id: int, name: str, owner: str, shred: ShredResult
     ) -> None:
-        self.db.table("objects").insert([object_id, name, owner])
-        self.append_rows(object_id, shred)
+        def write() -> None:
+            self._fault("insert:objects")
+            self.db.table("objects").insert([object_id, name, owner])
+            self._append_rows(object_id, shred)
+
+        self.run_transaction("store_object", write)
 
     def append_rows(self, object_id: int, shred: ShredResult) -> None:
+        self.run_transaction(
+            "append_rows", lambda: self._append_rows(object_id, shred)
+        )
+
+    def _append_rows(self, object_id: int, shred: ShredResult) -> None:
         db = self.db
         clobs = db.table("clobs")
         for row in shred.clobs:
+            self._fault("insert:clobs")
             clobs.insert([object_id, row.schema_order, row.clob_seq, row.text])
         attributes = db.table("attributes")
         for arow in shred.attributes:
+            self._fault("insert:attributes")
             attributes.insert(
                 [object_id, arow.attr_id, arow.seq_id, arow.clob_order, arow.clob_seq]
             )
         elements = db.table("elements")
         for erow in shred.elements:
+            self._fault("insert:elements")
             elements.insert(
                 [
                     object_id, erow.attr_id, erow.seq_id, erow.elem_id,
@@ -395,6 +587,7 @@ class MemoryHybridStore(HybridStore):
             )
         ancestors = db.table("attr_ancestors")
         for irow in shred.inverted:
+            self._fault("insert:attr_ancestors")
             ancestors.insert(
                 [
                     object_id, irow.desc_attr_id, irow.desc_seq,
@@ -405,8 +598,15 @@ class MemoryHybridStore(HybridStore):
     def delete_object(self, object_id: int) -> None:
         if not self.has_object(object_id):
             raise CatalogError(f"no object {object_id}")
-        for name in ("objects", "clobs", "attributes", "elements", "attr_ancestors"):
-            self.db.table(name).delete_where(eq("object_id", object_id))
+
+        def write() -> None:
+            for name in (
+                "objects", "clobs", "attributes", "elements", "attr_ancestors"
+            ):
+                self._fault(f"delete:{name}")
+                self.db.table(name).delete_where(eq("object_id", object_id))
+
+        self.run_transaction("delete_object", write)
 
     def has_object(self, object_id: int) -> bool:
         return bool(self.db.table("objects").lookup(["object_id"], [object_id]))
@@ -433,6 +633,14 @@ class MemoryHybridStore(HybridStore):
         return counts
 
     def remove_attribute_instance(
+        self, object_id: int, attr_id: int, seq_id: int
+    ) -> None:
+        self.run_transaction(
+            "remove_attribute_instance",
+            lambda: self._remove_attribute_instance(object_id, attr_id, seq_id),
+        )
+
+    def _remove_attribute_instance(
         self, object_id: int, attr_id: int, seq_id: int
     ) -> None:
         attributes = self.db.table("attributes")
@@ -465,18 +673,23 @@ class MemoryHybridStore(HybridStore):
                 & eq("attr_id", victim_attr)
                 & eq("seq_id", victim_seq)
             )
+            self._fault("delete:attributes")
             attributes.delete_where(base)
+            self._fault("delete:elements")
             self.db.table("elements").delete_where(base)
+            self._fault("delete:attr_ancestors")
             ancestors.delete_where(
                 eq("object_id", object_id)
                 & eq("desc_attr_id", victim_attr)
                 & eq("desc_seq", victim_seq)
             )
+            self._fault("delete:attr_ancestors")
             ancestors.delete_where(
                 eq("object_id", object_id)
                 & eq("anc_attr_id", victim_attr)
                 & eq("anc_seq", victim_seq)
             )
+        self._fault("delete:clobs")
         self.db.table("clobs").delete_where(
             eq("object_id", object_id)
             & eq("schema_order", clob_order)

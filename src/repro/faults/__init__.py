@@ -1,0 +1,25 @@
+"""``repro.faults`` — crash-safety verification tools (S32).
+
+Deterministic fault injection (:class:`FaultPlan`) plus bounded
+retry/backoff for transient failures (:class:`RetryPolicy`).  The
+package imports only :mod:`repro.errors` and :mod:`repro.obs`, so both
+storage backends can depend on it without cycles.
+
+See the "Crash safety & fault injection" sections of README.md and
+DESIGN.md for the site naming convention and the metrics
+(``fault_injected_total``, ``txn_commits_total``,
+``txn_rollbacks_total``, ``txn_retries_total``).
+"""
+
+from .plan import FaultError, FaultPlan, TransientFault
+from .retry import DEFAULT_RETRY, NO_RETRY, RetryPolicy, is_transient
+
+__all__ = [
+    "DEFAULT_RETRY",
+    "FaultError",
+    "FaultPlan",
+    "NO_RETRY",
+    "RetryPolicy",
+    "TransientFault",
+    "is_transient",
+]

@@ -1,0 +1,87 @@
+"""Bounded retry with exponential backoff for transient write failures.
+
+sqlite raises ``OperationalError: database is locked`` when another
+connection holds the write lock; the AMGA catalog (PAPERS.md) treats
+such failures as retryable, and so do we: the store retries the whole
+transaction (the rollback already restored a clean state) a bounded
+number of times, sleeping ``base_delay * multiplier**(attempt-1)``
+capped at ``max_delay`` between attempts.  Non-transient failures
+(constraint violations, injected :class:`~repro.faults.plan.FaultError`
+faults, application bugs) are never retried — they propagate after the
+rollback.
+
+Each retry increments ``txn_retries_total{site=}``.  ``sleep`` is
+injectable so tests assert the backoff schedule without waiting.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import time
+from typing import Callable
+
+__all__ = ["RetryPolicy", "DEFAULT_RETRY", "NO_RETRY", "is_transient"]
+
+#: Substrings of sqlite OperationalError messages worth retrying.
+_TRANSIENT_MARKERS = ("database is locked", "database table is locked",
+                     "database is busy")
+
+
+def is_transient(exc: BaseException) -> bool:
+    """True for failures that may succeed on retry (lock contention)."""
+    if isinstance(exc, sqlite3.OperationalError):
+        message = str(exc).lower()
+        return any(marker in message for marker in _TRANSIENT_MARKERS)
+    return False
+
+
+class RetryPolicy:
+    """How many times to retry a transaction and how long to wait."""
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay: float = 0.005,
+        multiplier: float = 2.0,
+        max_delay: float = 0.25,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if base_delay < 0 or max_delay < 0 or multiplier < 1.0:
+            raise ValueError("backoff parameters must be non-negative and "
+                             "multiplier >= 1")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.sleep = sleep
+
+    def is_transient(self, exc: BaseException) -> bool:
+        return is_transient(exc)
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        return min(self.base_delay * self.multiplier ** (attempt - 1),
+                   self.max_delay)
+
+    def pause(self, attempt: int) -> None:
+        delay = self.backoff(attempt)
+        if delay > 0:
+            self.sleep(delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RetryPolicy(max_attempts={self.max_attempts}, "
+            f"base_delay={self.base_delay}, multiplier={self.multiplier}, "
+            f"max_delay={self.max_delay})"
+        )
+
+
+#: The store default: three attempts, 5 ms → 10 ms backoff.
+DEFAULT_RETRY = RetryPolicy()
+
+#: Single attempt, no waiting — disables retry entirely.
+NO_RETRY = RetryPolicy(max_attempts=1)

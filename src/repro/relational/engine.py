@@ -22,6 +22,7 @@ class Database:
         self.name = name
         self._tables: Dict[str, Table] = {}
         self._temp_counter = itertools.count(1)
+        self._journal: Optional[list] = None
 
     # ------------------------------------------------------------------
     # DDL
@@ -35,6 +36,7 @@ class Database:
         if name in self._tables:
             raise TableError(f"table {name!r} already exists")
         table = Table(name, columns, primary_key)
+        table.journal = self._journal
         self._tables[name] = table
         return table
 
@@ -64,6 +66,41 @@ class Database:
 
     def __iter__(self) -> Iterator[Table]:
         return iter(self._tables.values())
+
+    # ------------------------------------------------------------------
+    # Transactions (undo-journal based; one level, no savepoints)
+    # ------------------------------------------------------------------
+    def in_transaction(self) -> bool:
+        return self._journal is not None
+
+    def begin(self) -> None:
+        """Start journaling mutations so they can be rolled back."""
+        if self._journal is not None:
+            raise TableError("a transaction is already active")
+        self._journal = []
+        for table in self._tables.values():
+            table.journal = self._journal
+
+    def _end(self) -> list:
+        journal = self._journal
+        if journal is None:
+            raise TableError("no active transaction")
+        self._journal = None
+        for table in self._tables.values():
+            table.journal = None
+        return journal
+
+    def commit(self) -> None:
+        """Discard the journal; mutations since ``begin`` are final."""
+        self._end()
+
+    def rollback(self) -> None:
+        """Undo every mutation since ``begin``, in reverse order."""
+        for table, rowid, row in reversed(self._end()):
+            if row is None:
+                table._undo_insert(rowid)
+            else:
+                table._undo_delete(rowid, row)
 
     # ------------------------------------------------------------------
     # Accounting

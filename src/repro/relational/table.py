@@ -128,6 +128,11 @@ class Table:
         self._positions: Dict[str, int] = {n: i for i, n in enumerate(names)}
         self._rows: List[Optional[tuple]] = []
         self._live = 0
+        #: Undo journal shared with the owning Database while a
+        #: transaction is active; None otherwise (zero overhead).
+        #: Entries are ``(table, rowid, row)`` — ``row is None`` marks
+        #: an insert to undo, a tuple marks a delete to restore.
+        self.journal: Optional[List[Tuple["Table", int, Optional[tuple]]]] = None
         self._hash_indexes: List[HashIndex] = []
         self._sorted_indexes: List[SortedIndex] = []
         self.primary_key: Optional[Tuple[str, ...]] = None
@@ -210,6 +215,8 @@ class Table:
             index.add(rowid, row)
         for sindex in self._sorted_indexes:
             sindex.add(rowid, row)
+        if self.journal is not None:
+            self.journal.append((self, rowid, None))
         return rowid
 
     def insert_dict(self, **values: Any) -> int:
@@ -236,6 +243,10 @@ class Table:
         return deleted
 
     def clear(self) -> None:
+        if self.journal is not None:
+            for rowid, row in enumerate(self._rows):
+                if row is not None:
+                    self.journal.append((self, rowid, row))
         self._rows.clear()
         self._live = 0
         for index in self._hash_indexes:
@@ -251,6 +262,36 @@ class Table:
             index.remove(rowid, row)
         for sindex in self._sorted_indexes:
             sindex.remove(rowid, row)
+        if self.journal is not None:
+            self.journal.append((self, rowid, row))
+
+    # ------------------------------------------------------------------
+    # Undo (transaction rollback; journal entries replay in reverse so
+    # the table returns to exactly its pre-transaction state)
+    # ------------------------------------------------------------------
+    def _undo_insert(self, rowid: int) -> None:
+        row = self._rows[rowid]
+        if row is None:
+            return
+        for index in self._hash_indexes:
+            index.remove(rowid, row)
+        for sindex in self._sorted_indexes:
+            sindex.remove(rowid, row)
+        if rowid == len(self._rows) - 1:
+            self._rows.pop()
+        else:
+            self._rows[rowid] = None
+        self._live -= 1
+
+    def _undo_delete(self, rowid: int, row: tuple) -> None:
+        while len(self._rows) <= rowid:
+            self._rows.append(None)
+        self._rows[rowid] = row
+        self._live += 1
+        for index in self._hash_indexes:
+            index.add(rowid, row)
+        for sindex in self._sorted_indexes:
+            sindex.add(rowid, row)
 
     # ------------------------------------------------------------------
     # Access

@@ -30,9 +30,25 @@ class TestIngest:
     def test_len_counts_objects(self, fig3_catalog):
         assert len(fig3_catalog) == 1
 
-    def test_ingest_many_names_objects(self, fig3_catalog):
-        receipts = fig3_catalog.ingest_many([FIG3_DOCUMENT, FIG3_DOCUMENT])
+    def test_ingest_many_names_objects(self, schema):
+        catalog = HybridCatalog(schema)
+        define_fig3_attributes(catalog)
+        receipts = catalog.ingest_many([FIG3_DOCUMENT, FIG3_DOCUMENT])
         assert [r.name for r in receipts] == ["object-1", "object-2"]
+
+    def test_ingest_many_names_unique_across_calls(self, fig3_catalog):
+        # Regression: names derive from the allocated object id, so a
+        # second ingest_many call cannot hand out duplicates (a
+        # positional counter restarted at 1 per call used to).
+        first = fig3_catalog.ingest_many([FIG3_DOCUMENT, FIG3_DOCUMENT])
+        second = fig3_catalog.ingest_many([FIG3_DOCUMENT])
+        names = [r.name for r in first + second]
+        assert names == ["object-2", "object-3", "object-4"]
+        assert len(set(names)) == len(names)
+        assert all(
+            fig3_catalog.object_name(r.object_id) == r.name
+            for r in first + second
+        )
 
     def test_object_name_lookup(self, fig3_catalog):
         assert fig3_catalog.object_name(1) == "fig3"

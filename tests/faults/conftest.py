@@ -1,0 +1,70 @@
+"""Shared helpers for the crash-safety suite: catalog builders on both
+backends, reference queries, and a state snapshot for oracle checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import SqliteHybridStore
+from repro.core import AttributeCriteria, HybridCatalog, ObjectQuery, Op
+from repro.faults import RetryPolicy
+from repro.grid import FIG3_DOCUMENT, define_fig3_attributes, lead_schema
+from repro.obs import MetricsRegistry
+
+BACKENDS = ("memory", "sqlite")
+
+#: A second theme instance, appendable to object 1 (same shape the
+#: incremental tests use).
+NEW_THEME = (
+    "<theme><themekt>CF</themekt><themekey>late_added_key</themekey></theme>"
+)
+
+
+def build_catalog(backend: str, path: str = ":memory:",
+                  registry: MetricsRegistry | None = None) -> HybridCatalog:
+    """A catalog with the Fig-3 definitions and document (object 1)."""
+    store = SqliteHybridStore(path) if backend == "sqlite" else None
+    catalog = HybridCatalog(
+        lead_schema(), store=store,
+        metrics=registry if registry is not None else MetricsRegistry(),
+    )
+    define_fig3_attributes(catalog)
+    catalog.ingest(FIG3_DOCUMENT, name="fig3")
+    return catalog
+
+
+def theme_query() -> ObjectQuery:
+    return ObjectQuery().add_attribute(
+        AttributeCriteria("theme").add_element(
+            "themekey", "", "air_pressure_at_cloud_top"
+        )
+    )
+
+
+def grid_query() -> ObjectQuery:
+    return ObjectQuery().add_attribute(
+        AttributeCriteria("grid", "ARPS").add_element("dx", "ARPS", 1000, Op.EQ)
+    )
+
+
+def snapshot(catalog: HybridCatalog, ids=(1,)):
+    """Observable state an aborted operation must leave unchanged:
+    both reference query results plus the rebuilt responses."""
+    present = [i for i in ids if catalog.store.has_object(i)]
+    return (
+        catalog.query(theme_query()),
+        catalog.query(grid_query()),
+        catalog.fetch(present),
+        catalog.store.object_count(),
+    )
+
+
+def no_wait_retry(max_attempts: int = 3) -> RetryPolicy:
+    """The default retry semantics without real sleeping."""
+    return RetryPolicy(max_attempts=max_attempts, base_delay=0.0,
+                       sleep=lambda _delay: None)
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param

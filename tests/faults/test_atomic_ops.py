@@ -1,0 +1,192 @@
+"""Every catalog write path is atomic on both backends: a fault injected
+mid-operation raises cleanly, the catalog stays fsck-clean, observable
+state (queries + responses) matches the pre-operation oracle, and the
+retried operation succeeds."""
+
+import pytest
+
+from repro.core.integrity import check_catalog
+from repro.errors import CatalogError
+from repro.faults import FaultError, FaultPlan, RetryPolicy, TransientFault
+from repro.grid import FIG3_DOCUMENT
+
+from .conftest import NEW_THEME, build_catalog, no_wait_retry, snapshot, theme_query
+
+
+def counter_value(registry, name, site):
+    family = registry.get(name)
+    if family is None:
+        return 0.0
+    for labels, metric in family.series():
+        if labels.get("site") == site:
+            return metric.value
+    return 0.0
+
+
+def assert_clean(catalog):
+    assert check_catalog(catalog, deep=True) == []
+
+
+class TestIngestAtomicity:
+    def test_fault_rolls_back_everything(self, backend):
+        catalog = build_catalog(backend)
+        before = snapshot(catalog)
+        catalog.store.install_faults(FaultPlan(site="insert:elements"))
+        with pytest.raises(FaultError):
+            catalog.ingest(FIG3_DOCUMENT, name="doomed")
+        # No partial rows from any of the five tables survive.
+        assert_clean(catalog)
+        assert snapshot(catalog) == before
+        assert len(catalog) == 1
+        with pytest.raises(CatalogError):
+            catalog.object_name(2)
+
+    def test_retry_after_hard_fault_succeeds(self, backend):
+        catalog = build_catalog(backend)
+        catalog.store.install_faults(FaultPlan(site="insert:objects"))
+        with pytest.raises(FaultError):
+            catalog.ingest(FIG3_DOCUMENT, name="doomed")
+        catalog.store.clear_faults()
+        receipt = catalog.ingest(FIG3_DOCUMENT, name="second")
+        assert catalog.object_name(receipt.object_id) == "second"
+        assert len(catalog) == 2
+        assert_clean(catalog)
+        assert sorted(catalog.query(theme_query())) == [1, receipt.object_id]
+
+    def test_rollback_metric_attributed_to_catalog_op(self, backend):
+        registry_catalog = build_catalog(backend)
+        registry = registry_catalog.metrics
+        registry_catalog.store.install_faults(FaultPlan(site="insert:clobs"))
+        with pytest.raises(FaultError):
+            registry_catalog.ingest(FIG3_DOCUMENT)
+        # The outermost transaction is the logical catalog operation, so
+        # the rollback lands on catalog.ingest, not a store-level site.
+        assert counter_value(registry, "txn_rollbacks_total", "catalog.ingest") == 1
+        assert counter_value(registry, "txn_rollbacks_total", "store_object") == 0
+        assert counter_value(registry, "fault_injected_total", "insert:clobs") == 1
+
+    def test_commit_metric_per_logical_operation(self, backend):
+        catalog = build_catalog(backend)
+        base = counter_value(catalog.metrics, "txn_commits_total", "catalog.ingest")
+        catalog.ingest(FIG3_DOCUMENT)
+        assert (
+            counter_value(catalog.metrics, "txn_commits_total", "catalog.ingest")
+            == base + 1
+        )
+
+
+class TestTransientRetry:
+    def test_transient_fault_retried_transparently(self, backend):
+        catalog = build_catalog(backend)
+        catalog.store.set_retry_policy(no_wait_retry())
+        catalog.store.install_faults(
+            FaultPlan(site="insert:objects", exc=TransientFault, heal=True)
+        )
+        receipt = catalog.ingest(FIG3_DOCUMENT, name="retried")
+        # The first attempt rolled back; the automatic retry committed.
+        assert counter_value(catalog.metrics, "txn_retries_total", "catalog.ingest") == 1
+        assert counter_value(catalog.metrics, "txn_rollbacks_total", "catalog.ingest") == 1
+        assert catalog.store.has_object(receipt.object_id)
+        assert_clean(catalog)
+
+    def test_retry_exhaustion_raises_and_stays_clean(self, backend):
+        catalog = build_catalog(backend)
+        before = snapshot(catalog)
+        catalog.store.set_retry_policy(no_wait_retry(max_attempts=3))
+        catalog.store.install_faults(
+            FaultPlan(site="insert:objects", exc=TransientFault)
+        )
+        with pytest.raises(TransientFault):
+            catalog.ingest(FIG3_DOCUMENT)
+        assert counter_value(catalog.metrics, "txn_retries_total", "catalog.ingest") == 2
+        assert snapshot(catalog) == before
+        assert_clean(catalog)
+
+    def test_hard_faults_are_not_retried(self, backend):
+        catalog = build_catalog(backend)
+        slept = []
+        catalog.store.set_retry_policy(RetryPolicy(sleep=slept.append))
+        catalog.store.install_faults(FaultPlan(site="insert:objects"))
+        with pytest.raises(FaultError):
+            catalog.ingest(FIG3_DOCUMENT)
+        assert slept == []
+        assert counter_value(catalog.metrics, "txn_retries_total", "catalog.ingest") == 0
+
+
+class TestDeleteAtomicity:
+    def test_fault_mid_delete_keeps_object_whole(self, backend):
+        catalog = build_catalog(backend)
+        before = snapshot(catalog)
+        catalog.store.install_faults(FaultPlan(site="delete:elements"))
+        with pytest.raises(FaultError):
+            catalog.delete(1)
+        # Already-deleted clob/attribute rows were rolled back: the
+        # object still answers queries and rebuilds its full response.
+        assert catalog.store.has_object(1)
+        assert snapshot(catalog) == before
+        assert_clean(catalog)
+        catalog.store.clear_faults()
+        catalog.delete(1)
+        assert len(catalog) == 0
+        assert catalog.query(theme_query()) == []
+        assert_clean(catalog)
+
+
+class TestAddAttributeAtomicity:
+    def test_fault_mid_append_rolls_back_fragment(self, backend):
+        catalog = build_catalog(backend)
+        before = snapshot(catalog)
+        catalog.store.install_faults(FaultPlan(site="insert:attributes"))
+        with pytest.raises(FaultError):
+            catalog.add_attribute(1, NEW_THEME)
+        assert snapshot(catalog) == before
+        assert_clean(catalog)
+        catalog.store.clear_faults()
+        receipt = catalog.add_attribute(1, NEW_THEME)
+        assert receipt.clob_count == 1
+        assert_clean(catalog)
+        # The retried fragment took the next sequence — not one burned
+        # by the rolled-back attempt.
+        assert "late_added_key" in catalog.fetch([1])[1]
+
+
+class TestRemoveAttributeAtomicity:
+    def test_fault_mid_remove_keeps_instance_whole(self, backend):
+        catalog = build_catalog(backend)
+        before = snapshot(catalog)
+        catalog.store.install_faults(FaultPlan(site="delete:clobs"))
+        with pytest.raises(FaultError):
+            catalog.remove_attribute(1, "theme")
+        assert snapshot(catalog) == before
+        assert_clean(catalog)
+        catalog.store.clear_faults()
+        catalog.remove_attribute(1, "theme")
+        assert_clean(catalog)
+
+
+class TestSyncDefinitionsAtomicity:
+    def test_fault_mid_sync_rolls_back(self, backend):
+        catalog = build_catalog(backend)
+        catalog.store.install_faults(FaultPlan(site="insert:attr_defs"))
+        with pytest.raises(FaultError):
+            catalog.define_attribute("new-attr", "SRC")
+        assert_clean(catalog)
+        # The registry keeps the definition; clearing the fault and
+        # re-syncing converges the store to it.
+        catalog.store.clear_faults()
+        catalog.store.sync_definitions(catalog.registry)
+        assert_clean(catalog)
+        attr = catalog.registry.lookup_attribute("new-attr", "SRC")
+        assert attr is not None
+
+
+class TestFaultScoping:
+    def test_reads_outside_transactions_are_not_faulted(self, backend):
+        catalog = build_catalog(backend)
+        plan = catalog.store.install_faults(FaultPlan(fail_at=1))
+        # Pure read paths run outside write transactions: armed plan or
+        # not, they neither trip nor count.
+        assert catalog.query(theme_query()) == [1]
+        assert catalog.fetch([1])
+        assert plan.statements_seen == 0
+        assert plan.triggered == []

@@ -1,0 +1,110 @@
+"""Crash-point sweep: fail *every* statement of every write path on
+both backends and prove the invariants hold at each index.
+
+The oracle protocol per crash point:
+
+1. build a fresh catalog and snapshot its observable state;
+2. arm a one-shot (``heal=True``) fault at statement ``i``;
+3. the operation must raise;
+4. ``check_catalog(deep=True)`` must report zero violations;
+5. queries and rebuilt responses must equal the pre-operation snapshot;
+6. the retried operation (plan now disarmed) must succeed and leave the
+   catalog fsck-clean again.
+
+A counting plan (no trigger) discovers each workload's statement count,
+so the sweep is exhaustive by construction, not by guesswork.  The
+hypothesis test then samples random (backend, operation, index,
+fault-kind) combinations including the transient-fault/auto-retry path.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.integrity import check_catalog
+from repro.faults import FaultError, FaultPlan, TransientFault
+from repro.grid import FIG3_DOCUMENT
+
+from .conftest import BACKENDS, NEW_THEME, build_catalog, no_wait_retry, snapshot
+
+OPS = {
+    "ingest": lambda c: c.ingest(FIG3_DOCUMENT, name="second"),
+    "add_attribute": lambda c: c.add_attribute(1, NEW_THEME),
+    "delete": lambda c: c.delete(1),
+    "remove_attribute": lambda c: c.remove_attribute(1, "theme"),
+}
+
+#: ``(backend, op) -> statement count`` discovered by dry runs, cached
+#: because building a catalog per probe is the expensive part.
+_totals = {}
+
+
+def statement_total(backend, op):
+    key = (backend, op)
+    if key not in _totals:
+        catalog = build_catalog(backend)
+        plan = catalog.store.install_faults(FaultPlan())
+        OPS[op](catalog)
+        assert plan.statements_seen > 0, f"{op} issued no faultable statements"
+        _totals[key] = plan.statements_seen
+    return _totals[key]
+
+
+def assert_crash_point_invariants(backend, op, index, transient=False):
+    """Steps 1-6 of the oracle protocol at one crash point."""
+    catalog = build_catalog(backend)
+    catalog.store.set_retry_policy(no_wait_retry())
+    before = snapshot(catalog)
+    exc_type = TransientFault if transient else FaultError
+    plan = catalog.store.install_faults(
+        FaultPlan(fail_at=index, exc=exc_type, heal=True)
+    )
+    if transient:
+        # One transient failure heals on the automatic retry: the
+        # operation succeeds as if nothing happened.
+        OPS[op](catalog)
+        assert len(plan.triggered) == 1
+    else:
+        with pytest.raises(exc_type):
+            OPS[op](catalog)
+        assert plan.triggered == [(index, plan.triggered[0][1])]
+        assert check_catalog(catalog, deep=True) == []
+        assert snapshot(catalog) == before
+        # The plan healed itself on trigger, so the retry goes through.
+        OPS[op](catalog)
+    assert check_catalog(catalog, deep=True) == []
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("op", sorted(OPS))
+def test_every_statement_index_is_a_safe_crash_point(backend, op):
+    total = statement_total(backend, op)
+    for index in range(1, total + 1):
+        assert_crash_point_invariants(backend, op, index)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_statement_counts_are_deterministic(backend):
+    # The sweep's exhaustiveness rests on repeatable counting.
+    first = dict(_totals)
+    _totals.clear()
+    for op in OPS:
+        statement_total(backend, op)
+    for (b, op), count in first.items():
+        if b == backend:
+            assert _totals[(b, op)] == count
+
+
+@given(data=st.data())
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_random_crash_points_hold_invariants(data):
+    backend = data.draw(st.sampled_from(BACKENDS), label="backend")
+    op = data.draw(st.sampled_from(sorted(OPS)), label="op")
+    total = statement_total(backend, op)
+    index = data.draw(st.integers(min_value=1, max_value=total), label="index")
+    transient = data.draw(st.booleans(), label="transient")
+    assert_crash_point_invariants(backend, op, index, transient=transient)

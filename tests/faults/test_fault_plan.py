@@ -1,0 +1,123 @@
+"""Unit tests for the fault-injection plan and the retry policy."""
+
+import sqlite3
+
+import pytest
+
+from repro.faults import (
+    DEFAULT_RETRY,
+    NO_RETRY,
+    FaultError,
+    FaultPlan,
+    RetryPolicy,
+    TransientFault,
+    is_transient,
+)
+from repro.obs import MetricsRegistry
+
+
+class TestFaultPlan:
+    def test_counting_mode_never_raises(self):
+        plan = FaultPlan()
+        for _ in range(10):
+            plan.before("insert:objects")
+        assert plan.statements_seen == 10
+        assert not plan.armed
+        assert plan.triggered == []
+
+    def test_fail_at_nth_statement(self):
+        plan = FaultPlan(fail_at=3)
+        plan.before("insert:objects")
+        plan.before("insert:clobs")
+        with pytest.raises(FaultError, match="statement 3"):
+            plan.before("insert:attributes")
+        assert plan.triggered == [(3, "insert:attributes")]
+
+    def test_fail_at_is_one_based(self):
+        with pytest.raises(ValueError):
+            FaultPlan(fail_at=0)
+
+    def test_site_targeting(self):
+        plan = FaultPlan(site="insert:elements")
+        plan.before("insert:objects")
+        plan.before("insert:clobs")
+        with pytest.raises(FaultError):
+            plan.before("insert:elements")
+
+    def test_site_occurrence(self):
+        plan = FaultPlan(site="insert:clobs", site_occurrence=2)
+        plan.before("insert:clobs")  # first occurrence: survives
+        plan.before("insert:objects")
+        with pytest.raises(FaultError):
+            plan.before("insert:clobs")
+        assert plan.statements_seen == 3
+
+    def test_without_heal_keeps_failing(self):
+        plan = FaultPlan(fail_at=1)
+        with pytest.raises(FaultError):
+            plan.before("insert:objects")
+        # fail_at matches a specific global index, so later statements
+        # pass, but the plan stays armed.
+        assert plan.armed
+
+    def test_heal_disarms_after_first_trigger(self):
+        plan = FaultPlan(site="insert:clobs", heal=True)
+        with pytest.raises(FaultError):
+            plan.before("insert:clobs")
+        assert not plan.armed
+        plan.before("insert:clobs")  # retry passes
+        assert plan.statements_seen == 2
+        assert len(plan.triggered) == 1
+
+    def test_custom_exception_instance(self):
+        plan = FaultPlan(fail_at=1, exc=sqlite3.OperationalError("database is locked"))
+        with pytest.raises(sqlite3.OperationalError):
+            plan.before("insert:objects")
+
+    def test_custom_exception_factory(self):
+        plan = FaultPlan(fail_at=1, exc=TransientFault)
+        with pytest.raises(TransientFault):
+            plan.before("insert:objects")
+
+    def test_trigger_increments_metric(self):
+        registry = MetricsRegistry()
+        plan = FaultPlan(fail_at=1)
+        with pytest.raises(FaultError):
+            plan.before("insert:objects", registry)
+        family = registry.get("fault_injected_total")
+        series = {labels["site"]: m.value for labels, m in family.series()}
+        assert series == {"insert:objects": 1}
+
+
+class TestRetryPolicy:
+    def test_backoff_schedule_is_exponential_and_capped(self):
+        policy = RetryPolicy(base_delay=0.01, multiplier=2.0, max_delay=0.05)
+        assert [policy.backoff(n) for n in (1, 2, 3, 4, 5)] == pytest.approx(
+            [0.01, 0.02, 0.04, 0.05, 0.05]
+        )
+
+    def test_pause_uses_injected_sleep(self):
+        slept = []
+        policy = RetryPolicy(base_delay=0.5, max_delay=2.0, sleep=slept.append)
+        policy.pause(1)
+        policy.pause(2)
+        assert slept == pytest.approx([0.5, 1.0])
+
+    def test_transient_detection(self):
+        assert is_transient(sqlite3.OperationalError("database is locked"))
+        assert is_transient(TransientFault())
+        assert not is_transient(sqlite3.OperationalError("no such table: x"))
+        assert not is_transient(FaultError("hard fault"))
+        assert not is_transient(ValueError("unrelated"))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1)
+
+    def test_defaults(self):
+        assert DEFAULT_RETRY.max_attempts == 3
+        assert NO_RETRY.max_attempts == 1

@@ -1,0 +1,74 @@
+"""Crash safety across process boundaries: a rolled-back write leaves
+nothing behind in the on-disk catalog file, so a reopen (S24
+rehydration) sees exactly the pre-fault state."""
+
+import pytest
+
+from repro.backends import SqliteHybridStore
+from repro.core import HybridCatalog
+from repro.core.integrity import check_catalog
+from repro.faults import FaultError, FaultPlan
+from repro.grid import FIG3_DOCUMENT, define_fig3_attributes, lead_schema
+
+from .conftest import snapshot, theme_query
+
+
+@pytest.fixture()
+def db_path(tmp_path):
+    return str(tmp_path / "catalog.db")
+
+
+def open_catalog(db_path):
+    return HybridCatalog(lead_schema(), store=SqliteHybridStore(db_path))
+
+
+class TestReopenAfterRollback:
+    def test_reopened_file_matches_pre_fault_state(self, db_path):
+        catalog = open_catalog(db_path)
+        define_fig3_attributes(catalog)
+        catalog.ingest(FIG3_DOCUMENT, name="fig3", owner="ann")
+        before = snapshot(catalog)
+        catalog.store.install_faults(FaultPlan(site="insert:elements"))
+        with pytest.raises(FaultError):
+            catalog.ingest(FIG3_DOCUMENT, name="doomed")
+        catalog.store.close()
+
+        reopened = open_catalog(db_path)
+        assert len(reopened) == 1
+        assert reopened.object_name(1) == "fig3"
+        with pytest.raises(Exception):
+            reopened.object_name(2)
+        # Registry rehydrated from the definition tables the failed
+        # ingest could not have half-written.
+        assert reopened.registry.lookup_attribute("grid", "ARPS") is not None
+        assert snapshot(reopened) == before
+        assert check_catalog(reopened, deep=True) == []
+
+    def test_reopened_catalog_reuses_the_rolled_back_id(self, db_path):
+        catalog = open_catalog(db_path)
+        define_fig3_attributes(catalog)
+        catalog.ingest(FIG3_DOCUMENT, name="fig3")
+        catalog.store.install_faults(FaultPlan(site="insert:objects"))
+        with pytest.raises(FaultError):
+            catalog.ingest(FIG3_DOCUMENT, name="doomed")
+        catalog.store.close()
+
+        # The failed ingest burned id 2 in the old process, but wrote
+        # nothing — the reopened catalog allocates from stored state.
+        reopened = open_catalog(db_path)
+        receipt = reopened.ingest(FIG3_DOCUMENT, name="second")
+        assert receipt.object_id == 2
+        assert sorted(reopened.query(theme_query())) == [1, 2]
+        assert check_catalog(reopened, deep=True) == []
+
+    def test_on_disk_catalog_uses_wal(self, db_path):
+        catalog = open_catalog(db_path)
+        mode = catalog.store.connection.execute(
+            "PRAGMA journal_mode"
+        ).fetchone()[0]
+        assert mode == "wal"
+
+    def test_memory_catalog_keeps_fast_pragmas(self):
+        store = SqliteHybridStore(":memory:")
+        mode = store.connection.execute("PRAGMA journal_mode").fetchone()[0]
+        assert mode == "memory"

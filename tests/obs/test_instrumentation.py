@@ -58,6 +58,22 @@ def test_ingest_and_query_counters_and_gauge():
     assert registry.counter("catalog_deletes_total").value == 1
 
 
+@pytest.mark.parametrize("backend", ["memory", "sqlite"])
+def test_delete_produces_root_span_and_duration(backend):
+    store = SqliteHybridStore() if backend == "sqlite" else None
+    registry, catalog = _session(store)
+    catalog.delete(1)
+    roots = [s for s in catalog.tracer.recent() if s.name == "catalog.delete"]
+    assert roots, "catalog.delete must produce a root span"
+    span = roots[-1]
+    assert span.attrs["object_id"] == 1
+    assert span.duration is not None
+    # Span-name histograms land alongside the other pipeline timings,
+    # and the gauge reflects the deletion.
+    assert registry.histogram("catalog_delete_seconds").labels().count == 1
+    assert registry.gauge("catalog_objects").value == 0
+
+
 def test_planner_stage_rows_labeled_by_stage():
     registry, _catalog = _session()
     family = registry.get("planner_stage_rows")

@@ -175,6 +175,65 @@ class TestFsck:
         assert code == 1
         assert "violation:" in out
 
+    def test_orphan_attribute_row_fails_shallow(self, loaded, capsys):
+        import sqlite3
+
+        connection = sqlite3.connect(loaded)
+        connection.execute(
+            "INSERT INTO attributes VALUES (99, 1, 1, 1, 1)"
+        )
+        connection.commit()
+        connection.close()
+        code, out, _err = run(capsys, "fsck", "--db", loaded)
+        assert code == 1
+        assert "violation:" in out
+
+    def test_mangled_clob_only_caught_by_deep(self, loaded, capsys):
+        # Row-level structure stays consistent, so the shallow check
+        # passes; only --deep parses the stored XML and fails.
+        import sqlite3
+
+        connection = sqlite3.connect(loaded)
+        connection.execute(
+            "UPDATE clobs SET content = '<broken' "
+            "WHERE rowid = (SELECT MIN(rowid) FROM clobs)"
+        )
+        connection.commit()
+        connection.close()
+        code, _out, _err = run(capsys, "fsck", "--db", loaded)
+        assert code == 0
+        code, out, _err = run(capsys, "fsck", "--db", loaded, "--deep")
+        assert code == 1
+        assert "violation:" in out
+
+
+class TestRetryKnobs:
+    def test_knobs_set_store_policy(self, loaded, fig3_file, monkeypatch, capsys):
+        from repro.core import HybridCatalog
+
+        seen = {}
+        original = HybridCatalog.ingest
+
+        def spy(self, *args, **kwargs):
+            seen["policy"] = self.store.retry_policy
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(HybridCatalog, "ingest", spy)
+        code, _out, _err = run(
+            capsys, "ingest", "--db", loaded, fig3_file,
+            "--retry-attempts", "5", "--retry-backoff", "0.001",
+        )
+        assert code == 0
+        assert seen["policy"].max_attempts == 5
+        assert seen["policy"].base_delay == pytest.approx(0.001)
+
+    def test_invalid_knob_is_clean_error(self, loaded, capsys):
+        code, _out, err = run(
+            capsys, "info", "--db", loaded, "--retry-attempts", "0",
+        )
+        assert code == 1
+        assert "error:" in err
+
 
 class TestInfoAndSchema:
     def test_info(self, loaded, capsys):
