@@ -4,14 +4,16 @@ The identical table layout as :class:`MemoryHybridStore`, with the
 Fig-4 count-matching plan and the §5 response builder expressed as
 actual SQL:
 
-* query criteria land in temp tables (paper §4: "the metadata criteria
-  are inserted into temporary tables");
-* element matching is one ``JOIN ... WHERE`` statement whose operator
-  dispatch is a disjunction over the criterion's stored op;
-* direct-count matching is ``GROUP BY ... HAVING COUNT(DISTINCT ...)``;
-* containment is one set-based ``DELETE ... WHERE NOT EXISTS`` per
-  criteria edge, joining the sub-attribute inverted list — no recursive
-  SQL;
+* the backend-neutral :class:`~repro.core.logical.LogicalPlan` is
+  compiled stage by stage: each ``ElementSeek`` becomes one
+  ``INSERT ... SELECT`` with a concrete operator predicate (so sqlite
+  drives the ``elements_by_def`` index per criterion, in the
+  optimizer's most-selective-first order, short-circuiting when a seek
+  matches nothing);
+* ``DirectCountMatch`` is ``GROUP BY ... HAVING COUNT(DISTINCT ...)``;
+* ``AncestorCountMatch`` is one set-based ``DELETE ... WHERE NOT
+  EXISTS`` per criteria edge, joining the sub-attribute inverted list —
+  no recursive SQL;
 * responses are produced by a single ``UNION ALL`` event query over the
   ancestor inverted list, the global-ordering table, and the CLOB
   table, ordered so the rows concatenate directly into tagged XML ("no
@@ -42,9 +44,12 @@ import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.definitions import DefinitionRegistry
+from ..core.logical import LogicalPlan, build_plan
 from ..core.ordering import ancestor_pairs
+from ..core.query import Op
 from ..core.schema import AnnotatedSchema
 from ..core.shredder import ShredResult
+from ..core.stats import StatsSnapshot
 from ..core.storage import HybridStore, PlanTrace, record_plan
 from ..errors import CatalogError
 from ..obs.metrics import MetricsRegistry
@@ -536,176 +541,144 @@ class SqliteHybridStore(HybridStore):
         )
 
     # ------------------------------------------------------------------
-    # Query (Fig 4 in SQL)
+    # Query: compile the logical plan IR to SQL (Fig 4)
     # ------------------------------------------------------------------
+    _SQL_OPS = {
+        Op.EQ: "=", Op.NE: "<>", Op.LT: "<", Op.LE: "<=",
+        Op.GT: ">", Op.GE: ">=",
+    }
+
+    def _compile_seek(self, plan: LogicalPlan, seek, qm: str):
+        """One ``INSERT ... SELECT`` per ElementSeek: a concrete
+        predicate over the criterion's literal, so sqlite seeks the
+        ``elements_by_def (elem_id, value_num, value_text)`` index per
+        criterion instead of filtering a disjunction over all ops."""
+        qelem = plan.query.qelems[seek.qelem_id - 1]
+        params: list = [seek.qattr_id, seek.qelem_id, qelem.elem_def_id]
+        where = ["e.elem_id = ?"]
+        if not plan.simple:
+            # The general plan groups by attribute instance; pin the
+            # hosting definition exactly as the memory interpreter does.
+            where.append("e.attr_id = ?")
+            params.append(plan.query.qattr(seek.qattr_id).attr_def_id)
+        op = qelem.op
+        if op is Op.IN_SET:
+            values = sorted(qelem.value_set)  # deterministic placeholder order
+            marks = ", ".join("?" for _ in values)
+            column = "e.value_num" if qelem.numeric else "e.value_text"
+            where.append(f"{column} IN ({marks})")
+            params.extend(values)
+        elif op is Op.CONTAINS:
+            where.append("e.value_text IS NOT NULL AND instr(e.value_text, ?) > 0")
+            params.append(qelem.value_text)
+        elif qelem.numeric:
+            where.append(f"e.value_num IS NOT NULL AND e.value_num {self._SQL_OPS[op]} ?")
+            params.append(qelem.value_num)
+        else:
+            where.append(f"e.value_text IS NOT NULL AND e.value_text {self._SQL_OPS[op]} ?")
+            params.append(qelem.value_text)
+        sql = (
+            f"INSERT INTO {qm} "
+            "SELECT e.object_id, e.attr_id, e.seq_id, ?, ? FROM elements e "
+            "WHERE " + " AND ".join(f"({clause})" for clause in where)
+        )
+        return sql, params
+
     def match_objects(self, shredded_query, trace: Optional[PlanTrace] = None) -> List[int]:
+        plan = (
+            shredded_query
+            if isinstance(shredded_query, LogicalPlan)
+            else build_plan(shredded_query)
+        )
+        query = plan.query
         if trace is None:
             trace = PlanTrace()
         suffix = next(self._temp_ids)
-        qa, qe, qm, qs, qv = (
-            f"q_attrs_{suffix}", f"q_elems_{suffix}",
-            f"q_matches_{suffix}", f"q_satisfied_{suffix}",
-            f"q_values_{suffix}",
-        )
+        qm, qs = f"q_matches_{suffix}", f"q_satisfied_{suffix}"
         cur = self.connection
         cur.execute(
-            f"CREATE TEMP TABLE {qa} (qattr_id INTEGER PRIMARY KEY, attr_def_id INTEGER,"
-            " parent_qattr_id INTEGER, depth INTEGER, direct_count INTEGER)"
+            f"CREATE TEMP TABLE {qm} (object_id INTEGER, attr_id INTEGER,"
+            " seq_id INTEGER, qattr_id INTEGER, qelem_id INTEGER)"
         )
         cur.execute(
-            f"CREATE TEMP TABLE {qe} (qelem_id INTEGER PRIMARY KEY, qattr_id INTEGER,"
-            " elem_def_id INTEGER, op TEXT, value_text TEXT, value_num REAL,"
-            " numeric INTEGER)"
+            f"CREATE TEMP TABLE {qs} (qattr_id INTEGER, object_id INTEGER,"
+            " seq_id INTEGER)"
         )
-        # Accepted-value list for IN_SET criteria (ontology expansion).
-        cur.execute(
-            f"CREATE TEMP TABLE {qv} (qelem_id INTEGER, value_text TEXT,"
-            " value_num REAL)"
-        )
-        cur.executemany(
-            f"INSERT INTO {qa} VALUES (?, ?, ?, ?, ?)",
-            [
-                (q.qattr_id, q.attr_def_id, q.parent_qattr_id, q.depth, q.direct_elem_count)
-                for q in shredded_query.qattrs
-            ],
-        )
-        cur.executemany(
-            f"INSERT INTO {qe} VALUES (?, ?, ?, ?, ?, ?, ?)",
-            [
-                (e.qelem_id, e.qattr_id, e.elem_def_id, e.op.value, e.value_text,
-                 e.value_num, int(e.numeric))
-                for e in shredded_query.qelems
-            ],
-        )
-        value_rows = []
-        for e in shredded_query.qelems:
-            if e.value_set is not None:
-                for value in e.value_set:
-                    if e.numeric:
-                        value_rows.append((e.qelem_id, None, value))
-                    else:
-                        value_rows.append((e.qelem_id, value, None))
-        if value_rows:
-            cur.executemany(f"INSERT INTO {qv} VALUES (?, ?, ?)", value_rows)
         trace.add(
             "query-criteria",
-            len(shredded_query.qattrs) + len(shredded_query.qelems),
-            f"{len(shredded_query.qattrs)} attribute, "
-            f"{len(shredded_query.qelems)} element criteria"
-            + (" (simplified plan)" if shredded_query.simple else ""),
+            len(query.qattrs) + len(query.qelems),
+            f"{len(query.qattrs)} attribute, "
+            f"{len(query.qelems)} element criteria"
+            + (" (simplified plan)" if plan.simple else ""),
         )
-
-        # Stage 1: elements meeting criteria (one set-based join).
-        cur.execute(
-            f"""
-            CREATE TEMP TABLE {qm} AS
-            SELECT e.object_id AS object_id, e.attr_id AS attr_id,
-                   e.seq_id AS seq_id, q.qattr_id AS qattr_id,
-                   q.qelem_id AS qelem_id
-            FROM elements e
-            JOIN {qe} q ON e.elem_id = q.elem_def_id
-            WHERE (q.numeric = 1 AND e.value_num IS NOT NULL AND (
-                       (q.op = '='  AND e.value_num =  q.value_num)
-                    OR (q.op = '!=' AND e.value_num <> q.value_num)
-                    OR (q.op = '<'  AND e.value_num <  q.value_num)
-                    OR (q.op = '<=' AND e.value_num <= q.value_num)
-                    OR (q.op = '>'  AND e.value_num >  q.value_num)
-                    OR (q.op = '>=' AND e.value_num >= q.value_num)))
-               OR (q.numeric = 0 AND e.value_text IS NOT NULL AND (
-                       (q.op = '='  AND e.value_text =  q.value_text)
-                    OR (q.op = '!=' AND e.value_text <> q.value_text)
-                    OR (q.op = '<'  AND e.value_text <  q.value_text)
-                    OR (q.op = '<=' AND e.value_text <= q.value_text)
-                    OR (q.op = '>'  AND e.value_text >  q.value_text)
-                    OR (q.op = '>=' AND e.value_text >= q.value_text)
-                    OR (q.op = 'contains' AND instr(e.value_text, q.value_text) > 0)))
-               OR (q.op = 'in' AND EXISTS (
-                       SELECT 1 FROM {qv} v
-                       WHERE v.qelem_id = q.qelem_id
-                         AND ((q.numeric = 1 AND v.value_num = e.value_num)
-                           OR (q.numeric = 0 AND v.value_text = e.value_text))))
-            """
-        )
-        match_rows = cur.execute(f"SELECT COUNT(*) FROM {qm}").fetchone()[0]
-        trace.add("elements-meeting-criteria", match_rows)
-
-        if shredded_query.simple:
-            # §4's simplified plan: single-instance attributes, no
-            # sub-attribute criteria — group by object directly and skip
-            # the inverted-list stage entirely.
-            cur.execute(
-                f"""
-                CREATE TEMP TABLE {qs} AS
-                SELECT m.qattr_id AS qattr_id, m.object_id AS object_id,
-                       0 AS seq_id
-                FROM {qm} m
-                JOIN {qa} qa ON qa.qattr_id = m.qattr_id
-                GROUP BY m.qattr_id, m.object_id
-                HAVING COUNT(DISTINCT m.qelem_id) = MAX(qa.direct_count)
-                """
+        try:
+            # ElementSeek stages, in the optimizer's order; a seek with
+            # no matches empties the conjunctive result — skip the rest.
+            match_rows = 0
+            short_circuited = False
+            for seek in plan.seeks:
+                sql, params = self._compile_seek(plan, seek, qm)
+                seek_rows = cur.execute(sql, params).rowcount
+                plan.actuals[seek.key()] = seek_rows
+                match_rows += seek_rows
+                if seek_rows == 0:
+                    short_circuited = True
+                    break
+            trace.add(
+                "elements-meeting-criteria",
+                match_rows,
+                "short-circuited: a criterion matched nothing"
+                if short_circuited else "",
             )
-            cur.execute(
-                f"""
-                INSERT INTO {qs}
-                SELECT DISTINCT qa.qattr_id, a.object_id, 0
-                FROM {qa} qa
-                JOIN attributes a ON a.attr_id = qa.attr_def_id
-                WHERE qa.direct_count = 0
-                """
-            )
+            if short_circuited:
+                return self._empty_result(plan, trace)
+
+            # DirectCountMatch stages: GROUP BY ... HAVING COUNT per
+            # attribute criterion (by object under the §4 rewrite, by
+            # attribute instance otherwise); existence-only criteria
+            # take every instance of their definition.
+            for count in plan.counts:
+                if count.required == 0:
+                    if count.per_object:
+                        sql = (
+                            f"INSERT INTO {qs} "
+                            "SELECT DISTINCT ?, a.object_id, 0 "
+                            "FROM attributes a WHERE a.attr_id = ?"
+                        )
+                    else:
+                        sql = (
+                            f"INSERT INTO {qs} "
+                            "SELECT ?, a.object_id, a.seq_id "
+                            "FROM attributes a WHERE a.attr_id = ?"
+                        )
+                    rows = cur.execute(sql, (count.qattr_id, count.attr_def_id)).rowcount
+                else:
+                    if count.per_object:
+                        sql = (
+                            f"INSERT INTO {qs} "
+                            f"SELECT ?, m.object_id, 0 FROM {qm} m "
+                            "WHERE m.qattr_id = ? GROUP BY m.object_id "
+                            "HAVING COUNT(DISTINCT m.qelem_id) = ?"
+                        )
+                    else:
+                        sql = (
+                            f"INSERT INTO {qs} "
+                            f"SELECT ?, m.object_id, m.seq_id FROM {qm} m "
+                            "WHERE m.qattr_id = ? GROUP BY m.object_id, m.seq_id "
+                            "HAVING COUNT(DISTINCT m.qelem_id) = ?"
+                        )
+                    rows = cur.execute(
+                        sql, (count.qattr_id, count.qattr_id, count.required)
+                    ).rowcount
+                plan.actuals[count.key()] = rows
             direct_rows = cur.execute(f"SELECT COUNT(*) FROM {qs}").fetchone()[0]
             trace.add("attributes-direct", direct_rows)
-            tops = shredded_query.top_qattr_ids
-            marks = ", ".join("?" for _ in tops)
-            rows = cur.execute(
-                f"""
-                SELECT object_id FROM {qs}
-                WHERE qattr_id IN ({marks})
-                GROUP BY object_id
-                HAVING COUNT(DISTINCT qattr_id) = ?
-                ORDER BY object_id
-                """,
-                [*tops, len(tops)],
-            ).fetchall()
-            for table in (qa, qe, qm, qs, qv):
-                cur.execute(f"DROP TABLE {table}")
-            object_ids = [row[0] for row in rows]
-            trace.add("object-ids", len(object_ids))
-            record_plan(trace, self.metrics_registry())
-            return object_ids
 
-        # Stage 2: direct count matching + existence-only candidates.
-        cur.execute(
-            f"""
-            CREATE TEMP TABLE {qs} AS
-            SELECT m.qattr_id AS qattr_id, m.object_id AS object_id,
-                   m.seq_id AS seq_id
-            FROM {qm} m
-            JOIN {qa} qa ON qa.qattr_id = m.qattr_id
-            GROUP BY m.qattr_id, m.object_id, m.seq_id
-            HAVING COUNT(DISTINCT m.qelem_id) = MAX(qa.direct_count)
-            """
-        )
-        cur.execute(
-            f"""
-            INSERT INTO {qs}
-            SELECT qa.qattr_id, a.object_id, a.seq_id
-            FROM {qa} qa
-            JOIN attributes a ON a.attr_id = qa.attr_def_id
-            WHERE qa.direct_count = 0
-            """
-        )
-        direct_rows = cur.execute(f"SELECT COUNT(*) FROM {qs}").fetchone()[0]
-        trace.add("attributes-direct", direct_rows)
-
-        # Stage 3: containment, bottom-up over the criteria tree — one
-        # set-based DELETE per criteria edge, joining the inverted list.
-        for depth in range(shredded_query.max_depth(), -1, -1):
-            for qattr in shredded_query.qattrs:
-                if qattr.depth != depth or not qattr.child_qattr_ids:
-                    continue
-                for child_id in qattr.child_qattr_ids:
-                    child = shredded_query.qattr(child_id)
+            # AncestorCountMatch stages: one set-based DELETE per
+            # criteria edge, joining the inverted list (bottom-up order
+            # fixed by the plan builder).
+            if not plan.simple:
+                for edge in plan.containments:
                     cur.execute(
                         f"""
                         DELETE FROM {qs}
@@ -723,30 +696,79 @@ class SqliteHybridStore(HybridStore):
                               AND aa.object_id = {qs}.object_id
                               AND aa.anc_seq = {qs}.seq_id)
                         """,
-                        (qattr.qattr_id, child_id, child.attr_def_id, qattr.attr_def_id),
+                        (edge.parent_qattr_id, edge.child_qattr_id,
+                         edge.child_def_id, edge.parent_def_id),
                     )
-        indirect_rows = cur.execute(f"SELECT COUNT(*) FROM {qs}").fetchone()[0]
-        trace.add("attributes-indirect", indirect_rows)
+                    plan.actuals[edge.key()] = cur.execute(
+                        f"SELECT COUNT(*) FROM {qs} WHERE qattr_id = ?",
+                        (edge.parent_qattr_id,),
+                    ).fetchone()[0]
+                indirect_rows = cur.execute(f"SELECT COUNT(*) FROM {qs}").fetchone()[0]
+                trace.add("attributes-indirect", indirect_rows)
 
-        # Stage 4: the required number of satisfied top criteria.
-        tops = shredded_query.top_qattr_ids
-        marks = ", ".join("?" for _ in tops)
-        rows = cur.execute(
-            f"""
-            SELECT object_id FROM {qs}
-            WHERE qattr_id IN ({marks})
-            GROUP BY object_id
-            HAVING COUNT(DISTINCT qattr_id) = ?
-            ORDER BY object_id
-            """,
-            [*tops, len(tops)],
-        ).fetchall()
-        for table in (qa, qe, qm, qs, qv):
-            cur.execute(f"DROP TABLE {table}")
-        object_ids = [row[0] for row in rows]
-        trace.add("object-ids", len(object_ids))
+            # ObjectIntersect: the required number of satisfied tops.
+            tops = plan.intersect.top_qattr_ids
+            marks = ", ".join("?" for _ in tops)
+            rows = cur.execute(
+                f"""
+                SELECT object_id FROM {qs}
+                WHERE qattr_id IN ({marks})
+                GROUP BY object_id
+                HAVING COUNT(DISTINCT qattr_id) = ?
+                ORDER BY object_id
+                """,
+                [*tops, len(tops)],
+            ).fetchall()
+            object_ids = [row[0] for row in rows]
+            plan.actuals[plan.intersect.key()] = len(object_ids)
+            trace.add("object-ids", len(object_ids))
+            record_plan(trace, self.metrics_registry())
+            return object_ids
+        finally:
+            for table in (qm, qs):
+                cur.execute(f"DROP TABLE {table}")
+
+    def _empty_result(self, plan: LogicalPlan, trace: PlanTrace) -> List[int]:
+        """Uniform trace completion after a seek short-circuit (the
+        memory interpreter emits the identical stage sequence)."""
+        for seek in plan.seeks:
+            plan.actuals.setdefault(seek.key(), 0)
+        for count in plan.counts:
+            plan.actuals[count.key()] = 0
+        trace.add("attributes-direct", 0)
+        if not plan.simple:
+            for edge in plan.containments:
+                plan.actuals[edge.key()] = 0
+            trace.add("attributes-indirect", 0)
+        plan.actuals[plan.intersect.key()] = 0
+        trace.add("object-ids", 0)
         record_plan(trace, self.metrics_registry())
-        return object_ids
+        return []
+
+    # ------------------------------------------------------------------
+    # Statistics (optimizer inputs)
+    # ------------------------------------------------------------------
+    def collect_statistics(self) -> StatsSnapshot:
+        """One aggregation pass for the statistics layer: per element
+        definition row/distinct counts, per attribute definition
+        instance counts, and the object total."""
+        elem_rows: Dict[int, int] = {}
+        elem_distinct: Dict[int, int] = {}
+        for elem_id, rows, distinct in self.connection.execute(
+            "SELECT elem_id, COUNT(*), "
+            "COUNT(DISTINCT COALESCE(value_text, CAST(value_num AS TEXT))) "
+            "FROM elements GROUP BY elem_id"
+        ):
+            elem_rows[elem_id] = rows
+            elem_distinct[elem_id] = distinct
+        attr_rows = {
+            attr_id: rows
+            for attr_id, rows in self.connection.execute(
+                "SELECT attr_id, COUNT(*) FROM attributes GROUP BY attr_id"
+            )
+        }
+        objects = self.connection.execute("SELECT COUNT(*) FROM objects").fetchone()[0]
+        return StatsSnapshot(objects, elem_rows, elem_distinct, attr_rows)
 
     # ------------------------------------------------------------------
     # Response (§5 in SQL: one ordered UNION ALL event stream)

@@ -13,6 +13,8 @@ Commands::
     python -m repro query   --db cat.db --attr NAME[/SOURCE]
                             [--elem "NAME[/SOURCE] OP VALUE" ...]
                             [--sub NAME[/SOURCE]] [--fetch] [--trace]
+    python -m repro explain --db cat.db --attr NAME[/SOURCE]
+                            [--elem ...] [--sub ...]
     python -m repro fetch   --db cat.db ID [ID ...]
     python -m repro schema  --db cat.db   (or --xsd schema.xsd)
     python -m repro info    --db cat.db
@@ -250,6 +252,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--user", default=None)
     p.set_defaults(flag_order=[])
 
+    p = add_parser(
+        "explain",
+        help="show the optimized logical plan for a query "
+             "(selectivity-ordered stages, estimated vs actual rows)",
+    )
+    p.add_argument("--db", required=True)
+    p.add_argument("--attr", dest="attrs", action=_OrderedFlag, default=[])
+    p.add_argument("--elem", dest="elems", action=_OrderedFlag, default=[])
+    p.add_argument("--sub", dest="subs", action=_OrderedFlag, default=[])
+    p.add_argument("--user", default=None)
+    p.set_defaults(flag_order=[])
+
     p = add_parser("fetch", help="reconstruct objects as XML")
     p.add_argument("--db", required=True)
     p.add_argument("ids", type=int, nargs="+")
@@ -412,6 +426,12 @@ def _run_command(args, registry: MetricsRegistry) -> int:
             for object_id in ids:
                 print(f"--- object {object_id} ({catalog.object_name(object_id)})")
                 print(responses[object_id])
+        return 0
+
+    if args.command == "explain":
+        query = _build_query(args.attrs, args.elems, args.subs, args.flag_order)
+        explanation = catalog.explain(query, user=args.user)
+        print(explanation.describe())
         return 0
 
     if args.command == "fetch":

@@ -6,15 +6,28 @@ Modules map to the paper's sections:
 * :mod:`.ordering` — schema-level global ordering, [19] ablations (§2, §5)
 * :mod:`.definitions` — attribute/element definition registry (§2–§3)
 * :mod:`.shredder` — hybrid shredding, dynamic attributes (§3)
-* :mod:`.query`, :mod:`.planner` — attribute queries, Fig-4 plan (§4)
+* :mod:`.query`, :mod:`.logical`, :mod:`.planner` — attribute queries,
+  the backend-neutral logical plan IR, and its memory interpreter (§4)
+* :mod:`.stats` — selectivity statistics feeding the plan optimizer
 * :mod:`.response` — set-based response construction (§5)
 * :mod:`.storage`, :mod:`.catalog` — table layout and the public facade
 """
 
 from .builder import AttributeChoice, QueryBuilder
 from .bulk import BulkLoader
-from .catalog import HybridCatalog, IngestReceipt
+from .catalog import Explanation, HybridCatalog, IngestReceipt
 from .definitions import ADMIN_SCOPE, AttributeDef, DefinitionRegistry, ElementDef
+from .logical import (
+    AncestorCountMatch,
+    DirectCountMatch,
+    ElementSeek,
+    LogicalPlan,
+    ObjectIntersect,
+    PlanCache,
+    build_plan,
+    plan_shape,
+)
+from .stats import CatalogStatistics, StatsSnapshot
 from .ordering import (
     DeweyOrdering,
     GlobalDocumentOrdering,
@@ -61,12 +74,21 @@ from .xsd import load_xsd, schema_to_xsd
 
 __all__ = [
     "ADMIN_SCOPE",
+    "AncestorCountMatch",
     "AnnotatedSchema",
     "AttributeChoice",
     "AttributeCriteria",
     "AttributeDef",
     "BulkLoader",
+    "CatalogStatistics",
+    "DirectCountMatch",
+    "ElementSeek",
+    "Explanation",
+    "LogicalPlan",
+    "ObjectIntersect",
+    "PlanCache",
     "QueryBuilder",
+    "StatsSnapshot",
     "DefinitionRegistry",
     "DeweyOrdering",
     "DynamicSpec",
@@ -102,6 +124,8 @@ __all__ = [
     "ancestor_pairs",
     "assign_global_order",
     "attribute",
+    "build_plan",
+    "plan_shape",
     "check_catalog",
     "expand_query",
     "infer_value_type",

@@ -32,9 +32,11 @@ from ..obs.metrics import MetricsRegistry, default_registry
 from ..obs.tracing import Tracer, default_tracer
 from ..xmlkit import Document, parse
 from .definitions import AttributeDef, DefinitionRegistry, ElementDef
+from .logical import LogicalPlan, PlanCache, build_plan, plan_shape
 from .query import ObjectQuery, ShreddedQuery, shred_query
 from .schema import AnnotatedSchema, ValueType
 from .shredder import Shredder, ShredResult
+from .stats import CatalogStatistics
 from .storage import HybridStore, MemoryHybridStore, PlanTrace
 
 
@@ -57,6 +59,34 @@ class IngestReceipt:
             f"IngestReceipt(object_id={self.object_id}, clobs={self.clob_count}, "
             f"attrs={self.attribute_count}, elems={self.element_count}, "
             f"warnings={len(self.warnings)})"
+        )
+
+
+class Explanation:
+    """What :meth:`HybridCatalog.explain` returns: the optimized logical
+    plan (with per-stage estimates and actual row counts), the matching
+    ids, the executed :class:`PlanTrace`, and whether the plan came from
+    the cache."""
+
+    __slots__ = ("plan", "object_ids", "trace", "cache_hit")
+
+    def __init__(
+        self,
+        plan: LogicalPlan,
+        object_ids: List[int],
+        trace: PlanTrace,
+        cache_hit: bool,
+    ) -> None:
+        self.plan = plan
+        self.object_ids = object_ids
+        self.trace = trace
+        self.cache_hit = cache_hit
+
+    def describe(self) -> str:
+        source = "cached" if self.cache_hit else "newly built"
+        return (
+            f"{self.plan.describe()}\n"
+            f"plan source: {source}; {len(self.object_ids)} matching object(s)"
         )
 
 
@@ -94,6 +124,12 @@ class HybridCatalog:
         self.shredder = Shredder(
             schema, self.registry, on_unknown=on_unknown, metrics=self.metrics
         )
+        # Query planning: selectivity statistics (rebuilt lazily from
+        # the store, maintained incrementally on ingest) and the
+        # shape-keyed plan cache (entries retire when the statistics
+        # generation moves).
+        self.stats = CatalogStatistics(self.store)
+        self.plan_cache = PlanCache()
         self._names: Dict[int, str] = {}
         if reopened:
             attr_rows, elem_rows = self.store.load_definition_rows()
@@ -125,6 +161,7 @@ class HybridCatalog:
             name, source, host=host, parent=parent, user=user, queryable=queryable
         )
         self.store.sync_definitions(self.registry)
+        self.stats.invalidate()
         return attr_def
 
     def define_element(
@@ -137,6 +174,7 @@ class HybridCatalog:
     ) -> ElementDef:
         elem_def = self.registry.define_element(attribute, name, source, value_type, user=user)
         self.store.sync_definitions(self.registry)
+        self.stats.invalidate()
         return elem_def
 
     # ------------------------------------------------------------------
@@ -175,6 +213,11 @@ class HybridCatalog:
 
             self.store.run_transaction("catalog.ingest", write)
             self._names[object_id] = name
+            if shred.defined:
+                # New definitions were synced: retire cached plans.
+                self.stats.invalidate()
+            else:
+                self.stats.record_shred(shred)
             current.set(object_id=object_id, clobs=len(shred.clobs),
                         warnings=len(shred.warnings))
         self.metrics.counter(
@@ -203,6 +246,7 @@ class HybridCatalog:
         with self.tracer.span("catalog.delete", object_id=object_id):
             self.store.delete_object(object_id)
             self._names.pop(object_id, None)
+            self.stats.invalidate()
         self.metrics.counter("catalog_deletes_total", "objects deleted").inc()
         self.metrics.gauge(
             "catalog_objects", "objects currently cataloged"
@@ -249,6 +293,10 @@ class HybridCatalog:
             self.store.append_rows(object_id, shred)
 
         self.store.run_transaction("catalog.add_attribute", write)
+        if shred.defined:
+            self.stats.invalidate()
+        else:
+            self.stats.record_shred(shred, new_object=False)
         return IngestReceipt(object_id, self.object_name(object_id), shred)
 
     def remove_attribute(
@@ -265,6 +313,7 @@ class HybridCatalog:
         if attr_def is None:
             raise CatalogError(f"no attribute definition ({name!r}, {source!r})")
         self.store.remove_attribute_instance(object_id, attr_def.attr_id, seq)
+        self.stats.invalidate()
 
     def object_name(self, object_id: int) -> str:
         try:
@@ -284,14 +333,19 @@ class HybridCatalog:
         user: Optional[str] = None,
         trace: Optional[PlanTrace] = None,
     ) -> List[int]:
-        """Match objects; returns sorted object ids (paper §4)."""
+        """Match objects; returns sorted object ids (paper §4).
+
+        The query is shredded, compiled into an optimized
+        :class:`~repro.core.logical.LogicalPlan` (or fetched from the
+        shape-keyed plan cache), and executed by the bound store."""
         with self.tracer.span("catalog.query") as current:
             shredded = self.shred_query(query, user=user)
             current.set(
                 attribute_criteria=len(shredded.qattrs),
                 element_criteria=len(shredded.qelems),
             )
-            ids = self.store.match_objects(shredded, trace)
+            plan, _hit = self.plan_for(shredded)
+            ids = self.store.match_objects(plan, trace)
             current.set(matches=len(ids))
         self.metrics.counter("catalog_queries_total", "queries executed").inc()
         return ids
@@ -300,6 +354,46 @@ class HybridCatalog:
         """Expose query shredding separately (used by benchmarks and the
         Fig-4 walkthrough example)."""
         return shred_query(query, self.registry, user=user)
+
+    def plan_for(self, shredded: ShreddedQuery) -> Tuple[LogicalPlan, bool]:
+        """The optimized logical plan for a shredded query, via the
+        shape-keyed cache.  Returns ``(plan, cache_hit)``; the plan is
+        always a fresh execution binding (stage objects shared, actuals
+        map private), so callers can run it without clobbering the
+        cached copy."""
+        shape = plan_shape(shredded)
+        generation = self.stats.generation
+        cached = self.plan_cache.lookup(shape, generation)
+        if cached is not None:
+            self.metrics.counter(
+                "plan_cache_hits_total", "logical plans served from the cache"
+            ).inc()
+            return cached.rebind(shredded), True
+        self.metrics.counter(
+            "plan_cache_misses_total", "logical plans built by the optimizer"
+        ).inc()
+        plan = build_plan(shredded, self.stats)
+        self.plan_cache.store(plan)
+        self.metrics.gauge(
+            "plan_cache_size", "logical plans currently cached"
+        ).set(len(self.plan_cache))
+        return plan.rebind(shredded), False
+
+    def explain(
+        self,
+        query: ObjectQuery,
+        user: Optional[str] = None,
+    ) -> Explanation:
+        """Optimize and execute ``query``, returning the plan tree with
+        the optimizer's row estimates next to the actual per-stage row
+        counts (the ``repro explain`` CLI surface)."""
+        with self.tracer.span("catalog.explain"):
+            shredded = self.shred_query(query, user=user)
+            plan, cache_hit = self.plan_for(shredded)
+            trace = PlanTrace()
+            ids = self.store.match_objects(plan, trace)
+        self.metrics.counter("catalog_queries_total", "queries executed").inc()
+        return Explanation(plan, ids, trace, cache_hit)
 
     # ------------------------------------------------------------------
     # Responses

@@ -1,27 +1,37 @@
-"""The Fig-4 object-query plan, executed on the memory store.
+"""Interpreter of the logical plan IR over the memory store.
+
+The Fig-4 object-query plan is built once as a backend-neutral
+:class:`~repro.core.logical.LogicalPlan` (see :mod:`repro.core.logical`)
+and this module *interprets* it over :class:`MemoryHybridStore` — the
+sqlite backend compiles the very same plan object to SQL, so the two
+backends can never drift apart stage-wise.
 
 The plan is set-based throughout — every stage is a bulk operation over
 whole row sets, never a per-object traversal — and uses the inverted
 lists to resolve sub-attribute containment without recursion (paper §4):
 
-1. **elements-meeting-criteria** — join the element data with the query
-   element criteria (one index seek per criterion, the access path an
-   RDBMS would choose) producing ``(object, attribute instance, qelem)``
-   match rows.
-2. **attributes-direct** — group matches by attribute instance and
+1. **ElementSeek** (one per criterion, most-selective-first when
+   statistics are available) — join the element data with the query
+   element criteria, one index seek per criterion, producing
+   ``(object, attribute instance, qelem)`` match rows.  Because all
+   criteria are conjunctive, a seek that matches nothing
+   short-circuits the remaining stages.
+2. **DirectCountMatch** — group matches by attribute instance and
    query attribute; instances qualify when they contain the *required
    number of distinct* direct element criteria.  Criteria with no
    direct elements take every instance of their definition as
-   candidates.
-3. **attributes-indirect** — bottom-up over the criteria tree: join the
+   candidates.  Under the §4 simplified rewrite (``plan.simple``),
+   grouping is by object directly.
+3. **AncestorCountMatch** — bottom-up over the criteria tree: join the
    satisfied child-criterion instances with the data's inverted list of
    sub-attribute → ancestor relationships, and keep ancestor instances
    that account for *all* child criteria (count matching).  Because the
    inverted list spans intervening sub-attributes, a query criterion
    nested one level below another matches data any number of levels
    deeper — and no stage ever recurses through the data.
-4. **object-ids** — objects where every top-level attribute criterion
-   has at least one fully satisfied instance.
+4. **ObjectIntersect** — objects where every top-level attribute
+   criterion has at least one fully satisfied instance, rarest
+   criterion first so an empty intersection exits early.
 
 The sqlite backend executes the same stages as SQL statements
 (:mod:`repro.backends.sqlite`); the two are property-tested to agree.
@@ -30,30 +40,49 @@ The sqlite backend executes the same stages as SQL statements
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple, Union
 
+from .logical import LogicalPlan, build_plan
 from .query import Op, ShreddedQuery
 from .storage import MemoryHybridStore, PlanTrace, record_plan
 
 Instance = Tuple[int, int]  # (object_id, seq_id)
 
 
+def _as_plan(query: Union[ShreddedQuery, LogicalPlan]) -> LogicalPlan:
+    if isinstance(query, LogicalPlan):
+        return query
+    return build_plan(query)
+
+
 def match_objects_memory(
     store: MemoryHybridStore,
-    query: ShreddedQuery,
+    query: Union[ShreddedQuery, LogicalPlan],
     trace: Optional[PlanTrace] = None,
 ) -> List[int]:
-    """Run the count-matching plan; returns sorted object ids.
+    """Interpret the count-matching plan; returns sorted object ids.
 
-    Dispatches to the §4 simplified plan when the query's attributes are
-    single-instance and there are no sub-attribute criteria.
+    Accepts either a bare :class:`ShreddedQuery` (compiled on the spot,
+    unoptimized) or a pre-built :class:`LogicalPlan` (what the catalog's
+    plan cache hands down).
     """
+    plan = _as_plan(query)
     if trace is None:
         trace = PlanTrace()
-    if query.simple:
-        object_ids = _match_objects_simple(store, query, trace)
-        record_plan(trace, store.metrics_registry())
-        return object_ids
+    if plan.simple:
+        object_ids = _interpret_simple(store, plan, trace)
+    else:
+        object_ids = _interpret_general(store, plan, trace)
+    record_plan(trace, store.metrics_registry())
+    return object_ids
+
+
+def _interpret_general(
+    store: MemoryHybridStore,
+    plan: LogicalPlan,
+    trace: PlanTrace,
+) -> List[int]:
+    query = plan.query
     trace.add(
         "query-criteria",
         len(query.qattrs) + len(query.qelems),
@@ -65,7 +94,7 @@ def match_objects_memory(
     ancestors = store.db.table("attr_ancestors")
 
     # ------------------------------------------------------------------
-    # Stage 1: elements meeting criteria (one index seek per criterion).
+    # ElementSeek stages (one index seek per criterion, in plan order).
     # ------------------------------------------------------------------
     # matches[qattr_id][instance] = set of qelem ids that matched there
     matches: Dict[int, Dict[Instance, Set[int]]] = defaultdict(lambda: defaultdict(set))
@@ -74,110 +103,119 @@ def match_objects_memory(
     ev_num = elements.position("value_num")
     e_obj = elements.position("object_id")
     e_seq = elements.position("seq_id")
-    for qelem in query.qelems:
-        qattr = query.qattr(qelem.qattr_id)
+    short_circuited = False
+    for seek in plan.seeks:
+        qelem = query.qelems[seek.qelem_id - 1]
+        qattr = query.qattr(seek.qattr_id)
         rows = elements.lookup(["elem_id"], [qelem.elem_def_id])
         op = qelem.op
         if qelem.numeric:
             expected = qelem.value_set if op is Op.IN_SET else qelem.value_num
-            for row in rows:
-                if row[1] != qattr.attr_def_id:
-                    continue
-                if op.matches(row[ev_num], expected):
-                    matches[qelem.qattr_id][(row[e_obj], row[e_seq])].add(qelem.qelem_id)
-                    match_rows += 1
+            position = ev_num
         else:
             expected = qelem.value_set if op is Op.IN_SET else qelem.value_text
-            for row in rows:
-                if row[1] != qattr.attr_def_id:
-                    continue
-                if op.matches(row[ev_text], expected):
-                    matches[qelem.qattr_id][(row[e_obj], row[e_seq])].add(qelem.qelem_id)
-                    match_rows += 1
-    trace.add("elements-meeting-criteria", match_rows)
+            position = ev_text
+        seek_rows = 0
+        for row in rows:
+            if row[1] != qattr.attr_def_id:
+                continue
+            if op.matches(row[position], expected):
+                matches[seek.qattr_id][(row[e_obj], row[e_seq])].add(seek.qelem_id)
+                seek_rows += 1
+        plan.actuals[seek.key()] = seek_rows
+        match_rows += seek_rows
+        if seek_rows == 0:
+            # Conjunctive query: an unmatched criterion empties the
+            # result — skip the remaining seeks entirely (the payoff of
+            # most-selective-first ordering).
+            short_circuited = True
+            break
+    trace.add(
+        "elements-meeting-criteria",
+        match_rows,
+        "short-circuited: a criterion matched nothing" if short_circuited else "",
+    )
+    if short_circuited:
+        return _empty_result(plan, trace, simple=False)
 
     # ------------------------------------------------------------------
-    # Stage 2: attribute instances meeting their direct element counts.
+    # DirectCountMatch stages (per attribute criterion).
     # ------------------------------------------------------------------
     satisfied: Dict[int, Set[Instance]] = {}
     direct_rows = 0
-    for qattr in query.qattrs:
-        if qattr.direct_elem_count == 0:
+    for count in plan.counts:
+        if count.required == 0:
             # Existence-only criterion: every instance of the definition
             # is a candidate.
-            instance_rows = attributes.lookup(["attr_id"], [qattr.attr_def_id])
+            instance_rows = attributes.lookup(["attr_id"], [count.attr_def_id])
             candidates = {(row[0], row[2]) for row in instance_rows}
         else:
-            required = qattr.direct_elem_count
             candidates = {
                 instance
-                for instance, met in matches[qattr.qattr_id].items()
-                if len(met) == required
+                for instance, met in matches[count.qattr_id].items()
+                if len(met) == count.required
             }
-        satisfied[qattr.qattr_id] = candidates
+        satisfied[count.qattr_id] = candidates
+        plan.actuals[count.key()] = len(candidates)
         direct_rows += len(candidates)
     trace.add("attributes-direct", direct_rows)
 
     # ------------------------------------------------------------------
-    # Stage 3: bottom-up containment via the inverted lists.
+    # AncestorCountMatch stages (bottom-up containment via the
+    # inverted lists, one edge at a time).
     # ------------------------------------------------------------------
-    indirect_rows = 0
-    for depth in range(query.max_depth(), -1, -1):
-        for qattr in query.qattrs:
-            if qattr.depth != depth or not qattr.child_qattr_ids:
-                continue
-            base = satisfied[qattr.qattr_id]
-            if not base:
-                continue
-            # For each child criterion, the set of this definition's
-            # instances that contain a satisfied child instance.
-            surviving = base
-            for child_id in qattr.child_qattr_ids:
-                child = query.qattr(child_id)
-                child_ok = satisfied[child_id]
-                if not child_ok:
-                    surviving = set()
-                    break
-                pair_rows = ancestors.lookup(
-                    ["desc_attr_id", "anc_attr_id"],
-                    [child.attr_def_id, qattr.attr_def_id],
-                )
-                anc_ok = {
-                    (row[0], row[4])
-                    for row in pair_rows
-                    if row[5] >= 1 and (row[0], row[2]) in child_ok
-                }
-                surviving = surviving & anc_ok
-                if not surviving:
-                    break
-            satisfied[qattr.qattr_id] = surviving
-            indirect_rows += len(surviving)
+    for edge in plan.containments:
+        base = satisfied[edge.parent_qattr_id]
+        if not base:
+            plan.actuals[edge.key()] = 0
+            continue
+        child_ok = satisfied[edge.child_qattr_id]
+        if not child_ok:
+            satisfied[edge.parent_qattr_id] = set()
+            plan.actuals[edge.key()] = 0
+            continue
+        pair_rows = ancestors.lookup(
+            ["desc_attr_id", "anc_attr_id"],
+            [edge.child_def_id, edge.parent_def_id],
+        )
+        anc_ok = {
+            (row[0], row[4])
+            for row in pair_rows
+            if row[5] >= 1 and (row[0], row[2]) in child_ok
+        }
+        surviving = base & anc_ok
+        satisfied[edge.parent_qattr_id] = surviving
+        plan.actuals[edge.key()] = len(surviving)
+    indirect_rows = sum(
+        len(satisfied[q.qattr_id]) for q in query.qattrs if q.child_qattr_ids
+    )
     trace.add("attributes-indirect", indirect_rows)
 
     # ------------------------------------------------------------------
-    # Stage 4: objects where every top criterion is satisfied.
+    # ObjectIntersect: every top criterion satisfied, rarest first.
     # ------------------------------------------------------------------
     result: Optional[Set[int]] = None
-    for top_id in query.top_qattr_ids:
+    for top_id in plan.intersect.top_qattr_ids:
         objects = {obj for obj, _seq in satisfied[top_id]}
         result = objects if result is None else (result & objects)
         if not result:
             break
     object_ids = sorted(result or set())
+    plan.actuals[plan.intersect.key()] = len(object_ids)
     trace.add("object-ids", len(object_ids))
-    record_plan(trace, store.metrics_registry())
     return object_ids
 
 
-def _match_objects_simple(
+def _interpret_simple(
     store: MemoryHybridStore,
-    query: ShreddedQuery,
+    plan: LogicalPlan,
     trace: PlanTrace,
 ) -> List[int]:
-    """The §4 simplified plan: with at most one instance of each queried
-    attribute per object and no sub-attribute criteria, count matching
-    can group by *object* directly — no per-instance bookkeeping and no
-    inverted-list stage."""
+    """The §4 simplified rewrite: with at most one instance of each
+    queried attribute per object and no sub-attribute criteria, count
+    matching can group by *object* directly — no per-instance
+    bookkeeping and no inverted-list stage."""
+    query = plan.query
     trace.add(
         "query-criteria",
         len(query.qattrs) + len(query.qelems),
@@ -193,7 +231,9 @@ def _match_objects_simple(
     # One index seek per criterion; met[qattr][object] = distinct qelems.
     met: Dict[int, Dict[int, Set[int]]] = defaultdict(lambda: defaultdict(set))
     match_rows = 0
-    for qelem in query.qelems:
+    short_circuited = False
+    for seek in plan.seeks:
+        qelem = query.qelems[seek.qelem_id - 1]
         rows = elements.lookup(["elem_id"], [qelem.elem_def_id])
         op = qelem.op
         if qelem.numeric:
@@ -202,30 +242,61 @@ def _match_objects_simple(
         else:
             expected = qelem.value_set if op is Op.IN_SET else qelem.value_text
             position = ev_text
+        seek_rows = 0
         for row in rows:
             if op.matches(row[position], expected):
-                met[qelem.qattr_id][row[e_obj]].add(qelem.qelem_id)
-                match_rows += 1
-    trace.add("elements-meeting-criteria", match_rows)
+                met[seek.qattr_id][row[e_obj]].add(seek.qelem_id)
+                seek_rows += 1
+        plan.actuals[seek.key()] = seek_rows
+        match_rows += seek_rows
+        if seek_rows == 0:
+            short_circuited = True
+            break
+    trace.add(
+        "elements-meeting-criteria",
+        match_rows,
+        "short-circuited: a criterion matched nothing" if short_circuited else "",
+    )
+    if short_circuited:
+        return _empty_result(plan, trace, simple=True)
 
     result: Optional[Set[int]] = None
     satisfied_rows = 0
-    for qattr in query.qattrs:
-        if qattr.direct_elem_count == 0:
+    for count in plan.counts:
+        if count.required == 0:
             objects = {
-                row[0] for row in attributes.lookup(["attr_id"], [qattr.attr_def_id])
+                row[0] for row in attributes.lookup(["attr_id"], [count.attr_def_id])
             }
         else:
-            required = qattr.direct_elem_count
             objects = {
-                obj for obj, hits in met[qattr.qattr_id].items()
-                if len(hits) == required
+                obj for obj, hits in met[count.qattr_id].items()
+                if len(hits) == count.required
             }
+        plan.actuals[count.key()] = len(objects)
         satisfied_rows += len(objects)
         result = objects if result is None else (result & objects)
         if not result:
             break
     trace.add("attributes-direct", satisfied_rows)
     object_ids = sorted(result or set())
+    plan.actuals[plan.intersect.key()] = len(object_ids)
     trace.add("object-ids", len(object_ids))
     return object_ids
+
+
+def _empty_result(plan: LogicalPlan, trace: PlanTrace, simple: bool) -> List[int]:
+    """Finish the trace uniformly after a seek short-circuit: the
+    remaining stages run over empty inputs, so record them as zero-row
+    stages (both backends emit the identical stage sequence)."""
+    for seek in plan.seeks:
+        plan.actuals.setdefault(seek.key(), 0)
+    for count in plan.counts:
+        plan.actuals[count.key()] = 0
+    trace.add("attributes-direct", 0)
+    if not simple:
+        for edge in plan.containments:
+            plan.actuals[edge.key()] = 0
+        trace.add("attributes-indirect", 0)
+    plan.actuals[plan.intersect.key()] = 0
+    trace.add("object-ids", 0)
+    return []

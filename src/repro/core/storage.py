@@ -376,7 +376,18 @@ class HybridStore(abc.ABC):
 
     @abc.abstractmethod
     def match_objects(self, shredded_query, trace: Optional[PlanTrace] = None) -> List[int]:
-        """Run the Fig-4 count-matching plan; return matching object ids."""
+        """Execute the Fig-4 count-matching plan; return matching object
+        ids.  Accepts either a :class:`~repro.core.query.ShreddedQuery`
+        (compiled into an unoptimized plan on the spot) or a pre-built
+        :class:`~repro.core.logical.LogicalPlan` — the catalog facade
+        passes optimized, cached plans down this path."""
+
+    @abc.abstractmethod
+    def collect_statistics(self):
+        """One aggregation pass producing a
+        :class:`~repro.core.stats.StatsSnapshot` (per element-def row and
+        distinct-value counts, per attribute-def instance counts, object
+        total) — the rebuild path of the statistics layer."""
 
     @abc.abstractmethod
     def build_responses(self, object_ids: Sequence[int]) -> Dict[int, str]:
@@ -701,6 +712,33 @@ class MemoryHybridStore(HybridStore):
         from .planner import match_objects_memory
 
         return match_objects_memory(self, shredded_query, trace)
+
+    # -- Statistics (optimizer inputs) --------------------------------------
+    def collect_statistics(self):
+        from .stats import StatsSnapshot
+
+        elem_rows: Dict[int, int] = {}
+        elem_values: Dict[int, set] = {}
+        elements = self.db.table("elements")
+        e_elem = elements.position("elem_id")
+        e_text = elements.position("value_text")
+        e_num = elements.position("value_num")
+        for row in elements.scan():
+            elem_id = row[e_elem]
+            elem_rows[elem_id] = elem_rows.get(elem_id, 0) + 1
+            elem_values.setdefault(elem_id, set()).add((row[e_text], row[e_num]))
+        attr_rows: Dict[int, int] = {}
+        attributes = self.db.table("attributes")
+        a_attr = attributes.position("attr_id")
+        for row in attributes.scan():
+            attr_id = row[a_attr]
+            attr_rows[attr_id] = attr_rows.get(attr_id, 0) + 1
+        return StatsSnapshot(
+            self.object_count(),
+            elem_rows,
+            {elem_id: len(values) for elem_id, values in elem_values.items()},
+            attr_rows,
+        )
 
     def build_responses(self, object_ids: Sequence[int]) -> Dict[int, str]:
         from .response import build_responses_memory

@@ -1,0 +1,265 @@
+"""Unit tests for the logical plan IR, optimizer ordering, and plan cache.
+
+The key regression here is staleness: a plan cached before a delete,
+attribute removal, or definition change must never be served again —
+every mutation that can change plan validity bumps the statistics
+generation, and the cache treats a generation mismatch as a miss.
+"""
+
+import pytest
+
+from repro.backends import SqliteHybridStore
+from repro.core import (
+    AttributeCriteria,
+    HybridCatalog,
+    ObjectQuery,
+    Op,
+    PlanCache,
+    build_plan,
+    plan_shape,
+)
+from repro.core.schema import ValueType
+from repro.grid import lead_schema
+from repro.xmlkit import element, pretty_print
+
+
+def make_doc(rid, themekeys=(), grids=()):
+    keywords = element("keywords")
+    if themekeys:
+        theme = element("theme", element("themekt", "CF"))
+        for key in themekeys:
+            theme.append(element("themekey", key))
+        keywords.append(theme)
+    idinfo = element("idinfo", keywords) if themekeys else element("idinfo")
+    eainfo = element("eainfo")
+    for grid in grids:
+        detailed = element(
+            "detailed",
+            element("enttyp", element("enttypl", "grid"), element("enttypds", "ARPS")),
+        )
+        for key, value in grid.items():
+            detailed.append(
+                element(
+                    "attr",
+                    element("attrlabl", key),
+                    element("attrdefs", "ARPS"),
+                    element("attrv", str(value)),
+                )
+            )
+        eainfo.append(detailed)
+    return pretty_print(
+        element(
+            "LEADresource",
+            element("resourceID", rid),
+            element("data", idinfo, element("geospatial", eainfo)),
+        )
+    )
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def catalog(request):
+    store = SqliteHybridStore() if request.param == "sqlite" else None
+    cat = HybridCatalog(lead_schema(), store=store)
+    grid = cat.define_attribute("grid", "ARPS")
+    cat.define_element(grid, "nx", "ARPS", ValueType.FLOAT)
+    cat.define_element(grid, "dx", "ARPS", ValueType.FLOAT)
+    for i in range(8):
+        cat.ingest(
+            make_doc(
+                f"doc-{i}",
+                themekeys=["rain"] if i % 2 == 0 else ["wind"],
+                grids=[{"nx": 50 + i, "dx": 1000.0}],
+            )
+        )
+    return cat
+
+
+def grid_query(nx_floor=50, dx=1000.0):
+    query = ObjectQuery()
+    crit = AttributeCriteria("grid", "ARPS")
+    crit.add_element("nx", "ARPS", nx_floor, Op.GE)
+    crit.add_element("dx", "ARPS", dx, Op.EQ)
+    query.add_attribute(crit)
+    return query
+
+
+class TestBuildPlan:
+    def test_unoptimized_plan_keeps_shredding_order(self, catalog):
+        shredded = catalog.shred_query(grid_query())
+        plan = build_plan(shredded)
+        assert [s.qelem_id for s in plan.seeks] == [e.qelem_id for e in shredded.qelems]
+        assert all(s.est_rows is None for s in plan.seeks)
+        assert plan.stats_generation is None
+
+    def test_optimizer_orders_seeks_most_selective_first(self, catalog):
+        # nx values are all distinct (8 rows, 8 values -> est 1 per EQ-ish
+        # op); dx is the same value in every row (est 8).  The GE on nx
+        # divides rows by 3, still far below the EQ on the constant dx.
+        shredded = catalog.shred_query(grid_query())
+        plan = build_plan(shredded, catalog.stats)
+        ests = [s.est_rows for s in plan.seeks]
+        assert ests == sorted(ests)
+        nx_seek = plan.seeks[0]
+        dx_seek = plan.seeks[1]
+        assert nx_seek.est_rows < dx_seek.est_rows
+
+    def test_estimates_do_not_change_results(self, catalog):
+        query = grid_query(nx_floor=54)
+        shredded = catalog.shred_query(query)
+        unopt = catalog.store.match_objects(build_plan(shredded))
+        opt = catalog.store.match_objects(build_plan(shredded, catalog.stats))
+        assert unopt == opt == catalog.query(query)
+
+    def test_rebind_shares_stages_but_not_actuals(self, catalog):
+        shredded = catalog.shred_query(grid_query())
+        plan = build_plan(shredded, catalog.stats)
+        catalog.store.match_objects(plan)
+        assert plan.actuals
+        rebound = plan.rebind(catalog.shred_query(grid_query(nx_floor=99)))
+        assert rebound.seeks is plan.seeks
+        assert rebound.actuals == {}
+
+    def test_describe_lists_every_stage(self, catalog):
+        explanation = catalog.explain(grid_query())
+        text = explanation.describe()
+        assert "ObjectIntersect" in text
+        assert "DirectCountMatch" in text
+        assert text.count("ElementSeek") == 2
+        assert "est~" in text and "actual=" in text
+
+
+class TestPlanShape:
+    def test_same_template_different_literals_share_shape(self, catalog):
+        a = catalog.shred_query(grid_query(nx_floor=50))
+        b = catalog.shred_query(grid_query(nx_floor=55))
+        assert plan_shape(a) == plan_shape(b)
+
+    def test_different_operator_changes_shape(self, catalog):
+        query = ObjectQuery()
+        crit = AttributeCriteria("grid", "ARPS")
+        crit.add_element("nx", "ARPS", 50, Op.LE)
+        crit.add_element("dx", "ARPS", 1000.0, Op.EQ)
+        query.add_attribute(crit)
+        assert plan_shape(catalog.shred_query(query)) != plan_shape(
+            catalog.shred_query(grid_query())
+        )
+
+    def test_in_set_width_is_part_of_the_shape(self, catalog):
+        def themed(values):
+            query = ObjectQuery()
+            query.add_attribute(
+                AttributeCriteria("theme").add_element(
+                    "themekey", "", values, Op.IN_SET
+                )
+            )
+            return catalog.shred_query(query)
+
+        assert plan_shape(themed({"rain"})) != plan_shape(themed({"rain", "wind"}))
+
+
+class TestPlanCache:
+    def test_second_query_hits(self, catalog):
+        catalog.query(grid_query(nx_floor=50))
+        hits_before = catalog.plan_cache.hits
+        catalog.query(grid_query(nx_floor=53))  # same shape, new literal
+        assert catalog.plan_cache.hits == hits_before + 1
+
+    def test_lru_eviction(self):
+        cache = PlanCache(capacity=2)
+        cat = HybridCatalog(lead_schema())
+
+        def plan_for_theme(name):
+            query = ObjectQuery()
+            query.add_attribute(
+                AttributeCriteria("theme").add_element("themekey", "", name, Op.EQ)
+            )
+            # Different CONTAINS/EQ mixes give distinct shapes.
+            return build_plan(cat.shred_query(query))
+
+        plans = []
+        for op in (Op.EQ, Op.NE, Op.CONTAINS):
+            query = ObjectQuery()
+            query.add_attribute(
+                AttributeCriteria("theme").add_element("themekey", "", "x", op)
+            )
+            plans.append(build_plan(cat.shred_query(query)))
+        for plan in plans:
+            cache.store(plan)
+        assert len(cache) == 2
+        assert cache.lookup(plans[0].shape, None) is None  # evicted
+        assert cache.lookup(plans[2].shape, None) is plans[2]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+    def test_metrics_expose_hit_and_miss_counters(self, catalog):
+        catalog.query(grid_query())
+        catalog.query(grid_query())
+        registry = catalog.store.metrics_registry()
+        assert "plan_cache_hits_total" in registry
+        assert "plan_cache_misses_total" in registry
+        assert "plan_cache_size" in registry
+        assert registry.get("plan_cache_hits_total").value >= 1
+        assert registry.get("plan_cache_misses_total").value >= 1
+
+
+class TestStalePlanRegression:
+    """A cached plan must never survive a mutation that can change what
+    it returns."""
+
+    def test_delete_invalidates_cached_plan(self, catalog):
+        query = grid_query(nx_floor=50)
+        before = catalog.query(query)
+        assert before  # plan now cached
+        catalog.delete(before[0])
+        after = catalog.query(query)
+        assert before[0] not in after
+        assert catalog.explain(query).cache_hit is False or before[0] not in after
+
+    def test_remove_attribute_invalidates_cached_plan(self, catalog):
+        query = ObjectQuery()
+        query.add_attribute(
+            AttributeCriteria("theme").add_element("themekey", "", "rain", Op.EQ)
+        )
+        before = catalog.query(query)
+        assert before
+        victim = before[0]
+        catalog.remove_attribute(victim, "theme", "")
+        after = catalog.query(query)
+        assert victim not in after
+
+    def test_definition_change_invalidates_cached_plan(self, catalog):
+        # Cache a plan for a theme query, then define a new element on
+        # the same attribute: qelem/def ids shift, so a stale plan could
+        # seek the wrong definition.  The generation bump forces a
+        # rebuild and the query stays correct.
+        theme_query = ObjectQuery()
+        theme_query.add_attribute(
+            AttributeCriteria("theme").add_element("themekey", "", "rain", Op.EQ)
+        )
+        expected = catalog.query(theme_query)
+        gen_before = catalog.stats.generation
+        grid = catalog.registry.lookup_attribute("grid", "ARPS")
+        catalog.define_element(grid, "ny", "ARPS", ValueType.FLOAT)
+        assert catalog.stats.generation > gen_before
+        explanation = catalog.explain(theme_query)
+        assert explanation.cache_hit is False
+        assert explanation.object_ids == expected
+
+    def test_generation_mismatch_is_a_cache_miss(self, catalog):
+        shredded = catalog.shred_query(grid_query())
+        plan, hit = catalog.plan_for(shredded)
+        assert hit is False
+        catalog.stats.invalidate()
+        _plan2, hit2 = catalog.plan_for(shredded)
+        assert hit2 is False
+
+    def test_incremental_ingest_keeps_cache_warm(self, catalog):
+        """Plain ingest only *adds* rows; cached plans stay valid (they
+        re-bind literals and re-run estimates are advisory)."""
+        query = grid_query()
+        catalog.query(query)
+        catalog.ingest(make_doc("doc-extra", grids=[{"nx": 70, "dx": 1000.0}]))
+        explanation = catalog.explain(query)
+        assert explanation.cache_hit is True

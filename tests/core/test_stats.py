@@ -1,0 +1,149 @@
+"""Unit tests for the selectivity statistics layer.
+
+Statistics order plan stages; they must stay cheap to maintain
+(incremental on ingest, lazy rebuild after invalidation) and their
+estimates must react to the value distributions the optimizer cares
+about — without ever changing which objects a query matches.
+"""
+
+import pytest
+
+from repro.backends import SqliteHybridStore
+from repro.core import (
+    AttributeCriteria,
+    CatalogStatistics,
+    HybridCatalog,
+    ObjectQuery,
+    Op,
+)
+from repro.core.schema import ValueType
+from repro.grid import lead_schema
+from repro.xmlkit import element, pretty_print
+
+
+def make_doc(rid, grids=()):
+    eainfo = element("eainfo")
+    for grid in grids:
+        detailed = element(
+            "detailed",
+            element("enttyp", element("enttypl", "grid"), element("enttypds", "ARPS")),
+        )
+        for key, value in grid.items():
+            detailed.append(
+                element(
+                    "attr",
+                    element("attrlabl", key),
+                    element("attrdefs", "ARPS"),
+                    element("attrv", str(value)),
+                )
+            )
+        eainfo.append(detailed)
+    return pretty_print(
+        element(
+            "LEADresource",
+            element("resourceID", rid),
+            element("data", element("idinfo"), element("geospatial", eainfo)),
+        )
+    )
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def catalog(request):
+    store = SqliteHybridStore() if request.param == "sqlite" else None
+    cat = HybridCatalog(lead_schema(), store=store)
+    grid = cat.define_attribute("grid", "ARPS")
+    cat.define_element(grid, "nx", "ARPS", ValueType.FLOAT)
+    cat.define_element(grid, "dx", "ARPS", ValueType.FLOAT)
+    for i in range(6):
+        # nx takes 6 distinct values, dx always 1000.0 (1 distinct).
+        cat.ingest(make_doc(f"doc-{i}", grids=[{"nx": 10 + i, "dx": 1000.0}]))
+    return cat
+
+
+def _elem_def(catalog, name):
+    grid = catalog.registry.lookup_attribute("grid", "ARPS")
+    return catalog.registry.lookup_element(grid, name, "ARPS")
+
+
+class TestMaintenance:
+    def test_incremental_counts_match_store_rebuild(self, catalog):
+        nx = _elem_def(catalog, "nx")
+        incr = (
+            catalog.stats.object_count(),
+            catalog.stats.element_rows(nx.elem_id),
+            catalog.stats.element_distinct(nx.elem_id),
+        )
+        rebuilt = CatalogStatistics(catalog.store)
+        rebuilt.invalidate()
+        fresh = (
+            rebuilt.object_count(),
+            rebuilt.element_rows(nx.elem_id),
+            rebuilt.element_distinct(nx.elem_id),
+        )
+        assert incr == fresh == (6, 6, 6)
+
+    def test_ingest_updates_without_invalidating(self, catalog):
+        gen = catalog.stats.generation
+        catalog.ingest(make_doc("doc-new", grids=[{"nx": 99, "dx": 1000.0}]))
+        assert catalog.stats.generation == gen
+        assert catalog.stats.object_count() == 7
+        nx = _elem_def(catalog, "nx")
+        assert catalog.stats.element_rows(nx.elem_id) == 7
+
+    def test_invalidate_bumps_generation_and_rebuilds_lazily(self, catalog):
+        gen = catalog.stats.generation
+        catalog.delete(1)
+        assert catalog.stats.generation > gen
+        nx = _elem_def(catalog, "nx")
+        assert catalog.stats.element_rows(nx.elem_id) == 5
+        assert catalog.stats.object_count() == 5
+
+    def test_collect_statistics_snapshot_shape(self, catalog):
+        snap = catalog.store.collect_statistics()
+        nx = _elem_def(catalog, "nx")
+        dx = _elem_def(catalog, "dx")
+        assert snap.objects == 6
+        assert snap.elem_rows[nx.elem_id] == 6
+        assert snap.elem_distinct[nx.elem_id] == 6
+        assert snap.elem_distinct[dx.elem_id] == 1
+        grid = catalog.registry.lookup_attribute("grid", "ARPS")
+        assert snap.attr_rows[grid.attr_id] == 6
+
+
+class TestEstimates:
+    def _qelem(self, catalog, name, value, op):
+        query = ObjectQuery()
+        crit = AttributeCriteria("grid", "ARPS")
+        crit.add_element(name, "ARPS", value, op)
+        query.add_attribute(crit)
+        return catalog.shred_query(query).qelems[0]
+
+    def test_eq_uses_distinct_count(self, catalog):
+        unique = self._qelem(catalog, "nx", 12, Op.EQ)
+        constant = self._qelem(catalog, "dx", 1000.0, Op.EQ)
+        assert catalog.stats.estimate_qelem(unique) == pytest.approx(1.0)
+        assert catalog.stats.estimate_qelem(constant) == pytest.approx(6.0)
+
+    def test_ne_is_complement_of_eq(self, catalog):
+        ne = self._qelem(catalog, "nx", 12, Op.NE)
+        est = catalog.stats.estimate_qelem(ne)
+        assert est == pytest.approx(6 * (1 - 1 / 6))
+
+    def test_in_set_scales_with_width(self, catalog):
+        narrow = self._qelem(catalog, "nx", {10}, Op.IN_SET)
+        wide = self._qelem(catalog, "nx", {10, 11, 12}, Op.IN_SET)
+        assert catalog.stats.estimate_qelem(wide) == pytest.approx(
+            3 * catalog.stats.estimate_qelem(narrow)
+        )
+
+    def test_range_and_contains_are_fractions_of_rows(self, catalog):
+        rng = self._qelem(catalog, "nx", 12, Op.GE)
+        assert 0 < catalog.stats.estimate_qelem(rng) <= 6
+
+    def test_unknown_definition_estimates_zero_rows(self, catalog):
+        query = ObjectQuery()
+        query.add_attribute(
+            AttributeCriteria("theme").add_element("themekey", "", "x", Op.EQ)
+        )
+        qelem = catalog.shred_query(query).qelems[0]
+        assert catalog.stats.estimate_qelem(qelem) == pytest.approx(0.0)

@@ -131,6 +131,42 @@ class TestQuery:
                   "--elem", "dx ~ 1"])
 
 
+class TestExplain:
+    def test_explain_shows_plan_tree(self, loaded, capsys):
+        code, out, _err = run(
+            capsys, "explain", "--db", loaded,
+            "--attr", "grid/ARPS", "--elem", "dx/ARPS = 1000",
+            "--sub", "grid-stretching", "--elem", "dzmin = 100",
+        )
+        assert code == 0
+        assert "logical plan:" in out
+        assert "ObjectIntersect" in out
+        assert "ElementSeek" in out
+        assert "AncestorCountMatch" in out
+        assert "est~" in out and "actual=" in out
+        assert "1 matching object(s)" in out
+
+    def test_explain_reports_plan_source(self, loaded, capsys):
+        # Each CLI invocation is a fresh process, so the first plan for
+        # the shape is always newly built.
+        code, out, _err = run(
+            capsys, "explain", "--db", loaded,
+            "--attr", "grid/ARPS", "--elem", "dx/ARPS = 1000",
+        )
+        assert code == 0
+        assert "plan source: newly built" in out
+
+    def test_stats_surface_plan_cache_counters(self, loaded, capsys):
+        code, _out, _err = run(
+            capsys, "query", "--db", loaded,
+            "--attr", "grid/ARPS", "--elem", "dx/ARPS = 1000")
+        assert code == 0
+        code, out, _err = run(capsys, "stats", "--db", loaded)
+        assert code == 0
+        assert "plan_cache_misses_total" in out
+        assert "plan_cache_size" in out
+
+
 class TestFetchAndAdd:
     def test_fetch_roundtrip(self, loaded, capsys):
         code, out, _err = run(capsys, "fetch", "--db", loaded, "1")
