@@ -1,0 +1,32 @@
+"""The concrete ``repro lint`` rules."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..linter import Rule
+from .fault_sites import FaultSiteRule
+from .metrics import MetricNameRule
+from .parity import BackendParityRule
+from .plan_purity import PlanPurityRule
+from .txn import TxnSafetyRule
+
+__all__ = [
+    "BackendParityRule",
+    "FaultSiteRule",
+    "MetricNameRule",
+    "PlanPurityRule",
+    "TxnSafetyRule",
+    "build_default_rules",
+]
+
+
+def build_default_rules() -> List[Rule]:
+    """All five repo rules, bound to the live site/metric registries."""
+    return [
+        TxnSafetyRule(),
+        FaultSiteRule(),
+        MetricNameRule(),
+        PlanPurityRule(),
+        BackendParityRule(),
+    ]

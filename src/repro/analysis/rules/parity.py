@@ -1,0 +1,108 @@
+"""PAR01 — the two storage backends expose one interface.
+
+The whole point of the hybrid design is that the memory engine and the
+sqlite backend are interchangeable behind :class:`HybridStore`; the
+test suite runs most scenarios against both.  Interface drift defeats
+that quietly: a public method added to one backend (``close()`` was the
+real example) works in every direct test and then explodes with
+``AttributeError`` the first time generic code calls it on the other
+backend.  This rule checks, purely lexically:
+
+* every ``@abstractmethod`` on ``HybridStore`` is overridden by *both*
+  concrete backends;
+* every public method (no leading underscore, not a dunder) defined on
+  a concrete backend also exists on ``HybridStore`` — as an abstract
+  method or a concrete base implementation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional, Tuple
+
+from ..linter import LintContext, Rule, SourceModule
+
+_FuncDef = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _is_abstract(node: ast.AST) -> bool:
+    for dec in getattr(node, "decorator_list", ()):
+        name: Optional[str] = None
+        if isinstance(dec, ast.Name):
+            name = dec.id
+        elif isinstance(dec, ast.Attribute):
+            name = dec.attr
+        if name == "abstractmethod":
+            return True
+    return False
+
+
+def _methods(cls: ast.ClassDef) -> Dict[str, ast.AST]:
+    return {
+        node.name: node for node in cls.body if isinstance(node, _FuncDef)
+    }
+
+
+def _find_class(
+    ctx: LintContext, path_suffix: str, class_name: str
+) -> Tuple[Optional[SourceModule], Optional[ast.ClassDef]]:
+    for module in ctx.modules_matching(path_suffix):
+        if module.tree is None:
+            continue
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef) and node.name == class_name:
+                return module, node
+    return None, None
+
+
+class BackendParityRule(Rule):
+    """See module docstring."""
+
+    id = "PAR01"
+    title = "storage backends share the HybridStore interface"
+
+    def __init__(
+        self,
+        base: Tuple[str, str] = ("core/storage.py", "HybridStore"),
+        impls: Tuple[Tuple[str, str], ...] = (
+            ("core/storage.py", "MemoryHybridStore"),
+            ("backends/sqlite.py", "SqliteHybridStore"),
+        ),
+    ) -> None:
+        self.base = base
+        self.impls = impls
+
+    def check(self, ctx: LintContext) -> None:
+        base_module, base_cls = _find_class(ctx, *self.base)
+        if base_cls is None or base_module is None:
+            return  # base not in view (partial fixture tree): nothing to pin
+        base_methods = _methods(base_cls)
+        abstract = {
+            name for name, node in base_methods.items() if _is_abstract(node)
+        }
+
+        for impl_path, impl_name in self.impls:
+            impl_module, impl_cls = _find_class(ctx, impl_path, impl_name)
+            if impl_cls is None or impl_module is None:
+                ctx.report(
+                    self.id, base_module, base_cls.lineno,
+                    f"backend class {impl_name} not found in {impl_path}",
+                )
+                continue
+            impl_methods = _methods(impl_cls)
+            for name in sorted(abstract - set(impl_methods)):
+                ctx.report(
+                    self.id, impl_module, impl_cls.lineno,
+                    f"{impl_name} does not override abstract "
+                    f"HybridStore.{name}",
+                )
+            for name, node in sorted(impl_methods.items()):
+                if name.startswith("_"):
+                    continue  # private / dunder: backend-internal by design
+                if name not in base_methods:
+                    ctx.report(
+                        self.id, impl_module, node.lineno,
+                        f"{impl_name}.{name} is public but absent from "
+                        "HybridStore; add it to the base interface so both "
+                        "backends stay interchangeable",
+                    )

@@ -1,0 +1,133 @@
+"""PLN01 — cached plan stages must not carry comparison literals.
+
+The logical-plan IR (PR 3) caches plans by *shape* and rebinds the
+comparison literals per query.  That only works if stage objects hold
+no literal values at all: a stage field carrying the comparison text or
+number would be frozen into the cached plan and silently reused for
+every later query with the same shape — the cache-poisoning bug the
+PR 3 design explicitly forbids.  This rule makes the invariant
+structural: in ``core/logical.py``, any class that declares a
+class-level ``kind = "..."`` marker (the stage convention) must not
+
+* declare a slot or ``__init__`` parameter whose name says it stores a
+  literal (``value``, ``values``, ``literal``, ``text``, ...), nor
+* assign a non-``None`` constant to an instance attribute in
+  ``__init__`` (a baked-in default literal is still a literal).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Tuple
+
+from ..linter import LintContext, Rule, SourceModule, const_str
+
+#: Field names that denote a carried comparison literal.
+_LITERAL_NAMES = frozenset(
+    {"value", "values", "literal", "literals", "text", "value_text", "value_num"}
+)
+
+
+def _is_literal_name(name: str) -> bool:
+    return name in _LITERAL_NAMES or name.startswith("value_")
+
+
+def _class_kind(cls: ast.ClassDef) -> Optional[str]:
+    """The class-level ``kind = "..."`` marker, when present."""
+    for node in cls.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name) and target.id == "kind":
+                return const_str(node.value)
+        elif isinstance(node, ast.AnnAssign):
+            target = node.target
+            if isinstance(target, ast.Name) and target.id == "kind":
+                return const_str(node.value)
+    return None
+
+
+class PlanPurityRule(Rule):
+    """See module docstring."""
+
+    id = "PLN01"
+    title = "plan stages carry no comparison literals"
+
+    def __init__(self, targets: Tuple[str, ...] = ("core/logical.py",)) -> None:
+        self.targets = targets
+
+    # ------------------------------------------------------------------
+    def _slot_names(self, cls: ast.ClassDef) -> List[Tuple[str, int]]:
+        for node in cls.body:
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                continue
+            target = node.targets[0]
+            if not (isinstance(target, ast.Name) and target.id == "__slots__"):
+                continue
+            if isinstance(node.value, (ast.Tuple, ast.List)):
+                names: List[Tuple[str, int]] = []
+                for element in node.value.elts:
+                    value = const_str(element)
+                    if value is not None:
+                        names.append((value, element.lineno))
+                return names
+        return []
+
+    def _check_stage(
+        self, ctx: LintContext, module: SourceModule, cls: ast.ClassDef, kind: str
+    ) -> None:
+        for slot, lineno in self._slot_names(cls):
+            if _is_literal_name(slot):
+                ctx.report(
+                    self.id, module, lineno,
+                    f"plan stage {cls.name} (kind={kind!r}) declares slot "
+                    f"{slot!r}; comparison literals must stay out of cached "
+                    "stages — bind them at execution time",
+                )
+        init = next(
+            (
+                node for node in cls.body
+                if isinstance(node, ast.FunctionDef) and node.name == "__init__"
+            ),
+            None,
+        )
+        if init is None:
+            return
+        for arg in list(init.args.args)[1:] + list(init.args.kwonlyargs):
+            if _is_literal_name(arg.arg):
+                ctx.report(
+                    self.id, module, arg.lineno,
+                    f"plan stage {cls.name}.__init__ takes literal-bearing "
+                    f"parameter {arg.arg!r}",
+                )
+        for node in ast.walk(init):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                if (
+                    isinstance(node.value, ast.Constant)
+                    and node.value.value is not None
+                    and not isinstance(node.value.value, bool)
+                ):
+                    ctx.report(
+                        self.id, module, node.lineno,
+                        f"plan stage {cls.name}.__init__ bakes constant "
+                        f"{node.value.value!r} into field {target.attr!r}; "
+                        "cached stages must be literal-free",
+                    )
+
+    def check(self, ctx: LintContext) -> None:
+        for module in ctx.modules_matching(*self.targets):
+            if module.tree is None:
+                continue
+            for node in module.tree.body:
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                kind = _class_kind(node)
+                if kind is not None:
+                    self._check_stage(ctx, module, node, kind)

@@ -20,6 +20,7 @@ Commands::
     python -m repro info    --db cat.db
     python -m repro fsck    --db cat.db [--deep]
     python -m repro stats   --db cat.db [--format table|json|prom] [--reset]
+    python -m repro lint    [--json] [--rule ID] [--src DIR] [--fault-tests DIR]
 
 Write commands run each logical operation in one explicit transaction
 and retry transient sqlite failures (``database is locked``) with
@@ -286,6 +287,23 @@ def build_parser() -> argparse.ArgumentParser:
                    default="table", help="output format (default: table)")
     p.add_argument("--reset", action="store_true",
                    help="clear the accumulated metrics after printing")
+
+    p = add_parser(
+        "lint",
+        help="run the repo's static-analysis rules "
+             "(transaction safety, fault-site coverage, metric naming, "
+             "plan purity, backend parity)",
+    )
+    p.add_argument("--json", action="store_true", dest="json_output",
+                   help="emit the machine-readable report (repro.lint/v1)")
+    p.add_argument("--rule", action="append", default=None, metavar="ID",
+                   help="run only this rule (repeatable; e.g. TXN01)")
+    p.add_argument("--src", default=None, metavar="DIR",
+                   help="source tree to lint (default: the installed "
+                        "repro package)")
+    p.add_argument("--fault-tests", default=None, metavar="DIR",
+                   help="fault-sweep test directory for FLT01 coverage "
+                        "(default: ./tests/faults when present)")
     return parser
 
 
@@ -320,6 +338,50 @@ def _dispatch(args) -> int:
     return code
 
 
+def _run_lint_command(args) -> int:
+    """``repro lint``: exit 0 when clean, 1 on active findings, 2 on a
+    usage error (unknown rule id, missing source tree)."""
+    from .analysis import (
+        active,
+        default_rules,
+        render_json_report,
+        render_text_report,
+        run_lint,
+    )
+
+    rules = default_rules()
+    if args.rule:
+        by_id = {rule.id: rule for rule in rules}
+        unknown = [rid for rid in args.rule if rid not in by_id]
+        if unknown:
+            print(
+                f"error: unknown rule id(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(by_id))})",
+                file=sys.stderr,
+            )
+            return 2
+        rules = [by_id[rid] for rid in args.rule]
+    src_root = (
+        pathlib.Path(args.src)
+        if args.src
+        else pathlib.Path(__file__).resolve().parent
+    )
+    if not src_root.is_dir():
+        print(f"error: source tree {src_root} does not exist", file=sys.stderr)
+        return 2
+    if args.fault_tests:
+        fault_tests: Optional[pathlib.Path] = pathlib.Path(args.fault_tests)
+    else:
+        default_ft = pathlib.Path.cwd() / "tests" / "faults"
+        fault_tests = default_ft if default_ft.is_dir() else None
+    findings = run_lint(src_root, fault_tests, rules=rules)
+    if args.json_output:
+        print(render_json_report(findings))
+    else:
+        print(render_text_report(findings))
+    return 1 if active(findings) else 0
+
+
 def _run_command(args, registry: MetricsRegistry) -> int:
     if args.command == "init":
         if pathlib.Path(args.db).exists():
@@ -339,6 +401,9 @@ def _run_command(args, registry: MetricsRegistry) -> int:
         schema = _schema_for(args.db or "", args.xsd)
         print(schema.describe())
         return 0
+
+    if args.command == "lint":
+        return _run_lint_command(args)
 
     if args.command == "stats":
         if args.format == "json":

@@ -144,6 +144,17 @@ class HybridCatalog:
         self.store.sync_definitions(self.registry)
 
     # ------------------------------------------------------------------
+    # Shared metric handles (one creation call site per name — OBS01)
+    # ------------------------------------------------------------------
+    def _set_objects_gauge(self) -> None:
+        self.metrics.gauge(
+            "catalog_objects", "objects currently cataloged"
+        ).set(len(self._names))
+
+    def _count_query(self) -> None:
+        self.metrics.counter("catalog_queries_total", "queries executed").inc()
+
+    # ------------------------------------------------------------------
     # Definitions
     # ------------------------------------------------------------------
     def define_attribute(
@@ -223,9 +234,7 @@ class HybridCatalog:
         self.metrics.counter(
             "catalog_ingests_total", "documents ingested"
         ).inc()
-        self.metrics.gauge(
-            "catalog_objects", "objects currently cataloged"
-        ).set(len(self._names))
+        self._set_objects_gauge()
         return IngestReceipt(object_id, name, shred)
 
     def ingest_many(
@@ -248,9 +257,7 @@ class HybridCatalog:
             self._names.pop(object_id, None)
             self.stats.invalidate()
         self.metrics.counter("catalog_deletes_total", "objects deleted").inc()
-        self.metrics.gauge(
-            "catalog_objects", "objects currently cataloged"
-        ).set(len(self._names))
+        self._set_objects_gauge()
 
     # ------------------------------------------------------------------
     # Incremental attribute maintenance (paper §5: "as metadata
@@ -347,7 +354,7 @@ class HybridCatalog:
             plan, _hit = self.plan_for(shredded)
             ids = self.store.match_objects(plan, trace)
             current.set(matches=len(ids))
-        self.metrics.counter("catalog_queries_total", "queries executed").inc()
+        self._count_query()
         return ids
 
     def shred_query(self, query: ObjectQuery, user: Optional[str] = None) -> ShreddedQuery:
@@ -392,7 +399,7 @@ class HybridCatalog:
             plan, cache_hit = self.plan_for(shredded)
             trace = PlanTrace()
             ids = self.store.match_objects(plan, trace)
-        self.metrics.counter("catalog_queries_total", "queries executed").inc()
+        self._count_query()
         return Explanation(plan, ids, trace, cache_hit)
 
     # ------------------------------------------------------------------

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Set, Tuple
 
+from ..errors import SchemaError
 from ..xmlkit import XMLSyntaxError, parse_fragment
 from .catalog import HybridCatalog
 
@@ -200,8 +201,16 @@ def _check_clob_xml(tables, catalog: HybridCatalog) -> List[Violation]:
             continue
         try:
             node = catalog.schema.node_by_order(schema_order)
-        except Exception:
-            continue  # reported by _check_dual_storage
+        except SchemaError:
+            # The dangling schema_order itself is reported by
+            # _check_dual_storage; here it is a tolerated soft error,
+            # but a *counted* one so a flood of them is visible.
+            catalog.metrics.counter(
+                "fsck_soft_errors_total",
+                "recoverable errors tolerated while checking integrity",
+                labels=("kind",),
+            ).labels(kind="unknown-schema-order").inc()
+            continue
         if fragment.tag != node.tag:
             out.append(
                 f"clobs: ({object_id}, {schema_order}, {clob_seq}) root tag "

@@ -86,12 +86,14 @@ def build_responses_memory(
             events.append((row[1], row[2], _CONTENT, 0, row[3]))
         events.sort(key=lambda e: (e[0], e[1], e[2], e[3]))
         responses[object_id] = "".join(e[4] for e in events)
-    _record_build(store, responses)
+    record_response_metrics(store.metrics_registry(), responses)
     return responses
 
 
-def _record_build(store: MemoryHybridStore, responses: Dict[int, str]) -> None:
-    registry = store.metrics_registry()
+def record_response_metrics(registry, responses: Dict[int, str]) -> None:
+    """Count built responses.  Both backends route through this one
+    helper so the response counters have a single creation call site
+    (OBS01)."""
     registry.counter(
         "response_documents_total", "tagged XML responses built"
     ).inc(len(responses))

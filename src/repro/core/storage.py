@@ -42,6 +42,8 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import CatalogError
 from ..faults import DEFAULT_RETRY, FaultPlan, RetryPolicy
+from ..faults.sites import OBJECT_ROW_TABLES, check_site
+from ..obs import names as metric_names
 from ..obs.metrics import MetricsRegistry, default_registry
 from ..obs.tracing import current_span
 from ..relational import Database, clob, eq, integer, real, text
@@ -204,9 +206,11 @@ class HybridStore(abc.ABC):
 
     _txn_counter_cache: Optional[Tuple[MetricsRegistry, dict]] = None
 
-    def _txn_counter(self, name: str, help: str, site: str):
+    def _txn_counter(self, name: str, site: str):
         # Resolved handles are cached per (name, site) — one registry
-        # dict walk per transaction would show up in E1.
+        # dict walk per transaction would show up in E1.  The help text
+        # and labels come from the central declaration so they cannot
+        # drift between call sites.
         registry = self.metrics_registry()
         cache = self._txn_counter_cache
         if cache is None or cache[0] is not registry:
@@ -215,11 +219,21 @@ class HybridStore(abc.ABC):
         try:
             return cache[1][(name, site)]
         except KeyError:
+            declared = metric_names.spec(name)
             child = registry.counter(
-                name, help, labels=("site",)
+                name, declared.help, labels=declared.labels
             ).labels(site=site)
             cache[1][(name, site)] = child
             return child
+
+    def _count_commit(self, site: str) -> None:
+        self._txn_counter("txn_commits_total", site).inc()
+
+    def _count_rollback(self, site: str) -> None:
+        self._txn_counter("txn_rollbacks_total", site).inc()
+
+    def _count_retry(self, site: str) -> None:
+        self._txn_counter("txn_retries_total", site).inc()
 
     @contextmanager
     def transaction(self, site: str = "txn") -> Iterator[None]:
@@ -240,22 +254,16 @@ class HybridStore(abc.ABC):
         except BaseException:
             self._txn_depth = 0
             self._txn_rollback(site)
-            self._txn_counter(
-                "txn_rollbacks_total", "transactions rolled back", site
-            ).inc()
+            self._count_rollback(site)
             raise
         self._txn_depth = 0
         try:
             self._txn_commit(site)
         except BaseException:
             self._txn_rollback(site)
-            self._txn_counter(
-                "txn_rollbacks_total", "transactions rolled back", site
-            ).inc()
+            self._count_rollback(site)
             raise
-        self._txn_counter(
-            "txn_commits_total", "transactions committed", site
-        ).inc()
+        self._count_commit(site)
 
     def run_transaction(self, site: str, fn: Callable[[], "object"]):
         """Run ``fn`` inside one transaction, retrying the whole thing
@@ -279,19 +287,13 @@ class HybridStore(abc.ABC):
             except BaseException as exc:
                 self._txn_depth = 0
                 self._txn_rollback(site)
-                self._txn_counter(
-                    "txn_rollbacks_total", "transactions rolled back", site
-                ).inc()
+                self._count_rollback(site)
                 if (
                     isinstance(exc, Exception)
                     and attempt < policy.max_attempts
                     and policy.is_transient(exc)
                 ):
-                    self._txn_counter(
-                        "txn_retries_total",
-                        "transactions retried after a transient failure",
-                        site,
-                    ).inc()
+                    self._count_retry(site)
                     policy.pause(attempt)
                     attempt += 1
                     continue
@@ -301,13 +303,9 @@ class HybridStore(abc.ABC):
                 self._txn_commit(site)
             except BaseException:
                 self._txn_rollback(site)
-                self._txn_counter(
-                    "txn_rollbacks_total", "transactions rolled back", site
-                ).inc()
+                self._count_rollback(site)
                 raise
-            self._txn_counter(
-                "txn_commits_total", "transactions committed", site
-            ).inc()
+            self._count_commit(site)
             return result
 
     @abc.abstractmethod
@@ -318,6 +316,11 @@ class HybridStore(abc.ABC):
         """True when the store already holds a catalog (reopened file).
         In-memory stores are never pre-initialized."""
         return False
+
+    def close(self) -> None:
+        """Release backend resources.  The default is a no-op (the
+        memory engine holds nothing external); file-backed stores
+        override it."""
 
     def attach_schema(self, schema: AnnotatedSchema) -> None:
         """Bind ``schema`` to an already-initialized store, verifying it
@@ -525,13 +528,20 @@ class MemoryHybridStore(HybridStore):
             ],
             primary_key=["elem_id"],
         )
-        # Load the schema-level global ordering (built once — §2).
-        order_table = db.table("schema_order")
-        for node in schema.ordered_nodes:
-            order_table.insert([node.order, node.tag, node.last_child_order])
-        anc_table = db.table("node_ancestors")
-        for node_order, anc_order in ancestor_pairs(schema.ordered_nodes):
-            anc_table.insert([node_order, anc_order])
+        # Load the schema-level global ordering (built once — §2) under
+        # a transaction: a crash mid-load must not leave a half-ordered
+        # schema behind (TXN01).
+        def load_ordering() -> None:
+            order_table = db.table("schema_order")
+            for node in schema.ordered_nodes:
+                self._fault("insert:schema_order")
+                order_table.insert([node.order, node.tag, node.last_child_order])
+            anc_table = db.table("node_ancestors")
+            for node_order, anc_order in ancestor_pairs(schema.ordered_nodes):
+                self._fault("insert:node_ancestors")
+                anc_table.insert([node_order, anc_order])
+
+        self.run_transaction("install_schema", load_ordering)
 
     def sync_definitions(self, registry: DefinitionRegistry) -> None:
         self.run_transaction(
@@ -611,10 +621,8 @@ class MemoryHybridStore(HybridStore):
             raise CatalogError(f"no object {object_id}")
 
         def write() -> None:
-            for name in (
-                "objects", "clobs", "attributes", "elements", "attr_ancestors"
-            ):
-                self._fault(f"delete:{name}")
+            for name in OBJECT_ROW_TABLES:
+                self._fault(check_site(f"delete:{name}"))
                 self.db.table(name).delete_where(eq("object_id", object_id))
 
         self.run_transaction("delete_object", write)

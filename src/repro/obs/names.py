@@ -1,0 +1,140 @@
+"""The central metric-name registry (enforced by ``repro lint`` OBS01).
+
+Every metric the catalog emits is declared here — name, kind, help
+text, and label names — so the naming convention
+(``*_total`` counters, ``*_seconds``/``*_rows`` histograms, bare-noun
+gauges; see :mod:`repro.obs.metrics`) is checked in one place and a
+dashboard can be built from this module alone.
+
+The OBS01 rule statically verifies that every metric created anywhere
+in ``src/`` (outside the :mod:`repro.obs` infrastructure itself, whose
+span histograms derive their names from span names) uses a name
+declared here, with the declared kind, at exactly one creation call
+site.  :func:`spec` is the runtime half: helpers that create metrics
+from a name variable resolve the declaration through it, so the help
+text and label tuple cannot drift from the registry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+__all__ = ["MetricSpec", "METRICS", "spec"]
+
+
+class MetricSpec:
+    """One declared metric: kind, help text, and label names."""
+
+    __slots__ = ("name", "kind", "help", "labels")
+
+    def __init__(self, name: str, kind: str, help: str,
+                 labels: Tuple[str, ...] = ()) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.labels = labels
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MetricSpec({self.name!r}, {self.kind!r}, labels={self.labels})"
+
+
+def _declare(*specs: MetricSpec) -> Dict[str, MetricSpec]:
+    out: Dict[str, MetricSpec] = {}
+    for s in specs:
+        if s.name in out:
+            raise ValueError(f"metric {s.name!r} declared twice")
+        _check_suffix(s)
+        out[s.name] = s
+    return out
+
+
+def _check_suffix(s: MetricSpec) -> None:
+    """The naming convention OBS01 enforces, applied to the registry
+    itself at import time so a bad declaration cannot land."""
+    if s.kind == "counter" and not s.name.endswith("_total"):
+        raise ValueError(f"counter {s.name!r} must end in _total")
+    if s.kind == "histogram" and not (
+        s.name.endswith("_seconds") or s.name.endswith("_rows")
+    ):
+        raise ValueError(f"histogram {s.name!r} must end in _seconds or _rows")
+    if s.kind == "gauge" and (
+        s.name.endswith("_total") or s.name.endswith("_seconds")
+    ):
+        raise ValueError(
+            f"gauge {s.name!r} must not use a counter/histogram suffix"
+        )
+
+
+#: Every metric the catalog emits, by name.
+METRICS: Dict[str, MetricSpec] = _declare(
+    # -- catalog facade -------------------------------------------------
+    MetricSpec("catalog_ingests_total", "counter", "documents ingested"),
+    MetricSpec("catalog_deletes_total", "counter", "objects deleted"),
+    MetricSpec("catalog_queries_total", "counter", "queries executed"),
+    MetricSpec("catalog_objects", "gauge", "objects currently cataloged"),
+    # -- query planning -------------------------------------------------
+    MetricSpec("plan_cache_hits_total", "counter",
+               "logical plans served from the cache"),
+    MetricSpec("plan_cache_misses_total", "counter",
+               "logical plans built by the optimizer"),
+    MetricSpec("plan_cache_size", "gauge", "logical plans currently cached"),
+    MetricSpec("planner_queries_total", "counter", "query plans executed"),
+    MetricSpec("planner_stage_rows", "histogram",
+               "row count produced by each query-plan stage", ("stage",)),
+    # -- shredder -------------------------------------------------------
+    MetricSpec("shredder_shred_seconds", "histogram",
+               "wall time of one document/fragment shred"),
+    MetricSpec("shredder_documents_total", "counter",
+               "documents and fragments shredded"),
+    MetricSpec("shredder_clobs_total", "counter",
+               "CLOB rows produced by shredding"),
+    MetricSpec("shredder_attribute_rows_total", "counter",
+               "attribute-instance rows produced"),
+    MetricSpec("shredder_element_rows_total", "counter",
+               "element-value rows produced"),
+    MetricSpec("shredder_inverted_rows_total", "counter",
+               "inverted-list rows produced"),
+    MetricSpec("shredder_warnings_total", "counter",
+               "validation warnings recorded"),
+    # -- responses ------------------------------------------------------
+    MetricSpec("response_documents_total", "counter",
+               "tagged XML responses built"),
+    MetricSpec("response_bytes_total", "counter",
+               "bytes of tagged XML serialized"),
+    # -- transactions / crash safety ------------------------------------
+    MetricSpec("txn_commits_total", "counter",
+               "transactions committed", ("site",)),
+    MetricSpec("txn_rollbacks_total", "counter",
+               "transactions rolled back", ("site",)),
+    MetricSpec("txn_retries_total", "counter",
+               "transactions retried after a transient failure", ("site",)),
+    MetricSpec("fault_injected_total", "counter",
+               "write faults injected by a FaultPlan", ("site",)),
+    # -- sqlite backend -------------------------------------------------
+    MetricSpec("sqlite_statements_total", "counter",
+               "SQL statements issued against the sqlite backend", ("kind",)),
+    MetricSpec("sqlite_rows_fetched_total", "counter",
+               "rows fetched from sqlite cursors"),
+    MetricSpec("sqlite_txn_seconds", "histogram",
+               "sqlite transaction commit wall time"),
+    # -- integrity ------------------------------------------------------
+    MetricSpec("fsck_soft_errors_total", "counter",
+               "recoverable errors tolerated while checking integrity",
+               ("kind",)),
+    # -- myLEAD service -------------------------------------------------
+    MetricSpec("service_ops_total", "counter",
+               "myLEAD service operations by kind and user", ("op", "user")),
+    MetricSpec("service_visibility_denied_total", "counter",
+               "objects withheld from a user by the visibility check"),
+)
+
+
+def spec(name: str) -> MetricSpec:
+    """The declaration for ``name``; raises for undeclared metrics so
+    dynamic creation helpers stay inside the registry."""
+    try:
+        return METRICS[name]
+    except KeyError:
+        raise ValueError(
+            f"metric {name!r} is not declared in repro.obs.names"
+        ) from None

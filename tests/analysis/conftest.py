@@ -1,0 +1,24 @@
+"""Shared helpers for the static-analysis suite."""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.analysis import Finding, run_lint
+from repro.analysis.linter import Rule
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def lint_fixture(
+    name: str,
+    rule: Rule,
+    fault_tests: str | None = None,
+) -> list[Finding]:
+    """Run one rule over the named fixture tree."""
+    return run_lint(
+        FIXTURES / name,
+        FIXTURES / fault_tests if fault_tests else None,
+        rules=[rule],
+        display_base=FIXTURES,
+    )

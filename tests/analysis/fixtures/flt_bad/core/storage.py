@@ -1,0 +1,10 @@
+"""Fixture: unregistered and dynamic fault sites (FLT01)."""
+
+
+class BadStore:
+    def save(self, row):
+        self._fault("insert:unknowns")
+        self.run_transaction("not_a_registered_op", lambda: None)
+
+    def save_dynamic(self, table, row):
+        self._fault(f"insert:{table}")

@@ -1,0 +1,16 @@
+"""Fixture: registered literals and check_site wrapping (FLT01-clean)."""
+
+from repro.faults.sites import check_site
+
+
+class GoodStore:
+    def save(self, row):
+        self._fault("insert:objects")
+        self.run_transaction("store_object", lambda: None)
+
+    def save_dynamic(self, table, row):
+        self._fault(check_site(f"insert:{table}"))
+
+    def save_loop(self):
+        for site in ("insert:objects",):
+            self._fault(site)

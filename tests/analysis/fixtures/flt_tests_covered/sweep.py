@@ -1,0 +1,3 @@
+"""Fixture fault-sweep module: mentions every registered site."""
+
+SITES = ["insert:objects"]

@@ -1,0 +1,3 @@
+"""Fixture fault-sweep module: exercises nothing relevant."""
+
+SITES = ["delete:something_else"]

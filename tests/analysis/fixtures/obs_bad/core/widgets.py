@@ -1,0 +1,28 @@
+"""Fixture: every OBS01 failure mode."""
+
+
+class Widgets:
+    def count_one(self, registry):
+        registry.counter("widgets_total", "widgets made").inc()
+
+    def count_again(self, registry):
+        # Second creation call site for the same name.
+        registry.counter("widgets_total", "widgets made, restated").inc()
+
+    def undeclared(self, registry):
+        registry.counter("surprises_total", "never declared").inc()
+
+    def bad_suffix(self, registry):
+        registry.counter("widget_count", "counter without _total").inc()
+
+    def wrong_kind(self, registry):
+        # queue_depth is declared as a gauge.
+        registry.counter("queue_depth_total", "declared gauge").inc()
+
+    def wrong_labels(self, registry):
+        registry.histogram(
+            "latency_seconds", "declared with ('op',)", labels=("queue",)
+        ).observe(1.0)
+
+    def dynamic(self, registry, name):
+        registry.counter(name, "no spec() resolution in sight").inc()

@@ -1,0 +1,20 @@
+"""Fixture: OBS01-clean metric creation."""
+
+from repro.obs.names import spec
+
+
+class Widgets:
+    def count(self, registry):
+        registry.counter("widgets_total", "widgets made").inc()
+
+    def depth(self, registry):
+        registry.gauge("queue_depth", "queued widgets").set(0)
+
+    def timing(self, registry):
+        registry.histogram(
+            "latency_seconds", "widget latency", labels=("op",)
+        ).observe(1.0)
+
+    def dynamic(self, registry, name):
+        declared = spec(name)
+        registry.counter(name, declared.help, labels=declared.labels).inc()

@@ -1,0 +1,14 @@
+"""Fixture: sqlite side of the PAR01 drift."""
+
+from ..core.storage import HybridStore
+
+
+class SqliteHybridStore(HybridStore):
+    def store_object(self, shred):
+        pass
+
+    def delete_object(self, object_id):
+        pass
+
+    def checkpoint(self):
+        """Public method absent from the base interface."""

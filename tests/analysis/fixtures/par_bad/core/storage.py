@@ -1,0 +1,26 @@
+"""Fixture: backend interface drift (PAR01)."""
+
+import abc
+
+
+class HybridStore(abc.ABC):
+    @abc.abstractmethod
+    def store_object(self, shred):
+        ...
+
+    @abc.abstractmethod
+    def delete_object(self, object_id):
+        ...
+
+    def close(self):
+        pass
+
+
+class MemoryHybridStore(HybridStore):
+    def store_object(self, shred):
+        pass
+
+    # delete_object is missing — abstract method not overridden.
+
+    def vacuum(self):
+        """Public method that exists on no other backend."""

@@ -1,0 +1,17 @@
+"""Fixture: sqlite side of the PAR01-clean pair."""
+
+from ..core.storage import HybridStore
+
+
+class SqliteHybridStore(HybridStore):
+    def store_object(self, shred):
+        pass
+
+    def delete_object(self, object_id):
+        pass
+
+    def close(self):
+        self.connection.close()
+
+    def _statement_site(self, sql):
+        """Private helpers may differ per backend."""

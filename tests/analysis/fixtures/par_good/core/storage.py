@@ -1,0 +1,27 @@
+"""Fixture: both backends match the base interface (PAR01-clean)."""
+
+import abc
+
+
+class HybridStore(abc.ABC):
+    @abc.abstractmethod
+    def store_object(self, shred):
+        ...
+
+    @abc.abstractmethod
+    def delete_object(self, object_id):
+        ...
+
+    def close(self):
+        pass
+
+
+class MemoryHybridStore(HybridStore):
+    def store_object(self, shred):
+        pass
+
+    def delete_object(self, object_id):
+        pass
+
+    def _journal(self):
+        """Private helpers may differ per backend."""

@@ -1,0 +1,21 @@
+"""Fixture: plan stages that smuggle comparison literals (PLN01)."""
+
+
+class BadSeek:
+    kind = "element-seek"
+
+    __slots__ = ("qelem_id", "value_text")
+
+    def __init__(self, qelem_id, value_text):
+        self.qelem_id = qelem_id
+        self.value_text = value_text
+        self.op = 3
+
+
+class NotAStage:
+    """No ``kind`` marker: the rule must leave this class alone."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value

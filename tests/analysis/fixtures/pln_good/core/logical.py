@@ -1,0 +1,12 @@
+"""Fixture: literal-free plan stages (PLN01-clean)."""
+
+
+class GoodSeek:
+    kind = "element-seek"
+
+    __slots__ = ("qelem_id", "op", "est_rows")
+
+    def __init__(self, qelem_id, op, est_rows):
+        self.qelem_id = qelem_id
+        self.op = op
+        self.est_rows = est_rows

@@ -1,0 +1,93 @@
+"""``repro lint`` CLI contract: exit codes, ``--json``, ``--rule``."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis import parse_json_report
+from repro.cli import main
+
+from .conftest import FIXTURES
+
+REPO_FAULT_TESTS = pathlib.Path(__file__).parents[1] / "faults"
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, capsys):
+        # The shipped package must lint clean (the acceptance gate).
+        code = main(["lint", "--fault-tests", str(REPO_FAULT_TESTS)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_findings_exit_one(self, capsys):
+        code = main(["lint", "--src", str(FIXTURES / "txn_bad")])
+        assert code == 1
+        assert "TXN01" in capsys.readouterr().out
+
+    def test_unknown_rule_exits_two(self, capsys):
+        code = main(["lint", "--rule", "NOPE99"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown rule id" in err
+        assert "TXN01" in err  # known ids are listed
+
+    def test_missing_src_exits_two(self, capsys):
+        code = main(["lint", "--src", str(FIXTURES / "no_such_tree")])
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_bad_flag_exits_two(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["lint", "--not-a-flag"])
+        assert exc.value.code == 2
+
+
+class TestJsonOutput:
+    def test_schema_round_trips(self, capsys):
+        code = main(
+            ["lint", "--json", "--src", str(FIXTURES / "txn_bad")]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.lint/v1"
+        findings = parse_json_report(json.dumps(payload))
+        assert payload["counts"]["total"] == len(findings)
+        assert payload["counts"]["active"] == sum(
+            1 for f in findings if not f.suppressed
+        )
+        assert all(f.rule_id == "TXN01" for f in findings)
+
+    def test_suppressed_findings_survive_json(self, capsys):
+        main(["lint", "--json", "--src", str(FIXTURES / "txn_bad")])
+        payload = json.loads(capsys.readouterr().out)
+        assert any(entry["suppressed"] for entry in payload["findings"])
+
+
+class TestRuleFiltering:
+    def test_filter_isolates_one_rule(self, capsys):
+        code = main(
+            ["lint", "--json", "--rule", "TXN01",
+             "--src", str(FIXTURES / "txn_bad")]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert {entry["rule"] for entry in payload["findings"]} == {"TXN01"}
+
+    def test_filtered_out_violations_pass(self, capsys):
+        # txn_bad has TXN01 violations only; under FLT01 it is clean.
+        code = main(
+            ["lint", "--rule", "FLT01", "--src", str(FIXTURES / "txn_bad")]
+        )
+        assert code == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_rule_flag_repeats(self, capsys):
+        code = main(
+            ["lint", "--json", "--rule", "TXN01", "--rule", "FLT01",
+             "--src", str(FIXTURES / "txn_bad")]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert {entry["rule"] for entry in payload["findings"]} == {"TXN01"}

@@ -1,0 +1,122 @@
+"""The rule engine itself: pragma parsing, reporters, and the
+structured-finding round trip."""
+
+import ast
+
+from repro.analysis import (
+    Finding,
+    Severity,
+    active,
+    parse_json_report,
+    render_json_report,
+    render_text_report,
+    run_lint,
+)
+from repro.analysis.linter import (
+    SourceModule,
+    call_name,
+    local_str_values,
+    parse_pragmas,
+    str_prefix,
+)
+from repro.analysis.rules import TxnSafetyRule
+
+from .conftest import FIXTURES, lint_fixture
+
+
+class TestPragmas:
+    def test_bracketed_rules(self):
+        pragmas = parse_pragmas(
+            "x = 1\ny = 2  # reprolint: ignore[TXN01, FLT01]\n"
+        )
+        assert pragmas == {2: {"TXN01", "FLT01"}}
+
+    def test_bare_ignore_waives_everything(self):
+        pragmas = parse_pragmas("z = 3  # reprolint: ignore\n")
+        assert pragmas == {1: {"*"}}
+
+    def test_unrelated_comments_ignored(self):
+        assert parse_pragmas("a = 1  # TODO: reconsider\n") == {}
+
+
+class TestEngine:
+    def test_syntax_error_yields_parse_finding(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        findings = run_lint(tmp_path, rules=[])
+        assert len(findings) == 1
+        assert findings[0].rule_id == "PARSE"
+        assert "does not parse" in findings[0].message
+
+    def test_findings_are_sorted_by_location(self):
+        findings = lint_fixture("txn_bad", TxnSafetyRule())
+        keys = [f.sort_key() for f in findings]
+        assert keys == sorted(keys)
+
+    def test_source_module_suffix_matching(self):
+        module = SourceModule(
+            FIXTURES / "txn_bad" / "core" / "storage.py", "core/storage.py"
+        )
+        assert module.endswith("core/storage.py")
+        assert not module.endswith("backends/sqlite.py")
+
+
+class TestHelpers:
+    def test_call_name_handles_attributes(self):
+        call = ast.parse("self.db.insert(x)").body[0].value
+        assert call_name(call) == "insert"
+
+    def test_str_prefix_reads_fstring_head(self):
+        node = ast.parse('f"DELETE FROM {t}"').body[0].value
+        assert str_prefix(node) == "DELETE FROM "
+
+    def test_local_str_values_resolves_loops_and_assigns(self):
+        scope = ast.parse(
+            "def f():\n"
+            "    a = 'x'\n"
+            "    for b in ('y', 'z'):\n"
+            "        pass\n"
+        ).body[0]
+        assert local_str_values(scope, "a") == ["x"]
+        assert sorted(local_str_values(scope, "b")) == ["y", "z"]
+        assert local_str_values(scope, "missing") is None
+
+
+class TestReporters:
+    def test_text_report_marks_suppressions(self):
+        findings = lint_fixture("txn_bad", TxnSafetyRule())
+        text = render_text_report(findings)
+        assert "(suppressed)" in text
+        assert text.endswith("2 finding(s), 1 suppressed")
+
+    def test_json_schema_and_counts(self):
+        import json
+
+        findings = lint_fixture("txn_bad", TxnSafetyRule())
+        payload = json.loads(render_json_report(findings))
+        assert payload["schema"] == "repro.lint/v1"
+        assert payload["counts"] == {"total": 3, "active": 2, "suppressed": 1}
+        assert all(
+            set(entry) == {"rule", "path", "line", "severity", "message",
+                           "suppressed"}
+            for entry in payload["findings"]
+        )
+
+    def test_json_round_trip(self):
+        findings = lint_fixture("txn_bad", TxnSafetyRule())
+        assert parse_json_report(render_json_report(findings)) == findings
+
+
+class TestFindings:
+    def test_active_excludes_suppressed_and_warnings(self):
+        findings = [
+            Finding("X01", "a.py", 1, "live"),
+            Finding("X01", "a.py", 2, "waived", suppressed=True),
+            Finding("X01", "a.py", 3, "advisory", severity=Severity.WARNING),
+        ]
+        assert [f.message for f in active(findings)] == ["live"]
+
+    def test_dict_round_trip(self):
+        finding = Finding("TXN01", "core/storage.py", 7, "boom",
+                          suppressed=True)
+        assert Finding.from_dict(finding.as_dict()) == finding

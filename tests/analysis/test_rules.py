@@ -1,0 +1,155 @@
+"""Each rule flags its seeded fixture violations and passes the
+corrected fixture — the acceptance contract for ``repro lint``."""
+
+from repro.analysis import active
+from repro.analysis.rules import (
+    BackendParityRule,
+    FaultSiteRule,
+    MetricNameRule,
+    PlanPurityRule,
+    TxnSafetyRule,
+)
+from repro.obs.names import MetricSpec
+
+from .conftest import lint_fixture
+
+
+def by_rule(findings, rule_id):
+    return [f for f in findings if f.rule_id == rule_id]
+
+
+class TestTxnSafety:
+    def test_flags_unbracketed_mutations(self):
+        findings = lint_fixture("txn_bad", TxnSafetyRule())
+        live = active(findings)
+        assert len(live) == 2
+        assert {f.line for f in live} == {7, 11}
+        assert all(f.rule_id == "TXN01" for f in live)
+        assert any("insert" in f.message for f in live)
+        assert any("execute" in f.message for f in live)
+
+    def test_pragma_waives_but_stays_in_report(self):
+        findings = lint_fixture("txn_bad", TxnSafetyRule())
+        suppressed = [f for f in findings if f.suppressed]
+        assert len(suppressed) == 1
+        assert suppressed[0].line == 14
+
+    def test_clean_fixture_passes(self):
+        assert lint_fixture("txn_good", TxnSafetyRule()) == []
+
+    def test_txn_only_helper_is_safe(self):
+        # _append mutates but is only reachable via run_transaction
+        # callers — the fixpoint must classify it as transaction-only.
+        findings = lint_fixture("txn_good", TxnSafetyRule())
+        assert not [f for f in findings if "_append" in f.message]
+
+
+class TestFaultSites:
+    def rule(self):
+        return FaultSiteRule(
+            statement_sites=frozenset({"insert:objects"}),
+            transaction_sites=frozenset({"store_object"}),
+        )
+
+    def test_flags_unregistered_and_dynamic_sites(self):
+        findings = lint_fixture("flt_bad", self.rule())
+        assert len(findings) == 3
+        messages = " | ".join(f.message for f in findings)
+        assert "insert:unknowns" in messages
+        assert "not_a_registered_op" in messages
+        assert "dynamic fault site" in messages
+
+    def test_clean_fixture_passes_with_coverage(self):
+        findings = lint_fixture(
+            "flt_good", self.rule(), fault_tests="flt_tests_covered"
+        )
+        assert findings == []
+
+    def test_uncovered_site_is_flagged(self):
+        findings = lint_fixture(
+            "flt_good", self.rule(), fault_tests="flt_tests_uncovered"
+        )
+        assert len(findings) == 1
+        assert "insert:objects" in findings[0].message
+        assert "not exercised" in findings[0].message
+
+    def test_coverage_skipped_without_test_tree(self):
+        # Fixture runs without a tests/faults view must not drown in
+        # coverage findings.
+        assert lint_fixture("flt_good", self.rule()) == []
+
+
+class TestMetricNames:
+    REGISTRY = {
+        s.name: s
+        for s in (
+            MetricSpec("widgets_total", "counter", "widgets made"),
+            MetricSpec("queue_depth", "gauge", "queued widgets"),
+            MetricSpec("queue_depth_total", "gauge", "declared gauge"),
+            MetricSpec("latency_seconds", "histogram", "widget latency",
+                       ("op",)),
+        )
+    }
+
+    def rule(self):
+        return MetricNameRule(registry=dict(self.REGISTRY))
+
+    def test_flags_every_failure_mode(self):
+        findings = lint_fixture("obs_bad", self.rule())
+        messages = [f.message for f in findings]
+        assert len(findings) == 7
+        assert any("2 call sites" in m for m in messages)
+        assert any("'surprises_total' is not declared" in m for m in messages)
+        assert any("'widget_count' is not declared" in m for m in messages)
+        assert any("must end in '_total'" in m for m in messages)
+        assert any("declared as a gauge, created as a counter" in m
+                   for m in messages)
+        assert any("('queue',)" in m and "('op',)" in m for m in messages)
+        assert any("dynamic metric name" in m for m in messages)
+
+    def test_clean_fixture_passes(self):
+        assert lint_fixture("obs_good", self.rule()) == []
+
+    def test_spec_resolution_allows_dynamic_names(self):
+        findings = lint_fixture("obs_good", self.rule())
+        assert not [f for f in findings if "dynamic" in f.message]
+
+
+class TestPlanPurity:
+    def test_flags_literal_bearing_stage(self):
+        findings = lint_fixture("pln_bad", PlanPurityRule())
+        assert len(findings) == 3
+        messages = " | ".join(f.message for f in findings)
+        assert "slot 'value_text'" in messages
+        assert "parameter 'value_text'" in messages
+        assert "bakes constant 3" in messages
+
+    def test_unmarked_class_is_ignored(self):
+        findings = lint_fixture("pln_bad", PlanPurityRule())
+        assert not [f for f in findings if "NotAStage" in f.message]
+
+    def test_clean_fixture_passes(self):
+        assert lint_fixture("pln_good", PlanPurityRule()) == []
+
+
+class TestBackendParity:
+    def test_flags_interface_drift(self):
+        findings = lint_fixture("par_bad", BackendParityRule())
+        messages = [f.message for f in findings]
+        assert len(findings) == 3
+        assert any(
+            "MemoryHybridStore does not override abstract "
+            "HybridStore.delete_object" in m
+            for m in messages
+        )
+        assert any("MemoryHybridStore.vacuum is public" in m for m in messages)
+        assert any("SqliteHybridStore.checkpoint is public" in m
+                   for m in messages)
+
+    def test_clean_fixture_passes(self):
+        assert lint_fixture("par_good", BackendParityRule()) == []
+
+    def test_missing_base_is_not_an_error(self):
+        # Partial fixture trees (no HybridStore in view) have nothing
+        # to pin — the rule stays silent instead of guessing.
+        assert lint_fixture("pln_good", BackendParityRule()) == []
