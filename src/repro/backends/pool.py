@@ -1,0 +1,152 @@
+"""Reader connection pool for on-disk sqlite catalogs.
+
+One :class:`~repro.backends.sqlite.SqliteHybridStore` owns exactly one
+*writer* connection — the S32 single-writer protocol serializes every
+transaction behind the store's write lock.  Reads, however, do not need
+that connection: a WAL database gives each additional connection a
+consistent snapshot that is never blocked by (and never blocks) the
+writer.  :class:`ReaderConnectionPool` hands reader threads their own
+connections on checkout, so ``match_objects`` / ``build_responses`` /
+``collect_statistics`` from N threads run genuinely in parallel while
+ingest holds the write lock.
+
+Sizing: connections are created on demand up to ``capacity`` (default
+:data:`DEFAULT_CAPACITY`) and kept idle for reuse — a reader beyond the
+cap waits for a checkout to return rather than opening an unbounded
+number of file handles.  The pool gauge ``sqlite_pool_connections``
+tracks how many pooled connections exist.
+
+Fault injection: ``pool:acquire`` is a registered fault site, but the
+pool consults the store's armed :class:`~repro.faults.FaultPlan` only
+when the plan *targets that site* — a plain ``fail_at=N`` statement
+sweep must see exactly the write statements it saw before pooling
+existed, or the deterministic crash-point sweeps would drift under
+concurrent readers.
+
+``:memory:`` catalogs have no pool: sqlite in-memory databases are
+per-connection, so readers share the writer connection under the
+store's read lock instead (see ``SqliteHybridStore._reader``).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+from contextlib import contextmanager
+from typing import Callable, Iterator, List, Optional
+
+from ..errors import CatalogClosedError
+
+__all__ = ["ReaderConnectionPool", "DEFAULT_CAPACITY"]
+
+#: Default pool cap.  Reads are CPU-bound inside sqlite's C code (which
+#: releases the GIL), so a small multiple of typical core counts covers
+#: the useful parallelism without hoarding file handles.
+DEFAULT_CAPACITY = 8
+
+
+class ReaderConnectionPool:
+    """A bounded checkout pool of read-only-by-convention connections
+    to one WAL database file.
+
+    ``connect`` is the zero-arg factory producing a new connection
+    (the store passes one that applies its tracking wrapper and
+    pragmas); ``on_acquire`` is called at every checkout *before* a
+    connection is handed out — the store uses it for the
+    ``pool:acquire`` fault hook and the pool gauge.
+    """
+
+    def __init__(
+        self,
+        connect: Callable[[], object],
+        capacity: int = DEFAULT_CAPACITY,
+        on_acquire: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("pool capacity must be >= 1")
+        self.capacity = capacity
+        self._connect = connect
+        self._on_acquire = on_acquire
+        self._cond = threading.Condition()
+        self._idle: List[object] = []
+        self._open = 0  # connections in existence (idle + checked out)
+        self._closed = False
+        #: Lifetime checkout count (observable in tests/benchmarks).
+        self.acquires = 0
+
+    # ------------------------------------------------------------------
+    def open_connections(self) -> int:
+        with self._cond:
+            return self._open
+
+    def _acquire(self):
+        if self._on_acquire is not None:
+            # Outside the condition: an injected fault must not leave
+            # the pool lock held, and the hook may touch the metrics
+            # registry (its own locks).
+            self._on_acquire()
+        with self._cond:
+            while True:
+                if self._closed:
+                    raise CatalogClosedError("reader pool is closed")
+                if self._idle:
+                    self.acquires += 1
+                    return self._idle.pop()
+                if self._open < self.capacity:
+                    self._open += 1
+                    break
+                self._cond.wait()
+        # Connect outside the lock (file open + pragmas are not free);
+        # undo the reservation if the factory fails.
+        try:
+            conn = self._connect()
+        except BaseException:
+            with self._cond:
+                self._open -= 1
+                self._cond.notify()
+            raise
+        with self._cond:
+            self.acquires += 1
+        return conn
+
+    def _release(self, conn) -> None:
+        with self._cond:
+            if not self._closed:
+                self._idle.append(conn)
+                self._cond.notify()
+                return
+            self._open -= 1
+        # Pool closed while this connection was checked out: it is the
+        # straggler's job to close it.
+        conn.close()
+
+    @contextmanager
+    def connection(self) -> Iterator[object]:
+        """Check a connection out for the duration of the block."""
+        conn = self._acquire()
+        try:
+            yield conn
+        except BaseException:
+            # A failed read may leave cursor state behind; rolling back
+            # is harmless on a clean connection and restores a dirty one.
+            try:
+                conn.rollback()
+            except sqlite3.Error:  # pragma: no cover - defensive
+                pass
+            raise
+        finally:
+            self._release(conn)
+
+    def close(self) -> None:
+        """Close every idle connection and refuse new checkouts;
+        idempotent.  Checked-out connections are closed as their
+        readers return them."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            idle, self._idle = self._idle, []
+            self._open -= len(idle)
+            self._cond.notify_all()
+        for conn in idle:
+            conn.close()

@@ -34,6 +34,15 @@ inside a transaction (site = ``verb:table``), which is how the fault
 suite fails any individual write deterministically.  On-disk catalogs
 get ``journal_mode=WAL`` + ``synchronous=NORMAL`` so a killed process
 cannot corrupt the file; ``:memory:`` catalogs keep the fast pragmas.
+
+Concurrency: transactions serialize behind the store's write lock (one
+writer, ever — S32), while reads on on-disk catalogs check out
+per-thread connections from a
+:class:`~repro.backends.pool.ReaderConnectionPool` and run on WAL
+snapshots in parallel with each other *and* with the writer.
+``:memory:`` catalogs have no pool (an in-memory sqlite database is
+private to its connection); their reads share the writer connection
+under the store's read lock.
 """
 
 from __future__ import annotations
@@ -41,7 +50,8 @@ from __future__ import annotations
 import itertools
 import sqlite3
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.definitions import DefinitionRegistry
 from ..core.logical import LogicalPlan, build_plan
@@ -54,6 +64,7 @@ from ..core.stats import StatsSnapshot
 from ..core.storage import HybridStore, PlanTrace, record_plan
 from ..errors import CatalogError
 from ..obs.metrics import MetricsRegistry
+from .pool import DEFAULT_CAPACITY, ReaderConnectionPool
 
 _DDL = """
 CREATE TABLE objects (
@@ -230,7 +241,7 @@ class _TrackedConnection:
 
     def _maybe_fault(self, sql: str) -> None:
         store = self._store
-        if store.fault_plan is not None and store._txn_depth > 0:
+        if store._fault_armed():
             site = _statement_site(sql)
             if site.split(":", 1)[0].upper() not in _CONTROL_VERBS:
                 # Site names derived from executed SQL include read
@@ -275,14 +286,25 @@ class _TrackedConnection:
 class SqliteHybridStore(HybridStore):
     """The hybrid layout and plans on a real RDBMS (sqlite)."""
 
-    def __init__(self, path: str = ":memory:", durable: Optional[bool] = None) -> None:
+    def __init__(
+        self,
+        path: str = ":memory:",
+        durable: Optional[bool] = None,
+        pool_capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        self._path = path
         # Autocommit: transactions are explicit (BEGIN IMMEDIATE issued
         # by the HybridStore transaction protocol), never implicit.
+        # check_same_thread=False: the concurrency contract serializes
+        # all writer-connection use behind the store's locks, and
+        # close() may legitimately run on a different thread.
         self.connection = _TrackedConnection(
-            sqlite3.connect(path, isolation_level=None), self
+            sqlite3.connect(path, isolation_level=None, check_same_thread=False),
+            self,
         )
         if durable is None:
             durable = path != ":memory:" and not path.startswith("file::memory:")
+        self.durable = durable
         if durable:
             # On-disk catalogs: WAL survives a killed process and keeps
             # readers unblocked during a write transaction.
@@ -293,6 +315,69 @@ class SqliteHybridStore(HybridStore):
             self.connection.execute("PRAGMA synchronous = OFF")
         self.schema: Optional[AnnotatedSchema] = None
         self._temp_ids = itertools.count(1)
+        # Reader pool: only on-disk WAL catalogs — an in-memory sqlite
+        # database is private to its connection, so ``:memory:`` readers
+        # share the writer connection under the read lock instead.
+        self._pool: Optional[ReaderConnectionPool] = (
+            ReaderConnectionPool(
+                self._reader_connect,
+                capacity=pool_capacity,
+                on_acquire=self._pool_acquire_hook,
+            )
+            if durable
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # Reader pool (WAL snapshot reads in parallel with the writer)
+    # ------------------------------------------------------------------
+    def _reader_connect(self) -> "_TrackedConnection":
+        conn = _TrackedConnection(
+            sqlite3.connect(
+                self._path, isolation_level=None, check_same_thread=False
+            ),
+            self,
+        )
+        # A WAL reader can still hit SQLITE_BUSY around checkpoint
+        # restarts; a short busy wait beats surfacing it to callers.
+        conn.execute_control("PRAGMA busy_timeout = 5000")
+        return conn
+
+    def _pool_acquire_hook(self) -> None:
+        """Fault hook at reader-connection checkout.  Consulted only
+        when the armed plan targets ``pool:acquire``: a plain
+        ``fail_at=N`` write-statement sweep must count exactly the
+        statements it counted before pooling existed."""
+        plan = self.fault_plan
+        if plan is not None and plan.site == "pool:acquire":
+            plan.before("pool:acquire", self.metrics_registry())
+
+    def _set_pool_gauge(self) -> None:
+        if self._pool is not None:
+            self.metrics_registry().gauge(
+                "sqlite_pool_connections",
+                "reader connections currently open in the pool",
+            ).set(self._pool.open_connections())
+
+    @contextmanager
+    def _reader(self) -> Iterator["_TrackedConnection"]:
+        """The connection a read runs on.  Inside the calling thread's
+        own transaction: the writer connection (the read must see the
+        transaction's uncommitted writes).  On-disk catalogs: a pooled
+        connection — WAL snapshot isolation, parallel with the writer.
+        ``:memory:`` catalogs: the single shared connection under the
+        read lock."""
+        if self.in_transaction():
+            yield self.connection
+            return
+        if self._pool is None:
+            with self.read_locked():
+                yield self.connection
+            return
+        self._check_open()
+        with self._pool.connection() as conn:
+            self._set_pool_gauge()
+            yield conn
 
     # ------------------------------------------------------------------
     # Transactions (explicit BEGIN IMMEDIATE / COMMIT / ROLLBACK)
@@ -313,9 +398,10 @@ class SqliteHybridStore(HybridStore):
     # DDL / definitions
     # ------------------------------------------------------------------
     def is_initialized(self) -> bool:
-        row = self.connection.execute(
-            "SELECT 1 FROM sqlite_master WHERE type = 'table' AND name = 'objects'"
-        ).fetchone()
+        with self._reader() as cur:
+            row = cur.execute(
+                "SELECT 1 FROM sqlite_master WHERE type = 'table' AND name = 'objects'"
+            ).fetchone()
         return row is not None
 
     def attach_schema(self, schema: AnnotatedSchema) -> None:
@@ -323,10 +409,11 @@ class SqliteHybridStore(HybridStore):
         stored global ordering matches it exactly."""
         if self.schema is not None:
             raise CatalogError("schema already installed")
-        stored = self.connection.execute(
-            "SELECT node_order, tag, last_child_order FROM schema_order "
-            "ORDER BY node_order"
-        ).fetchall()
+        with self._reader() as cur:
+            stored = cur.execute(
+                "SELECT node_order, tag, last_child_order FROM schema_order "
+                "ORDER BY node_order"
+            ).fetchall()
         expected = [
             (n.order, n.tag, n.last_child_order) for n in schema.ordered_nodes
         ]
@@ -338,23 +425,26 @@ class SqliteHybridStore(HybridStore):
         self.schema = schema
 
     def load_definition_rows(self):
-        attr_rows = self.connection.execute(
-            "SELECT attr_id, name, source, parent_id, schema_order, scope, "
-            "queryable, structural FROM attr_defs"
-        ).fetchall()
-        elem_rows = self.connection.execute(
-            "SELECT elem_id, attr_id, name, source, value_type, scope FROM elem_defs"
-        ).fetchall()
+        with self._reader() as cur:
+            attr_rows = cur.execute(
+                "SELECT attr_id, name, source, parent_id, schema_order, scope, "
+                "queryable, structural FROM attr_defs"
+            ).fetchall()
+            elem_rows = cur.execute(
+                "SELECT elem_id, attr_id, name, source, value_type, scope FROM elem_defs"
+            ).fetchall()
         return attr_rows, elem_rows
 
     def load_objects(self):
-        return self.connection.execute(
-            "SELECT object_id, name, owner FROM objects ORDER BY object_id"
-        ).fetchall()
+        with self._reader() as cur:
+            return cur.execute(
+                "SELECT object_id, name, owner FROM objects ORDER BY object_id"
+            ).fetchall()
 
     def install_schema(self, schema: AnnotatedSchema) -> None:
         if self.schema is not None:
             raise CatalogError("schema already installed")
+        self._check_open()
         cur = self.connection
         self.schema = schema
         # DDL runs in autocommit (sqlite's executescript commits any
@@ -459,27 +549,31 @@ class SqliteHybridStore(HybridStore):
         self.run_transaction("delete_object", write)
 
     def has_object(self, object_id: int) -> bool:
-        row = self.connection.execute(
-            "SELECT 1 FROM objects WHERE object_id = ?", (object_id,)
-        ).fetchone()
+        with self._reader() as cur:
+            row = cur.execute(
+                "SELECT 1 FROM objects WHERE object_id = ?", (object_id,)
+            ).fetchone()
         return row is not None
 
     def object_count(self) -> int:
-        return self.connection.execute("SELECT COUNT(*) FROM objects").fetchone()[0]
+        with self._reader() as cur:
+            return cur.execute("SELECT COUNT(*) FROM objects").fetchone()[0]
 
     def max_clob_seq(self, object_id: int, schema_order: int) -> int:
-        row = self.connection.execute(
-            "SELECT MAX(clob_seq) FROM clobs WHERE object_id = ? AND schema_order = ?",
-            (object_id, schema_order),
-        ).fetchone()
+        with self._reader() as cur:
+            row = cur.execute(
+                "SELECT MAX(clob_seq) FROM clobs WHERE object_id = ? AND schema_order = ?",
+                (object_id, schema_order),
+            ).fetchone()
         return row[0] or 0
 
     def instance_counts(self, object_id: int) -> Dict[int, int]:
-        rows = self.connection.execute(
-            "SELECT attr_id, MAX(seq_id) FROM attributes WHERE object_id = ? "
-            "GROUP BY attr_id",
-            (object_id,),
-        ).fetchall()
+        with self._reader() as cur:
+            rows = cur.execute(
+                "SELECT attr_id, MAX(seq_id) FROM attributes WHERE object_id = ? "
+                "GROUP BY attr_id",
+                (object_id,),
+            ).fetchall()
         return {attr_id: seq for attr_id, seq in rows}
 
     def remove_attribute_instance(
@@ -594,12 +688,18 @@ class SqliteHybridStore(HybridStore):
             if isinstance(shredded_query, LogicalPlan)
             else build_plan(shredded_query)
         )
-        query = plan.query
         if trace is None:
             trace = PlanTrace()
+        # Temp tables are per-connection, so a pooled reader executes
+        # the whole plan in its own namespace, in parallel with other
+        # readers and (on WAL catalogs) with the writer.
+        with self._reader() as cur:
+            return self._match_objects(cur, plan, trace)
+
+    def _match_objects(self, cur, plan: LogicalPlan, trace: PlanTrace) -> List[int]:
+        query = plan.query
         suffix = next(self._temp_ids)
         qm, qs = f"q_matches_{suffix}", f"q_satisfied_{suffix}"
-        cur = self.connection
         cur.execute(
             f"CREATE TEMP TABLE {qm} (object_id INTEGER, attr_id INTEGER,"
             " seq_id INTEGER, qattr_id INTEGER, qelem_id INTEGER)"
@@ -758,20 +858,21 @@ class SqliteHybridStore(HybridStore):
         instance counts, and the object total."""
         elem_rows: Dict[int, int] = {}
         elem_distinct: Dict[int, int] = {}
-        for elem_id, rows, distinct in self.connection.execute(
-            "SELECT elem_id, COUNT(*), "
-            "COUNT(DISTINCT COALESCE(value_text, CAST(value_num AS TEXT))) "
-            "FROM elements GROUP BY elem_id"
-        ):
-            elem_rows[elem_id] = rows
-            elem_distinct[elem_id] = distinct
-        attr_rows = {
-            attr_id: rows
-            for attr_id, rows in self.connection.execute(
-                "SELECT attr_id, COUNT(*) FROM attributes GROUP BY attr_id"
-            )
-        }
-        objects = self.connection.execute("SELECT COUNT(*) FROM objects").fetchone()[0]
+        with self._reader() as cur:
+            for elem_id, rows, distinct in cur.execute(
+                "SELECT elem_id, COUNT(*), "
+                "COUNT(DISTINCT COALESCE(value_text, CAST(value_num AS TEXT))) "
+                "FROM elements GROUP BY elem_id"
+            ):
+                elem_rows[elem_id] = rows
+                elem_distinct[elem_id] = distinct
+            attr_rows = {
+                attr_id: rows
+                for attr_id, rows in cur.execute(
+                    "SELECT attr_id, COUNT(*) FROM attributes GROUP BY attr_id"
+                )
+            }
+            objects = cur.execute("SELECT COUNT(*) FROM objects").fetchone()[0]
         return StatsSnapshot(objects, elem_rows, elem_distinct, attr_rows)
 
     # ------------------------------------------------------------------
@@ -779,9 +880,12 @@ class SqliteHybridStore(HybridStore):
     # ------------------------------------------------------------------
     def build_responses(self, object_ids: Sequence[int]) -> Dict[int, str]:
         assert self.schema is not None
+        with self._reader() as cur:
+            return self._build_responses(cur, object_ids)
+
+    def _build_responses(self, cur, object_ids: Sequence[int]) -> Dict[int, str]:
         suffix = next(self._temp_ids)
         req = f"req_objects_{suffix}"
-        cur = self.connection
         cur.execute(f"CREATE TEMP TABLE {req} (object_id INTEGER PRIMARY KEY)")
         cur.executemany(  # reprolint: ignore[TXN01] temp-table scratch
             f"INSERT OR IGNORE INTO {req} VALUES (?)", [(i,) for i in object_ids]
@@ -836,27 +940,41 @@ class SqliteHybridStore(HybridStore):
     # ------------------------------------------------------------------
     def storage_report(self) -> List[Tuple[str, int, int]]:
         report: List[Tuple[str, int, int]] = []
-        tables = [
-            row[0]
-            for row in self.connection.execute(
-                "SELECT name FROM sqlite_master WHERE type = 'table'"
-            )
-        ]
-        for table in tables:
-            count = self.connection.execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0]
-            # Approximate byte accounting comparable to the memory store.
-            size = 0
-            for row in self.connection.execute(f"SELECT * FROM {table}"):
-                for value in row:
-                    if value is None:
-                        size += 1
-                    elif isinstance(value, str):
-                        size += len(value)
-                    else:
-                        size += 8
-            report.append((table, count, size))
+        with self._reader() as cur:
+            tables = [
+                row[0]
+                for row in cur.execute(
+                    "SELECT name FROM sqlite_master WHERE type = 'table'"
+                )
+            ]
+            for table in tables:
+                count = cur.execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0]
+                # Approximate byte accounting comparable to the memory store.
+                size = 0
+                for row in cur.execute(f"SELECT * FROM {table}"):
+                    for value in row:
+                        if value is None:
+                            size += 1
+                        elif isinstance(value, str):
+                            size += len(value)
+                        else:
+                            size += 8
+                report.append((table, count, size))
         report.sort(key=lambda item: item[2], reverse=True)
         return report
 
     def close(self) -> None:
-        self.connection.close()
+        """Close the writer connection and the reader pool.  Idempotent;
+        every subsequent operation raises
+        :class:`~repro.errors.CatalogClosedError` instead of sqlite's
+        raw ``ProgrammingError``."""
+        if self._closed:
+            return
+        # Wait out an in-flight transaction, then fence new operations.
+        with self._rwlock().write_locked():
+            if self._closed:
+                return
+            self._closed = True
+            if self._pool is not None:
+                self._pool.close()
+            self.connection.close()

@@ -13,13 +13,17 @@ Commands::
     python -m repro query   --db cat.db --attr NAME[/SOURCE]
                             [--elem "NAME[/SOURCE] OP VALUE" ...]
                             [--sub NAME[/SOURCE]] [--fetch] [--trace]
+                            [--threads N]
     python -m repro explain --db cat.db --attr NAME[/SOURCE]
                             [--elem ...] [--sub ...]
+    python -m repro bench   --db cat.db --attr NAME[/SOURCE] [--elem ...]
+                            [--threads N] [--repeat R]
     python -m repro fetch   --db cat.db ID [ID ...]
     python -m repro schema  --db cat.db   (or --xsd schema.xsd)
     python -m repro info    --db cat.db
     python -m repro fsck    --db cat.db [--deep]
     python -m repro stats   --db cat.db [--format table|json|prom] [--reset]
+                            [--threads N]
     python -m repro lint    [--json] [--rule ID] [--src DIR] [--fault-tests DIR]
 
 Write commands run each logical operation in one explicit transaction
@@ -186,6 +190,52 @@ def _build_query(attrs: List[str], elems: List[str], subs: List[str],
     return query
 
 
+def _run_threaded_queries(catalog, query, user, threads, repeat, use_cache):
+    """Run ``query`` ``repeat`` times on each of ``threads`` reader
+    threads (started together on a barrier); returns
+    ``(per-query latencies, any_mismatch, reference_ids, wall_seconds)``.
+    ``use_cache=False`` passes a fresh trace per call, which bypasses
+    the result cache so every call executes the plan."""
+    import threading
+    import time as _time
+
+    reference = catalog.query(query, user=user)  # serial reference + warmup
+    latencies: List[List[float]] = [[] for _ in range(threads)]
+    mismatches = [False] * threads
+    barrier = threading.Barrier(threads)
+
+    def worker(slot: int) -> None:
+        mine = latencies[slot]
+        barrier.wait()
+        for _ in range(repeat):
+            trace = None if use_cache else PlanTrace()
+            start = _time.perf_counter()
+            ids = catalog.query(query, user=user, trace=trace)
+            mine.append(_time.perf_counter() - start)
+            if ids != reference:
+                mismatches[slot] = True
+
+    pool = [
+        threading.Thread(target=worker, args=(slot,), daemon=True)
+        for slot in range(threads)
+    ]
+    wall = _time.perf_counter()
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    wall = _time.perf_counter() - wall
+    flat = sorted(lat for per in latencies for lat in per)
+    return flat, any(mismatches), reference, wall
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
 class _OrderedFlag(argparse.Action):
     """Records flag order so criteria rebuild correctly."""
 
@@ -250,6 +300,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sub", dest="subs", action=_OrderedFlag, default=[])
     p.add_argument("--fetch", action="store_true", help="print matching XML")
     p.add_argument("--trace", action="store_true", help="print the plan trace")
+    p.add_argument("--threads", type=int, default=1, metavar="N",
+                   help="also run the query concurrently from N reader "
+                        "threads and verify every thread saw the same result")
     p.add_argument("--user", default=None)
     p.set_defaults(flag_order=[])
 
@@ -262,6 +315,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--attr", dest="attrs", action=_OrderedFlag, default=[])
     p.add_argument("--elem", dest="elems", action=_OrderedFlag, default=[])
     p.add_argument("--sub", dest="subs", action=_OrderedFlag, default=[])
+    p.add_argument("--user", default=None)
+    p.set_defaults(flag_order=[])
+
+    p = add_parser(
+        "bench",
+        help="measure read throughput for one query "
+             "(N reader threads, p50/p95 latency, aggregate QPS)",
+    )
+    p.add_argument("--db", required=True)
+    p.add_argument("--attr", dest="attrs", action=_OrderedFlag, default=[])
+    p.add_argument("--elem", dest="elems", action=_OrderedFlag, default=[])
+    p.add_argument("--sub", dest="subs", action=_OrderedFlag, default=[])
+    p.add_argument("--threads", type=int, default=1, metavar="N",
+                   help="concurrent reader threads (default: 1)")
+    p.add_argument("--repeat", type=int, default=50, metavar="R",
+                   help="queries per thread (default: 50)")
+    p.add_argument("--no-result-cache", action="store_true",
+                   help="measure plan execution instead of cache hits")
     p.add_argument("--user", default=None)
     p.set_defaults(flag_order=[])
 
@@ -287,6 +358,10 @@ def build_parser() -> argparse.ArgumentParser:
                    default="table", help="output format (default: table)")
     p.add_argument("--reset", action="store_true",
                    help="clear the accumulated metrics after printing")
+    p.add_argument("--threads", type=int, default=1, metavar="N",
+                   help="probe the live catalog first: collect N "
+                        "concurrent statistics snapshots and require "
+                        "them to be identical (default: 1 = skip)")
 
     p = add_parser(
         "lint",
@@ -406,6 +481,28 @@ def _run_command(args, registry: MetricsRegistry) -> int:
         return _run_lint_command(args)
 
     if args.command == "stats":
+        if args.threads > 1:
+            # Live concurrency probe: the reader pool must hand every
+            # thread a consistent snapshot of the same catalog state.
+            import concurrent.futures
+
+            catalog = _open(args.db, registry)
+            with concurrent.futures.ThreadPoolExecutor(args.threads) as pool:
+                snaps = list(pool.map(
+                    lambda _i: catalog.store.collect_statistics(),
+                    range(args.threads),
+                ))
+            first = snaps[0]
+            for snap in snaps[1:]:
+                if (snap.objects, snap.elem_rows, snap.elem_distinct,
+                        snap.attr_rows) != (first.objects, first.elem_rows,
+                                            first.elem_distinct,
+                                            first.attr_rows):
+                    print("error: concurrent statistics snapshots "
+                          "disagreed", file=sys.stderr)
+                    return 1
+            print(f"{args.threads} concurrent statistics snapshots: "
+                  f"identical ({first.objects} objects)")
         if args.format == "json":
             print(render_json(registry))
         elif args.format == "prom":
@@ -485,6 +582,18 @@ def _run_command(args, registry: MetricsRegistry) -> int:
         if args.trace:
             print(trace.describe())
             print()
+        if args.threads > 1:
+            _lat, mismatch, _ref, _wall = _run_threaded_queries(
+                catalog, query, args.user, args.threads, repeat=1, use_cache=True
+            )
+            if mismatch:
+                print(
+                    f"error: concurrent readers disagreed across "
+                    f"{args.threads} threads",
+                    file=sys.stderr,
+                )
+                return 1
+            print(f"{args.threads} concurrent readers: identical results")
         print(f"{len(ids)} matching object(s): {ids}")
         if args.fetch and ids:
             responses = catalog.fetch(ids)
@@ -497,6 +606,31 @@ def _run_command(args, registry: MetricsRegistry) -> int:
         query = _build_query(args.attrs, args.elems, args.subs, args.flag_order)
         explanation = catalog.explain(query, user=args.user)
         print(explanation.describe())
+        return 0
+
+    if args.command == "bench":
+        if args.threads < 1 or args.repeat < 1:
+            print("error: --threads and --repeat must be >= 1", file=sys.stderr)
+            return 1
+        query = _build_query(args.attrs, args.elems, args.subs, args.flag_order)
+        flat, mismatch, reference, wall = _run_threaded_queries(
+            catalog, query, args.user, args.threads, args.repeat,
+            use_cache=not args.no_result_cache,
+        )
+        total = args.threads * args.repeat
+        qps = total / wall if wall > 0 else float("inf")
+        print(
+            f"{total} queries across {args.threads} thread(s), "
+            f"{len(reference)} matching object(s) each"
+        )
+        print(
+            f"p50 {1000 * _percentile(flat, 0.50):.3f} ms   "
+            f"p95 {1000 * _percentile(flat, 0.95):.3f} ms   "
+            f"aggregate {qps:.0f} QPS"
+        )
+        if mismatch:
+            print("error: concurrent readers disagreed", file=sys.stderr)
+            return 1
         return 0
 
     if args.command == "fetch":

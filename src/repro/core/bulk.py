@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import concurrent.futures
 import os
+import weakref
+from concurrent.futures.process import BrokenProcessPool
 from typing import List, Optional, Sequence
 
 from ..errors import CatalogError
@@ -73,32 +75,49 @@ class BulkLoader:
         self.close()
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        """Shut the worker pool down.  Safe to call any number of times
+        (including on a loader whose pool was never started, and again
+        after a previous ``close()``)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown()
 
     def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
         if self._pool is None:
-            self._pool = concurrent.futures.ProcessPoolExecutor(
+            pool = concurrent.futures.ProcessPoolExecutor(
                 max_workers=self.processes,
                 initializer=_init_worker,
                 initargs=(self.catalog.shredder,),
             )
+            self._pool = pool
+            # A loader dropped without close() must not leak worker
+            # processes; a second shutdown (finalizer after an explicit
+            # close) is a no-op.
+            weakref.finalize(self, pool.shutdown, wait=False)
         return self._pool
 
     def shred_batch(
         self, documents: Sequence[str], user: Optional[str] = None
     ) -> List[ShredResult]:
         """Shred ``documents`` (in parallel when processes > 1), results
-        in input order."""
+        in input order.  A document that fails to shred raises here (the
+        worker's exception propagates); the pool survives ordinary
+        worker exceptions and is discarded only when the pool process
+        itself died, so the next batch starts from a healthy pool either
+        way."""
         tasks = [(i, text, user) for i, text in enumerate(documents)]
         if self.processes <= 1 or len(documents) < 2:
             shredder = self.catalog.shredder
             return [shredder.shred(parse(text), user=user) for _i, text, _u in tasks]
         pool = self._ensure_pool()
         chunksize = max(1, len(tasks) // (self.processes * 4))
-        payloads = pool.map(_shred_one, tasks, chunksize=chunksize)
+        try:
+            payloads = list(pool.map(_shred_one, tasks, chunksize=chunksize))
+        except BrokenProcessPool:
+            # The worker process died (not a mere exception): this pool
+            # can never serve another batch — replace it.
+            self.close()
+            raise
         return [ShredResult.from_payload(p) for p in payloads]
 
     def load(
@@ -117,5 +136,10 @@ class BulkLoader:
             name = f"{name_prefix}-{i}"
             self.catalog.store.store_object(object_id, name, owner, shred)
             self.catalog._names[object_id] = name
+            # Keep the statistics (and with them the result-cache
+            # invalidation token) current: bulk-loaded rows must retire
+            # cached query results exactly like ingest() does.
+            self.catalog.stats.record_shred(shred)
             receipts.append(IngestReceipt(object_id, name, shred))
+        self.catalog._set_objects_gauge()
         return receipts

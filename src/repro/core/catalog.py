@@ -34,6 +34,7 @@ from ..xmlkit import Document, parse
 from .definitions import AttributeDef, DefinitionRegistry, ElementDef
 from .logical import LogicalPlan, PlanCache, build_plan, plan_shape
 from .query import ObjectQuery, ShreddedQuery, shred_query
+from .result_cache import QueryResultCache, result_key
 from .schema import AnnotatedSchema, ValueType
 from .shredder import Shredder, ShredResult
 from .stats import CatalogStatistics
@@ -130,6 +131,9 @@ class HybridCatalog:
         # generation moves).
         self.stats = CatalogStatistics(self.store)
         self.plan_cache = PlanCache()
+        # Query-*result* memoization: fully-bound repeated queries skip
+        # execution entirely until any write moves the stats token.
+        self.result_cache = QueryResultCache()
         self._names: Dict[int, str] = {}
         if reopened:
             attr_rows, elem_rows = self.store.load_definition_rows()
@@ -153,6 +157,29 @@ class HybridCatalog:
 
     def _count_query(self) -> None:
         self.metrics.counter("catalog_queries_total", "queries executed").inc()
+
+    def _count_result_cache_hit(self) -> None:
+        self.metrics.counter(
+            "query_cache_hits_total",
+            "query results served from the result cache",
+        ).inc()
+
+    def _count_result_cache_miss(self) -> None:
+        self.metrics.counter(
+            "query_cache_misses_total",
+            "query results computed fresh (result-cache miss)",
+        ).inc()
+
+    def _count_result_cache_evictions(self, count: int) -> None:
+        self.metrics.counter(
+            "query_cache_evictions_total",
+            "query results evicted from the result cache (LRU)",
+        ).inc(count)
+
+    def _set_result_cache_gauge(self) -> None:
+        self.metrics.gauge(
+            "query_cache_size", "query results currently cached"
+        ).set(len(self.result_cache))
 
     # ------------------------------------------------------------------
     # Definitions
@@ -342,17 +369,45 @@ class HybridCatalog:
     ) -> List[int]:
         """Match objects; returns sorted object ids (paper §4).
 
-        The query is shredded, compiled into an optimized
+        The query is shredded, checked against the write-invalidated
+        result cache (plan shape + literals, keyed to the stats token —
+        a repeated fully-bound query between writes skips execution
+        entirely), then compiled into an optimized
         :class:`~repro.core.logical.LogicalPlan` (or fetched from the
-        shape-keyed plan cache), and executed by the bound store."""
+        shape-keyed plan cache) and executed by the bound store.  An
+        explicit ``trace`` bypasses the result cache: the caller asked
+        to watch the plan actually run."""
+        # A cache hit would otherwise never touch the store: check
+        # explicitly so use-after-close raises instead of serving a
+        # cached answer from a closed catalog.
+        self.store._check_open()
         with self.tracer.span("catalog.query") as current:
             shredded = self.shred_query(query, user=user)
             current.set(
                 attribute_criteria=len(shredded.qattrs),
                 element_criteria=len(shredded.qelems),
             )
+            use_cache = trace is None
+            if use_cache:
+                # The token is captured *before* execution; a write
+                # landing mid-query moves it, and the cache then
+                # refuses the stale store() below.
+                token = self.stats.cache_token()
+                key = result_key(shredded)
+                cached = self.result_cache.lookup(key, token)
+                if cached is not None:
+                    self._count_result_cache_hit()
+                    current.set(matches=len(cached), result_cache="hit")
+                    self._count_query()
+                    return cached
+                self._count_result_cache_miss()
             plan, _hit = self.plan_for(shredded)
             ids = self.store.match_objects(plan, trace)
+            if use_cache:
+                evicted = self.result_cache.store(key, token, ids)
+                if evicted:
+                    self._count_result_cache_evictions(evicted)
+                self._set_result_cache_gauge()
             current.set(matches=len(ids))
         self._count_query()
         return ids

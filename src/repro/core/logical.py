@@ -43,6 +43,7 @@ statistics generation they were built under; any invalidation
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
@@ -352,37 +353,45 @@ class PlanCache:
     current one — :meth:`CatalogStatistics.invalidate` therefore
     retires every cached plan at once (the stale entry is dropped on
     lookup).  The owning catalog counts hits/misses into its metrics
-    registry.
+    registry.  All operations are thread-safe; a returned plan is
+    shared between threads, which is sound because execution goes
+    through :meth:`LogicalPlan.rebind` (stage objects are immutable
+    after build, ``actuals`` is per-rebind).
     """
 
     def __init__(self, capacity: int = 128) -> None:
         if capacity < 1:
             raise ValueError("plan cache capacity must be >= 1")
         self.capacity = capacity
+        self._lock = threading.Lock()
         self._entries: "OrderedDict[Tuple, LogicalPlan]" = OrderedDict()
         self.hits = 0
         self.misses = 0
 
     def lookup(self, shape: Tuple, generation: Optional[int]) -> Optional[LogicalPlan]:
-        entry = self._entries.get(shape)
-        if entry is not None and entry.stats_generation == generation:
-            self._entries.move_to_end(shape)
-            self.hits += 1
-            return entry
-        if entry is not None:
-            # Built under an older statistics generation: stale.
-            del self._entries[shape]
-        self.misses += 1
-        return None
+        with self._lock:
+            entry = self._entries.get(shape)
+            if entry is not None and entry.stats_generation == generation:
+                self._entries.move_to_end(shape)
+                self.hits += 1
+                return entry
+            if entry is not None:
+                # Built under an older statistics generation: stale.
+                del self._entries[shape]
+            self.misses += 1
+            return None
 
     def store(self, plan: LogicalPlan) -> None:
-        self._entries[plan.shape] = plan
-        self._entries.move_to_end(plan.shape)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[plan.shape] = plan
+            self._entries.move_to_end(plan.shape)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)

@@ -27,6 +27,7 @@ ordering signal).
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Optional, Set, Tuple
 
 from .query import Op, QAttr, QElem
@@ -77,12 +78,24 @@ class CatalogStatistics:
     ``generation`` changes exactly when previously built plans may no
     longer be trusted (definition changes, deletes); the plan cache
     stores it per entry and treats a mismatch as a miss.
+    ``data_version`` additionally moves on *every* recorded write —
+    including plain ingests, which leave plans valid but change query
+    answers — so ``(generation, data_version)`` is the invalidation
+    token of the query-result cache (:meth:`cache_token`).
+
+    Thread safety: maintenance and the lazy rebuild are serialized by
+    an internal lock, and the rebuild publishes fully built counter
+    dicts in one swap — a reader racing :meth:`invalidate` sees either
+    the complete old statistics or the complete new ones, never a
+    half-rebuilt state that would order a plan from empty estimates.
     """
 
     def __init__(self, store) -> None:
         self._store = store
+        self._lock = threading.RLock()
         self._dirty = True
         self.generation = 0
+        self.data_version = 0
         self._elems: Dict[int, _ElemStat] = {}
         self._attrs: Dict[int, int] = {}
         self._objects = 0
@@ -90,42 +103,57 @@ class CatalogStatistics:
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
+    def cache_token(self) -> Tuple[int, int]:
+        """The result-cache invalidation token: moves exactly when a
+        previously computed query answer may no longer be current."""
+        return (self.generation, self.data_version)
+
     def invalidate(self) -> None:
         """Definitions or stored rows changed in a way incremental
         accounting does not cover: rebuild lazily, retire cached plans."""
-        self._dirty = True
-        self.generation += 1
+        with self._lock:
+            self._dirty = True
+            self.generation += 1
+            self.data_version += 1
 
     def record_shred(self, shred: ShredResult, new_object: bool = True) -> None:
         """Fold one ingested shred into the counters (no store access).
         A dirty snapshot stays dirty — the pending rebuild will see the
         new rows anyway."""
-        if self._dirty:
-            return
-        for erow in shred.elements:
-            stat = self._elems.get(erow.elem_id)
-            if stat is None:
-                stat = self._elems[erow.elem_id] = _ElemStat()
-            stat.add_value(erow.value_text, erow.value_num)
-        for arow in shred.attributes:
-            self._attrs[arow.attr_id] = self._attrs.get(arow.attr_id, 0) + 1
-        if new_object:
-            self._objects += 1
+        with self._lock:
+            self.data_version += 1
+            if self._dirty:
+                return
+            for erow in shred.elements:
+                stat = self._elems.get(erow.elem_id)
+                if stat is None:
+                    stat = self._elems[erow.elem_id] = _ElemStat()
+                stat.add_value(erow.value_text, erow.value_num)
+            for arow in shred.attributes:
+                self._attrs[arow.attr_id] = self._attrs.get(arow.attr_id, 0) + 1
+            if new_object:
+                self._objects += 1
 
     def _ensure(self) -> None:
         if not self._dirty:
             return
-        snapshot: StatsSnapshot = self._store.collect_statistics()
-        self._elems = {}
-        for elem_id, rows in snapshot.elem_rows.items():
-            stat = _ElemStat()
-            stat.rows = rows
-            stat.distinct = snapshot.elem_distinct.get(elem_id, 0)
-            stat.values = None  # sealed: counts known, value sets not
-            self._elems[elem_id] = stat
-        self._attrs = dict(snapshot.attr_rows)
-        self._objects = snapshot.objects
-        self._dirty = False
+        with self._lock:
+            if not self._dirty:
+                return  # another thread rebuilt while we waited
+            snapshot: StatsSnapshot = self._store.collect_statistics()
+            elems: Dict[int, _ElemStat] = {}
+            for elem_id, rows in snapshot.elem_rows.items():
+                stat = _ElemStat()
+                stat.rows = rows
+                stat.distinct = snapshot.elem_distinct.get(elem_id, 0)
+                stat.values = None  # sealed: counts known, value sets not
+                elems[elem_id] = stat
+            # Publish complete dicts in one swap; concurrent readers see
+            # old-or-new, never a partially filled rebuild.
+            self._elems = elems
+            self._attrs = dict(snapshot.attr_rows)
+            self._objects = snapshot.objects
+            self._dirty = False
 
     # ------------------------------------------------------------------
     # Accessors

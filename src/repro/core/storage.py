@@ -37,20 +37,26 @@ holds the identical layout in stdlib sqlite.  Both implement
 from __future__ import annotations
 
 import abc
+import threading
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..errors import CatalogError
+from ..errors import CatalogClosedError, CatalogError
 from ..faults import DEFAULT_RETRY, FaultPlan, RetryPolicy
 from ..faults.sites import OBJECT_ROW_TABLES, check_site
 from ..obs import names as metric_names
 from ..obs.metrics import MetricsRegistry, default_registry
 from ..obs.tracing import current_span
 from ..relational import Database, clob, eq, integer, real, text
+from .concurrency import RWLock
 from .definitions import DefinitionRegistry
 from .ordering import ancestor_pairs
 from .schema import AnnotatedSchema
 from .shredder import ShredResult
+
+#: Guards first-touch creation of a store's RWLock (stores are built
+#: without one so legacy single-threaded construction paths stay cheap).
+_RWLOCK_INIT_LOCK = threading.Lock()
 
 
 class PlanStage:
@@ -155,18 +161,62 @@ class HybridStore(abc.ABC):
     installed via :meth:`install_faults` is consulted before every
     statement issued inside a transaction (write paths only), which is
     how the crash-safety suite proves any mid-write failure leaves the
-    catalog fsck-clean."""
+    catalog fsck-clean.
+
+    Concurrency contract (both backends): every transaction holds the
+    store's write lock begin-through-commit, so writes stay strictly
+    serialized (the S32 single-writer protocol); read surfaces run
+    under :meth:`read_locked`, so any number of reader threads proceed
+    in parallel and never observe a half-applied mutation.  Transaction
+    reentrancy is *per thread* — a nested ``transaction()`` joins the
+    outer one only on the thread that owns it; any other thread queues
+    on the write lock.  Fault plans likewise only fire for statements
+    issued by the transaction-owning thread, keeping deterministic
+    ``fail_at=N`` crash sweeps stable under concurrent readers."""
 
     metrics: Optional[MetricsRegistry] = None
     fault_plan: Optional[FaultPlan] = None
     retry_policy: RetryPolicy = DEFAULT_RETRY
     _txn_depth: int = 0
+    _txn_owner: Optional[int] = None  # thread id owning the open txn
+    _closed: bool = False
+    _rwlock_obj: Optional[RWLock] = None
 
     def bind_metrics(self, registry: MetricsRegistry) -> None:
         self.metrics = registry
 
     def metrics_registry(self) -> MetricsRegistry:
         return self.metrics if self.metrics is not None else default_registry()
+
+    # ------------------------------------------------------------------
+    # Concurrency: reader-writer lock, closed-store guard
+    # ------------------------------------------------------------------
+    def _rwlock(self) -> RWLock:
+        lock = self._rwlock_obj
+        if lock is None:
+            with _RWLOCK_INIT_LOCK:
+                lock = self._rwlock_obj
+                if lock is None:
+                    lock = RWLock()
+                    self._rwlock_obj = lock
+        return lock
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise CatalogClosedError(
+                f"{type(self).__name__} is closed; operations on a closed "
+                "store are invalid (close() itself is idempotent)"
+            )
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        """Shared read section: runs in parallel with other readers and
+        is excluded from write transactions.  Reentrant, and a no-op
+        inside the calling thread's own transaction.  Doubles as the
+        closed-store guard of every read surface."""
+        self._check_open()
+        with self._rwlock().read_locked():
+            yield
 
     # ------------------------------------------------------------------
     # Crash safety: transactions, fault injection, retry
@@ -182,14 +232,26 @@ class HybridStore(abc.ABC):
     def set_retry_policy(self, policy: RetryPolicy) -> None:
         self.retry_policy = policy
 
+    def _fault_armed(self) -> bool:
+        """True when statements issued by the *calling thread* should
+        consult the fault plan — i.e. inside this thread's own
+        transaction.  Reader threads running concurrently with another
+        thread's transaction must not consume fault-plan statement
+        counts, or deterministic ``fail_at=N`` sweeps would drift."""
+        return (
+            self.fault_plan is not None
+            and self._txn_depth > 0
+            and self._txn_owner == threading.get_ident()
+        )
+
     def _fault(self, site: str) -> None:
         """Injection point: called before each write-path statement."""
-        plan = self.fault_plan
-        if plan is not None and self._txn_depth > 0:
-            plan.before(site, self.metrics_registry())
+        if self._fault_armed():
+            self.fault_plan.before(site, self.metrics_registry())
 
     def in_transaction(self) -> bool:
-        return self._txn_depth > 0
+        """True when the *calling thread* is inside a transaction."""
+        return self._txn_depth > 0 and self._txn_owner == threading.get_ident()
 
     @abc.abstractmethod
     def _txn_begin(self, site: str) -> None:
@@ -237,68 +299,33 @@ class HybridStore(abc.ABC):
 
     @contextmanager
     def transaction(self, site: str = "txn") -> Iterator[None]:
-        """One transaction around the ``with`` body; reentrant (a nested
-        ``transaction()`` joins the outer one, so a logical catalog
-        operation commits exactly once)."""
-        if self._txn_depth > 0:
+        """One transaction around the ``with`` body; reentrant per
+        thread (a nested ``transaction()`` on the owning thread joins
+        the outer one, so a logical catalog operation commits exactly
+        once; any other thread queues on the write lock)."""
+        if self.in_transaction():
             self._txn_depth += 1
             try:
                 yield
             finally:
                 self._txn_depth -= 1
             return
-        self._txn_depth = 1
-        try:
-            self._txn_begin(site)
-            yield
-        except BaseException:
-            self._txn_depth = 0
-            self._txn_rollback(site)
-            self._count_rollback(site)
-            raise
-        self._txn_depth = 0
-        try:
-            self._txn_commit(site)
-        except BaseException:
-            self._txn_rollback(site)
-            self._count_rollback(site)
-            raise
-        self._count_commit(site)
-
-    def run_transaction(self, site: str, fn: Callable[[], "object"]):
-        """Run ``fn`` inside one transaction, retrying the whole thing
-        (the rollback restored a clean state) on transient failures —
-        sqlite ``database is locked`` — per the store's retry policy.
-        Already inside a transaction, ``fn`` simply joins it: retry is
-        the outermost operation's business.
-
-        This is the write hot path (every ingest crosses it), so the
-        transaction bracketing is inlined rather than delegated to the
-        :meth:`transaction` context manager."""
-        if self._txn_depth > 0:
-            return fn()
-        policy = self.retry_policy
-        attempt = 1
-        while True:
+        self._check_open()
+        with self._rwlock().write_locked():
+            self._check_open()
+            self._txn_owner = threading.get_ident()
             self._txn_depth = 1
             try:
                 self._txn_begin(site)
-                result = fn()
-            except BaseException as exc:
+                yield
+            except BaseException:
                 self._txn_depth = 0
+                self._txn_owner = None
                 self._txn_rollback(site)
                 self._count_rollback(site)
-                if (
-                    isinstance(exc, Exception)
-                    and attempt < policy.max_attempts
-                    and policy.is_transient(exc)
-                ):
-                    self._count_retry(site)
-                    policy.pause(attempt)
-                    attempt += 1
-                    continue
                 raise
             self._txn_depth = 0
+            self._txn_owner = None
             try:
                 self._txn_commit(site)
             except BaseException:
@@ -306,7 +333,57 @@ class HybridStore(abc.ABC):
                 self._count_rollback(site)
                 raise
             self._count_commit(site)
-            return result
+
+    def run_transaction(self, site: str, fn: Callable[[], "object"]):
+        """Run ``fn`` inside one transaction, retrying the whole thing
+        (the rollback restored a clean state) on transient failures —
+        sqlite ``database is locked`` — per the store's retry policy.
+        Already inside this thread's transaction, ``fn`` simply joins
+        it: retry is the outermost operation's business.  The write
+        lock is held begin-through-commit, serializing transactions
+        across threads.
+
+        This is the write hot path (every ingest crosses it), so the
+        transaction bracketing is inlined rather than delegated to the
+        :meth:`transaction` context manager."""
+        if self.in_transaction():
+            return fn()
+        self._check_open()
+        with self._rwlock().write_locked():
+            self._check_open()
+            policy = self.retry_policy
+            attempt = 1
+            while True:
+                self._txn_owner = threading.get_ident()
+                self._txn_depth = 1
+                try:
+                    self._txn_begin(site)
+                    result = fn()
+                except BaseException as exc:
+                    self._txn_depth = 0
+                    self._txn_owner = None
+                    self._txn_rollback(site)
+                    self._count_rollback(site)
+                    if (
+                        isinstance(exc, Exception)
+                        and attempt < policy.max_attempts
+                        and policy.is_transient(exc)
+                    ):
+                        self._count_retry(site)
+                        policy.pause(attempt)
+                        attempt += 1
+                        continue
+                    raise
+                self._txn_depth = 0
+                self._txn_owner = None
+                try:
+                    self._txn_commit(site)
+                except BaseException:
+                    self._txn_rollback(site)
+                    self._count_rollback(site)
+                    raise
+                self._count_commit(site)
+                return result
 
     @abc.abstractmethod
     def install_schema(self, schema: AnnotatedSchema) -> None:
@@ -318,9 +395,17 @@ class HybridStore(abc.ABC):
         return False
 
     def close(self) -> None:
-        """Release backend resources.  The default is a no-op (the
-        memory engine holds nothing external); file-backed stores
-        override it."""
+        """Release backend resources.  Idempotent: a second ``close()``
+        is a no-op.  Every subsequent operation raises
+        :class:`~repro.errors.CatalogClosedError`.  The base marks the
+        store closed after waiting out in-flight transactions; backends
+        with external resources extend it."""
+        if self._closed:
+            return
+        # Let an in-flight transaction finish rather than yanking the
+        # state out from under it; new operations fail _check_open.
+        with self._rwlock().write_locked():
+            self._closed = True
 
     def attach_schema(self, schema: AnnotatedSchema) -> None:
         """Bind ``schema`` to an already-initialized store, verifying it
@@ -628,28 +713,32 @@ class MemoryHybridStore(HybridStore):
         self.run_transaction("delete_object", write)
 
     def has_object(self, object_id: int) -> bool:
-        return bool(self.db.table("objects").lookup(["object_id"], [object_id]))
+        with self.read_locked():
+            return bool(self.db.table("objects").lookup(["object_id"], [object_id]))
 
     def object_count(self) -> int:
-        return len(self.db.table("objects"))
+        with self.read_locked():
+            return len(self.db.table("objects"))
 
     def max_clob_seq(self, object_id: int, schema_order: int) -> int:
-        return max(
-            (
-                row[2]
-                for row in self.db.table("clobs").lookup(["object_id"], [object_id])
-                if row[1] == schema_order
-            ),
-            default=0,
-        )
+        with self.read_locked():
+            return max(
+                (
+                    row[2]
+                    for row in self.db.table("clobs").lookup(["object_id"], [object_id])
+                    if row[1] == schema_order
+                ),
+                default=0,
+            )
 
     def instance_counts(self, object_id: int) -> Dict[int, int]:
-        counts: Dict[int, int] = {}
-        for row in self.db.table("attributes").lookup(["object_id"], [object_id]):
-            attr_id, seq_id = row[1], row[2]
-            if seq_id > counts.get(attr_id, 0):
-                counts[attr_id] = seq_id
-        return counts
+        with self.read_locked():
+            counts: Dict[int, int] = {}
+            for row in self.db.table("attributes").lookup(["object_id"], [object_id]):
+                attr_id, seq_id = row[1], row[2]
+                if seq_id > counts.get(attr_id, 0):
+                    counts[attr_id] = seq_id
+            return counts
 
     def remove_attribute_instance(
         self, object_id: int, attr_id: int, seq_id: int
@@ -719,40 +808,44 @@ class MemoryHybridStore(HybridStore):
     def match_objects(self, shredded_query, trace: Optional[PlanTrace] = None) -> List[int]:
         from .planner import match_objects_memory
 
-        return match_objects_memory(self, shredded_query, trace)
+        with self.read_locked():
+            return match_objects_memory(self, shredded_query, trace)
 
     # -- Statistics (optimizer inputs) --------------------------------------
     def collect_statistics(self):
         from .stats import StatsSnapshot
 
-        elem_rows: Dict[int, int] = {}
-        elem_values: Dict[int, set] = {}
-        elements = self.db.table("elements")
-        e_elem = elements.position("elem_id")
-        e_text = elements.position("value_text")
-        e_num = elements.position("value_num")
-        for row in elements.scan():
-            elem_id = row[e_elem]
-            elem_rows[elem_id] = elem_rows.get(elem_id, 0) + 1
-            elem_values.setdefault(elem_id, set()).add((row[e_text], row[e_num]))
-        attr_rows: Dict[int, int] = {}
-        attributes = self.db.table("attributes")
-        a_attr = attributes.position("attr_id")
-        for row in attributes.scan():
-            attr_id = row[a_attr]
-            attr_rows[attr_id] = attr_rows.get(attr_id, 0) + 1
-        return StatsSnapshot(
-            self.object_count(),
-            elem_rows,
-            {elem_id: len(values) for elem_id, values in elem_values.items()},
-            attr_rows,
-        )
+        with self.read_locked():
+            elem_rows: Dict[int, int] = {}
+            elem_values: Dict[int, set] = {}
+            elements = self.db.table("elements")
+            e_elem = elements.position("elem_id")
+            e_text = elements.position("value_text")
+            e_num = elements.position("value_num")
+            for row in elements.scan():
+                elem_id = row[e_elem]
+                elem_rows[elem_id] = elem_rows.get(elem_id, 0) + 1
+                elem_values.setdefault(elem_id, set()).add((row[e_text], row[e_num]))
+            attr_rows: Dict[int, int] = {}
+            attributes = self.db.table("attributes")
+            a_attr = attributes.position("attr_id")
+            for row in attributes.scan():
+                attr_id = row[a_attr]
+                attr_rows[attr_id] = attr_rows.get(attr_id, 0) + 1
+            return StatsSnapshot(
+                self.object_count(),
+                elem_rows,
+                {elem_id: len(values) for elem_id, values in elem_values.items()},
+                attr_rows,
+            )
 
     def build_responses(self, object_ids: Sequence[int]) -> Dict[int, str]:
         from .response import build_responses_memory
 
-        return build_responses_memory(self, object_ids)
+        with self.read_locked():
+            return build_responses_memory(self, object_ids)
 
     # -- Accounting ---------------------------------------------------------
     def storage_report(self) -> List[Tuple[str, int, int]]:
-        return self.db.storage_report()
+        with self.read_locked():
+            return self.db.storage_report()

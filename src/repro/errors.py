@@ -37,5 +37,12 @@ class CatalogError(ReproError):
     """Catalog-level misuse (unknown object ids, duplicate ingest, ...)."""
 
 
+class CatalogClosedError(CatalogError):
+    """An operation was attempted on a closed store.  ``close()`` itself
+    is idempotent; everything else on a closed store raises this instead
+    of leaking a backend-specific error (``sqlite3.ProgrammingError``)
+    or silently operating on released resources."""
+
+
 class DefinitionError(ReproError):
     """Attribute/element definition registry misuse or conflicts."""

@@ -63,6 +63,11 @@ STATEMENT_SITES: FrozenSet[str] = frozenset(
         # Schema installation (sqlite loads ordering rows in bulk).
         "insert:schema_order",
         "insert:node_ancestors",
+        # Reader-pool connection acquisition (sqlite on-disk catalogs).
+        # Consulted only by plans that target it explicitly, so the
+        # deterministic fail_at sweeps over write statements are not
+        # perturbed by concurrent reads.
+        "pool:acquire",
     }
 )
 

@@ -78,6 +78,14 @@ METRICS: Dict[str, MetricSpec] = _declare(
     MetricSpec("plan_cache_misses_total", "counter",
                "logical plans built by the optimizer"),
     MetricSpec("plan_cache_size", "gauge", "logical plans currently cached"),
+    MetricSpec("query_cache_hits_total", "counter",
+               "query results served from the result cache"),
+    MetricSpec("query_cache_misses_total", "counter",
+               "query results computed fresh (result-cache miss)"),
+    MetricSpec("query_cache_evictions_total", "counter",
+               "query results evicted from the result cache (LRU)"),
+    MetricSpec("query_cache_size", "gauge",
+               "query results currently cached"),
     MetricSpec("planner_queries_total", "counter", "query plans executed"),
     MetricSpec("planner_stage_rows", "histogram",
                "row count produced by each query-plan stage", ("stage",)),
@@ -117,6 +125,8 @@ METRICS: Dict[str, MetricSpec] = _declare(
                "rows fetched from sqlite cursors"),
     MetricSpec("sqlite_txn_seconds", "histogram",
                "sqlite transaction commit wall time"),
+    MetricSpec("sqlite_pool_connections", "gauge",
+               "reader connections currently open in the pool"),
     # -- integrity ------------------------------------------------------
     MetricSpec("fsck_soft_errors_total", "counter",
                "recoverable errors tolerated while checking integrity",

@@ -4,7 +4,7 @@ import pytest
 
 from repro.backends import SqliteHybridStore
 from repro.core import AttributeCriteria, HybridCatalog, ObjectQuery, Op, PlanTrace
-from repro.errors import CatalogError
+from repro.errors import CatalogClosedError, CatalogError
 from repro.grid import FIG3_DOCUMENT, define_fig3_attributes, lead_schema
 from repro.xmlkit import canonical, parse
 
@@ -49,6 +49,56 @@ class TestLifecycle:
     def test_storage_report_covers_tables(self, catalog):
         names = {n for n, _r, _b in catalog.storage_report()}
         assert {"objects", "clobs", "attributes", "elements"} <= names
+
+
+class TestClose:
+    """The close() lifecycle contract: idempotent, typed errors after,
+    pooled reader connections actually returned and shut down."""
+
+    def test_double_close_is_idempotent(self, catalog):
+        catalog.store.close()
+        catalog.store.close()  # must not raise
+
+    def test_use_after_close_raises_typed_error(self, catalog):
+        catalog.store.close()
+        with pytest.raises(CatalogClosedError):
+            catalog.store.has_object(1)
+        with pytest.raises(CatalogClosedError):
+            catalog.query(paper_query())
+        with pytest.raises(CatalogClosedError):
+            catalog.ingest(FIG3_DOCUMENT)
+
+    def test_cached_query_still_raises_after_close(self, catalog):
+        # A result-cache hit never reaches the store; the catalog must
+        # check the store's lifecycle itself.
+        query = paper_query()
+        assert catalog.query(query) == catalog.query(query)
+        catalog.store.close()
+        with pytest.raises(CatalogClosedError):
+            catalog.query(query)
+
+    def test_close_drains_the_reader_pool(self, tmp_path):
+        cat = HybridCatalog(
+            lead_schema(), store=SqliteHybridStore(str(tmp_path / "c.db"))
+        )
+        define_fig3_attributes(cat)
+        cat.ingest(FIG3_DOCUMENT, name="fig3")
+        cat.query(paper_query())  # forces at least one pooled checkout
+        pool = cat.store._pool
+        assert pool.acquires > 0
+        cat.store.close()
+        assert pool.open_connections() == 0
+        with pytest.raises(CatalogClosedError):
+            with pool.connection():
+                pass
+
+    def test_close_inside_read_section_waits_its_turn(self, catalog):
+        # close() takes the write lock, so it cannot run while a reader
+        # holds the read lock on the same thread (upgrade is an error).
+        with catalog.store.read_locked():
+            with pytest.raises(RuntimeError):
+                catalog.store.close()
+        catalog.store.close()
 
 
 class TestSqlPlan:

@@ -86,3 +86,81 @@ class TestGuards:
         generator, _documents = corpus
         loader = BulkLoader(fresh_catalog(generator))
         assert loader.processes >= 1
+
+
+class TestPoolLifecycle:
+    """Regression tests for the worker-pool leak fixes: close() is safe
+    any number of times, a raising worker doesn't poison the warm pool,
+    and an abandoned loader's finalizer shuts its pool down."""
+
+    def test_close_without_pool_is_safe(self, corpus):
+        generator, _documents = corpus
+        loader = BulkLoader(fresh_catalog(generator), processes=2)
+        loader.close()  # pool never started
+        loader.close()
+
+    def test_double_close_after_use(self, corpus):
+        generator, documents = corpus
+        loader = BulkLoader(fresh_catalog(generator), processes=2)
+        loader.shred_batch(documents[:4])
+        loader.close()
+        loader.close()  # must not raise
+
+    def test_raising_worker_does_not_poison_the_pool(self, corpus):
+        generator, documents = corpus
+        loader = BulkLoader(fresh_catalog(generator), processes=2)
+        try:
+            with pytest.raises(Exception):
+                # Malformed XML raises inside the worker; that is an
+                # ordinary exception, not a dead pool.
+                loader.shred_batch(["<unclosed>", "<bad"])
+            assert loader._pool is not None, "pool was discarded needlessly"
+            # The same warm pool serves the next (good) batch.
+            results = loader.shred_batch(documents[:4])
+            assert len(results) == 4
+        finally:
+            loader.close()
+
+    def test_context_manager_closes_pool(self, corpus):
+        generator, documents = corpus
+        with BulkLoader(fresh_catalog(generator), processes=2) as loader:
+            loader.shred_batch(documents[:4])
+            pool = loader._pool
+        assert loader._pool is None
+        assert pool._shutdown_thread
+
+    def test_abandoned_loader_finalizer_shuts_pool_down(self, corpus):
+        import gc
+
+        generator, documents = corpus
+        loader = BulkLoader(fresh_catalog(generator), processes=2)
+        loader.shred_batch(documents[:4])
+        pool = loader._pool
+        del loader
+        gc.collect()
+        assert pool._shutdown_thread
+
+    def test_load_after_failed_batch_matches_sequential(self, corpus):
+        generator, documents = corpus
+        sequential = fresh_catalog(generator)
+        sequential.ingest_many(documents[:6])
+        bulk = fresh_catalog(generator)
+        with BulkLoader(bulk, processes=2) as loader:
+            with pytest.raises(Exception):
+                loader.load(["<nope"])
+            loader.load(documents[:6])
+        for table in ("clobs", "attributes", "elements", "attr_ancestors"):
+            assert table_rows(sequential, table) == table_rows(bulk, table), table
+
+    def test_load_moves_the_result_cache_token(self, corpus):
+        from repro.core import AttributeCriteria, ObjectQuery
+
+        generator, documents = corpus
+        catalog = fresh_catalog(generator)
+        query = ObjectQuery().add_attribute(AttributeCriteria("theme"))
+        assert catalog.query(query) == []
+        token = catalog.stats.cache_token()
+        BulkLoader(catalog, processes=1).load(documents[:4])
+        assert catalog.stats.cache_token() != token
+        # Fresh results, not the cached pre-load answer.
+        assert catalog.query(query) == [1, 2, 3, 4]

@@ -147,3 +147,48 @@ class TestEstimates:
         )
         qelem = catalog.shred_query(query).qelems[0]
         assert catalog.stats.estimate_qelem(qelem) == pytest.approx(0.0)
+
+
+class TestConcurrentInvalidate:
+    """Regression for the invalidate()/lazy-rebuild race: a thread
+    calling ``invalidate()`` while another is mid-``_ensure()`` used to
+    expose a half-built estimator (cleared dicts, partially filled
+    ``_elems``).  The rebuild is now atomic — built fully in locals,
+    published in one swap under the lock."""
+
+    def test_invalidate_racing_estimates(self, catalog):
+        import threading
+
+        nx = _elem_def(catalog, "nx")
+        expected_rows = catalog.stats.element_rows(nx.elem_id)
+        expected_objects = catalog.stats.object_count()
+        errors = []
+        stop = threading.Event()
+
+        def estimator():
+            try:
+                while not stop.is_set():
+                    assert catalog.stats.element_rows(nx.elem_id) == expected_rows
+                    assert catalog.stats.object_count() == expected_objects
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=estimator) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for _ in range(200):
+            catalog.stats.invalidate()
+        stop.set()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+
+    def test_invalidate_moves_the_cache_token(self, catalog):
+        token = catalog.stats.cache_token()
+        catalog.stats.invalidate()
+        assert catalog.stats.cache_token() != token
+
+    def test_ingest_moves_the_cache_token(self, catalog):
+        token = catalog.stats.cache_token()
+        catalog.ingest(make_doc("doc-token", grids=[{"nx": 40.0, "dx": 1000.0}]))
+        assert catalog.stats.cache_token() != token

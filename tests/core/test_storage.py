@@ -69,3 +69,33 @@ class TestObjectRows(object):
         before = len(table)
         fig3_catalog.store.sync_definitions(fig3_catalog.registry)
         assert len(table) == before
+
+
+class TestClose:
+    """Memory backend honours the same close() contract as sqlite:
+    idempotent, typed ``CatalogClosedError`` afterwards (PAR01 keeps the
+    two backends' public surfaces aligned)."""
+
+    def test_double_close_is_idempotent(self, fig3_catalog):
+        fig3_catalog.store.close()
+        fig3_catalog.store.close()  # must not raise
+
+    def test_use_after_close_raises_typed_error(self, fig3_catalog):
+        from repro.errors import CatalogClosedError
+        from repro.grid import FIG3_DOCUMENT
+
+        fig3_catalog.store.close()
+        with pytest.raises(CatalogClosedError):
+            fig3_catalog.store.has_object(1)
+        with pytest.raises(CatalogClosedError):
+            fig3_catalog.ingest(FIG3_DOCUMENT)
+
+    def test_cached_query_still_raises_after_close(self, fig3_catalog):
+        from repro.core import AttributeCriteria, ObjectQuery
+        from repro.errors import CatalogClosedError
+
+        query = ObjectQuery().add_attribute(AttributeCriteria("theme"))
+        assert fig3_catalog.query(query) == fig3_catalog.query(query)
+        fig3_catalog.store.close()
+        with pytest.raises(CatalogClosedError):
+            fig3_catalog.query(query)

@@ -33,6 +33,11 @@ from .conftest import build_catalog
 #: tables — they fire during catalog construction, before any workload.
 _SCHEMA_SITES = frozenset({"insert:schema_order", "insert:node_ancestors"})
 
+#: Read-path sites that exist only on the durable sqlite backend (the
+#: reader pool); exercised by the dedicated tests below rather than the
+#: two-backend write sweep.
+_POOL_SITES = frozenset({"pool:acquire"})
+
 
 def _trigger_define(catalog: HybridCatalog) -> None:
     attr = catalog.define_attribute("sweepattr", "SWEEP", host="detailed")
@@ -69,7 +74,7 @@ def test_every_statement_site_has_a_trigger():
     """The sweep below covers the whole registry — adding a site to
     ``STATEMENT_SITES`` without extending this module is itself a
     failure (the static half of the same check is FLT01)."""
-    assert set(SITE_TRIGGERS) | _SCHEMA_SITES == set(STATEMENT_SITES)
+    assert set(SITE_TRIGGERS) | _SCHEMA_SITES | _POOL_SITES == set(STATEMENT_SITES)
 
 
 @pytest.mark.parametrize("site", sorted(SITE_TRIGGERS))
@@ -114,6 +119,40 @@ def test_schema_install_fault_rolls_back_ordering_rows(backend):
     report = {name: rows for name, rows, _size in store.storage_report()}
     assert report.get("schema_order", 0) == 0
     assert report.get("node_ancestors", 0) == 0
+
+
+def test_pool_acquire_site_fires(tmp_path):
+    """The reader-pool checkout path injects like any write site.  The
+    pool exists only on the durable sqlite backend (``:memory:`` reads
+    share the writer connection), so this site has its own trigger
+    instead of riding the two-backend sweep above."""
+    catalog = build_catalog("sqlite", path=str(tmp_path / "pool.db"))
+    plan = FaultPlan(site="pool:acquire")
+    catalog.store.install_faults(plan)
+    with pytest.raises(FaultError):
+        catalog.store.has_object(1)
+    assert plan.triggered, "pool:acquire never injected"
+    # The failed checkout must not leak a reservation: healing the plan
+    # leaves a fully usable pool behind.
+    catalog.store.clear_faults()
+    assert catalog.store.has_object(1)
+    assert catalog.store._pool.open_connections() <= catalog.store._pool.capacity
+
+
+def test_pool_acquire_fault_does_not_consume_statement_counts(tmp_path):
+    """A plan targeting a *write* site must count write statements only:
+    reader-pool checkouts happening concurrently (or between writes)
+    never consult it, so deterministic ``fail_at`` sweeps don't drift
+    when the read path changes."""
+    catalog = build_catalog("sqlite", path=str(tmp_path / "drift.db"))
+    plan = FaultPlan(site="insert:objects")
+    plan.armed = False  # observe counts without ever firing
+    catalog.store.install_faults(plan)
+    seen_before = plan.statements_seen
+    for _ in range(5):
+        catalog.store.has_object(1)
+        catalog.store.object_count()
+    assert plan.statements_seen == seen_before
 
 
 class TestRegistry:

@@ -1,0 +1,229 @@
+"""Concurrent read path: many readers, one writer, same answers.
+
+The tentpole contract of the concurrency layer, checked end to end on
+both backends:
+
+* **stress** — reader threads hammer ``query`` + ``fetch`` while the
+  main thread ingests and deletes; no reader may ever crash, see a
+  torn row set (an object id it cannot fetch), or deadlock.  After the
+  dust settles the catalog passes a full integrity check (fsck);
+* **equivalence** — cached results == fresh (trace-bypassed) results ==
+  a single-threaded reference catalog fed the same writes, and a
+  hypothesis property drives randomized write/read interleavings
+  against a serial oracle;
+* **isolation** — a query racing a write returns either the pre- or
+  post-write answer, never a mixture, and the result cache never
+  serves a pre-write answer after the write completes.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends import SqliteHybridStore
+from repro.core import AttributeCriteria, HybridCatalog, ObjectQuery, Op, PlanTrace
+from repro.core.integrity import check_catalog
+from repro.grid import CF_STANDARD_NAMES, CorpusConfig, LeadCorpusGenerator, lead_schema
+
+CONFIG = CorpusConfig(seed=1212, themes=2, keys_per_theme=3, dynamic_groups=2,
+                      params_per_group=4, dynamic_depth=2)
+GENERATOR = LeadCorpusGenerator(CONFIG)
+DOCUMENTS = list(GENERATOR.documents(24))
+
+BACKENDS = ("memory", "sqlite")
+
+
+def build_catalog(backend, tmp_path=None):
+    if backend == "sqlite":
+        path = str(tmp_path / "concurrency.db") if tmp_path is not None else ":memory:"
+        store = SqliteHybridStore(path)
+    else:
+        store = None
+    catalog = HybridCatalog(lead_schema(), store=store)
+    GENERATOR.register_definitions(catalog)
+    return catalog
+
+
+def theme_query(keyword):
+    return ObjectQuery().add_attribute(
+        AttributeCriteria("theme").add_element("themekey", "", keyword, Op.CONTAINS)
+    )
+
+
+QUERIES = [theme_query(kw) for kw in CF_STANDARD_NAMES[:4]]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_readers_survive_concurrent_writes(backend, tmp_path):
+    """Reader threads never crash, never see an id they cannot fetch,
+    and the catalog is fsck-clean after the stress run."""
+    catalog = build_catalog(backend, tmp_path)
+    catalog.ingest_many(DOCUMENTS[:8])
+    errors = []
+    stop = threading.Event()
+
+    def reader(query):
+        try:
+            while not stop.is_set():
+                ids = catalog.query(query)
+                # query and fetch are separate read sections, so a
+                # delete may land between them — fetch then skips the
+                # removed id.  What must never happen: fetch raising,
+                # or returning an object the query did not name.
+                responses = catalog.fetch(ids)
+                assert set(responses) <= set(ids)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+            stop.set()
+
+    threads = [threading.Thread(target=reader, args=(q,)) for q in QUERIES * 2]
+    for t in threads:
+        t.start()
+    try:
+        for doc in DOCUMENTS[8:20]:
+            catalog.ingest(doc)
+        for object_id in catalog.query(ObjectQuery().add_attribute(
+                AttributeCriteria("theme")))[:4]:
+            catalog.delete(object_id)
+    finally:
+        stop.set()
+        for t in threads:
+            t.join()
+    assert not errors, errors
+    assert check_catalog(catalog, deep=True) == []
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_concurrent_equals_serial_and_cache_equals_fresh(backend, tmp_path):
+    """N threads querying concurrently agree with each other, with a
+    fresh (cache-bypassing) execution, and with a single-threaded
+    reference catalog fed the same documents."""
+    catalog = build_catalog(backend, tmp_path)
+    catalog.ingest_many(DOCUMENTS[:12])
+    reference = build_catalog("memory")
+    reference.ingest_many(DOCUMENTS[:12])
+
+    for query in QUERIES:
+        expected = reference.query(query)
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            results = list(pool.map(lambda q: catalog.query(q), [query] * 8))
+        for result in results:
+            assert result == expected
+        # An explicit trace bypasses the result cache: fresh execution
+        # must agree with whatever the cache has been serving.
+        assert catalog.query(query, trace=PlanTrace()) == expected
+    assert catalog.result_cache.hits > 0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_write_invalidates_cached_results(backend, tmp_path):
+    """After a write commits, no reader may ever get the pre-write
+    answer again — on a hit or a miss."""
+    catalog = build_catalog(backend, tmp_path)
+    catalog.ingest_many(DOCUMENTS[:6])
+    query = ObjectQuery().add_attribute(AttributeCriteria("theme"))
+    before = catalog.query(query)
+    assert catalog.query(query) == before  # primed: served from cache
+    catalog.ingest(DOCUMENTS[6])
+    after = catalog.query(query)
+    assert after != before
+    assert catalog.query(query) == after
+    catalog.delete(after[0])
+    assert after[0] not in catalog.query(query)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_query_racing_write_sees_before_or_after_never_between(backend, tmp_path):
+    """A reader racing one ingest returns the pre-write or post-write
+    id list, never a partial shred."""
+    catalog = build_catalog(backend, tmp_path)
+    catalog.ingest_many(DOCUMENTS[:6])
+    query = ObjectQuery().add_attribute(AttributeCriteria("theme"))
+    before = catalog.query(query, trace=PlanTrace())
+    observed = []
+    errors = []
+    barrier = threading.Barrier(2)
+
+    def reader():
+        try:
+            barrier.wait()
+            for _ in range(50):
+                observed.append(tuple(catalog.query(query)))
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    thread = threading.Thread(target=reader)
+    thread.start()
+    barrier.wait()
+    catalog.ingest(DOCUMENTS[6])
+    thread.join()
+    after = catalog.query(query, trace=PlanTrace())
+    assert not errors, errors
+    allowed = {tuple(before), tuple(after)}
+    assert set(observed) <= allowed, set(observed) - allowed
+
+
+# ----------------------------------------------------------------------
+# Randomized interleavings vs a serial oracle
+# ----------------------------------------------------------------------
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("ingest"), st.integers(min_value=0, max_value=23)),
+        st.tuples(st.just("delete"), st.integers(min_value=0, max_value=30)),
+        st.tuples(st.just("query"), st.integers(min_value=0, max_value=3)),
+    ),
+    min_size=1, max_size=12,
+)
+
+
+@given(ops=operations)
+@settings(max_examples=25, deadline=None)
+def test_interleaved_reads_match_serial_oracle(ops):
+    """Property: running the write script on one thread while readers
+    continuously query yields final answers identical to replaying the
+    same script serially — and the result cache never desynchronizes
+    from the store."""
+    catalog = build_catalog("memory")
+    oracle = build_catalog("memory")
+    for cat in (catalog, oracle):
+        cat.ingest_many(DOCUMENTS[:4])
+    stop = threading.Event()
+    errors = []
+
+    def reader():
+        try:
+            while not stop.is_set():
+                for query in QUERIES:
+                    catalog.fetch(catalog.query(query))
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    thread = threading.Thread(target=reader)
+    thread.start()
+    try:
+        for op, arg in ops:
+            if op == "ingest":
+                catalog.ingest(DOCUMENTS[arg])
+                oracle.ingest(DOCUMENTS[arg])
+            elif op == "delete":
+                present = oracle.query(
+                    ObjectQuery().add_attribute(AttributeCriteria("theme")))
+                if present:
+                    victim = present[arg % len(present)]
+                    catalog.delete(victim)
+                    oracle.delete(victim)
+            else:
+                catalog.query(QUERIES[arg])
+    finally:
+        stop.set()
+        thread.join()
+    assert not errors, errors
+    for query in QUERIES:
+        serial = oracle.query(query)
+        assert catalog.query(query) == serial            # cached path
+        assert catalog.query(query, trace=PlanTrace()) == serial  # fresh
+    assert check_catalog(catalog) == []

@@ -379,3 +379,50 @@ class TestStats:
         names = {m["name"] for m in data["metrics"]}
         assert "catalog_ingest_seconds" in names
         assert "shredder_clobs_total" in names
+
+
+class TestConcurrentCli:
+    """The --threads knobs: concurrent readers through the CLI agree
+    with each other, and the bench/stats probes report sane output."""
+
+    def test_query_threads_identical_results(self, loaded, capsys):
+        code, out, _err = run(
+            capsys, "query", "--db", loaded, "--threads", "4",
+            "--attr", "grid/ARPS", "--elem", "dx/ARPS = 1000",
+        )
+        assert code == 0
+        assert "4 concurrent readers: identical results" in out
+        assert "1 matching object(s): [1]" in out
+
+    def test_bench_reports_percentiles_and_qps(self, loaded, capsys):
+        code, out, _err = run(
+            capsys, "bench", "--db", loaded, "--threads", "2",
+            "--repeat", "10", "--attr", "grid/ARPS",
+            "--elem", "dx/ARPS = 1000",
+        )
+        assert code == 0
+        assert "20 queries across 2 thread(s)" in out
+        assert "p50" in out and "p95" in out and "QPS" in out
+
+    def test_bench_no_result_cache(self, loaded, capsys):
+        code, out, _err = run(
+            capsys, "bench", "--db", loaded, "--threads", "2",
+            "--repeat", "5", "--no-result-cache", "--attr", "theme",
+        )
+        assert code == 0
+        assert "10 queries across 2 thread(s)" in out
+
+    def test_bench_rejects_bad_counts(self, loaded, capsys):
+        code, _out, err = run(
+            capsys, "bench", "--db", loaded, "--threads", "0",
+            "--attr", "theme",
+        )
+        assert code == 1
+        assert "must be >= 1" in err
+
+    def test_stats_threads_probe(self, loaded, capsys):
+        code, out, _err = run(
+            capsys, "stats", "--db", loaded, "--threads", "3",
+        )
+        assert code == 0
+        assert "3 concurrent statistics snapshots: identical" in out
