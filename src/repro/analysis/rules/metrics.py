@@ -20,6 +20,19 @@ from span names):
   through one helper, not copy-pasted registrations;
 * a dynamic (non-literal) name is only allowed in a function that
   resolves its declaration via :func:`repro.obs.names.spec`.
+
+PR 6 extends the same discipline to the other two name-keyed
+observability surfaces:
+
+* every literal event name passed to an ``.emit(...)`` attribute call
+  is declared in :data:`repro.obs.names.EVENTS`, and every literal
+  keyword on the call is one of that event's declared fields (events
+  may be emitted from many sites — unlike metrics there is no
+  single-site requirement, since emission is not registration);
+* a dynamic event name is only allowed in a function that resolves the
+  declaration via :func:`repro.obs.names.event_spec`;
+* every literal series name passed to ``series_spec(...)`` is declared
+  in :data:`repro.obs.names.SERIES`.
 """
 
 from __future__ import annotations
@@ -52,18 +65,30 @@ class MetricNameRule(Rule):
     """See module docstring."""
 
     id = "OBS01"
-    title = "metric names are declared centrally and created once"
+    title = "metric, event, and series names are declared centrally"
 
     def __init__(
         self,
         registry: Optional[Dict[str, object]] = None,
         exempt_dirs: Tuple[str, ...] = ("obs/",),
+        events_registry: Optional[Dict[str, object]] = None,
+        series_registry: Optional[Dict[str, object]] = None,
     ) -> None:
         if registry is None:
             from ...obs.names import METRICS
 
             registry = dict(METRICS)
+        if events_registry is None:
+            from ...obs.names import EVENTS
+
+            events_registry = dict(EVENTS)
+        if series_registry is None:
+            from ...obs.names import SERIES
+
+            series_registry = dict(SERIES)
         self.registry = registry
+        self.events_registry = events_registry
+        self.series_registry = series_registry
         self.exempt_dirs = exempt_dirs
 
     def _exempt(self, module: SourceModule) -> bool:
@@ -86,11 +111,11 @@ class MetricNameRule(Rule):
             return None
         return ()
 
-    def _uses_spec(self, scope: Optional[ast.AST]) -> bool:
+    def _uses_helper(self, scope: Optional[ast.AST], helper: str) -> bool:
         if scope is None:
             return False
         return any(
-            isinstance(node, ast.Call) and call_name(node) == "spec"
+            isinstance(node, ast.Call) and call_name(node) == helper
             for node in ast.walk(scope)
         )
 
@@ -147,6 +172,12 @@ class MetricNameRule(Rule):
         creations: Dict[str, List[Tuple[SourceModule, int]]],
     ) -> None:
         name_of_call = call_name(node)
+        if isinstance(node.func, ast.Attribute) and name_of_call == "emit":
+            self._check_emit(ctx, module, node, scope)
+            return
+        if name_of_call == "series_spec":
+            self._check_series_ref(ctx, module, node)
+            return
         kind: Optional[str] = None
         if isinstance(node.func, ast.Attribute) and name_of_call in _CREATORS:
             kind = _CREATORS[name_of_call]
@@ -161,7 +192,7 @@ class MetricNameRule(Rule):
             # declaration through repro.obs.names.spec in the same scope.
             if isinstance(node.args[0], ast.Constant):
                 return  # non-string constant: not a metric creation
-            if not self._uses_spec(scope):
+            if not self._uses_helper(scope, "spec"):
                 ctx.report(
                     self.id, module, node.lineno,
                     f"dynamic metric name passed to {name_of_call}(); resolve "
@@ -201,3 +232,67 @@ class MetricNameRule(Rule):
         problem = _suffix_problem(metric_name, kind)
         if problem is not None:
             ctx.report(self.id, module, node.lineno, problem)
+
+    # ------------------------------------------------------------------
+    # Events and series (the PR 6 extension)
+    # ------------------------------------------------------------------
+    def _check_emit(
+        self,
+        ctx: LintContext,
+        module: SourceModule,
+        node: ast.Call,
+        scope: Optional[ast.AST],
+    ) -> None:
+        """An ``<obj>.emit("event", field=...)`` call: the event name
+        must be declared (or resolved via ``event_spec`` when dynamic)
+        and every literal keyword must be a declared field."""
+        if not node.args:
+            return
+        event_name = const_str(node.args[0])
+        if event_name is None:
+            if isinstance(node.args[0], ast.Constant):
+                return  # non-string constant: not an event emission
+            if not self._uses_helper(scope, "event_spec"):
+                ctx.report(
+                    self.id, module, node.lineno,
+                    "dynamic event name passed to emit(); resolve the "
+                    "declaration via repro.obs.names.event_spec() or use "
+                    "a literal",
+                )
+            return
+        declared = self.events_registry.get(event_name)
+        if declared is None:
+            ctx.report(
+                self.id, module, node.lineno,
+                f"event {event_name!r} is not declared in repro.obs.names",
+            )
+            return
+        declared_fields = set(getattr(declared, "fields", ()) or ())
+        for kw in node.keywords:
+            if kw.arg is None:  # **fields: checked at runtime by EventLog
+                continue
+            if kw.arg not in declared_fields:
+                ctx.report(
+                    self.id, module, node.lineno,
+                    f"event {event_name!r} emitted with undeclared field "
+                    f"{kw.arg!r}; declared: {sorted(declared_fields)}",
+                )
+
+    def _check_series_ref(
+        self,
+        ctx: LintContext,
+        module: SourceModule,
+        node: ast.Call,
+    ) -> None:
+        """A literal name passed to ``series_spec(...)`` must be
+        declared; dynamic names are the resolver's own job."""
+        if not node.args:
+            return
+        series_name = const_str(node.args[0])
+        if series_name is None:
+            return
+        if series_name not in self.series_registry:
+            ctx.report(
+                self.id, module, node.lineno,
+                f"series {series_name!r} is not declared in repro.obs.names",
+            )

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import sqlite3
 import threading
+import time
 from contextlib import contextmanager
 from typing import Callable, Iterator, List, Optional
 
@@ -53,7 +54,12 @@ class ReaderConnectionPool:
     (the store passes one that applies its tracking wrapper and
     pragmas); ``on_acquire`` is called at every checkout *before* a
     connection is handed out — the store uses it for the
-    ``pool:acquire`` fault hook and the pool gauge.
+    ``pool:acquire`` fault hook and the pool gauge; ``on_wait``
+    receives the queued seconds for every checkout that actually
+    blocked at capacity (at-capacity checkouts only, so the hot path
+    never touches a clock) — the store feeds it into the
+    ``pool_acquire_wait_seconds`` histogram and the active query
+    profile.
     """
 
     def __init__(
@@ -61,15 +67,18 @@ class ReaderConnectionPool:
         connect: Callable[[], object],
         capacity: int = DEFAULT_CAPACITY,
         on_acquire: Optional[Callable[[], None]] = None,
+        on_wait: Optional[Callable[[float], None]] = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("pool capacity must be >= 1")
         self.capacity = capacity
         self._connect = connect
         self._on_acquire = on_acquire
+        self._on_wait = on_wait
         self._cond = threading.Condition()
         self._idle: List[object] = []
         self._open = 0  # connections in existence (idle + checked out)
+        self._waiters = 0  # threads queued at capacity right now
         self._closed = False
         #: Lifetime checkout count (observable in tests/benchmarks).
         self.acquires = 0
@@ -79,23 +88,42 @@ class ReaderConnectionPool:
         with self._cond:
             return self._open
 
+    def queue_depth(self) -> int:
+        """Reader threads currently queued waiting for a connection."""
+        with self._cond:
+            return self._waiters
+
     def _acquire(self):
         if self._on_acquire is not None:
             # Outside the condition: an injected fault must not leave
             # the pool lock held, and the hook may touch the metrics
             # registry (its own locks).
             self._on_acquire()
+        waited: Optional[float] = None
         with self._cond:
             while True:
                 if self._closed:
                     raise CatalogClosedError("reader pool is closed")
                 if self._idle:
                     self.acquires += 1
-                    return self._idle.pop()
+                    conn = self._idle.pop()
+                    break
                 if self._open < self.capacity:
                     self._open += 1
+                    conn = None
                     break
-                self._cond.wait()
+                t0 = time.perf_counter()
+                self._waiters += 1
+                try:
+                    self._cond.wait()
+                finally:
+                    self._waiters -= 1
+                waited = (waited or 0.0) + time.perf_counter() - t0
+        if waited is not None and self._on_wait is not None:
+            # Outside the pool lock, same reasoning as on_acquire.
+            self._on_wait(waited)
+        if conn is not None:
+            return conn
         # Connect outside the lock (file open + pragmas are not free);
         # undo the reservation if the factory fails.
         try:

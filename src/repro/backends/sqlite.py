@@ -63,7 +63,9 @@ from ..core.shredder import ShredResult
 from ..core.stats import StatsSnapshot
 from ..core.storage import HybridStore, PlanTrace, record_plan
 from ..errors import CatalogError
+from ..obs import names as metric_names
 from ..obs.metrics import MetricsRegistry
+from ..obs.profile import QueryProfile, current_profile
 from .pool import DEFAULT_CAPACITY, ReaderConnectionPool
 
 _DDL = """
@@ -323,6 +325,7 @@ class SqliteHybridStore(HybridStore):
                 self._reader_connect,
                 capacity=pool_capacity,
                 on_acquire=self._pool_acquire_hook,
+                on_wait=self._observe_pool_wait,
             )
             if durable
             else None
@@ -352,12 +355,30 @@ class SqliteHybridStore(HybridStore):
         if plan is not None and plan.site == "pool:acquire":
             plan.before("pool:acquire", self.metrics_registry())
 
+    def _observe_pool_wait(self, seconds: float) -> None:
+        """Pool contention observer: checkouts that queued at capacity
+        land in the acquire-wait histogram and on the active query
+        profile (never called on the idle-connection fast path)."""
+        registry = self.metrics_registry()
+        registry.histogram(
+            "pool_acquire_wait_seconds",
+            metric_names.spec("pool_acquire_wait_seconds").help,
+        ).observe(seconds)
+        prof = current_profile()
+        if prof is not None:
+            prof.add_wait("pool", seconds)
+
     def _set_pool_gauge(self) -> None:
         if self._pool is not None:
-            self.metrics_registry().gauge(
+            registry = self.metrics_registry()
+            registry.gauge(
                 "sqlite_pool_connections",
                 "reader connections currently open in the pool",
             ).set(self._pool.open_connections())
+            registry.gauge(
+                "pool_queue_depth",
+                metric_names.spec("pool_queue_depth").help,
+            ).set(self._pool.queue_depth())
 
     @contextmanager
     def _reader(self) -> Iterator["_TrackedConnection"]:
@@ -690,13 +711,25 @@ class SqliteHybridStore(HybridStore):
         )
         if trace is None:
             trace = PlanTrace()
+        # One contextvar read per query is the whole disabled-profiling
+        # cost on this path (bench E13's ≤1% budget).
+        prof = current_profile()
         # Temp tables are per-connection, so a pooled reader executes
         # the whole plan in its own namespace, in parallel with other
         # readers and (on WAL catalogs) with the writer.
         with self._reader() as cur:
-            return self._match_objects(cur, plan, trace)
+            object_ids = self._match_objects(cur, plan, trace, prof)
+        if prof is not None:
+            prof.record_plan(plan, backend="sqlite", trace=trace)
+        return object_ids
 
-    def _match_objects(self, cur, plan: LogicalPlan, trace: PlanTrace) -> List[int]:
+    def _match_objects(
+        self,
+        cur,
+        plan: LogicalPlan,
+        trace: PlanTrace,
+        prof: Optional[QueryProfile] = None,
+    ) -> List[int]:
         query = plan.query
         suffix = next(self._temp_ids)
         qm, qs = f"q_matches_{suffix}", f"q_satisfied_{suffix}"
@@ -720,10 +753,14 @@ class SqliteHybridStore(HybridStore):
             # no matches empties the conjunctive result — skip the rest.
             match_rows = 0
             short_circuited = False
+            clock = time.perf_counter if prof is not None else None
             for seek in plan.seeks:
+                t0 = clock() if clock is not None else 0.0
                 sql, params = self._compile_seek(plan, seek, qm)
                 seek_rows = cur.execute(sql, params).rowcount  # reprolint: ignore[TXN01] temp-table scratch
                 plan.actuals[seek.key()] = seek_rows
+                if clock is not None:
+                    prof.stage_seconds[seek.key()] = clock() - t0
                 match_rows += seek_rows
                 if seek_rows == 0:
                     short_circuited = True
@@ -742,6 +779,7 @@ class SqliteHybridStore(HybridStore):
             # attribute instance otherwise); existence-only criteria
             # take every instance of their definition.
             for count in plan.counts:
+                t0 = clock() if clock is not None else 0.0
                 if count.required == 0:
                     if count.per_object:
                         sql = (
@@ -775,6 +813,8 @@ class SqliteHybridStore(HybridStore):
                         sql, (count.qattr_id, count.qattr_id, count.required)
                     ).rowcount
                 plan.actuals[count.key()] = rows
+                if clock is not None:
+                    prof.stage_seconds[count.key()] = clock() - t0
             direct_rows = cur.execute(f"SELECT COUNT(*) FROM {qs}").fetchone()[0]
             trace.add("attributes-direct", direct_rows)
 
@@ -783,6 +823,7 @@ class SqliteHybridStore(HybridStore):
             # fixed by the plan builder).
             if not plan.simple:
                 for edge in plan.containments:
+                    t0 = clock() if clock is not None else 0.0
                     cur.execute(  # reprolint: ignore[TXN01] temp-table scratch
                         f"""
                         DELETE FROM {qs}
@@ -807,10 +848,13 @@ class SqliteHybridStore(HybridStore):
                         f"SELECT COUNT(*) FROM {qs} WHERE qattr_id = ?",
                         (edge.parent_qattr_id,),
                     ).fetchone()[0]
+                    if clock is not None:
+                        prof.stage_seconds[edge.key()] = clock() - t0
                 indirect_rows = cur.execute(f"SELECT COUNT(*) FROM {qs}").fetchone()[0]
                 trace.add("attributes-indirect", indirect_rows)
 
             # ObjectIntersect: the required number of satisfied tops.
+            t0 = clock() if clock is not None else 0.0
             tops = plan.intersect.top_qattr_ids
             marks = ", ".join("?" for _ in tops)
             rows = cur.execute(
@@ -825,6 +869,8 @@ class SqliteHybridStore(HybridStore):
             ).fetchall()
             object_ids = [row[0] for row in rows]
             plan.actuals[plan.intersect.key()] = len(object_ids)
+            if clock is not None:
+                prof.stage_seconds[plan.intersect.key()] = clock() - t0
             trace.add("object-ids", len(object_ids))
             record_plan(trace, self.metrics_registry())
             return object_ids

@@ -15,7 +15,10 @@ Commands::
                             [--sub NAME[/SOURCE]] [--fetch] [--trace]
                             [--threads N]
     python -m repro explain --db cat.db --attr NAME[/SOURCE]
-                            [--elem ...] [--sub ...]
+                            [--elem ...] [--sub ...] [--analyze]
+    python -m repro events  --db cat.db [--tail N] [--event NAME] [--json]
+    python -m repro top     --db cat.db [--frames N] [--interval SECONDS]
+                            [--threads N --attr ... [--elem ...]]
     python -m repro bench   --db cat.db --attr NAME[/SOURCE] [--elem ...]
                             [--threads N] [--repeat R]
     python -m repro fetch   --db cat.db ID [ID ...]
@@ -38,6 +41,13 @@ a registry that is persisted as a ``<db>.metrics.json`` sidecar, so
 counters accumulate across invocations — ``repro stats`` renders the
 accumulated registry, and ``--metrics-json PATH`` on any command dumps
 the registry (including that command's contribution) to ``PATH``.
+Catalog commands additionally journal structured events (query audits,
+slow queries, rollbacks, fault injections, cache invalidations) to a
+``<db>.events.jsonl`` sidecar — ``repro events`` tails it, and
+``--slow-ms`` on any command sets the slow-query threshold above which
+a query lands there with its full per-stage profile embedded.
+``repro top`` renders windowed telemetry (QPS, error rate, latency and
+lock/pool-wait p95s) sampled live from the registry.
 
 Query criteria syntax: ``--attr`` starts a top-level attribute
 criterion; subsequent ``--elem`` comparisons attach to the most recent
@@ -71,11 +81,14 @@ from .errors import ReproError
 from .faults import DEFAULT_RETRY, RetryPolicy
 from .grid import lead_schema
 from .obs import (
+    EventLog,
     MetricsRegistry,
+    SeriesCollector,
     load_snapshot,
     render_json,
     render_prometheus,
     render_table,
+    tail_events,
 )
 
 _OPS = {
@@ -102,16 +115,24 @@ def _schema_for(db_path: str, xsd: Optional[str]):
 
 
 def _open(db_path: str, registry: MetricsRegistry,
-          xsd: Optional[str] = None) -> HybridCatalog:
+          xsd: Optional[str] = None,
+          events: Optional[EventLog] = None,
+          slow_threshold: Optional[float] = None) -> HybridCatalog:
     return HybridCatalog(
         _schema_for(db_path, xsd),
         store=SqliteHybridStore(db_path),
         metrics=registry,
+        events=events,
+        slow_query_threshold=slow_threshold,
     )
 
 
 def _metrics_sidecar(db_path: str) -> pathlib.Path:
     return pathlib.Path(db_path + ".metrics.json")
+
+
+def _events_sidecar(db_path: str) -> pathlib.Path:
+    return pathlib.Path(db_path + ".events.jsonl")
 
 
 def _cli_retry_policy(args) -> RetryPolicy:
@@ -263,6 +284,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="initial backoff before a retry, doubled per attempt "
              f"(default: {DEFAULT_RETRY.base_delay})",
     )
+    common.add_argument(
+        "--slow-ms", type=float, default=None, metavar="MS",
+        help="slow-query threshold in milliseconds; queries above it "
+             "land in the <db>.events.jsonl sidecar with their full "
+             "per-stage profile embedded",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_parser(name, **kwargs):
@@ -315,6 +342,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--attr", dest="attrs", action=_OrderedFlag, default=[])
     p.add_argument("--elem", dest="elems", action=_OrderedFlag, default=[])
     p.add_argument("--sub", dest="subs", action=_OrderedFlag, default=[])
+    p.add_argument("--analyze", action="store_true",
+                   help="also profile the execution: per-stage wall "
+                        "time, rows in/out, estimated-vs-actual deltas, "
+                        "lock/pool wait breakdown")
+    p.add_argument("--user", default=None)
+    p.set_defaults(flag_order=[])
+
+    p = add_parser("events", help="tail the catalog's structured event log")
+    p.add_argument("--db", required=True)
+    p.add_argument("--tail", type=int, default=10, metavar="N",
+                   help="show the last N records (default: 10)")
+    p.add_argument("--event", default=None, metavar="NAME",
+                   help="only records of this event type")
+    p.add_argument("--json", action="store_true", dest="json_output",
+                   help="print raw repro.events/v1 envelopes")
+
+    p = add_parser(
+        "top",
+        help="live windowed telemetry: per-interval QPS, error rate, "
+             "and query/lock/pool p95s sampled from the registry",
+    )
+    p.add_argument("--db", required=True)
+    p.add_argument("--frames", type=int, default=5, metavar="N",
+                   help="telemetry frames to render (default: 5)")
+    p.add_argument("--interval", type=float, default=1.0, metavar="SECONDS",
+                   help="seconds between frames (default: 1.0)")
+    p.add_argument("--attr", dest="attrs", action=_OrderedFlag, default=[])
+    p.add_argument("--elem", dest="elems", action=_OrderedFlag, default=[])
+    p.add_argument("--sub", dest="subs", action=_OrderedFlag, default=[])
+    p.add_argument("--threads", type=int, default=0, metavar="N",
+                   help="run N loader threads repeating the --attr/--elem "
+                        "query while sampling (default: 0 = observe only)")
     p.add_argument("--user", default=None)
     p.set_defaults(flag_order=[])
 
@@ -389,6 +448,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # ``repro events | head`` closing the pipe early is not an
+        # error; hand the dangling stdout to devnull so the interpreter
+        # does not complain again at shutdown.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 def _dispatch(args) -> int:
@@ -457,6 +524,93 @@ def _run_lint_command(args) -> int:
     return 1 if active(findings) else 0
 
 
+def _run_events_command(args) -> int:
+    """``repro events``: tail the catalog's JSON-lines event sidecar."""
+    import json
+    import time as _time
+
+    sidecar = _events_sidecar(args.db)
+    if not sidecar.exists():
+        print("(no events recorded)")
+        return 0
+    for record in tail_events(sidecar, count=args.tail, event=args.event):
+        if args.json_output:
+            print(json.dumps(record, sort_keys=True))
+            continue
+        fields = dict(record.get("fields", {}))
+        profile = fields.pop("profile", None)
+        parts = [
+            f"{key}={fields[key]:.4f}" if isinstance(fields[key], float)
+            else f"{key}={fields[key]}"
+            for key in sorted(fields)
+        ]
+        if profile is not None:
+            parts.append(f"profile={len(profile.get('stages', []))} stages")
+        stamp = _time.strftime(
+            "%H:%M:%S", _time.localtime(record.get("ts", 0.0))
+        )
+        print(f"#{record.get('seq'):>4} {stamp} "
+              f"{record.get('event'):<17} {'  '.join(parts)}")
+    return 0
+
+
+def _run_top_command(args, catalog: HybridCatalog) -> int:
+    """``repro top``: sample the windowed series every ``--interval``
+    seconds for ``--frames`` frames, optionally generating load."""
+    import math
+    import threading
+    import time as _time
+
+    if args.frames < 1 or args.interval <= 0:
+        print("error: --frames must be >= 1 and --interval > 0",
+              file=sys.stderr)
+        return 1
+    collector = SeriesCollector(catalog.metrics)
+    collector.sample()  # baseline: rates/p95s need a delta to exist
+
+    stop = threading.Event()
+    workers: List = []
+    if args.threads > 0:
+        query = _build_query(args.attrs, args.elems, args.subs,
+                             args.flag_order)
+
+        def load() -> None:
+            while not stop.is_set():
+                # A fresh trace bypasses the result cache, so every
+                # call exercises the plan (and the lock/pool paths).
+                catalog.query(query, user=args.user, trace=PlanTrace())
+
+        workers = [
+            threading.Thread(target=load, daemon=True)
+            for _ in range(args.threads)
+        ]
+        for worker in workers:
+            worker.start()
+
+    def cell(value: Optional[float], scale: float = 1.0) -> str:
+        if value is None or (isinstance(value, float) and math.isnan(value)):
+            return "-"
+        return f"{value * scale:.2f}"
+
+    print(f"{'frame':>5}  {'qps':>8}  {'err/s':>7}  {'q_p95_ms':>9}  "
+          f"{'lock_p95_ms':>11}  {'pool_p95_ms':>11}  {'queue':>5}")
+    try:
+        for frame in range(1, args.frames + 1):
+            _time.sleep(args.interval)
+            sampled = collector.sample()
+            print(f"{frame:>5}  {cell(sampled.get('qps')):>8}  "
+                  f"{cell(sampled.get('error_rate')):>7}  "
+                  f"{cell(sampled.get('query_p95'), 1e3):>9}  "
+                  f"{cell(sampled.get('lock_wait_p95'), 1e3):>11}  "
+                  f"{cell(sampled.get('pool_wait_p95'), 1e3):>11}  "
+                  f"{cell(sampled.get('pool_queue_depth')):>5}")
+    finally:
+        stop.set()
+        for worker in workers:
+            worker.join(timeout=5.0)
+    return 0
+
+
 def _run_command(args, registry: MetricsRegistry) -> int:
     if args.command == "init":
         if pathlib.Path(args.db).exists():
@@ -479,6 +633,9 @@ def _run_command(args, registry: MetricsRegistry) -> int:
 
     if args.command == "lint":
         return _run_lint_command(args)
+
+    if args.command == "events":
+        return _run_events_command(args)
 
     if args.command == "stats":
         if args.threads > 1:
@@ -516,7 +673,15 @@ def _run_command(args, registry: MetricsRegistry) -> int:
                 sidecar.unlink()
         return 0
 
-    catalog = _open(args.db, registry)
+    # Every catalog command journals structured events to the sidecar;
+    # --slow-ms (milliseconds) arms per-query profiling so slow queries
+    # embed their full profile.
+    events = EventLog(_events_sidecar(args.db))
+    slow_threshold = (
+        args.slow_ms / 1000.0 if args.slow_ms is not None else None
+    )
+    catalog = _open(args.db, registry, events=events,
+                    slow_threshold=slow_threshold)
     if args.retry_attempts is not None or args.retry_backoff is not None:
         try:
             catalog.store.set_retry_policy(_cli_retry_policy(args))
@@ -604,9 +769,13 @@ def _run_command(args, registry: MetricsRegistry) -> int:
 
     if args.command == "explain":
         query = _build_query(args.attrs, args.elems, args.subs, args.flag_order)
-        explanation = catalog.explain(query, user=args.user)
+        explanation = catalog.explain(query, user=args.user,
+                                      analyze=args.analyze)
         print(explanation.describe())
         return 0
+
+    if args.command == "top":
+        return _run_top_command(args, catalog)
 
     if args.command == "bench":
         if args.threads < 1 or args.repeat < 1:

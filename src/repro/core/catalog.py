@@ -25,10 +25,13 @@ layout).
 from __future__ import annotations
 
 import itertools
+import time
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import CatalogError
+from ..obs.events import EventLog
 from ..obs.metrics import MetricsRegistry, default_registry
+from ..obs.profile import QueryProfile, collecting, current_profile
 from ..obs.tracing import Tracer, default_tracer
 from ..xmlkit import Document, parse
 from .definitions import AttributeDef, DefinitionRegistry, ElementDef
@@ -67,9 +70,10 @@ class Explanation:
     """What :meth:`HybridCatalog.explain` returns: the optimized logical
     plan (with per-stage estimates and actual row counts), the matching
     ids, the executed :class:`PlanTrace`, and whether the plan came from
-    the cache."""
+    the cache.  ``explain(..., analyze=True)`` additionally attaches the
+    collected :class:`~repro.obs.profile.QueryProfile`."""
 
-    __slots__ = ("plan", "object_ids", "trace", "cache_hit")
+    __slots__ = ("plan", "object_ids", "trace", "cache_hit", "profile")
 
     def __init__(
         self,
@@ -77,18 +81,23 @@ class Explanation:
         object_ids: List[int],
         trace: PlanTrace,
         cache_hit: bool,
+        profile: Optional[QueryProfile] = None,
     ) -> None:
         self.plan = plan
         self.object_ids = object_ids
         self.trace = trace
         self.cache_hit = cache_hit
+        self.profile = profile
 
     def describe(self) -> str:
         source = "cached" if self.cache_hit else "newly built"
-        return (
+        text = (
             f"{self.plan.describe()}\n"
             f"plan source: {source}; {len(self.object_ids)} matching object(s)"
         )
+        if self.profile is not None:
+            text += "\n" + self.profile.describe()
+        return text
 
 
 class HybridCatalog:
@@ -101,6 +110,8 @@ class HybridCatalog:
         on_unknown: str = "store",
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        events: Optional[EventLog] = None,
+        slow_query_threshold: Optional[float] = None,
     ) -> None:
         self.schema = schema
         # Observability: an explicit registry scopes this catalog's
@@ -133,7 +144,22 @@ class HybridCatalog:
         self.plan_cache = PlanCache()
         # Query-*result* memoization: fully-bound repeated queries skip
         # execution entirely until any write moves the stats token.
-        self.result_cache = QueryResultCache()
+        self.result_cache = QueryResultCache(
+            on_invalidate=self._count_result_cache_invalidation
+        )
+        # Structured event log (query audit, slow queries, rollbacks):
+        # optional per-catalog sidecar; ``slow_query_threshold`` is in
+        # seconds — queries above it land in the log with their full
+        # profile embedded, which forces profile collection per query.
+        self.events = events
+        self.slow_query_threshold = slow_query_threshold
+        if events is not None:
+            events.bind_metrics(self.metrics)
+            self.store.bind_events(events)
+        #: The profile of the most recent profiled query (``repro
+        #: explain --analyze`` and ``query(profile=True)`` both land
+        #: here too).
+        self.last_profile: Optional[QueryProfile] = None
         self._names: Dict[int, str] = {}
         if reopened:
             attr_rows, elem_rows = self.store.load_definition_rows()
@@ -180,6 +206,17 @@ class HybridCatalog:
         self.metrics.gauge(
             "query_cache_size", "query results currently cached"
         ).set(len(self.result_cache))
+
+    def _count_result_cache_invalidation(self, cause: str) -> None:
+        """Result-cache wipe observer: mirrors the cause into the
+        labelled counter and the event log."""
+        self.metrics.counter(
+            "query_cache_invalidations_total",
+            "result-cache wipes by what moved the token",
+            labels=("cause",),
+        ).labels(cause=cause).inc()
+        if self.events is not None:
+            self.events.emit("cache_invalidated", cause=cause)
 
     # ------------------------------------------------------------------
     # Definitions
@@ -366,6 +403,7 @@ class HybridCatalog:
         query: ObjectQuery,
         user: Optional[str] = None,
         trace: Optional[PlanTrace] = None,
+        profile: bool = False,
     ) -> List[int]:
         """Match objects; returns sorted object ids (paper §4).
 
@@ -376,11 +414,37 @@ class HybridCatalog:
         :class:`~repro.core.logical.LogicalPlan` (or fetched from the
         shape-keyed plan cache) and executed by the bound store.  An
         explicit ``trace`` bypasses the result cache: the caller asked
-        to watch the plan actually run."""
+        to watch the plan actually run.
+
+        ``profile=True`` collects a per-stage
+        :class:`~repro.obs.profile.QueryProfile`, left in
+        :attr:`last_profile`.  A slow-query threshold (with an event
+        log bound) collects one for every query so slow ones can embed
+        it; an ambient profile installed by
+        :func:`repro.obs.profile.collecting` is used as-is."""
         # A cache hit would otherwise never touch the store: check
         # explicitly so use-after-close raises instead of serving a
         # cached answer from a closed catalog.
         self.store._check_open()
+        prof = current_profile()
+        if prof is None and (
+            profile
+            or (self.events is not None
+                and self.slow_query_threshold is not None)
+        ):
+            with collecting(QueryProfile()) as prof:
+                return self._run_query(query, user, trace, prof)
+        return self._run_query(query, user, trace, prof)
+
+    def _run_query(
+        self,
+        query: ObjectQuery,
+        user: Optional[str],
+        trace: Optional[PlanTrace],
+        prof: Optional[QueryProfile],
+    ) -> List[int]:
+        audit = self.events is not None
+        t0 = time.perf_counter() if audit else 0.0
         with self.tracer.span("catalog.query") as current:
             shredded = self.shred_query(query, user=user)
             current.set(
@@ -399,9 +463,16 @@ class HybridCatalog:
                     self._count_result_cache_hit()
                     current.set(matches=len(cached), result_cache="hit")
                     self._count_query()
+                    if prof is not None:
+                        prof.result_cache_hit = True
+                        self.last_profile = prof
+                    if audit:
+                        self._audit_query(shredded, cached, t0, "hit", prof)
                     return cached
                 self._count_result_cache_miss()
-            plan, _hit = self.plan_for(shredded)
+            plan, plan_hit = self.plan_for(shredded)
+            if prof is not None:
+                prof.plan_cache_hit = plan_hit
             ids = self.store.match_objects(plan, trace)
             if use_cache:
                 evicted = self.result_cache.store(key, token, ids)
@@ -410,7 +481,45 @@ class HybridCatalog:
                 self._set_result_cache_gauge()
             current.set(matches=len(ids))
         self._count_query()
+        if prof is not None:
+            self.last_profile = prof
+        if audit:
+            cache = "miss" if use_cache else "bypass"
+            self._audit_query(shredded, ids, t0, cache, prof)
         return ids
+
+    def _audit_query(
+        self,
+        shredded: ShreddedQuery,
+        ids: List[int],
+        t0: float,
+        cache: str,
+        prof: Optional[QueryProfile],
+    ) -> None:
+        """Emit the per-query audit event — and, above the configured
+        threshold, a ``slow_query`` record with the profile embedded."""
+        assert self.events is not None
+        seconds = time.perf_counter() - t0
+        self.events.emit(
+            "query",
+            attrs=len(shredded.qattrs),
+            elems=len(shredded.qelems),
+            matches=len(ids),
+            seconds=seconds,
+            cache=cache,
+        )
+        threshold = self.slow_query_threshold
+        if threshold is not None and seconds >= threshold and prof is not None:
+            prof.finish()
+            self.events.emit(
+                "slow_query",
+                attrs=len(shredded.qattrs),
+                elems=len(shredded.qelems),
+                matches=len(ids),
+                seconds=seconds,
+                threshold=threshold,
+                profile=prof.as_dict(),
+            )
 
     def shred_query(self, query: ObjectQuery, user: Optional[str] = None) -> ShreddedQuery:
         """Expose query shredding separately (used by benchmarks and the
@@ -445,17 +554,29 @@ class HybridCatalog:
         self,
         query: ObjectQuery,
         user: Optional[str] = None,
+        analyze: bool = False,
     ) -> Explanation:
         """Optimize and execute ``query``, returning the plan tree with
         the optimizer's row estimates next to the actual per-stage row
-        counts (the ``repro explain`` CLI surface)."""
+        counts (the ``repro explain`` CLI surface).  ``analyze=True``
+        additionally collects per-stage wall timings and the wait
+        breakdown into :attr:`Explanation.profile` (the
+        ``repro explain --analyze`` surface)."""
+        prof: Optional[QueryProfile] = None
         with self.tracer.span("catalog.explain"):
             shredded = self.shred_query(query, user=user)
             plan, cache_hit = self.plan_for(shredded)
             trace = PlanTrace()
-            ids = self.store.match_objects(plan, trace)
+            if analyze:
+                prof = QueryProfile()
+                prof.plan_cache_hit = cache_hit
+                with collecting(prof):
+                    ids = self.store.match_objects(plan, trace)
+                self.last_profile = prof
+            else:
+                ids = self.store.match_objects(plan, trace)
         self._count_query()
-        return Explanation(plan, ids, trace, cache_hit)
+        return Explanation(plan, ids, trace, cache_hit, profile=prof)
 
     # ------------------------------------------------------------------
     # Responses

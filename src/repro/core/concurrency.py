@@ -24,13 +24,21 @@ without deadlocking, which is what lets a transaction body call the
 store's read surface (``has_object`` inside ``delete_object``).
 Lock *upgrading* (read → write) is not supported and deadlocks by
 design — acquire the write lock first when a mutation may follow.
+
+An optional ``observer`` callable receives ``(mode, seconds)`` —
+``mode`` is ``"read"`` or ``"write"`` — for every acquisition that
+actually blocked.  Uncontended acquisitions never touch a clock, so
+instrumentation is free on the fast path; the store wires the observer
+into the ``rwlock_{reader,writer}_wait_seconds`` histograms and the
+active query profile.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 __all__ = ["RWLock"]
 
@@ -38,13 +46,17 @@ __all__ = ["RWLock"]
 class RWLock:
     """A write-preferring, reentrant reader-writer lock."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        observer: Optional[Callable[[str, float], None]] = None,
+    ) -> None:
         self._cond = threading.Condition()
         self._readers = 0
         self._writer: Optional[int] = None  # owning thread id
         self._writer_depth = 0
         self._waiting_writers = 0
         self._local = threading.local()  # per-thread read depth
+        self.observer = observer
 
     # ------------------------------------------------------------------
     def _read_depth(self) -> int:
@@ -72,10 +84,20 @@ class RWLock:
             finally:
                 self._local.depth -= 1
             return
+        waited: Optional[float] = None
         with self._cond:
-            while self._writer is not None or self._waiting_writers > 0:
-                self._cond.wait()
+            if self._writer is not None or self._waiting_writers > 0:
+                # Contended: time the wait (the clock is only touched
+                # on this slow path).
+                t0 = time.perf_counter()
+                while self._writer is not None or self._waiting_writers > 0:
+                    self._cond.wait()
+                waited = time.perf_counter() - t0
             self._readers += 1
+        if waited is not None and self.observer is not None:
+            # Outside the condition lock: the observer may take other
+            # locks (histogram, profile) and must not extend ours.
+            self.observer("read", waited)
         self._local.depth = 1
         try:
             yield
@@ -102,15 +124,21 @@ class RWLock:
                 "read->write lock upgrade would deadlock; acquire the "
                 "write lock before reading"
             )
+        waited: Optional[float] = None
         with self._cond:
             self._waiting_writers += 1
             try:
-                while self._writer is not None or self._readers > 0:
-                    self._cond.wait()
+                if self._writer is not None or self._readers > 0:
+                    t0 = time.perf_counter()
+                    while self._writer is not None or self._readers > 0:
+                        self._cond.wait()
+                    waited = time.perf_counter() - t0
             finally:
                 self._waiting_writers -= 1
             self._writer = me
             self._writer_depth = 1
+        if waited is not None and self.observer is not None:
+            self.observer("write", waited)
         try:
             yield
         finally:

@@ -39,9 +39,11 @@ The sqlite backend executes the same stages as SQL statements
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
 from typing import Dict, List, Optional, Set, Tuple, Union
 
+from ..obs.profile import QueryProfile, current_profile
 from .logical import LogicalPlan, build_plan
 from .query import Op, ShreddedQuery
 from .storage import MemoryHybridStore, PlanTrace, record_plan
@@ -69,11 +71,16 @@ def match_objects_memory(
     plan = _as_plan(query)
     if trace is None:
         trace = PlanTrace()
+    # One contextvar read per query is the whole disabled-profiling
+    # cost on this path (bench E13's ≤1% budget).
+    prof = current_profile()
     if plan.simple:
-        object_ids = _interpret_simple(store, plan, trace)
+        object_ids = _interpret_simple(store, plan, trace, prof)
     else:
-        object_ids = _interpret_general(store, plan, trace)
+        object_ids = _interpret_general(store, plan, trace, prof)
     record_plan(trace, store.metrics_registry())
+    if prof is not None:
+        prof.record_plan(plan, backend="memory", trace=trace)
     return object_ids
 
 
@@ -81,6 +88,7 @@ def _interpret_general(
     store: MemoryHybridStore,
     plan: LogicalPlan,
     trace: PlanTrace,
+    prof: Optional[QueryProfile] = None,
 ) -> List[int]:
     query = plan.query
     trace.add(
@@ -104,7 +112,9 @@ def _interpret_general(
     e_obj = elements.position("object_id")
     e_seq = elements.position("seq_id")
     short_circuited = False
+    clock = time.perf_counter if prof is not None else None
     for seek in plan.seeks:
+        t0 = clock() if clock is not None else 0.0
         qelem = query.qelems[seek.qelem_id - 1]
         qattr = query.qattr(seek.qattr_id)
         rows = elements.lookup(["elem_id"], [qelem.elem_def_id])
@@ -123,6 +133,8 @@ def _interpret_general(
                 matches[seek.qattr_id][(row[e_obj], row[e_seq])].add(seek.qelem_id)
                 seek_rows += 1
         plan.actuals[seek.key()] = seek_rows
+        if clock is not None:
+            prof.stage_seconds[seek.key()] = clock() - t0
         match_rows += seek_rows
         if seek_rows == 0:
             # Conjunctive query: an unmatched criterion empties the
@@ -144,6 +156,7 @@ def _interpret_general(
     satisfied: Dict[int, Set[Instance]] = {}
     direct_rows = 0
     for count in plan.counts:
+        t0 = clock() if clock is not None else 0.0
         if count.required == 0:
             # Existence-only criterion: every instance of the definition
             # is a candidate.
@@ -157,6 +170,8 @@ def _interpret_general(
             }
         satisfied[count.qattr_id] = candidates
         plan.actuals[count.key()] = len(candidates)
+        if clock is not None:
+            prof.stage_seconds[count.key()] = clock() - t0
         direct_rows += len(candidates)
     trace.add("attributes-direct", direct_rows)
 
@@ -165,27 +180,29 @@ def _interpret_general(
     # inverted lists, one edge at a time).
     # ------------------------------------------------------------------
     for edge in plan.containments:
+        t0 = clock() if clock is not None else 0.0
         base = satisfied[edge.parent_qattr_id]
         if not base:
             plan.actuals[edge.key()] = 0
-            continue
-        child_ok = satisfied[edge.child_qattr_id]
-        if not child_ok:
+        elif not satisfied[edge.child_qattr_id]:
             satisfied[edge.parent_qattr_id] = set()
             plan.actuals[edge.key()] = 0
-            continue
-        pair_rows = ancestors.lookup(
-            ["desc_attr_id", "anc_attr_id"],
-            [edge.child_def_id, edge.parent_def_id],
-        )
-        anc_ok = {
-            (row[0], row[4])
-            for row in pair_rows
-            if row[5] >= 1 and (row[0], row[2]) in child_ok
-        }
-        surviving = base & anc_ok
-        satisfied[edge.parent_qattr_id] = surviving
-        plan.actuals[edge.key()] = len(surviving)
+        else:
+            child_ok = satisfied[edge.child_qattr_id]
+            pair_rows = ancestors.lookup(
+                ["desc_attr_id", "anc_attr_id"],
+                [edge.child_def_id, edge.parent_def_id],
+            )
+            anc_ok = {
+                (row[0], row[4])
+                for row in pair_rows
+                if row[5] >= 1 and (row[0], row[2]) in child_ok
+            }
+            surviving = base & anc_ok
+            satisfied[edge.parent_qattr_id] = surviving
+            plan.actuals[edge.key()] = len(surviving)
+        if clock is not None:
+            prof.stage_seconds[edge.key()] = clock() - t0
     indirect_rows = sum(
         len(satisfied[q.qattr_id]) for q in query.qattrs if q.child_qattr_ids
     )
@@ -194,6 +211,7 @@ def _interpret_general(
     # ------------------------------------------------------------------
     # ObjectIntersect: every top criterion satisfied, rarest first.
     # ------------------------------------------------------------------
+    t0 = clock() if clock is not None else 0.0
     result: Optional[Set[int]] = None
     for top_id in plan.intersect.top_qattr_ids:
         objects = {obj for obj, _seq in satisfied[top_id]}
@@ -202,6 +220,8 @@ def _interpret_general(
             break
     object_ids = sorted(result or set())
     plan.actuals[plan.intersect.key()] = len(object_ids)
+    if clock is not None:
+        prof.stage_seconds[plan.intersect.key()] = clock() - t0
     trace.add("object-ids", len(object_ids))
     return object_ids
 
@@ -210,6 +230,7 @@ def _interpret_simple(
     store: MemoryHybridStore,
     plan: LogicalPlan,
     trace: PlanTrace,
+    prof: Optional[QueryProfile] = None,
 ) -> List[int]:
     """The §4 simplified rewrite: with at most one instance of each
     queried attribute per object and no sub-attribute criteria, count
@@ -232,7 +253,9 @@ def _interpret_simple(
     met: Dict[int, Dict[int, Set[int]]] = defaultdict(lambda: defaultdict(set))
     match_rows = 0
     short_circuited = False
+    clock = time.perf_counter if prof is not None else None
     for seek in plan.seeks:
+        t0 = clock() if clock is not None else 0.0
         qelem = query.qelems[seek.qelem_id - 1]
         rows = elements.lookup(["elem_id"], [qelem.elem_def_id])
         op = qelem.op
@@ -248,6 +271,8 @@ def _interpret_simple(
                 met[seek.qattr_id][row[e_obj]].add(seek.qelem_id)
                 seek_rows += 1
         plan.actuals[seek.key()] = seek_rows
+        if clock is not None:
+            prof.stage_seconds[seek.key()] = clock() - t0
         match_rows += seek_rows
         if seek_rows == 0:
             short_circuited = True
@@ -263,6 +288,7 @@ def _interpret_simple(
     result: Optional[Set[int]] = None
     satisfied_rows = 0
     for count in plan.counts:
+        t0 = clock() if clock is not None else 0.0
         if count.required == 0:
             objects = {
                 row[0] for row in attributes.lookup(["attr_id"], [count.attr_def_id])
@@ -273,10 +299,15 @@ def _interpret_simple(
                 if len(hits) == count.required
             }
         plan.actuals[count.key()] = len(objects)
+        if clock is not None:
+            prof.stage_seconds[count.key()] = clock() - t0
         satisfied_rows += len(objects)
         result = objects if result is None else (result & objects)
-        if not result:
-            break
+        # No early exit on an empty running intersection: the sqlite
+        # compiler executes every DirectCountMatch stage regardless, and
+        # the per-stage actuals must stay backend-identical (profile
+        # parity).  The expensive case — a criterion matching nothing —
+        # already short-circuited at the seek stage above.
     trace.add("attributes-direct", satisfied_rows)
     object_ids = sorted(result or set())
     plan.actuals[plan.intersect.key()] = len(object_ids)

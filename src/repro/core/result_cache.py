@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from .logical import plan_shape
 from .query import ShreddedQuery
@@ -58,12 +58,26 @@ def result_key(query: ShreddedQuery) -> Tuple:
 
 
 class QueryResultCache:
-    """Token-guarded LRU of ``key -> object id list``."""
+    """Token-guarded LRU of ``key -> object id list``.
 
-    def __init__(self, capacity: int = 256) -> None:
+    ``on_invalidate`` (if set) is called with a *cause* string each
+    time a wipe drops live entries: ``"generation"`` when the
+    statistics generation moved (deletes, definition changes),
+    ``"data_version"`` when only the data version moved (ingest), and
+    ``"manual"`` for an explicit :meth:`clear`.  The owning catalog
+    mirrors the causes into ``query_cache_invalidations_total`` and
+    the event log.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        on_invalidate: Optional[Callable[[str], None]] = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError("result cache capacity must be >= 1")
         self.capacity = capacity
+        self.on_invalidate = on_invalidate
         self._lock = threading.Lock()
         self._entries: "OrderedDict[Tuple, List[int]]" = OrderedDict()
         self._token: Optional[Tuple] = None
@@ -80,6 +94,17 @@ class QueryResultCache:
             if self._entries:
                 self.invalidations += 1
                 self._entries.clear()
+                if self.on_invalidate is not None:
+                    # Token is (stats generation, data version): blame
+                    # whichever component moved.
+                    cause = "generation"
+                    if (
+                        self._token is not None
+                        and token is not None
+                        and self._token[0] == token[0]
+                    ):
+                        cause = "data_version"
+                    self.on_invalidate(cause)
             self._token = token
 
     def lookup(self, key: Tuple, token: Tuple) -> Optional[List[int]]:
@@ -112,8 +137,11 @@ class QueryResultCache:
 
     def clear(self) -> None:
         with self._lock:
+            had_entries = bool(self._entries)
             self._entries.clear()
             self._token = None
+            if had_entries and self.on_invalidate is not None:
+                self.on_invalidate("manual")
 
     def __len__(self) -> int:
         with self._lock:

@@ -45,7 +45,9 @@ from ..errors import CatalogClosedError, CatalogError
 from ..faults import DEFAULT_RETRY, FaultPlan, RetryPolicy
 from ..faults.sites import OBJECT_ROW_TABLES, check_site
 from ..obs import names as metric_names
+from ..obs.events import EventLog
 from ..obs.metrics import MetricsRegistry, default_registry
+from ..obs.profile import current_profile
 from ..obs.tracing import current_span
 from ..relational import Database, clob, eq, integer, real, text
 from .concurrency import RWLock
@@ -175,6 +177,7 @@ class HybridStore(abc.ABC):
     ``fail_at=N`` crash sweeps stable under concurrent readers."""
 
     metrics: Optional[MetricsRegistry] = None
+    events: Optional[EventLog] = None
     fault_plan: Optional[FaultPlan] = None
     retry_policy: RetryPolicy = DEFAULT_RETRY
     _txn_depth: int = 0
@@ -184,6 +187,11 @@ class HybridStore(abc.ABC):
 
     def bind_metrics(self, registry: MetricsRegistry) -> None:
         self.metrics = registry
+
+    def bind_events(self, log: Optional[EventLog]) -> None:
+        """Attach (or detach, with ``None``) the structured event log;
+        rollbacks, retries, and injected faults are journaled to it."""
+        self.events = log
 
     def metrics_registry(self) -> MetricsRegistry:
         return self.metrics if self.metrics is not None else default_registry()
@@ -197,9 +205,25 @@ class HybridStore(abc.ABC):
             with _RWLOCK_INIT_LOCK:
                 lock = self._rwlock_obj
                 if lock is None:
-                    lock = RWLock()
+                    lock = RWLock(observer=self._observe_lock_wait)
                     self._rwlock_obj = lock
         return lock
+
+    def _observe_lock_wait(self, mode: str, seconds: float) -> None:
+        """RWLock contention observer: contended acquisitions land in
+        the reader/writer wait histograms and on the active query
+        profile.  Only ever called on the blocked path, so the
+        uncontended fast path stays clock-free."""
+        name = (
+            "rwlock_reader_wait_seconds"
+            if mode == "read"
+            else "rwlock_writer_wait_seconds"
+        )
+        declared = metric_names.spec(name)
+        self.metrics_registry().histogram(name, declared.help).observe(seconds)
+        prof = current_profile()
+        if prof is not None:
+            prof.add_wait("lock", seconds)
 
     def _check_open(self) -> None:
         if self._closed:
@@ -247,7 +271,14 @@ class HybridStore(abc.ABC):
     def _fault(self, site: str) -> None:
         """Injection point: called before each write-path statement."""
         if self._fault_armed():
-            self.fault_plan.before(site, self.metrics_registry())
+            try:
+                self.fault_plan.before(site, self.metrics_registry())
+            except BaseException:
+                # The plan fired here: journal the injection before the
+                # crash propagates (the sweep harness reads these back).
+                if self.events is not None:
+                    self.events.emit("fault_injected", site=site)
+                raise
 
     def in_transaction(self) -> bool:
         """True when the *calling thread* is inside a transaction."""
@@ -293,9 +324,13 @@ class HybridStore(abc.ABC):
 
     def _count_rollback(self, site: str) -> None:
         self._txn_counter("txn_rollbacks_total", site).inc()
+        if self.events is not None:
+            self.events.emit("txn_rollback", site=site)
 
     def _count_retry(self, site: str) -> None:
         self._txn_counter("txn_retries_total", site).inc()
+        if self.events is not None:
+            self.events.emit("txn_retry", site=site)
 
     @contextmanager
     def transaction(self, site: str = "txn") -> Iterator[None]:

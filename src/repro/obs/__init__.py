@@ -1,18 +1,26 @@
 """``repro.obs`` — zero-dependency observability for the hybrid catalog.
 
-Three pieces, threaded through every pipeline layer:
+Six pieces, threaded through every pipeline layer:
 
 * :mod:`.metrics` — thread-safe counters, gauges, and histograms in a
   :class:`MetricsRegistry` (process-global default, per-catalog
   override);
 * :mod:`.tracing` — nested wall-time spans feeding the registry and a
   ring buffer of recent traces;
+* :mod:`.profile` — per-stage query execution profiles (``repro
+  explain --analyze``), collected identically by both backends;
+* :mod:`.events` — the versioned JSON-lines event log (query audit,
+  slow queries with embedded profiles, rollbacks, fault injections);
+* :mod:`.series` — windowed ring-buffer time series (QPS, error rate,
+  p95, lock/pool waits) differenced from the registry for ``repro top``;
 * :mod:`.export` — JSON snapshots and Prometheus text exposition.
 
 See the "Observability" sections of README.md and DESIGN.md for metric
-names and label conventions.
+names and label conventions, and :mod:`.names` for the declared
+metric/event/series registries OBS01 lints against.
 """
 
+from .events import EventLog, read_events, tail_events
 from .export import (
     load_snapshot,
     registry_snapshot,
@@ -30,6 +38,8 @@ from .metrics import (
     default_registry,
     set_default_registry,
 )
+from .profile import QueryProfile, StageProfile, collecting, current_profile
+from .series import RingSeries, SeriesCollector
 from .tracing import (
     Span,
     SpanEvent,
@@ -43,17 +53,25 @@ from .tracing import (
 __all__ = [
     "DEFAULT_BUCKETS",
     "Counter",
+    "EventLog",
     "Gauge",
     "Histogram",
     "MetricFamily",
     "MetricsRegistry",
+    "QueryProfile",
+    "RingSeries",
+    "SeriesCollector",
     "Span",
     "SpanEvent",
+    "StageProfile",
     "Tracer",
+    "collecting",
+    "current_profile",
     "current_span",
     "default_registry",
     "default_tracer",
     "load_snapshot",
+    "read_events",
     "registry_snapshot",
     "render_json",
     "render_prometheus",
@@ -61,4 +79,5 @@ __all__ = [
     "set_default_registry",
     "set_default_tracer",
     "span",
+    "tail_events",
 ]

@@ -1,0 +1,229 @@
+"""Structured JSON-lines event log (the catalog's operational journal).
+
+Counters say *how much*; the event log says *what happened*.  Each
+record is one JSON object on one line, wrapped in a versioned
+``repro.events/v1`` envelope so readers can evolve independently of
+writers::
+
+    {"schema": "repro.events/v1", "ts": 1754650000.123, "seq": 7,
+     "event": "slow_query", "fields": {"seconds": 0.31, "profile": {...}}}
+
+Event *types* are declared in :data:`repro.obs.names.EVENTS` exactly
+like metrics are declared in ``METRICS`` — :meth:`EventLog.emit`
+rejects undeclared event names and undeclared field names, and the
+OBS01 lint rule enforces the same registry statically.
+
+The log is built to be left on in production:
+
+* **sampling** — ``sample={"query": 10}`` keeps every 10th ``query``
+  record (deterministic, counter-based, so tests don't need a seeded
+  RNG); unlisted events keep everything;
+* **rate cap** — at most ``rate_cap`` records written per wall-clock
+  second across all event types, protecting the disk under load spikes;
+* **drop accounting** — every record *not* written increments
+  ``events_dropped_total{reason}`` in the bound metrics registry, and
+  every record written increments ``events_emitted_total{event}``, so
+  the counters always tell you whether the log is complete.
+
+A per-catalog sidecar (``<db>.events.jsonl``) is the normal home; with
+``path=None`` the log is memory-only (the ``recent`` ring still fills),
+which is what unit tests and short-lived tools use.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Deque, Dict, Iterator, List, Optional, Union
+
+from . import names as metric_names
+from .metrics import MetricsRegistry
+
+__all__ = ["EventLog", "SCHEMA", "read_events", "tail_events"]
+
+#: Envelope version stamped on every record.
+SCHEMA = "repro.events/v1"
+
+#: How many recent records the in-memory ring keeps (``repro top`` and
+#: tests read these without touching the file).
+RECENT_CAP = 256
+
+
+class EventLog:
+    """Thread-safe, sampled, rate-capped JSON-lines event writer.
+
+    ``sample`` maps event name → keep-one-in-N (an int ≥ 1); ``rate_cap``
+    is the max records written per second (``None`` = unlimited).  Bind
+    a :class:`~repro.obs.metrics.MetricsRegistry` to surface the
+    emitted/dropped counters next to everything else.
+    """
+
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        *,
+        sample: Optional[Dict[str, int]] = None,
+        rate_cap: Optional[int] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        for event, keep in (sample or {}).items():
+            metric_names.event_spec(event)  # undeclared -> ValueError
+            if keep < 1:
+                raise ValueError(f"sample rate for {event!r} must be >= 1")
+        if rate_cap is not None and rate_cap < 1:
+            raise ValueError("rate_cap must be >= 1")
+        self.path = Path(path) if path is not None else None
+        self.sample = dict(sample or {})
+        self.rate_cap = rate_cap
+        self._lock = threading.Lock()
+        self._file: Optional[io.TextIOWrapper] = None
+        self._seq = 0
+        self._seen: Dict[str, int] = {}
+        self._cap_window = 0
+        self._cap_used = 0
+        self._closed = False
+        self.recent: Deque[dict] = deque(maxlen=RECENT_CAP)
+        self._registry = registry
+        self._emitted = None
+        self._dropped = None
+        if registry is not None:
+            self.bind_metrics(registry)
+
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
+        """Count writes/drops into ``registry`` from now on."""
+        self._registry = registry
+        self._emitted = registry.counter(
+            "events_emitted_total",
+            metric_names.spec("events_emitted_total").help,
+            labels=("event",),
+        )
+        self._dropped = registry.counter(
+            "events_dropped_total",
+            metric_names.spec("events_dropped_total").help,
+            labels=("reason",),
+        )
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def emit(self, event: str, **fields) -> bool:
+        """Record one event; returns True if it was written (False when
+        sampled out, rate-capped, or the log is closed).
+
+        ``event`` must be declared in :data:`repro.obs.names.EVENTS`
+        and every keyword must be one of that event's declared fields —
+        the runtime counterpart of the OBS01 lint rule.
+        """
+        spec = metric_names.event_spec(event)
+        unknown = set(fields) - set(spec.fields)
+        if unknown:
+            raise ValueError(
+                f"undeclared field(s) {sorted(unknown)} for event "
+                f"{event!r}; declared: {list(spec.fields)}"
+            )
+        with self._lock:
+            if self._closed:
+                self._drop("closed")
+                return False
+            seen = self._seen.get(event, 0)
+            self._seen[event] = seen + 1
+            keep = self.sample.get(event, 1)
+            if keep > 1 and seen % keep != 0:
+                self._drop("sampled")
+                return False
+            now = time.time()
+            if self.rate_cap is not None:
+                window = int(now)
+                if window != self._cap_window:
+                    self._cap_window = window
+                    self._cap_used = 0
+                if self._cap_used >= self.rate_cap:
+                    self._drop("rate_cap")
+                    return False
+                self._cap_used += 1
+            self._seq += 1
+            record = {
+                "schema": SCHEMA,
+                "ts": now,
+                "seq": self._seq,
+                "event": event,
+                "fields": fields,
+            }
+            self.recent.append(record)
+            if self.path is not None:
+                if self._file is None:
+                    self._file = self.path.open("a", encoding="utf-8")
+                self._file.write(
+                    json.dumps(record, separators=(",", ":"), sort_keys=True)
+                    + "\n"
+                )
+                self._file.flush()
+            if self._emitted is not None:
+                self._emitted.labels(event=event).inc()
+            return True
+
+    def _drop(self, reason: str) -> None:
+        # Caller holds the lock; the counter has its own.
+        if self._dropped is not None:
+            self._dropped.labels(reason=reason).inc()
+
+    # ------------------------------------------------------------------
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------
+    def emitted(self, event: Optional[str] = None) -> int:
+        """Records offered (pre-sampling) for ``event``, or in total."""
+        with self._lock:
+            if event is not None:
+                return self._seen.get(event, 0)
+            return sum(self._seen.values())
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Reading (the ``repro events`` side)
+# ----------------------------------------------------------------------
+def read_events(path: Union[str, Path]) -> Iterator[dict]:
+    """Stream every record in a sidecar, skipping lines that don't
+    parse or don't carry the ``repro.events/v1`` envelope (a torn final
+    line after a crash must not poison the tail)."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict) and record.get("schema") == SCHEMA:
+                yield record
+
+
+def tail_events(
+    path: Union[str, Path],
+    count: int = 10,
+    event: Optional[str] = None,
+) -> List[dict]:
+    """The last ``count`` records (optionally of one event type)."""
+    ring: Deque[dict] = deque(maxlen=count)
+    for record in read_events(path):
+        if event is not None and record.get("event") != event:
+            continue
+        ring.append(record)
+    return list(ring)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import json
 import math
+import re
 from typing import Dict, List
 
 from .metrics import Histogram, MetricsRegistry
@@ -48,6 +49,26 @@ def _escape_label_value(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
+def _escape_help(text: str) -> str:
+    """HELP text escaping per the exposition format: backslash and
+    newline only (quotes are legal verbatim in HELP, unlike labels)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+_INVALID_NAME_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _sanitize_metric_name(name: str) -> str:
+    """Coerce a name into the exposition grammar
+    ``[a-zA-Z_:][a-zA-Z0-9_:]*`` (invalid characters become ``_``).
+    Registry-created families are valid by construction; this guards
+    snapshots loaded from external JSON."""
+    sanitized = _INVALID_NAME_CHARS.sub("_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
 def _label_string(labels: Dict[str, str]) -> str:
     if not labels:
         return ""
@@ -74,29 +95,30 @@ def render_prometheus(registry: MetricsRegistry) -> str:
     """The registry in Prometheus text exposition format."""
     lines: List[str] = []
     for family in registry.collect():
+        name = _sanitize_metric_name(family.name)
         if family.help:
-            lines.append(f"# HELP {family.name} {family.help}")
-        lines.append(f"# TYPE {family.name} {family.kind}")
+            lines.append(f"# HELP {name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {name} {family.kind}")
         for labels, metric in family.series():
             if isinstance(metric, Histogram):
                 for bound, cumulative in metric.cumulative_buckets():
                     bucket_labels = dict(labels)
                     bucket_labels["le"] = _format_value(bound)
                     lines.append(
-                        f"{family.name}_bucket{_label_string(bucket_labels)} "
+                        f"{name}_bucket{_label_string(bucket_labels)} "
                         f"{cumulative}"
                     )
                 lines.append(
-                    f"{family.name}_sum{_label_string(labels)} "
+                    f"{name}_sum{_label_string(labels)} "
                     f"{_format_value(metric.sum)}"
                 )
                 lines.append(
-                    f"{family.name}_count{_label_string(labels)} "
+                    f"{name}_count{_label_string(labels)} "
                     f"{metric.count}"
                 )
             else:
                 lines.append(
-                    f"{family.name}{_label_string(labels)} "
+                    f"{name}{_label_string(labels)} "
                     f"{_format_value(metric.value)}"
                 )
     return "\n".join(lines) + ("\n" if lines else "")

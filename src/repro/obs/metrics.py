@@ -138,6 +138,11 @@ class Histogram:
 
     def observe(self, value: float) -> None:
         value = float(value)
+        if math.isnan(value):
+            # NaN compares false against every bound, so it would land
+            # in no bucket and break the bucket-total == count invariant
+            # (and poison sum/min/max).  Refuse it at the door.
+            raise ValueError("cannot observe NaN")
         with self._lock:
             # Linear scan is fine: bound lists are short and the common
             # case exits in the first few comparisons.
@@ -191,16 +196,24 @@ class Histogram:
         return data[lo] * (1.0 - frac) + data[hi] * frac
 
     def summary(self) -> dict:
-        """count/sum/min/max plus the p50/p95/p99 summary."""
-        return {
-            "count": self._count,
-            "sum": self._sum,
-            "min": self._min if self._count else math.nan,
-            "max": self._max if self._count else math.nan,
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
-            "p99": self.percentile(99),
-        }
+        """count/sum/min/max plus the p50/p95/p99 summary.
+
+        count/sum/min/max are read under the lock so the snapshot is
+        internally consistent even with concurrent ``observe()`` calls
+        (percentiles take the lock separately — the reservoir may run
+        slightly ahead, but each number is coherent).
+        """
+        with self._lock:
+            head = {
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min if self._count else math.nan,
+                "max": self._max if self._count else math.nan,
+            }
+        head["p50"] = self.percentile(50)
+        head["p95"] = self.percentile(95)
+        head["p99"] = self.percentile(99)
+        return head
 
     def as_dict(self) -> dict:
         with self._lock:

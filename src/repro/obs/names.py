@@ -1,25 +1,36 @@
-"""The central metric-name registry (enforced by ``repro lint`` OBS01).
+"""The central name registry (enforced by ``repro lint`` OBS01).
 
 Every metric the catalog emits is declared here — name, kind, help
 text, and label names — so the naming convention
 (``*_total`` counters, ``*_seconds``/``*_rows`` histograms, bare-noun
 gauges; see :mod:`repro.obs.metrics`) is checked in one place and a
-dashboard can be built from this module alone.
+dashboard can be built from this module alone.  The second-generation
+observability layer extends the same discipline to the other two
+name-keyed surfaces: structured *event* types written to the
+JSON-lines event log (:mod:`repro.obs.events`) and windowed *series*
+computed over the registry (:mod:`repro.obs.series`) are declared in
+:data:`EVENTS` and :data:`SERIES` below.
 
 The OBS01 rule statically verifies that every metric created anywhere
 in ``src/`` (outside the :mod:`repro.obs` infrastructure itself, whose
 span histograms derive their names from span names) uses a name
 declared here, with the declared kind, at exactly one creation call
-site.  :func:`spec` is the runtime half: helpers that create metrics
-from a name variable resolve the declaration through it, so the help
-text and label tuple cannot drift from the registry.
+site — and that every event emitted and every series referenced uses a
+declared name.  :func:`spec` / :func:`event_spec` / :func:`series_spec`
+are the runtime half: helpers that work from a name variable resolve
+the declaration through them, so help text, label tuples, and field
+lists cannot drift from the registry.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Tuple
 
-__all__ = ["MetricSpec", "METRICS", "spec"]
+__all__ = [
+    "MetricSpec", "METRICS", "spec",
+    "EventSpec", "EVENTS", "event_spec",
+    "SeriesSpec", "SERIES", "series_spec",
+]
 
 
 class MetricSpec:
@@ -127,6 +138,25 @@ METRICS: Dict[str, MetricSpec] = _declare(
                "sqlite transaction commit wall time"),
     MetricSpec("sqlite_pool_connections", "gauge",
                "reader connections currently open in the pool"),
+    # -- contention (PR 6 windowed telemetry inputs) --------------------
+    MetricSpec("rwlock_reader_wait_seconds", "histogram",
+               "time readers spent blocked acquiring the store RWLock "
+               "(contended acquisitions only)"),
+    MetricSpec("rwlock_writer_wait_seconds", "histogram",
+               "time writers spent blocked acquiring the store RWLock "
+               "(contended acquisitions only)"),
+    MetricSpec("pool_acquire_wait_seconds", "histogram",
+               "time readers spent queued for a pooled connection "
+               "(at-capacity checkouts only)"),
+    MetricSpec("pool_queue_depth", "gauge",
+               "reader threads currently queued for a pooled connection"),
+    MetricSpec("query_cache_invalidations_total", "counter",
+               "result-cache wipes by what moved the token", ("cause",)),
+    # -- event log ------------------------------------------------------
+    MetricSpec("events_emitted_total", "counter",
+               "structured events written to the event log", ("event",)),
+    MetricSpec("events_dropped_total", "counter",
+               "structured events dropped before writing", ("reason",)),
     # -- integrity ------------------------------------------------------
     MetricSpec("fsck_soft_errors_total", "counter",
                "recoverable errors tolerated while checking integrity",
@@ -147,4 +177,139 @@ def spec(name: str) -> MetricSpec:
     except KeyError:
         raise ValueError(
             f"metric {name!r} is not declared in repro.obs.names"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# Structured event types (the repro.events/v1 JSON-lines stream)
+# ---------------------------------------------------------------------------
+
+class EventSpec:
+    """One declared event type: help text plus its well-known fields
+    (emitters may add more; these are the ones consumers can rely on)."""
+
+    __slots__ = ("name", "help", "fields")
+
+    def __init__(self, name: str, help: str,
+                 fields: Tuple[str, ...] = ()) -> None:
+        self.name = name
+        self.help = help
+        self.fields = fields
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EventSpec({self.name!r}, fields={self.fields})"
+
+
+def _declare_events(*specs: EventSpec) -> Dict[str, EventSpec]:
+    out: Dict[str, EventSpec] = {}
+    for s in specs:
+        if s.name in out:
+            raise ValueError(f"event {s.name!r} declared twice")
+        out[s.name] = s
+    return out
+
+
+#: Every event type the catalog writes to its event-log sidecar.
+EVENTS: Dict[str, EventSpec] = _declare_events(
+    EventSpec("query", "one query audit record",
+              ("attrs", "elems", "matches", "seconds", "cache")),
+    EventSpec("slow_query",
+              "a query above the slow threshold, full profile embedded",
+              ("attrs", "elems", "matches", "seconds", "threshold",
+               "profile")),
+    EventSpec("txn_rollback", "a transaction rolled back", ("site",)),
+    EventSpec("txn_retry",
+              "a transaction retried after a transient failure", ("site",)),
+    EventSpec("fault_injected", "a FaultPlan fired at a write site",
+              ("site",)),
+    EventSpec("cache_invalidated",
+              "the result cache dropped every entry", ("cause",)),
+)
+
+
+def event_spec(name: str) -> EventSpec:
+    """The declaration for event ``name``; raises for undeclared events
+    so dynamic emit helpers stay inside the registry."""
+    try:
+        return EVENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"event {name!r} is not declared in repro.obs.names"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# Windowed time series (ring-buffer telemetry over the registry)
+# ---------------------------------------------------------------------------
+
+class SeriesSpec:
+    """One declared windowed series: how it is derived (``rate`` of a
+    counter delta per second, ``p95`` from histogram bucket deltas, or a
+    ``gauge`` read) and the source metric names it consumes."""
+
+    __slots__ = ("name", "mode", "help", "sources")
+
+    def __init__(self, name: str, mode: str, help: str,
+                 sources: Tuple[str, ...]) -> None:
+        if mode not in ("rate", "p95", "gauge"):
+            raise ValueError(f"series {name!r}: unknown mode {mode!r}")
+        self.name = name
+        self.mode = mode
+        self.help = help
+        self.sources = sources
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SeriesSpec({self.name!r}, {self.mode!r}, {self.sources})"
+
+
+def _declare_series(*specs: SeriesSpec) -> Dict[str, SeriesSpec]:
+    out: Dict[str, SeriesSpec] = {}
+    for s in specs:
+        if s.name in out:
+            raise ValueError(f"series {s.name!r} declared twice")
+        for source in s.sources:
+            # Span-derived histograms (``catalog_query_seconds``) are
+            # not in METRICS; anything else must be declared above.
+            if source not in METRICS and not source.endswith("_seconds"):
+                raise ValueError(
+                    f"series {s.name!r} sources unknown metric {source!r}"
+                )
+        out[s.name] = s
+    return out
+
+
+#: Every windowed series ``repro top`` renders.  Span-derived
+#: histograms (``catalog_query_seconds``) are not in METRICS — their
+#: names derive from span names — but are stable API all the same.
+SERIES: Dict[str, SeriesSpec] = _declare_series(
+    SeriesSpec("qps", "rate", "queries per second",
+               ("catalog_queries_total",)),
+    SeriesSpec("error_rate", "rate",
+               "transaction rollbacks per second (all sites)",
+               ("txn_rollbacks_total",)),
+    SeriesSpec("query_p95", "p95",
+               "p95 query latency over the interval, seconds",
+               ("catalog_query_seconds",)),
+    SeriesSpec("lock_wait_p95", "p95",
+               "p95 RWLock wait over the interval (readers and writers), "
+               "seconds",
+               ("rwlock_reader_wait_seconds", "rwlock_writer_wait_seconds")),
+    SeriesSpec("pool_wait_p95", "p95",
+               "p95 pooled-connection acquire wait over the interval, "
+               "seconds",
+               ("pool_acquire_wait_seconds",)),
+    SeriesSpec("pool_queue_depth", "gauge",
+               "reader threads currently queued for a pooled connection",
+               ("pool_queue_depth",)),
+)
+
+
+def series_spec(name: str) -> SeriesSpec:
+    """The declaration for series ``name``; raises for undeclared
+    series so windowed-telemetry consumers stay inside the registry."""
+    try:
+        return SERIES[name]
+    except KeyError:
+        raise ValueError(
+            f"series {name!r} is not declared in repro.obs.names"
         ) from None

@@ -1,0 +1,301 @@
+"""Per-stage query execution profiles (the catalog's ``EXPLAIN ANALYZE``).
+
+A :class:`QueryProfile` rides one plan execution: the backend times
+each IR stage as it runs, and when the plan finishes
+:meth:`QueryProfile.record_plan` derives the per-stage row flow —
+rows-in, rows-out, and the optimizer's estimate — from the plan's
+``actuals`` map.  Because *both* backends fill ``actuals`` identically
+(the PAR01 parity property), the row columns of a profile are computed
+by one shared function here rather than once per backend, so profile
+parity is structural: only the timings are backend-specific.
+
+Profiles travel on a context variable (mirroring
+:mod:`repro.obs.tracing`), so no ``match_objects`` signature changes
+and the deep contention hooks — RWLock waits, reader-pool queue waits —
+can attribute their blocked time to whichever query is running::
+
+    profile = QueryProfile()
+    with collecting(profile):
+        catalog.query(query, trace=PlanTrace())
+    print(profile.describe())
+
+The disabled cost is one ``ContextVar.get`` per instrumentation point:
+every hook checks ``current_profile() is None`` before touching a
+clock (measured by bench E13 — the ≤1 % budget of the acceptance
+criteria).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "StageProfile",
+    "QueryProfile",
+    "collecting",
+    "current_profile",
+]
+
+_current: ContextVar[Optional["QueryProfile"]] = ContextVar(
+    "repro_obs_profile", default=None
+)
+
+#: The wait-breakdown buckets a profile tracks.
+WAIT_KINDS = ("lock", "pool")
+
+
+class StageProfile:
+    """One executed IR stage: row flow plus wall time."""
+
+    __slots__ = ("kind", "key", "detail", "rows_in", "rows_out",
+                 "est_rows", "seconds")
+
+    def __init__(
+        self,
+        kind: str,
+        key: Tuple,
+        detail: str,
+        rows_in: int,
+        rows_out: int,
+        est_rows: Optional[float],
+        seconds: float,
+    ) -> None:
+        self.kind = kind
+        self.key = key
+        self.detail = detail
+        self.rows_in = rows_in
+        self.rows_out = rows_out
+        self.est_rows = est_rows
+        self.seconds = seconds
+
+    def est_delta(self) -> Optional[float]:
+        """Actual minus estimated rows-out (``None`` without an
+        estimate) — positive when the optimizer undercounted."""
+        if self.est_rows is None:
+            return None
+        return self.rows_out - self.est_rows
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "key": list(self.key),
+            "detail": self.detail,
+            "rows_in": self.rows_in,
+            "rows_out": self.rows_out,
+            "est_rows": self.est_rows,
+            "seconds": self.seconds,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StageProfile({self.kind}, {self.key}, "
+            f"rows={self.rows_in}->{self.rows_out})"
+        )
+
+
+class QueryProfile:
+    """Everything one plan run did: per-stage rows and timings, the
+    cache/lock/pool wait breakdown, and total wall time.
+
+    Backends fill ``stage_seconds`` (stage key → seconds) while
+    executing and call :meth:`record_plan` once at the end; the
+    contention hooks call :meth:`add_wait` from wherever the query
+    blocked.  A result-cache hit leaves the stage list empty with
+    ``result_cache_hit`` set — no plan ran.
+    """
+
+    __slots__ = ("backend", "stages", "stage_seconds", "waits",
+                 "total_seconds", "result_cache_hit", "plan_cache_hit",
+                 "short_circuited", "simple", "trace_stages", "_t0")
+
+    def __init__(self) -> None:
+        self.backend: Optional[str] = None
+        self.stages: List[StageProfile] = []
+        self.stage_seconds: Dict[Tuple, float] = {}
+        self.waits: Dict[str, float] = {kind: 0.0 for kind in WAIT_KINDS}
+        self.total_seconds: Optional[float] = None
+        self.result_cache_hit = False
+        self.plan_cache_hit: Optional[bool] = None
+        self.short_circuited = False
+        self.simple: Optional[bool] = None
+        self.trace_stages: List[str] = []
+        self._t0 = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # Collection API (called by the backends and contention hooks)
+    # ------------------------------------------------------------------
+    def add_wait(self, kind: str, seconds: float) -> None:
+        """Attribute blocked time to this query (``lock`` or ``pool``)."""
+        self.waits[kind] = self.waits.get(kind, 0.0) + seconds
+
+    def finish(self) -> None:
+        """Stamp the total wall time (idempotent — keeps the first)."""
+        if self.total_seconds is None:
+            self.total_seconds = time.perf_counter() - self._t0
+
+    def record_plan(self, plan, backend: str, trace=None) -> None:
+        """Derive the stage rows from an executed plan's ``actuals``.
+
+        The row flow is a pure function of the plan, so both backends
+        produce identical stage names, order, and row counts by
+        construction; ``stage_seconds`` (filled during execution) is
+        the only backend-specific column.
+        """
+        self.backend = backend
+        self.simple = plan.simple
+        if trace is not None:
+            self.trace_stages = trace.stage_names()
+        actuals = plan.actuals
+        seconds = self.stage_seconds
+        stages: List[StageProfile] = []
+
+        for seek in plan.seeks:
+            key = seek.key()
+            stages.append(StageProfile(
+                seek.kind, key,
+                f"qelem {seek.qelem_id} (elem_def {seek.elem_def_id} "
+                f"{seek.op.value})",
+                0, actuals.get(key, 0), seek.est_rows,
+                seconds.get(key, 0.0),
+            ))
+        # A seek that matched nothing short-circuits the plan; the
+        # remaining stages ran over empty inputs (rows stay 0).
+        self.short_circuited = any(
+            actuals.get(seek.key(), 0) == 0 for seek in plan.seeks
+        )
+
+        # Rows flowing into each count stage: that criterion's seek
+        # outputs.  ``current`` then tracks each criterion's surviving
+        # instance count as containment edges whittle it down.
+        seek_rows_by_qattr: Dict[int, int] = {}
+        for seek in plan.seeks:
+            seek_rows_by_qattr[seek.qattr_id] = (
+                seek_rows_by_qattr.get(seek.qattr_id, 0)
+                + actuals.get(seek.key(), 0)
+            )
+        current: Dict[int, int] = {}
+        for count in plan.counts:
+            key = count.key()
+            rows_out = actuals.get(key, 0)
+            current[count.qattr_id] = rows_out
+            need = ("exists" if count.required == 0
+                    else f"need {count.required} distinct")
+            stages.append(StageProfile(
+                count.kind, key,
+                f"qattr {count.qattr_id} (def {count.attr_def_id}, {need})",
+                seek_rows_by_qattr.get(count.qattr_id, 0), rows_out,
+                count.est_rows, seconds.get(key, 0.0),
+            ))
+
+        for edge in plan.containments:
+            key = edge.key()
+            rows_in = (current.get(edge.parent_qattr_id, 0)
+                       + current.get(edge.child_qattr_id, 0))
+            rows_out = actuals.get(key, 0)
+            current[edge.parent_qattr_id] = rows_out
+            stages.append(StageProfile(
+                edge.kind, key,
+                f"qattr {edge.parent_qattr_id} contains "
+                f"qattr {edge.child_qattr_id}",
+                rows_in, rows_out, None, seconds.get(key, 0.0),
+            ))
+
+        key = plan.intersect.key()
+        tops = plan.intersect.top_qattr_ids
+        stages.append(StageProfile(
+            plan.intersect.kind, key,
+            f"tops {list(tops)}",
+            sum(current.get(t, 0) for t in tops),
+            actuals.get(key, 0), plan.intersect.est_rows,
+            seconds.get(key, 0.0),
+        ))
+        self.stages = stages
+
+    # ------------------------------------------------------------------
+    # Export / rendering
+    # ------------------------------------------------------------------
+    def stage_names(self) -> List[str]:
+        """``kind`` per stage, execution order (the parity property)."""
+        return [stage.kind for stage in self.stages]
+
+    def rows_out(self) -> List[int]:
+        return [stage.rows_out for stage in self.stages]
+
+    def as_dict(self) -> dict:
+        return {
+            "backend": self.backend,
+            "total_seconds": self.total_seconds,
+            "waits": dict(self.waits),
+            "result_cache_hit": self.result_cache_hit,
+            "plan_cache_hit": self.plan_cache_hit,
+            "short_circuited": self.short_circuited,
+            "simple": self.simple,
+            "stages": [stage.as_dict() for stage in self.stages],
+        }
+
+    def describe(self) -> str:
+        """The ``EXPLAIN ANALYZE`` table: one row per executed stage
+        with actual rows, wall time, and estimated-vs-actual delta."""
+        header = f"profile ({self.backend or 'unbound'}"
+        if self.total_seconds is not None:
+            header += f", total {self.total_seconds * 1e3:.3f} ms"
+        header += ")"
+        if self.result_cache_hit:
+            return header + "\n  served from the result cache (no plan run)"
+        lines = [header]
+        width = max((len(s.kind) for s in self.stages), default=0)
+        for stage in self.stages:
+            est = "est=?" if stage.est_rows is None else f"est~{stage.est_rows:.1f}"
+            delta = stage.est_delta()
+            if delta is None:
+                delta_text = ""
+            else:
+                delta_text = f"  Δ{delta:+.1f}"
+            lines.append(
+                f"  {stage.kind:<{width}}  "
+                f"in={stage.rows_in:>6}  out={stage.rows_out:>6}  "
+                f"{est:<12}{delta_text:<10}  "
+                f"{stage.seconds * 1e3:8.3f} ms  {stage.detail}"
+            )
+        waits = "  ".join(
+            f"{kind}={self.waits.get(kind, 0.0) * 1e3:.3f} ms"
+            for kind in WAIT_KINDS
+        )
+        lines.append(f"  waits: {waits}")
+        if self.short_circuited:
+            lines.append("  short-circuited: a criterion matched nothing")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QueryProfile(backend={self.backend!r}, "
+            f"stages={len(self.stages)})"
+        )
+
+
+def current_profile() -> Optional[QueryProfile]:
+    """The profile collecting on this thread/context, if any — the one
+    ``ContextVar.get`` that is the whole disabled-path cost."""
+    return _current.get()
+
+
+@contextmanager
+def collecting(profile: QueryProfile):
+    """Make ``profile`` the active collector for the block; stamps the
+    total wall time on exit."""
+    token = _current.set(profile)
+    try:
+        yield profile
+    finally:
+        _current.reset(token)
+        profile.finish()
+
+
+def stage_clock(profile: Optional[QueryProfile]):
+    """The per-stage clock for a backend's execution loop: a real
+    ``perf_counter`` when profiling, ``None`` otherwise (so the
+    disabled path never touches a clock)."""
+    return time.perf_counter if profile is not None else None

@@ -1,0 +1,194 @@
+"""Windowed telemetry: ring-buffer time series over the metrics registry.
+
+Counters and histograms are cumulative — good for totals, useless for
+"what is the QPS *right now*".  A :class:`SeriesCollector` turns the
+cumulative registry into live, windowed numbers by sampling it on a
+cadence and differencing consecutive snapshots:
+
+* ``rate`` series (QPS, error rate): counter delta ÷ interval;
+* ``p95`` series (query latency, lock wait, pool wait): the 95th
+  percentile of *this interval's* observations, recovered from
+  cumulative histogram bucket deltas the same way PromQL's
+  ``histogram_quantile(0.95, rate(..._bucket[1m]))`` does;
+* ``gauge`` series (pool queue depth): the instantaneous value.
+
+Which series exist — and which metric families feed each — is declared
+in :data:`repro.obs.names.SERIES`, the same registry discipline OBS01
+enforces for metrics and events.  Each series keeps its last
+``capacity`` points in a :class:`RingSeries`; ``repro top`` samples a
+collector on an interval and renders the rings.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from . import names as metric_names
+from .metrics import MetricsRegistry
+
+__all__ = ["RingSeries", "SeriesCollector"]
+
+#: Points kept per series by default (at a 1 s cadence: two minutes).
+DEFAULT_CAPACITY = 120
+
+
+class RingSeries:
+    """A fixed-capacity ring of ``(timestamp, value)`` points."""
+
+    __slots__ = ("name", "mode", "_points")
+
+    def __init__(self, name: str, mode: str, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("series capacity must be >= 1")
+        self.name = name
+        self.mode = mode
+        self._points: Deque[Tuple[float, float]] = deque(maxlen=capacity)
+
+    def append(self, ts: float, value: float) -> None:
+        self._points.append((ts, value))
+
+    def points(self) -> List[Tuple[float, float]]:
+        return list(self._points)
+
+    def values(self) -> List[float]:
+        return [v for _, v in self._points]
+
+    def last(self) -> Optional[float]:
+        """The newest value, or ``None`` before the first point."""
+        return self._points[-1][1] if self._points else None
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+
+def _counter_total(registry: MetricsRegistry, source: str) -> float:
+    """Sum of a counter family across all its label sets (0 when the
+    family hasn't been created yet)."""
+    family = registry.get(source)
+    if family is None:
+        return 0.0
+    return sum(metric.value for _, metric in family.series())
+
+
+def _histogram_buckets(registry: MetricsRegistry, source: str) -> Dict[float, int]:
+    """Merged cumulative buckets of a histogram family across all its
+    label sets: upper bound → cumulative count."""
+    family = registry.get(source)
+    merged: Dict[float, int] = {}
+    if family is None:
+        return merged
+    for _, metric in family.series():
+        for bound, cumulative in metric.cumulative_buckets():
+            merged[bound] = merged.get(bound, 0) + cumulative
+    return merged
+
+
+def _bucket_delta_percentile(
+    previous: Dict[float, int], current: Dict[float, int], q: float
+) -> float:
+    """The ``q``-th percentile (0–100) of the observations that landed
+    between two cumulative-bucket snapshots, by linear interpolation
+    within the target bucket (PromQL ``histogram_quantile`` semantics).
+    ``nan`` when the interval saw no observations."""
+    bounds = sorted(set(previous) | set(current))
+    deltas = [
+        (bound, current.get(bound, 0) - previous.get(bound, 0))
+        for bound in bounds
+    ]
+    total = deltas[-1][1] if deltas else 0
+    if total <= 0:
+        return math.nan
+    rank = (q / 100.0) * total
+    lower = 0.0
+    prev_cum = 0
+    for bound, cumulative in deltas:
+        if cumulative >= rank and cumulative > prev_cum:
+            if not math.isfinite(bound):
+                # Everything above the largest finite bound: the best
+                # honest answer is that bound (PromQL does the same).
+                return lower
+            in_bucket = cumulative - prev_cum
+            frac = (rank - prev_cum) / in_bucket
+            return lower + (bound - lower) * frac
+        prev_cum = max(prev_cum, cumulative)
+        if math.isfinite(bound):
+            lower = bound
+    return lower
+
+
+class SeriesCollector:
+    """Samples a registry on demand and maintains one
+    :class:`RingSeries` per spec in :data:`repro.obs.names.SERIES`.
+
+    The first :meth:`sample` establishes the delta baseline, so rate
+    and p95 series start producing values from the second sample on
+    (gauge series produce immediately).
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        self.registry = registry
+        self.series: Dict[str, RingSeries] = {
+            name: RingSeries(name, spec.mode, capacity)
+            for name, spec in metric_names.SERIES.items()
+        }
+        self._last_ts: Optional[float] = None
+        self._last_counters: Dict[str, float] = {}
+        self._last_buckets: Dict[str, Dict[float, int]] = {}
+
+    def sample(self, now: Optional[float] = None) -> Dict[str, float]:
+        """Take one snapshot; returns the values appended this round
+        (rate/p95 series are absent on the baseline sample)."""
+        ts = time.monotonic() if now is None else now
+        counters: Dict[str, float] = {}
+        buckets: Dict[str, Dict[float, int]] = {}
+        produced: Dict[str, float] = {}
+
+        for name, spec in metric_names.SERIES.items():
+            ring = self.series[name]
+            if spec.mode == "gauge":
+                value = 0.0
+                for source in spec.sources:
+                    family = self.registry.get(source)
+                    if family is not None:
+                        value += sum(m.value for _, m in family.series())
+                ring.append(ts, value)
+                produced[name] = value
+            elif spec.mode == "rate":
+                total = sum(_counter_total(self.registry, s) for s in spec.sources)
+                counters[name] = total
+                if self._last_ts is not None and ts > self._last_ts:
+                    rate = (total - self._last_counters.get(name, 0.0)) / (
+                        ts - self._last_ts
+                    )
+                    ring.append(ts, rate)
+                    produced[name] = rate
+            elif spec.mode == "p95":
+                merged: Dict[float, int] = {}
+                for source in spec.sources:
+                    for bound, cumulative in _histogram_buckets(
+                        self.registry, source
+                    ).items():
+                        merged[bound] = merged.get(bound, 0) + cumulative
+                buckets[name] = merged
+                if self._last_ts is not None:
+                    value = _bucket_delta_percentile(
+                        self._last_buckets.get(name, {}), merged, 95
+                    )
+                    ring.append(ts, value)
+                    produced[name] = value
+
+        self._last_ts = ts
+        self._last_counters = counters
+        self._last_buckets = buckets
+        return produced
+
+    def latest(self) -> Dict[str, Optional[float]]:
+        """Newest point per series (``None`` before the first)."""
+        return {name: ring.last() for name, ring in self.series.items()}

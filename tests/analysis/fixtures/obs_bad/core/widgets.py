@@ -26,3 +26,18 @@ class Widgets:
 
     def dynamic(self, registry, name):
         registry.counter(name, "no spec() resolution in sight").inc()
+
+
+class WidgetEvents:
+    def undeclared_event(self, log):
+        log.emit("surprise_event", detail="never declared")
+
+    def undeclared_field(self, log):
+        # widget_made declares only ("count",).
+        log.emit("widget_made", color="red")
+
+    def dynamic_event(self, log, name):
+        log.emit(name, count=1)  # no event_spec() resolution in sight
+
+    def undeclared_series(self, series_spec):
+        return series_spec("surprise_series")

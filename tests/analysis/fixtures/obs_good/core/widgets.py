@@ -18,3 +18,24 @@ class Widgets:
     def dynamic(self, registry, name):
         declared = spec(name)
         registry.counter(name, declared.help, labels=declared.labels).inc()
+
+
+from repro.obs.names import event_spec, series_spec
+
+
+class WidgetEvents:
+    def made(self, log):
+        log.emit("widget_made", count=2)
+
+    def dynamic(self, log, name, **fields):
+        declared = event_spec(name)
+        assert set(fields) <= set(declared.fields)
+        log.emit(name, **fields)
+
+    def qps(self):
+        return series_spec("widget_qps")
+
+    def made_again(self, log):
+        # A second emit site for the same event is fine (unlike metric
+        # creation, emission is not registration).
+        log.emit("widget_made", count=1)

@@ -9,7 +9,7 @@ from repro.analysis.rules import (
     PlanPurityRule,
     TxnSafetyRule,
 )
-from repro.obs.names import MetricSpec
+from repro.obs.names import EventSpec, MetricSpec, SeriesSpec
 
 from .conftest import lint_fixture
 
@@ -91,13 +91,32 @@ class TestMetricNames:
         )
     }
 
+    EVENTS_REGISTRY = {
+        s.name: s
+        for s in (
+            EventSpec("widget_made", "a widget was made", ("count",)),
+        )
+    }
+
+    SERIES_REGISTRY = {
+        s.name: s
+        for s in (
+            SeriesSpec("widget_qps", "rate", "widgets per second",
+                       ("widgets_total",)),
+        )
+    }
+
     def rule(self):
-        return MetricNameRule(registry=dict(self.REGISTRY))
+        return MetricNameRule(
+            registry=dict(self.REGISTRY),
+            events_registry=dict(self.EVENTS_REGISTRY),
+            series_registry=dict(self.SERIES_REGISTRY),
+        )
 
     def test_flags_every_failure_mode(self):
         findings = lint_fixture("obs_bad", self.rule())
         messages = [f.message for f in findings]
-        assert len(findings) == 7
+        assert len(findings) == 11
         assert any("2 call sites" in m for m in messages)
         assert any("'surprises_total' is not declared" in m for m in messages)
         assert any("'widget_count' is not declared" in m for m in messages)
@@ -106,6 +125,12 @@ class TestMetricNames:
                    for m in messages)
         assert any("('queue',)" in m and "('op',)" in m for m in messages)
         assert any("dynamic metric name" in m for m in messages)
+        assert any("event 'surprise_event' is not declared" in m
+                   for m in messages)
+        assert any("undeclared field 'color'" in m for m in messages)
+        assert any("dynamic event name" in m for m in messages)
+        assert any("series 'surprise_series' is not declared" in m
+                   for m in messages)
 
     def test_clean_fixture_passes(self):
         assert lint_fixture("obs_good", self.rule()) == []
@@ -113,6 +138,12 @@ class TestMetricNames:
     def test_spec_resolution_allows_dynamic_names(self):
         findings = lint_fixture("obs_good", self.rule())
         assert not [f for f in findings if "dynamic" in f.message]
+
+    def test_emit_has_no_single_site_requirement(self):
+        # Emission is not registration: the same event may be emitted
+        # from many call sites without a finding.
+        findings = lint_fixture("obs_good", self.rule())
+        assert not [f for f in findings if "call sites" in f.message]
 
 
 class TestPlanPurity:

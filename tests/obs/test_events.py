@@ -1,0 +1,170 @@
+"""Event log tests: envelope schema, registry validation, sampling,
+rate cap, drop accounting, sidecar round-trip, and tailing."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import EventLog, MetricsRegistry, read_events, tail_events
+from repro.obs.events import RECENT_CAP, SCHEMA
+
+
+class TestEmit:
+    def test_envelope_shape(self):
+        log = EventLog()
+        assert log.emit("txn_rollback", site="catalog.ingest")
+        record = log.recent[-1]
+        assert record["schema"] == SCHEMA
+        assert record["seq"] == 1
+        assert record["event"] == "txn_rollback"
+        assert record["fields"] == {"site": "catalog.ingest"}
+        assert isinstance(record["ts"], float)
+
+    def test_seq_monotonic(self):
+        log = EventLog()
+        for _ in range(5):
+            log.emit("query", attrs=1, elems=1, matches=0,
+                     seconds=0.0, cache="miss")
+        assert [r["seq"] for r in log.recent] == [1, 2, 3, 4, 5]
+
+    def test_undeclared_event_rejected(self):
+        log = EventLog()
+        with pytest.raises(ValueError, match="not declared"):
+            log.emit("no_such_event")
+
+    def test_undeclared_field_rejected(self):
+        log = EventLog()
+        with pytest.raises(ValueError, match="undeclared field"):
+            log.emit("txn_rollback", site="x", extra=1)
+
+    def test_closed_log_drops(self):
+        registry = MetricsRegistry()
+        log = EventLog(registry=registry)
+        log.close()
+        assert not log.emit("txn_rollback", site="x")
+        dropped = registry.get("events_dropped_total")
+        assert dropped.labels(reason="closed").value == 1
+
+
+class TestSamplingAndRateCap:
+    def test_sampling_keeps_every_nth(self):
+        log = EventLog(sample={"query": 3})
+        written = [
+            log.emit("query", attrs=1, elems=1, matches=0,
+                     seconds=0.0, cache="miss")
+            for _ in range(9)
+        ]
+        # Counter-based: the 1st, 4th, 7th offered records are kept.
+        assert written == [True, False, False] * 3
+        assert len(log.recent) == 3
+        assert log.emitted("query") == 9  # pre-sampling count
+
+    def test_sampling_validates_config(self):
+        with pytest.raises(ValueError):
+            EventLog(sample={"no_such_event": 2})
+        with pytest.raises(ValueError):
+            EventLog(sample={"query": 0})
+
+    def test_unsampled_events_unaffected(self):
+        log = EventLog(sample={"query": 10})
+        assert log.emit("txn_rollback", site="x")
+        assert log.emit("txn_rollback", site="x")
+
+    def test_rate_cap_bounds_one_window(self):
+        registry = MetricsRegistry()
+        log = EventLog(rate_cap=2, registry=registry)
+        results = [log.emit("txn_rollback", site="x") for _ in range(5)]
+        # All five land in the same wall-clock second in practice; at
+        # most 2 may be written per window either way.
+        assert sum(results) <= 2
+        dropped = registry.get("events_dropped_total")
+        assert dropped.labels(reason="rate_cap").value >= 3
+
+    def test_drop_accounting_counts_sampled(self):
+        registry = MetricsRegistry()
+        log = EventLog(sample={"query": 2}, registry=registry)
+        for _ in range(4):
+            log.emit("query", attrs=0, elems=0, matches=0,
+                     seconds=0.0, cache="miss")
+        emitted = registry.get("events_emitted_total")
+        dropped = registry.get("events_dropped_total")
+        assert emitted.labels(event="query").value == 2
+        assert dropped.labels(reason="sampled").value == 2
+
+
+class TestSidecar:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "cat.events.jsonl"
+        with EventLog(path) as log:
+            log.emit("txn_rollback", site="a")
+            log.emit("txn_retry", site="b")
+        records = list(read_events(path))
+        assert [r["event"] for r in records] == ["txn_rollback", "txn_retry"]
+        assert all(r["schema"] == SCHEMA for r in records)
+
+    def test_lines_are_compact_sorted_json(self, tmp_path):
+        path = tmp_path / "cat.events.jsonl"
+        with EventLog(path) as log:
+            log.emit("fault_injected", site="insert:objects")
+        line = path.read_text().strip()
+        record = json.loads(line)
+        assert json.dumps(record, separators=(",", ":"), sort_keys=True) == line
+
+    def test_torn_final_line_skipped(self, tmp_path):
+        path = tmp_path / "cat.events.jsonl"
+        with EventLog(path) as log:
+            log.emit("txn_rollback", site="a")
+            log.emit("txn_retry", site="b")
+        text = path.read_text()
+        path.write_text(text + '{"schema": "repro.events/v1", "tru')
+        assert [r["event"] for r in read_events(path)] == [
+            "txn_rollback", "txn_retry"
+        ]
+
+    def test_foreign_lines_skipped(self, tmp_path):
+        path = tmp_path / "cat.events.jsonl"
+        path.write_text('not json\n{"schema": "other/v9"}\n\n')
+        with EventLog(path) as log:  # appends, does not truncate
+            log.emit("txn_rollback", site="a")
+        assert [r["event"] for r in read_events(path)] == ["txn_rollback"]
+
+    def test_tail_last_n_and_filter(self, tmp_path):
+        path = tmp_path / "cat.events.jsonl"
+        with EventLog(path) as log:
+            for i in range(7):
+                log.emit("txn_rollback", site=f"s{i}")
+            log.emit("txn_retry", site="r")
+        tail = tail_events(path, count=3)
+        assert [r["fields"]["site"] for r in tail] == ["s5", "s6", "r"]
+        only = tail_events(path, count=10, event="txn_retry")
+        assert [r["event"] for r in only] == ["txn_retry"]
+
+
+class TestConcurrency:
+    def test_concurrent_emits_unique_seqs(self, tmp_path):
+        path = tmp_path / "cat.events.jsonl"
+        log = EventLog(path)
+        n_threads, per_thread = 8, 50
+
+        def worker():
+            for _ in range(per_thread):
+                log.emit("txn_retry", site="t")
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        log.close()
+        records = list(read_events(path))
+        assert len(records) == n_threads * per_thread
+        seqs = [r["seq"] for r in records]
+        assert sorted(seqs) == list(range(1, n_threads * per_thread + 1))
+
+    def test_recent_ring_bounded(self):
+        log = EventLog()
+        for _ in range(RECENT_CAP + 40):
+            log.emit("txn_retry", site="t")
+        assert len(log.recent) == RECENT_CAP
+        assert log.recent[-1]["seq"] == RECENT_CAP + 40

@@ -142,3 +142,55 @@ class TestTable:
         registry = MetricsRegistry()
         registry.histogram("x_seconds").labels()
         assert "count=0" in render_table(registry)
+
+
+class TestExpositionConformance:
+    """Prometheus text-format conformance (the PR 6 exporter audit):
+    HELP continuation escaping, metric name sanitization, and a full
+    parse of every rendered line."""
+
+    def test_help_newlines_and_backslashes_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", help="line one\nline two \\ done").inc()
+        text = render_prometheus(registry)
+        assert "# HELP x_total line one\\nline two \\\\ done" in text
+        # The physical line count is unchanged by the embedded newline.
+        assert len(text.splitlines()) == 3
+
+    def test_metric_name_sanitization(self):
+        from repro.obs.export import _sanitize_metric_name
+
+        assert _sanitize_metric_name("ok_total") == "ok_total"
+        assert _sanitize_metric_name("ns:role_total") == "ns:role_total"
+        assert _sanitize_metric_name("9bad-name.x") == "_9bad_name_x"
+        assert _sanitize_metric_name("") == "_"
+        assert _sanitize_metric_name("über_total") == "_ber_total"
+
+    def test_every_line_conforms(self):
+        registry = _loaded_registry()
+        registry.counter(
+            "weird_total", help="multi\nline \\ help", labels=("who",)
+        ).labels(who='a"b\\c\nd').inc()
+        text = render_prometheus(registry)
+        name_re = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+        seen_types = {}
+        for line in text.splitlines():
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                _, kind, name = line.split(" ", 2)
+                name = name.split(" ", 1)[0]
+                assert name_re.match(name), line
+                if kind == "TYPE":
+                    seen_types[name] = line.rsplit(" ", 1)[1]
+                    assert seen_types[name] in (
+                        "counter", "gauge", "histogram"
+                    )
+                continue
+            match = _SAMPLE_RE.match(line)
+            assert match, f"unparseable sample line: {line!r}"
+            assert name_re.match(match.group("name")), line
+            float(match.group("value"))  # numeric (inf/nan allowed)
+        samples, _types = _parse_exposition(text)
+        # The parser keeps label values in their escaped wire form.
+        assert samples[
+            ("weird_total", (("who", 'a\\"b\\\\c\\nd'),))
+        ] == "1"

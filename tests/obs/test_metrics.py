@@ -203,3 +203,79 @@ class TestThreadSafety:
         for t in threads:
             t.join()
         assert all(child is seen[0] for child in seen)
+
+
+class TestHistogramEdgeCases:
+    """Regressions for the PR 6 histogram audit: degenerate percentile
+    inputs, NaN rejection, and summary consistency under concurrent
+    observers."""
+
+    def test_single_sample_percentiles(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("solo_seconds").labels()
+        hist.observe(0.25)
+        for q in (0, 1, 50, 95, 99, 100):
+            assert hist.percentile(q) == 0.25
+
+    def test_empty_summary_well_defined(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("void_seconds").labels()
+        summary = hist.summary()
+        assert summary["count"] == 0
+        assert summary["sum"] == 0.0
+        assert math.isnan(summary["p50"])
+        assert math.isnan(summary["p95"])
+
+    def test_nan_observation_rejected(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("guarded_seconds").labels()
+        with pytest.raises(ValueError, match="NaN"):
+            hist.observe(math.nan)
+        # The rejected observation must leave no partial state behind.
+        assert hist.count == 0
+        assert hist.cumulative_buckets()[-1][1] == 0
+
+    def test_infinite_observation_lands_in_overflow(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("inf_seconds").labels()
+        hist.observe(math.inf)
+        buckets = hist.cumulative_buckets()
+        assert buckets[-1][0] == math.inf
+        assert buckets[-1][1] == 1
+        assert all(cum == 0 for bound, cum in buckets[:-1])
+
+    def test_concurrent_observe_summary_consistent(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("busy_seconds").labels()
+        n_threads, per_thread = 8, 1000
+        stop = threading.Event()
+        snapshots = []
+
+        def observer():
+            for _ in range(per_thread):
+                hist.observe(0.005)
+
+        def reader():
+            while not stop.is_set():
+                snapshots.append(hist.summary())
+
+        threads = [threading.Thread(target=observer) for _ in range(n_threads)]
+        watcher = threading.Thread(target=reader)
+        watcher.start()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stop.set()
+        watcher.join()
+        final = hist.summary()
+        assert final["count"] == n_threads * per_thread
+        assert final["sum"] == pytest.approx(0.005 * n_threads * per_thread)
+        for snap in snapshots:
+            # count/sum/min/max are read under the histogram lock, so
+            # every mid-flight summary is internally consistent.
+            if snap["count"]:
+                assert snap["sum"] == pytest.approx(0.005 * snap["count"])
+                assert snap["min"] == 0.005 and snap["max"] == 0.005
+            else:
+                assert snap["sum"] == 0.0

@@ -426,3 +426,102 @@ class TestConcurrentCli:
         )
         assert code == 0
         assert "3 concurrent statistics snapshots: identical" in out
+
+
+class TestExplainAnalyze:
+    def test_analyze_appends_profile_table(self, loaded, capsys):
+        code, out, _err = run(
+            capsys, "explain", "--db", loaded, "--analyze",
+            "--attr", "grid/ARPS", "--elem", "dx/ARPS = 1000",
+            "--sub", "grid-stretching", "--elem", "dzmin = 100",
+        )
+        assert code == 0
+        assert "profile (sqlite" in out
+        assert "in=" in out and "out=" in out
+        assert "est~" in out and "Δ" in out
+        assert " ms" in out
+        assert "waits: lock=" in out and "pool=" in out
+
+    def test_without_analyze_no_profile(self, loaded, capsys):
+        code, out, _err = run(
+            capsys, "explain", "--db", loaded,
+            "--attr", "grid/ARPS", "--elem", "dx/ARPS = 1000",
+        )
+        assert code == 0
+        assert "profile (" not in out
+
+
+class TestEvents:
+    def test_queries_are_journaled(self, loaded, capsys):
+        run(capsys, "query", "--db", loaded,
+            "--attr", "grid/ARPS", "--elem", "dx/ARPS = 1000")
+        code, out, _err = run(capsys, "events", "--db", loaded)
+        assert code == 0
+        assert "query" in out
+        assert "matches=1" in out
+
+    def test_slow_ms_embeds_profile(self, loaded, capsys):
+        run(capsys, "query", "--db", loaded, "--slow-ms", "0",
+            "--attr", "grid/ARPS", "--elem", "dx/ARPS = 1000")
+        code, out, _err = run(
+            capsys, "events", "--db", loaded, "--event", "slow_query")
+        assert code == 0
+        assert "slow_query" in out
+        assert "stages" in out  # "profile=N stages"
+
+    def test_json_envelopes(self, loaded, capsys):
+        import json as _json
+
+        run(capsys, "query", "--db", loaded, "--slow-ms", "0",
+            "--attr", "grid/ARPS", "--elem", "dx/ARPS = 1000")
+        code, out, _err = run(
+            capsys, "events", "--db", loaded, "--json",
+            "--event", "slow_query", "--tail", "1")
+        assert code == 0
+        record = _json.loads(out)
+        assert record["schema"] == "repro.events/v1"
+        profile = record["fields"]["profile"]
+        assert profile["backend"] == "sqlite"
+        assert [s["kind"] for s in profile["stages"]][-1] == "ObjectIntersect"
+
+    def test_no_sidecar_is_clean(self, db, capsys):
+        run(capsys, "init", "--db", db)
+        code, out, _err = run(capsys, "events", "--db", db)
+        assert code == 0
+        assert "no events recorded" in out
+
+    def test_tail_limits_output(self, loaded, capsys):
+        for _ in range(4):
+            run(capsys, "query", "--db", loaded,
+                "--attr", "grid/ARPS", "--elem", "dx/ARPS = 1000")
+        code, out, _err = run(
+            capsys, "events", "--db", loaded, "--tail", "2")
+        assert code == 0
+        assert len(out.strip().splitlines()) == 2
+
+
+class TestTop:
+    def test_renders_frames(self, loaded, capsys):
+        code, out, _err = run(
+            capsys, "top", "--db", loaded, "--frames", "2",
+            "--interval", "0.05")
+        assert code == 0
+        lines = out.strip().splitlines()
+        assert "qps" in lines[0] and "q_p95_ms" in lines[0]
+        assert len(lines) == 3  # header + 2 frames
+
+    def test_loader_threads_generate_traffic(self, loaded, capsys):
+        code, out, _err = run(
+            capsys, "top", "--db", loaded, "--frames", "2",
+            "--interval", "0.1", "--threads", "2",
+            "--attr", "grid/ARPS", "--elem", "dx/ARPS = 1000")
+        assert code == 0
+        frames = out.strip().splitlines()[1:]
+        qps_values = [float(line.split()[1]) for line in frames]
+        assert any(v > 0 for v in qps_values)
+
+    def test_rejects_bad_knobs(self, loaded, capsys):
+        code, _out, err = run(
+            capsys, "top", "--db", loaded, "--frames", "0")
+        assert code == 1
+        assert "--frames" in err
