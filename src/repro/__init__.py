@@ -64,6 +64,7 @@ from .errors import (
     ValidationError,
 )
 from .faults import FaultError, FaultPlan, RetryPolicy, TransientFault
+from .sharding import ShardedCatalog
 
 __version__ = "1.0.0"
 
@@ -95,6 +96,7 @@ __all__ = [
     "RetryPolicy",
     "SchemaError",
     "SchemaNode",
+    "ShardedCatalog",
     "ShredError",
     "Shredder",
     "TransientFault",

@@ -6,6 +6,7 @@ across invocations (the personal-catalog usage the paper describes).
 Commands::
 
     python -m repro init    --db cat.db [--xsd schema.xsd]
+                            [--shards N] [--by-user]
     python -m repro define  --db cat.db NAME SOURCE [--parent NAME]
                             [--element NAME:TYPE ...] [--user USER]
     python -m repro ingest  --db cat.db FILE [FILE ...] [--owner OWNER]
@@ -25,6 +26,7 @@ Commands::
     python -m repro schema  --db cat.db   (or --xsd schema.xsd)
     python -m repro info    --db cat.db
     python -m repro fsck    --db cat.db [--deep]
+    python -m repro shard-status --db cat.db
     python -m repro stats   --db cat.db [--format table|json|prom] [--reset]
                             [--threads N]
     python -m repro lint    [--json] [--rule ID] [--src DIR] [--fault-tests DIR]
@@ -90,6 +92,15 @@ from .obs import (
     render_table,
     tail_events,
 )
+from .sharding import (
+    ShardedCatalog,
+    Topology,
+    check_sharded_catalog,
+    read_topology,
+    router_for,
+    topology_sidecar,
+    write_topology,
+)
 
 _OPS = {
     "=": Op.EQ, "==": Op.EQ, "!=": Op.NE, "<": Op.LT, "<=": Op.LE,
@@ -117,7 +128,22 @@ def _schema_for(db_path: str, xsd: Optional[str]):
 def _open(db_path: str, registry: MetricsRegistry,
           xsd: Optional[str] = None,
           events: Optional[EventLog] = None,
-          slow_threshold: Optional[float] = None) -> HybridCatalog:
+          slow_threshold: Optional[float] = None):
+    """Open the catalog at ``db_path`` — a :class:`ShardedCatalog`
+    when the ``<db>.shards.json`` topology sidecar says the path is a
+    federation, a plain :class:`HybridCatalog` otherwise.  The event
+    log and slow-query threshold apply to the single-catalog layout
+    only (the federated query path has no per-query audit surface
+    yet)."""
+    topology = read_topology(db_path)
+    if topology is not None:
+        return ShardedCatalog(
+            _schema_for(db_path, xsd),
+            shards=topology.shards,
+            path=db_path,
+            router=router_for(topology.router, topology.shards),
+            metrics=registry,
+        )
     return HybridCatalog(
         _schema_for(db_path, xsd),
         store=SqliteHybridStore(db_path),
@@ -298,6 +324,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = add_parser("init", help="create a new catalog file")
     p.add_argument("--db", required=True)
     p.add_argument("--xsd", help="annotated schema (defaults to the LEAD schema)")
+    p.add_argument("--shards", type=int, default=1, metavar="N",
+                   help="partition the catalog across N sqlite databases "
+                        "(<db>.shard0 .. <db>.shard<N-1>) federated by "
+                        "scatter-gather queries (default: 1 = unsharded)")
+    p.add_argument("--by-user", action="store_true",
+                   help="route objects to shards by owner instead of "
+                        "hashed object id (one user's objects colocate)")
 
     p = add_parser("define", help="register a dynamic attribute definition")
     p.add_argument("--db", required=True)
@@ -411,6 +444,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--deep", action="store_true",
                    help="also parse every stored CLOB")
 
+    p = add_parser("shard-status",
+                   help="per-shard layout of a sharded catalog "
+                        "(router, objects, bytes per shard)")
+    p.add_argument("--db", required=True)
+
     p = add_parser("stats", help="show accumulated catalog metrics")
     p.add_argument("--db", required=True)
     p.add_argument("--format", choices=("table", "json", "prom"),
@@ -471,7 +509,7 @@ def _dispatch(args) -> int:
     if (
         sidecar is not None
         and args.command != "stats"
-        and pathlib.Path(db).exists()
+        and (pathlib.Path(db).exists() or topology_sidecar(db).exists())
     ):
         sidecar.write_text(render_json(registry))
     metrics_json = getattr(args, "metrics_json", None)
@@ -613,17 +651,34 @@ def _run_top_command(args, catalog: HybridCatalog) -> int:
 
 def _run_command(args, registry: MetricsRegistry) -> int:
     if args.command == "init":
-        if pathlib.Path(args.db).exists():
+        if pathlib.Path(args.db).exists() or topology_sidecar(args.db).exists():
             print(f"error: {args.db} already exists", file=sys.stderr)
             return 1
+        if args.shards < 1:
+            print("error: --shards must be >= 1", file=sys.stderr)
+            return 1
         schema = _schema_for(args.db, args.xsd)
-        HybridCatalog(schema, store=SqliteHybridStore(args.db), metrics=registry)
+        if args.shards > 1 or args.by_user:
+            router_kind = "user" if args.by_user else "hash"
+            catalog = ShardedCatalog(
+                schema,
+                shards=args.shards,
+                path=args.db,
+                router=router_for(router_kind, args.shards),
+                metrics=registry,
+            )
+            catalog.close()
+            write_topology(args.db, Topology(args.shards, router_kind))
+        else:
+            HybridCatalog(schema, store=SqliteHybridStore(args.db), metrics=registry)
         if args.xsd:
             pathlib.Path(args.db + ".xsd").write_text(
                 pathlib.Path(args.xsd).read_text()
             )
+        layout = (f"{args.shards} shard(s)" if args.shards > 1 or args.by_user
+                  else "unsharded")
         print(f"created catalog {args.db} with schema {schema.name!r} "
-              f"({schema.max_order()} ordered nodes)")
+              f"({schema.max_order()} ordered nodes, {layout})")
         return 0
 
     if args.command == "schema":
@@ -644,11 +699,15 @@ def _run_command(args, registry: MetricsRegistry) -> int:
             import concurrent.futures
 
             catalog = _open(args.db, registry)
+            # A sharded catalog federates the snapshot itself; a plain
+            # one exposes it on the store.
+            collect = (
+                catalog.collect_statistics
+                if isinstance(catalog, ShardedCatalog)
+                else catalog.store.collect_statistics
+            )
             with concurrent.futures.ThreadPoolExecutor(args.threads) as pool:
-                snaps = list(pool.map(
-                    lambda _i: catalog.store.collect_statistics(),
-                    range(args.threads),
-                ))
+                snaps = list(pool.map(lambda _i: collect(), range(args.threads)))
             first = snaps[0]
             for snap in snaps[1:]:
                 if (snap.objects, snap.elem_rows, snap.elem_distinct,
@@ -684,7 +743,10 @@ def _run_command(args, registry: MetricsRegistry) -> int:
                     slow_threshold=slow_threshold)
     if args.retry_attempts is not None or args.retry_backoff is not None:
         try:
-            catalog.store.set_retry_policy(_cli_retry_policy(args))
+            if isinstance(catalog, ShardedCatalog):
+                catalog.set_retry_policy(_cli_retry_policy(args))
+            else:
+                catalog.store.set_retry_policy(_cli_retry_policy(args))
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
@@ -816,13 +878,33 @@ def _run_command(args, registry: MetricsRegistry) -> int:
     if args.command == "fsck":
         from .core import check_catalog
 
-        violations = check_catalog(catalog, deep=args.deep)
+        if isinstance(catalog, ShardedCatalog):
+            violations = check_sharded_catalog(catalog, deep=args.deep)
+            summary = (f"ok: {len(catalog)} objects across "
+                       f"{catalog.shard_count} shard(s), no violations")
+        else:
+            violations = check_catalog(catalog, deep=args.deep)
+            summary = f"ok: {len(catalog)} objects, no violations"
         if not violations:
-            print(f"ok: {len(catalog)} objects, no violations")
+            print(summary)
             return 0
         for violation in violations:
             print(f"violation: {violation}")
         return 1
+
+    if args.command == "shard-status":
+        if not isinstance(catalog, ShardedCatalog):
+            print(f"{args.db} is not sharded (no topology sidecar)")
+            return 0
+        print(f"router: {catalog.router.describe()}")
+        print(f"{'shard':>5}  {'objects':>8}  {'bytes':>12}  path")
+        total_objects = total_bytes = 0
+        for index, path, objects, size in catalog.shard_status():
+            total_objects += objects
+            total_bytes += size
+            print(f"{index:>5}  {objects:>8}  {size:>12}  {path or '-'}")
+        print(f"{'all':>5}  {total_objects:>8}  {total_bytes:>12}")
+        return 0
 
     if args.command == "info":
         print(f"objects: {len(catalog)}")

@@ -1,0 +1,33 @@
+"""Sharded catalog federation: N hybrid catalogs behind one API.
+
+Partition a catalog across N sqlite WAL databases (hash-by-id or
+by-owner routing), scatter the unchanged logical IR to every shard,
+and gather with an order-preserving k-way merge — proven equivalent
+to a single catalog by the sharding parity suite
+(``tests/integration/test_shard_parity_properties.py``).
+"""
+
+from .catalog import ShardedCatalog, ShardedExplanation, check_sharded_catalog
+from .router import HashRouter, ShardRouter, UserRouter, router_for
+from .topology import (
+    Topology,
+    read_topology,
+    shard_db_paths,
+    topology_sidecar,
+    write_topology,
+)
+
+__all__ = [
+    "ShardedCatalog",
+    "ShardedExplanation",
+    "check_sharded_catalog",
+    "ShardRouter",
+    "HashRouter",
+    "UserRouter",
+    "router_for",
+    "Topology",
+    "shard_db_paths",
+    "topology_sidecar",
+    "read_topology",
+    "write_topology",
+]

@@ -1,0 +1,74 @@
+"""Shard-topology persistence for on-disk sharded catalogs.
+
+A sharded catalog is N sqlite files plus one tiny JSON sidecar
+(``<base>.shards.json``) recording how to reopen them: the shard
+count and the router kind.  The sidecar is what lets every later CLI
+invocation (``repro query --db cat.db``) discover that ``cat.db`` is
+a federation rather than a single database — shard files themselves
+are ordinary catalogs and carry no federation marker.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import List, Optional
+
+__all__ = [
+    "Topology",
+    "shard_db_paths",
+    "topology_sidecar",
+    "read_topology",
+    "write_topology",
+]
+
+_VERSION = 1
+
+
+class Topology:
+    """What the sidecar records: shard count and router kind."""
+
+    __slots__ = ("shards", "router")
+
+    def __init__(self, shards: int, router: str = "hash") -> None:
+        if shards < 1:
+            raise ValueError("topology needs at least one shard")
+        self.shards = shards
+        self.router = router
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Topology(shards={self.shards}, router={self.router!r})"
+
+
+def shard_db_paths(base: str, shards: int) -> List[str]:
+    """The per-shard database files for a base catalog path:
+    ``cat.db`` → ``cat.db.shard0`` … ``cat.db.shard<N-1>``."""
+    return [f"{base}.shard{index}" for index in range(shards)]
+
+
+def topology_sidecar(base: str) -> pathlib.Path:
+    return pathlib.Path(base + ".shards.json")
+
+
+def write_topology(base: str, topology: Topology) -> pathlib.Path:
+    path = topology_sidecar(base)
+    path.write_text(json.dumps(
+        {"version": _VERSION, "shards": topology.shards,
+         "router": topology.router},
+        indent=2, sort_keys=True,
+    ))
+    return path
+
+
+def read_topology(base: str) -> Optional[Topology]:
+    """The recorded topology, or ``None`` when ``base`` is not a
+    sharded catalog (no sidecar)."""
+    path = topology_sidecar(base)
+    if not path.exists():
+        return None
+    data = json.loads(path.read_text())
+    if data.get("version") != _VERSION:
+        raise ValueError(
+            f"{path}: unsupported shard-topology version {data.get('version')!r}"
+        )
+    return Topology(int(data["shards"]), str(data.get("router", "hash")))

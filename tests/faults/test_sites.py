@@ -38,6 +38,11 @@ _SCHEMA_SITES = frozenset({"insert:schema_order", "insert:node_ancestors"})
 #: two-backend write sweep.
 _POOL_SITES = frozenset({"pool:acquire"})
 
+#: Federation sites consulted by the sharded-catalog facade; exercised
+#: by the dedicated sweeps in ``test_shard_sites.py`` (they need a
+#: :class:`~repro.sharding.ShardedCatalog`, not a bare store).
+_SHARD_SITES = frozenset({"shard:write", "shard:sync", "shard:query"})
+
 
 def _trigger_define(catalog: HybridCatalog) -> None:
     attr = catalog.define_attribute("sweepattr", "SWEEP", host="detailed")
@@ -74,7 +79,10 @@ def test_every_statement_site_has_a_trigger():
     """The sweep below covers the whole registry — adding a site to
     ``STATEMENT_SITES`` without extending this module is itself a
     failure (the static half of the same check is FLT01)."""
-    assert set(SITE_TRIGGERS) | _SCHEMA_SITES | _POOL_SITES == set(STATEMENT_SITES)
+    assert (
+        set(SITE_TRIGGERS) | _SCHEMA_SITES | _POOL_SITES | _SHARD_SITES
+        == set(STATEMENT_SITES)
+    )
 
 
 @pytest.mark.parametrize("site", sorted(SITE_TRIGGERS))

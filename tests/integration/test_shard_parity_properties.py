@@ -1,0 +1,202 @@
+"""The sharding parity suite: ShardedCatalog(N) == one catalog.
+
+Hypothesis draws random query shapes (keyword lookups, numeric range
+predicates over grid parameters, nested sub-attribute chains, and
+conjunctions of all three) and asserts that a catalog partitioned
+across N ∈ {1, 2, 3, 5} shards is observationally identical to one
+unsharded catalog holding the same corpus:
+
+* **query** — the globally merged id list is equal (same members,
+  same order),
+* **fetch** — the set-wise tagged-XML responses are byte-identical,
+* **explain** — the federated plan executes the same stage keys, and
+  the summed ObjectIntersect actuals equal the unsharded actuals
+  (objects are disjoint across shards, so the final stage sums
+  exactly),
+* **accounting** — per-table row counts sum to the unsharded counts,
+  and every sharded catalog passes the federation fsck.
+
+All five catalogs ingest the identical generated corpus in the same
+order; the sharded facade allocates the same global ids the unsharded
+catalog does, which is what makes id-level comparison meaningful.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AttributeCriteria, HybridCatalog, ObjectQuery, Op
+from repro.grid import CF_STANDARD_NAMES, CorpusConfig, LeadCorpusGenerator, lead_schema
+from repro.obs import MetricsRegistry
+from repro.sharding import ShardedCatalog, check_sharded_catalog
+
+CONFIG = CorpusConfig(seed=20060815, themes=2, keys_per_theme=3,
+                      dynamic_groups=2, params_per_group=5, dynamic_depth=3)
+N_DOCS = 14
+SHARD_COUNTS = (1, 2, 3, 5)
+
+
+def _ingest_corpus(catalog):
+    generator = LeadCorpusGenerator(CONFIG)
+    generator.register_definitions(catalog)
+    for index, document in enumerate(generator.documents(N_DOCS)):
+        catalog.ingest(document, name=f"doc-{index}", owner=f"user{index % 3}")
+    return catalog
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return _ingest_corpus(HybridCatalog(lead_schema(), metrics=MetricsRegistry()))
+
+
+@pytest.fixture(scope="module")
+def sharded():
+    return {
+        shards: _ingest_corpus(
+            ShardedCatalog(lead_schema(), shards=shards, metrics=MetricsRegistry())
+        )
+        for shards in SHARD_COUNTS
+    }
+
+
+# -- query-shape strategies (the oracle suite's shapes, reseeded) ----------
+
+ops = st.sampled_from([Op.EQ, Op.NE, Op.LT, Op.LE, Op.GT, Op.GE])
+
+keyword_criteria = st.builds(
+    lambda kw, op: AttributeCriteria("theme").add_element("themekey", "", kw, op),
+    st.sampled_from(CF_STANDARD_NAMES + ["no_such_keyword"]),
+    st.sampled_from([Op.EQ, Op.NE, Op.CONTAINS]),
+)
+
+parameter_criteria = st.builds(
+    lambda param, value, op: AttributeCriteria("grid", "ARPS").add_element(
+        param, "ARPS", value, op
+    ),
+    st.sampled_from(["nx", "ny", "nz", "dx", "dy"]),
+    st.one_of(
+        st.integers(min_value=-5, max_value=110),
+        st.floats(min_value=0.0, max_value=5500.0, allow_nan=False).map(
+            lambda f: round(f, 2)
+        ),
+    ),
+    ops,
+)
+
+
+def _nested_criteria(depth, threshold):
+    top = AttributeCriteria("grid", "ARPS")
+    current = top
+    for level in range(1, depth + 1):
+        sub = AttributeCriteria(f"grid-section-l{level}", "ARPS")
+        if level == depth:
+            sub.add_element(f"grid-param-l{level}", "ARPS", threshold, Op.GE)
+        current.add_attribute(sub)
+        current = sub
+    return top
+
+
+nested = st.builds(
+    _nested_criteria,
+    st.integers(min_value=1, max_value=2),
+    st.floats(min_value=0.0, max_value=6000.0, allow_nan=False).map(
+        lambda f: round(f, 1)
+    ),
+)
+
+
+def _make_query(crits):
+    query = ObjectQuery()
+    for crit in crits:
+        query.add_attribute(crit)
+    return query
+
+
+queries = st.lists(
+    st.one_of(keyword_criteria, parameter_criteria, nested),
+    min_size=1, max_size=3,
+).map(_make_query)
+
+
+# -- the parity properties -------------------------------------------------
+
+@settings(max_examples=100, deadline=None)
+@given(queries)
+def test_sharded_query_matches_unsharded(oracle, sharded, query):
+    """Same ids, same global order, for every shard count."""
+    expected = oracle.query(query)
+    for shards, catalog in sharded.items():
+        assert catalog.query(query) == expected, f"shards={shards}"
+
+
+@settings(max_examples=40, deadline=None)
+@given(queries)
+def test_sharded_responses_byte_identical(oracle, sharded, query):
+    """The aggregated set-wise XML responses equal the unsharded
+    builder's output byte for byte (same objects, same CLOB order)."""
+    ids = oracle.query(query)
+    expected = oracle.fetch(ids)
+    for shards, catalog in sharded.items():
+        assert catalog.fetch(ids) == expected, f"shards={shards}"
+        assert catalog.search(query) == [expected[i] for i in ids]
+
+
+@settings(max_examples=40, deadline=None)
+@given(queries)
+def test_sharded_explain_row_totals(oracle, sharded, query):
+    """The federated plan runs the same stage keys, and the final
+    ObjectIntersect actuals sum exactly to the unsharded actuals.
+    (Seek/count stages may legitimately under-count when a shard
+    short-circuits on a locally empty criterion, so only the
+    intersect stage — whose inputs are disjoint object sets — must
+    sum exactly.)"""
+    reference = oracle.explain(query)
+    intersect_key = reference.plan.intersect.key()
+    for shards, catalog in sharded.items():
+        explanation = catalog.explain(query)
+        assert explanation.object_ids == reference.object_ids
+        assert explanation.stage_keys() <= set(reference.plan.actuals), (
+            f"shards={shards}: federated legs ran stages the "
+            f"unsharded plan does not have"
+        )
+        merged = explanation.merged_actuals()
+        assert merged.get(intersect_key, 0) == reference.plan.actuals.get(
+            intersect_key, 0
+        ), f"shards={shards}"
+
+
+def test_storage_rows_sum_to_unsharded(oracle, sharded):
+    expected = {
+        table: rows for table, rows, _size in oracle.storage_report()
+        if table in ("objects", "clobs", "attributes", "elements",
+                     "attr_ancestors")
+    }
+    for shards, catalog in sharded.items():
+        summed = {
+            table: rows for table, rows, _size in catalog.storage_report()
+            if table in expected
+        }
+        assert summed == expected, f"shards={shards}"
+
+
+def test_every_sharded_catalog_is_fsck_clean(sharded):
+    for shards, catalog in sharded.items():
+        assert check_sharded_catalog(catalog, deep=True) == [], f"shards={shards}"
+
+
+def test_profiled_query_keeps_parity(oracle, sharded):
+    """profile=True must not change answers, and the merged profile
+    ends with the synthetic ScatterGather stage for N > 1."""
+    query = _make_query([
+        AttributeCriteria("theme").add_element(
+            "themekey", "", CF_STANDARD_NAMES[0], Op.EQ
+        )
+    ])
+    expected = oracle.query(query)
+    for shards, catalog in sharded.items():
+        assert catalog.query(query, profile=True) == expected
+        profile = catalog.last_profile
+        assert profile is not None
+        if shards > 1:
+            assert profile.backend == "sharded"
+            assert profile.stage_names()[-1] == "ScatterGather"

@@ -1,0 +1,280 @@
+"""ShardedCatalog behaviour: topology, reopen, lifecycle, and the
+shard-scoped cache-token contract.
+
+The equivalence-with-one-catalog property lives in
+``tests/integration/test_shard_parity_properties.py``; this module
+pins the federation mechanics around it.
+"""
+
+import pytest
+
+from repro.core import AttributeCriteria, ObjectQuery, Op
+from repro.errors import CatalogClosedError, CatalogError
+from repro.grid import FIG3_DOCUMENT, define_fig3_attributes, lead_schema
+from repro.obs import MetricsRegistry
+from repro.sharding import (
+    ShardedCatalog,
+    Topology,
+    UserRouter,
+    check_sharded_catalog,
+    read_topology,
+    shard_db_paths,
+    write_topology,
+)
+
+
+def theme_query():
+    return ObjectQuery().add_attribute(
+        AttributeCriteria("theme").add_element(
+            "themekey", "", "precipitation", Op.CONTAINS
+        )
+    )
+
+
+def build(shards=3, path=None, router=None, ingest=5):
+    catalog = ShardedCatalog(
+        lead_schema(), shards=shards, path=path, router=router,
+        metrics=MetricsRegistry(),
+    )
+    define_fig3_attributes(catalog)
+    for index in range(ingest):
+        catalog.ingest(FIG3_DOCUMENT, name=f"o{index}", owner=f"u{index % 2}")
+    return catalog
+
+
+class TestConstruction:
+    def test_rejects_zero_shards(self):
+        with pytest.raises(CatalogError):
+            ShardedCatalog(lead_schema(), shards=0, metrics=MetricsRegistry())
+
+    def test_rejects_mismatched_router(self):
+        with pytest.raises(CatalogError, match="router covers"):
+            ShardedCatalog(
+                lead_schema(), shards=3, router=UserRouter(2),
+                metrics=MetricsRegistry(),
+            )
+
+    def test_objects_spread_across_shards(self):
+        catalog = build(shards=3, ingest=12)
+        held = {index for index in catalog._locations.values()}
+        assert len(held) > 1
+        assert sum(len(cat) for cat in catalog.shards) == 12
+
+    def test_shared_registry_is_every_shards_registry(self):
+        catalog = build()
+        for cat in catalog.shards:
+            assert cat.registry is catalog.registry
+            assert cat.shredder is catalog.shredder
+
+    def test_ids_allocated_globally_and_sequentially(self):
+        catalog = build(ingest=7)
+        assert sorted(catalog._locations) == list(range(1, 8))
+
+    def test_user_router_colocates_owner(self):
+        catalog = ShardedCatalog(
+            lead_schema(), shards=4, router=UserRouter(4),
+            metrics=MetricsRegistry(),
+        )
+        define_fig3_attributes(catalog)
+        for index in range(8):
+            catalog.ingest(FIG3_DOCUMENT, name=f"o{index}", owner="ann")
+        assert len(set(catalog._locations.values())) == 1
+
+
+class TestTopologySidecar:
+    def test_roundtrip(self, tmp_path):
+        base = str(tmp_path / "cat.db")
+        write_topology(base, Topology(4, "user"))
+        topo = read_topology(base)
+        assert (topo.shards, topo.router) == (4, "user")
+
+    def test_missing_sidecar_reads_none(self, tmp_path):
+        assert read_topology(str(tmp_path / "nope.db")) is None
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        base = str(tmp_path / "cat.db")
+        path = write_topology(base, Topology(2))
+        path.write_text(path.read_text().replace('"version": 1', '"version": 99'))
+        with pytest.raises(ValueError, match="unsupported"):
+            read_topology(base)
+
+    def test_shard_db_paths(self):
+        assert shard_db_paths("cat.db", 2) == ["cat.db.shard0", "cat.db.shard1"]
+
+
+class TestReopen:
+    def test_state_survives_reopen(self, tmp_path):
+        base = str(tmp_path / "cat.db")
+        catalog = build(shards=3, path=base, ingest=6)
+        extra = catalog.define_attribute("provenance", "LAB")
+        catalog.define_element(extra, "tool", "LAB")
+        expected = catalog.query(theme_query())
+        expected_xml = catalog.fetch(expected)
+        catalog.close()
+
+        reopened = ShardedCatalog(
+            lead_schema(), shards=3, path=base, metrics=MetricsRegistry()
+        )
+        assert len(reopened) == 6
+        assert reopened.query(theme_query()) == expected
+        assert reopened.fetch(expected) == expected_xml
+        assert reopened.registry.lookup_attribute("provenance", "LAB") is not None
+        assert check_sharded_catalog(reopened, deep=True) == []
+        # Id allocation resumes after the global max, not a shard max.
+        receipt = reopened.ingest(FIG3_DOCUMENT, name="later")
+        assert receipt.object_id == 7
+        reopened.close()
+
+    def test_reopen_heals_lagging_definition_sync(self, tmp_path):
+        """A shard missing definition rows (the mid-fan-out crash
+        leftover) is caught up by the union-rehydrate + sync pass that
+        every open performs."""
+        from repro.faults import FaultError, FaultPlan
+
+        base = str(tmp_path / "cat.db")
+        catalog = build(shards=3, path=base, ingest=3)
+        catalog.install_faults(FaultPlan(site="shard:sync", site_occurrence=2))
+        with pytest.raises(FaultError):
+            catalog.define_attribute("lagged", "LAB")
+        catalog.clear_faults()
+        catalog.close()
+
+        reopened = ShardedCatalog(
+            lead_schema(), shards=3, path=base, metrics=MetricsRegistry()
+        )
+        assert reopened.registry.lookup_attribute("lagged", "LAB") is not None
+        counts = {
+            dict((n, r) for n, r, _s in cat.storage_report())["attr_defs"]
+            for cat in reopened.shards
+        }
+        assert len(counts) == 1
+        reopened.close()
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self):
+        catalog = build()
+        catalog.close()
+        catalog.close()  # no-op, no raise
+
+    def test_query_after_close_raises(self):
+        catalog = build()
+        expected_token = catalog.cache_token()
+        catalog.query(theme_query())  # warm the per-shard caches
+        assert catalog.cache_token() == expected_token
+        catalog.close()
+        with pytest.raises(CatalogClosedError):
+            catalog.query(theme_query())
+
+    @pytest.mark.parametrize("op", ["ingest", "delete", "define", "fetch", "stats"])
+    def test_every_surface_checks_closed(self, op):
+        catalog = build()
+        catalog.close()
+        with pytest.raises(CatalogClosedError):
+            if op == "ingest":
+                catalog.ingest(FIG3_DOCUMENT, name="late")
+            elif op == "delete":
+                catalog.delete(1)
+            elif op == "define":
+                catalog.define_attribute("late", "LAB")
+            elif op == "fetch":
+                catalog.fetch([1])
+            else:
+                catalog.collect_statistics()
+
+    def test_one_shard_closed_fails_whole_query(self):
+        """The per-leg re-check (PR 5's lifecycle contract, extended
+        to the sharded path): a federation with one closed shard
+        raises instead of serving the remaining shards' rows — even
+        when every leg's result cache is warm."""
+        catalog = build(shards=3)
+        catalog.query(theme_query())  # warm every per-shard cache
+        catalog.shards[1].store.close()
+        with pytest.raises(CatalogClosedError):
+            catalog.query(theme_query())
+
+    def test_close_closes_rest_when_one_shard_already_closed(self):
+        catalog = build(shards=3)
+        catalog.shards[0].store.close()  # pre-closed: close() is idempotent
+        catalog.close()
+        assert all(cat.store._closed for cat in catalog.shards)
+
+
+class TestCacheScoping:
+    def test_write_moves_exactly_one_token_slot(self):
+        catalog = build(shards=3, ingest=6)
+        before = catalog.cache_token()
+        receipt = catalog.ingest(FIG3_DOCUMENT, name="probe", owner="zz")
+        after = catalog.cache_token()
+        moved = [
+            index for index in range(3) if before[index] != after[index]
+        ]
+        assert moved == [catalog.shard_of(receipt.object_id)]
+
+    def test_untouched_shards_keep_serving_warm_hits(self):
+        catalog = build(shards=3, ingest=9)
+        catalog.query(theme_query())  # cold: every leg misses
+        hits = lambda: catalog.metrics.counter(  # noqa: E731
+            "query_cache_hits_total",
+            "query results served from the result cache",
+        ).value
+        warm_before = hits()
+        catalog.query(theme_query())  # warm: every leg hits
+        assert hits() == warm_before + 3
+        # A write to one shard invalidates that shard's leg only.
+        receipt = catalog.ingest(FIG3_DOCUMENT, name="inval", owner="q")
+        touched = catalog.shard_of(receipt.object_id)
+        before = hits()
+        assert catalog.query(theme_query())  # N-1 hits + 1 recompute
+        assert hits() == before + 2
+        # And the recomputed leg was the touched shard's: its token
+        # moved, the others did not (asserted per-slot above).
+        assert touched in range(3)
+
+
+class TestAccounting:
+    def test_len_and_object_name(self):
+        catalog = build(ingest=4)
+        assert len(catalog) == 4
+        assert catalog.object_name(2) == "o1"
+        with pytest.raises(CatalogError):
+            catalog.object_name(99)
+
+    def test_shard_of_unknown_object(self):
+        catalog = build()
+        with pytest.raises(CatalogError):
+            catalog.shard_of(12345)
+
+    def test_delete_updates_routing_map(self):
+        catalog = build(ingest=4)
+        shard = catalog.shard_of(2)
+        catalog.delete(2)
+        assert 2 not in catalog._locations
+        assert len(catalog) == 3
+        assert check_sharded_catalog(catalog, deep=True) == []
+        assert shard in range(3)
+
+    def test_shard_status_totals_match(self):
+        catalog = build(ingest=6)
+        status = catalog.shard_status()
+        assert [index for index, *_rest in status] == [0, 1, 2]
+        assert sum(objects for _i, _p, objects, _b in status) == 6
+
+    def test_fsck_detects_routing_map_drift(self):
+        catalog = build(ingest=4)
+        catalog._locations[999] = 0  # phantom entry
+        violations = check_sharded_catalog(catalog)
+        assert any("no shard stores it" in v for v in violations)
+
+    def test_fsck_detects_misplaced_object(self):
+        """An object stored on a shard its router disowns (e.g. after
+        a topology change) is a reported violation."""
+        catalog = build(shards=3, ingest=5)
+        victim = next(iter(catalog._locations))
+        owner_shard = catalog._locations[victim]
+        wrong = (owner_shard + 1) % 3
+        # Copy the object's rows onto the wrong shard out-of-band.
+        doc_xml = catalog.fetch([victim])[victim]
+        catalog.shards[wrong].ingest(doc_xml, name="dup", object_id=victim)
+        violations = check_sharded_catalog(catalog)
+        assert any("stored in shards" in v for v in violations)

@@ -525,3 +525,92 @@ class TestTop:
             capsys, "top", "--db", loaded, "--frames", "0")
         assert code == 1
         assert "--frames" in err
+
+
+@pytest.fixture()
+def sharded_db(db, fig3_file, capsys):
+    """A 3-shard federation with Fig-3 definitions and two Fig-3
+    documents ingested (ids 1 and 2, routed by hashed object id)."""
+    assert main(["init", "--db", db, "--shards", "3"]) == 0
+    assert main(["define", "--db", db, "grid", "ARPS",
+                 "--element", "dx:float", "--element", "dz:float"]) == 0
+    assert main(["ingest", "--db", db, fig3_file, fig3_file]) == 0
+    capsys.readouterr()
+    return db
+
+
+class TestShardedCli:
+    def test_init_creates_topology_sidecar_and_shard_files(self, db, capsys):
+        import pathlib
+
+        code, out, _err = run(capsys, "init", "--db", db, "--shards", "3")
+        assert code == 0
+        assert "3 shard(s)" in out
+        assert pathlib.Path(db + ".shards.json").exists()
+        for index in range(3):
+            assert pathlib.Path(f"{db}.shard{index}").exists()
+        assert not pathlib.Path(db).exists()  # no monolithic file
+
+    def test_init_refuses_overwrite_via_sidecar(self, db, capsys):
+        # The base db file never exists for a sharded layout; the
+        # sidecar alone must block a second init.
+        run(capsys, "init", "--db", db, "--shards", "2")
+        code, _out, err = run(capsys, "init", "--db", db)
+        assert code == 1
+        assert "already exists" in err
+
+    def test_init_rejects_zero_shards(self, db, capsys):
+        code, _out, err = run(capsys, "init", "--db", db, "--shards", "0")
+        assert code == 1
+        assert "--shards" in err
+
+    def test_reopen_roundtrip_across_invocations(self, sharded_db, capsys):
+        # Each CLI invocation reopens the federation from the sidecar.
+        code, out, _err = run(
+            capsys, "query", "--db", sharded_db,
+            "--attr", "grid/ARPS", "--elem", "dx/ARPS = 1000",
+        )
+        assert code == 0
+        assert "2 matching object(s): [1, 2]" in out
+        code, out, _err = run(capsys, "fetch", "--db", sharded_db, "1", "2")
+        assert code == 0
+        assert out.count("<LEADresource>") == 2
+
+    def test_trace_shows_scatter_gather(self, sharded_db, capsys):
+        code, out, _err = run(
+            capsys, "query", "--db", sharded_db, "--trace", "--attr", "theme",
+        )
+        assert code == 0
+        assert "scatter-gather" in out
+        assert "shard-0" in out
+
+    def test_fsck_reports_federation_summary(self, sharded_db, capsys):
+        code, out, _err = run(capsys, "fsck", "--db", sharded_db, "--deep")
+        assert code == 0
+        assert "2 objects across 3 shard(s), no violations" in out
+
+    def test_shard_status_lists_every_shard(self, sharded_db, capsys):
+        code, out, _err = run(capsys, "shard-status", "--db", sharded_db)
+        assert code == 0
+        lines = out.strip().splitlines()
+        assert lines[0].startswith("router: hash")
+        assert len(lines) == 2 + 3 + 1  # router + header + shards + totals
+        totals = lines[-1].split()
+        assert totals[0] == "all" and totals[1] == "2"
+        assert f"{sharded_db}.shard0" in out
+
+    def test_shard_status_on_unsharded_catalog(self, loaded, capsys):
+        code, out, _err = run(capsys, "shard-status", "--db", loaded)
+        assert code == 0
+        assert "not sharded" in out
+
+    def test_by_user_router_recorded_in_topology(self, db, capsys):
+        from repro.sharding import read_topology
+
+        code, _out, _err = run(
+            capsys, "init", "--db", db, "--shards", "2", "--by-user")
+        assert code == 0
+        assert read_topology(db).router == "user"
+        code, out, _err = run(capsys, "shard-status", "--db", db)
+        assert code == 0
+        assert "router: user" in out
