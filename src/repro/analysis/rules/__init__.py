@@ -9,6 +9,7 @@ from .fault_sites import FaultSiteRule
 from .metrics import MetricNameRule
 from .parity import BackendParityRule
 from .plan_purity import PlanPurityRule
+from .stage_surface import StageSurfaceRule
 from .txn import TxnSafetyRule
 
 __all__ = [
@@ -16,17 +17,19 @@ __all__ = [
     "FaultSiteRule",
     "MetricNameRule",
     "PlanPurityRule",
+    "StageSurfaceRule",
     "TxnSafetyRule",
     "build_default_rules",
 ]
 
 
 def build_default_rules() -> List[Rule]:
-    """All five repo rules, bound to the live site/metric registries."""
+    """All six repo rules, bound to the live site/metric registries."""
     return [
         TxnSafetyRule(),
         FaultSiteRule(),
         MetricNameRule(),
         PlanPurityRule(),
+        StageSurfaceRule(),
         BackendParityRule(),
     ]

@@ -1,0 +1,116 @@
+"""PLN02 — both executors declare the full logical-plan stage surface.
+
+The memory interpreter (``core/planner.py``) and the sqlite compiler
+(``backends/sqlite.py``) execute the *same* logical plan IR; a stage
+kind added to ``core/logical.py`` but handled by only one backend would
+silently desync them — the exact drift the parity suites exist to
+catch, but at review time rather than test time.  This rule makes the
+surface a checked declaration: each executor module carries a
+module-level
+
+    HANDLED_STAGE_KINDS = ("ElementSeek", ...)
+
+tuple of string literals, and the rule asserts that **both**
+declarations exist and that each is *equal as a set* to the ``kind``
+markers on the stage classes in ``core/logical.py`` (the same markers
+PLN01 keys on).  Adding a stage class therefore fails lint until both
+executors acknowledge it; removing one fails until the declarations
+shrink with it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Tuple
+
+from ..linter import LintContext, Rule, SourceModule, const_str
+from .plan_purity import _class_kind
+
+#: The module-level declaration each executor must carry.
+DECLARATION = "HANDLED_STAGE_KINDS"
+
+
+def _declared_kinds(module: SourceModule) -> Optional[Tuple[List[str], int]]:
+    """The executor's ``HANDLED_STAGE_KINDS`` literal, with its line."""
+    if module.tree is None:
+        return None
+    for node in module.tree.body:
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+            continue
+        target = node.targets[0]
+        if not (isinstance(target, ast.Name) and target.id == DECLARATION):
+            continue
+        if not isinstance(node.value, (ast.Tuple, ast.List)):
+            return ([], node.lineno)
+        kinds: List[str] = []
+        for element in node.value.elts:
+            value = const_str(element)
+            if value is not None:
+                kinds.append(value)
+        return (kinds, node.lineno)
+    return None
+
+
+class StageSurfaceRule(Rule):
+    """See module docstring."""
+
+    id = "PLN02"
+    title = "stage surface mirrored across backends"
+
+    def __init__(
+        self,
+        ir_target: str = "core/logical.py",
+        executor_targets: Tuple[str, ...] = (
+            "core/planner.py",
+            "backends/sqlite.py",
+        ),
+    ) -> None:
+        self.ir_target = ir_target
+        self.executor_targets = executor_targets
+
+    def _ir_kinds(self, ctx: LintContext) -> List[str]:
+        kinds: List[str] = []
+        for module in ctx.modules_matching(self.ir_target):
+            if module.tree is None:
+                continue
+            for node in module.tree.body:
+                if isinstance(node, ast.ClassDef):
+                    kind = _class_kind(node)
+                    if kind is not None:
+                        kinds.append(kind)
+        return kinds
+
+    def check(self, ctx: LintContext) -> None:
+        ir_kinds = set(self._ir_kinds(ctx))
+        if not ir_kinds:
+            # No IR module in scope (e.g. fixture trees without one):
+            # nothing to mirror.
+            return
+        for target in self.executor_targets:
+            for module in ctx.modules_matching(target):
+                declared = _declared_kinds(module)
+                if declared is None:
+                    ctx.report(
+                        self.id, module, 1,
+                        f"executor {module.display} does not declare "
+                        f"{DECLARATION}; every plan executor must state the "
+                        "stage kinds it handles",
+                    )
+                    continue
+                kinds, lineno = declared
+                missing = sorted(ir_kinds - set(kinds))
+                extra = sorted(set(kinds) - ir_kinds)
+                if missing:
+                    ctx.report(
+                        self.id, module, lineno,
+                        f"{DECLARATION} is missing stage kind(s) "
+                        f"{', '.join(repr(k) for k in missing)} declared in "
+                        "core/logical.py — handle them (or update the IR)",
+                    )
+                if extra:
+                    ctx.report(
+                        self.id, module, lineno,
+                        f"{DECLARATION} declares unknown stage kind(s) "
+                        f"{', '.join(repr(k) for k in extra)} — no such "
+                        "kind marker exists in core/logical.py",
+                    )

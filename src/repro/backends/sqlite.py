@@ -68,6 +68,16 @@ from ..obs.metrics import MetricsRegistry
 from ..obs.profile import QueryProfile, current_profile
 from .pool import DEFAULT_CAPACITY, ReaderConnectionPool
 
+#: Stage kinds this compiler executes.  PLN02 (reprolint) asserts this
+#: declaration stays mirrored with the memory interpreter and with the
+#: ``kind`` markers on the stage classes in :mod:`repro.core.logical`.
+HANDLED_STAGE_KINDS = (
+    "ElementSeek",
+    "DirectCountMatch",
+    "AncestorCountMatch",
+    "ObjectIntersect",
+)
+
 _DDL = """
 CREATE TABLE objects (
     object_id INTEGER PRIMARY KEY,

@@ -459,12 +459,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="probe the live catalog first: collect N "
                         "concurrent statistics snapshots and require "
                         "them to be identical (default: 1 = skip)")
+    p.add_argument("--storage", action="store_true",
+                   help="also print per-table storage accounting, with "
+                        "the per-column byte breakdown on columnar "
+                        "(memory) backends")
 
     p = add_parser(
         "lint",
         help="run the repo's static-analysis rules "
              "(transaction safety, fault-site coverage, metric naming, "
-             "plan purity, backend parity)",
+             "plan purity, stage-surface mirroring, backend parity)",
     )
     p.add_argument("--json", action="store_true", dest="json_output",
                    help="emit the machine-readable report (repro.lint/v1)")
@@ -719,6 +723,21 @@ def _run_command(args, registry: MetricsRegistry) -> int:
                     return 1
             print(f"{args.threads} concurrent statistics snapshots: "
                   f"identical ({first.objects} objects)")
+        if args.storage:
+            catalog = _open(args.db, registry)
+            print("storage:")
+            for name, rows, size in catalog.storage_report():
+                print(f"  {name:<16} {rows:>8} rows  {size:>10} bytes")
+            # Columnar backends (the memory engine) can account bytes
+            # per column; sqlite and sharded catalogs report whole
+            # tables only.
+            engine = getattr(getattr(catalog, "store", None), "db", None)
+            breakdown = getattr(engine, "storage_breakdown", None)
+            if breakdown is not None:
+                print("columns:")
+                for name, cols in sorted(breakdown().items()):
+                    for col, size in cols.items():
+                        print(f"  {name + '.' + col:<28} {size:>10} bytes")
         if args.format == "json":
             print(render_json(registry))
         elif args.format == "prom":

@@ -31,7 +31,13 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from ..errors import CatalogError
 from ..obs.events import EventLog
 from ..obs.metrics import MetricsRegistry, default_registry
-from ..obs.profile import QueryProfile, collecting, current_profile
+from ..obs.profile import (
+    QueryProfile,
+    activate,
+    collecting,
+    current_profile,
+    deactivate,
+)
 from ..obs.tracing import Tracer, default_tracer
 from ..xmlkit import Document, parse
 from .definitions import AttributeDef, DefinitionRegistry, ElementDef
@@ -439,8 +445,15 @@ class HybridCatalog:
             or (self.events is not None
                 and self.slow_query_threshold is not None)
         ):
-            with collecting(QueryProfile()) as prof:
+            # Raw activate/deactivate instead of the ``collecting``
+            # contextmanager: this is per-query, and the generator
+            # frame costs more than the whole profile snapshot.
+            prof = QueryProfile()
+            token = activate(prof)
+            try:
                 return self._run_query(query, user, trace, prof)
+            finally:
+                deactivate(prof, token)
         return self._run_query(query, user, trace, prof)
 
     def _run_query(

@@ -11,50 +11,119 @@ whole row sets, never a per-object traversal — and uses the inverted
 lists to resolve sub-attribute containment without recursion (paper §4):
 
 1. **ElementSeek** (one per criterion, most-selective-first when
-   statistics are available) — join the element data with the query
-   element criteria, one index seek per criterion, producing
-   ``(object, attribute instance, qelem)`` match rows.  Because all
+   statistics are available) — probe the ``elem_id`` hash index for the
+   criterion's row ids, then run a *vectorized comparison kernel*
+   straight over the value column (no row tuples are built), producing
+   the matching ``(object, attribute instance)`` id set.  Because all
    criteria are conjunctive, a seek that matches nothing
    short-circuits the remaining stages.
-2. **DirectCountMatch** — group matches by attribute instance and
-   query attribute; instances qualify when they contain the *required
-   number of distinct* direct element criteria.  Criteria with no
-   direct elements take every instance of their definition as
+2. **DirectCountMatch** — instances qualify when they contain the
+   *required number of distinct* direct element criteria; since each
+   criterion contributes one id set, that is exactly the set
+   intersection of the qattr's per-seek instance sets.  Criteria with
+   no direct elements take every instance of their definition as
    candidates.  Under the §4 simplified rewrite (``plan.simple``),
-   grouping is by object directly.
-3. **AncestorCountMatch** — bottom-up over the criteria tree: join the
-   satisfied child-criterion instances with the data's inverted list of
-   sub-attribute → ancestor relationships, and keep ancestor instances
-   that account for *all* child criteria (count matching).  Because the
-   inverted list spans intervening sub-attributes, a query criterion
-   nested one level below another matches data any number of levels
-   deeper — and no stage ever recurses through the data.
-4. **ObjectIntersect** — objects where every top-level attribute
-   criterion has at least one fully satisfied instance, rarest
-   criterion first so an empty intersection exits early.
+   the same semijoin runs over object ids directly.
+3. **AncestorCountMatch** — bottom-up over the criteria tree: probe the
+   inverted sub-attribute → ancestor list by definition pair and
+   semijoin its (object, seq) columns against the satisfied child
+   instances, keeping ancestor instances that account for *all* child
+   criteria.  Because the inverted list spans intervening
+   sub-attributes, a query criterion nested one level below another
+   matches data any number of levels deeper — and no stage ever
+   recurses through the data.
+4. **ObjectIntersect** — sorted object-id vectors intersected with the
+   merge kernels from :mod:`repro.relational.batch`, rarest criterion
+   first so an empty intersection exits early.
 
 The sqlite backend executes the same stages as SQL statements
 (:mod:`repro.backends.sqlite`); the two are property-tested to agree.
+The pre-columnar row-at-a-time interpreter is kept as
+:func:`match_objects_memory_rows` — it is the "before" baseline for
+bench E15 and a second oracle for the batch kernels.
 """
 
 from __future__ import annotations
 
 import time
 from collections import defaultdict
-from typing import Dict, List, Optional, Set, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..obs.profile import QueryProfile, current_profile
+from ..relational.batch import intersect_sorted
 from .logical import LogicalPlan, build_plan
 from .query import Op, ShreddedQuery
 from .storage import MemoryHybridStore, PlanTrace, record_plan
 
 Instance = Tuple[int, int]  # (object_id, seq_id)
 
+#: Stage kinds this interpreter executes.  PLN02 (reprolint) asserts
+#: this declaration stays mirrored with the sqlite compiler and with
+#: the ``kind`` markers on the stage classes in :mod:`repro.core.logical`.
+HANDLED_STAGE_KINDS = (
+    "ElementSeek",
+    "DirectCountMatch",
+    "AncestorCountMatch",
+    "ObjectIntersect",
+)
+
 
 def _as_plan(query: Union[ShreddedQuery, LogicalPlan]) -> LogicalPlan:
     if isinstance(query, LogicalPlan):
         return query
     return build_plan(query)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized seek kernels
+# ---------------------------------------------------------------------------
+
+def _seek_hits(
+    op: Op,
+    vals: List[Any],
+    expected: Any,
+    rowids: Sequence[int],
+) -> List[int]:
+    """Row ids (of ``rowids``) whose column value matches ``op``.
+
+    One comprehension per operator over the raw value column — the
+    vectorized equivalent of calling :meth:`Op.matches` per row, and
+    bit-for-bit identical to it: NULL never matches, type-mismatched
+    inequalities are False (the except fallback), CONTAINS is substring
+    over ``str()``, IN_SET is set membership.
+    """
+    try:
+        if op is Op.EQ:
+            # expected is never None (query shredding validates it), so
+            # a NULL slot compares unequal without an explicit guard.
+            return [r for r in rowids if vals[r] == expected]
+        if op is Op.NE:
+            return [r for r in rowids if (v := vals[r]) is not None and v != expected]
+        if op is Op.IN_SET:
+            return [r for r in rowids if vals[r] in expected]
+        if op is Op.CONTAINS:
+            needle = str(expected)
+            return [
+                r for r in rowids
+                if (v := vals[r]) is not None and needle in str(v)
+            ]
+        if op is Op.LT:
+            return [r for r in rowids if (v := vals[r]) is not None and v < expected]
+        if op is Op.LE:
+            return [r for r in rowids if (v := vals[r]) is not None and v <= expected]
+        if op is Op.GT:
+            return [r for r in rowids if (v := vals[r]) is not None and v > expected]
+        return [r for r in rowids if (v := vals[r]) is not None and v >= expected]
+    except TypeError:
+        # Mixed-type column (possible only through raw table writes):
+        # fall back to the scalar path, which defines mismatch as False.
+        return [r for r in rowids if op.matches(vals[r], expected)]
+
+
+def _seek_expected(qelem) -> Any:
+    if qelem.op is Op.IN_SET:
+        return qelem.value_set
+    return qelem.value_num if qelem.numeric else qelem.value_text
 
 
 def match_objects_memory(
@@ -101,37 +170,32 @@ def _interpret_general(
     attributes = store.db.table("attributes")
     ancestors = store.db.table("attr_ancestors")
 
+    e_obj = elements.column_data("object_id")
+    e_attr = elements.column_data("attr_id")
+    e_seq = elements.column_data("seq_id")
+    e_text = elements.column_data("value_text")
+    e_num = elements.column_data("value_num")
+
     # ------------------------------------------------------------------
-    # ElementSeek stages (one index seek per criterion, in plan order).
+    # ElementSeek stages (one index probe + comparison kernel per
+    # criterion, in plan order).  Each seek yields its instance id set;
+    # per-instance criterion counting becomes set intersection below.
     # ------------------------------------------------------------------
-    # matches[qattr_id][instance] = set of qelem ids that matched there
-    matches: Dict[int, Dict[Instance, Set[int]]] = defaultdict(lambda: defaultdict(set))
+    seek_instances: Dict[int, List[Set[Instance]]] = defaultdict(list)
     match_rows = 0
-    ev_text = elements.position("value_text")
-    ev_num = elements.position("value_num")
-    e_obj = elements.position("object_id")
-    e_seq = elements.position("seq_id")
     short_circuited = False
     clock = time.perf_counter if prof is not None else None
     for seek in plan.seeks:
         t0 = clock() if clock is not None else 0.0
         qelem = query.qelems[seek.qelem_id - 1]
         qattr = query.qattr(seek.qattr_id)
-        rows = elements.lookup(["elem_id"], [qelem.elem_def_id])
-        op = qelem.op
-        if qelem.numeric:
-            expected = qelem.value_set if op is Op.IN_SET else qelem.value_num
-            position = ev_num
-        else:
-            expected = qelem.value_set if op is Op.IN_SET else qelem.value_text
-            position = ev_text
-        seek_rows = 0
-        for row in rows:
-            if row[1] != qattr.attr_def_id:
-                continue
-            if op.matches(row[position], expected):
-                matches[seek.qattr_id][(row[e_obj], row[e_seq])].add(seek.qelem_id)
-                seek_rows += 1
+        rowids = elements.lookup_rowids(["elem_id"], [qelem.elem_def_id])
+        attr_def_id = qattr.attr_def_id
+        rowids = [r for r in rowids if e_attr[r] == attr_def_id]
+        vals = e_num if qelem.numeric else e_text
+        hits = _seek_hits(qelem.op, vals, _seek_expected(qelem), rowids)
+        seek_instances[seek.qattr_id].append({(e_obj[r], e_seq[r]) for r in hits})
+        seek_rows = len(hits)
         plan.actuals[seek.key()] = seek_rows
         if clock is not None:
             prof.stage_seconds[seek.key()] = clock() - t0
@@ -151,7 +215,9 @@ def _interpret_general(
         return _empty_result(plan, trace, simple=False)
 
     # ------------------------------------------------------------------
-    # DirectCountMatch stages (per attribute criterion).
+    # DirectCountMatch stages (per attribute criterion).  An instance
+    # meets the required count of *distinct* criteria exactly when it
+    # appears in every per-seek id set — a k-way set intersection.
     # ------------------------------------------------------------------
     satisfied: Dict[int, Set[Instance]] = {}
     direct_rows = 0
@@ -160,14 +226,13 @@ def _interpret_general(
         if count.required == 0:
             # Existence-only criterion: every instance of the definition
             # is a candidate.
-            instance_rows = attributes.lookup(["attr_id"], [count.attr_def_id])
-            candidates = {(row[0], row[2]) for row in instance_rows}
+            a_rowids = attributes.lookup_rowids(["attr_id"], [count.attr_def_id])
+            a_obj = attributes.column_data("object_id")
+            a_seq = attributes.column_data("seq_id")
+            candidates = {(a_obj[r], a_seq[r]) for r in a_rowids}
         else:
-            candidates = {
-                instance
-                for instance, met in matches[count.qattr_id].items()
-                if len(met) == count.required
-            }
+            hit_sets = seek_instances[count.qattr_id]
+            candidates = set.intersection(*hit_sets) if hit_sets else set()
         satisfied[count.qattr_id] = candidates
         plan.actuals[count.key()] = len(candidates)
         if clock is not None:
@@ -177,8 +242,13 @@ def _interpret_general(
 
     # ------------------------------------------------------------------
     # AncestorCountMatch stages (bottom-up containment via the
-    # inverted lists, one edge at a time).
+    # inverted lists, one edge at a time): probe the definition-pair
+    # index, then semijoin the id columns directly.
     # ------------------------------------------------------------------
+    p_obj = ancestors.column_data("object_id")
+    p_desc_seq = ancestors.column_data("desc_seq")
+    p_anc_seq = ancestors.column_data("anc_seq")
+    p_dist = ancestors.column_data("distance")
     for edge in plan.containments:
         t0 = clock() if clock is not None else 0.0
         base = satisfied[edge.parent_qattr_id]
@@ -189,14 +259,14 @@ def _interpret_general(
             plan.actuals[edge.key()] = 0
         else:
             child_ok = satisfied[edge.child_qattr_id]
-            pair_rows = ancestors.lookup(
+            pair_rowids = ancestors.lookup_rowids(
                 ["desc_attr_id", "anc_attr_id"],
                 [edge.child_def_id, edge.parent_def_id],
             )
             anc_ok = {
-                (row[0], row[4])
-                for row in pair_rows
-                if row[5] >= 1 and (row[0], row[2]) in child_ok
+                (p_obj[r], p_anc_seq[r])
+                for r in pair_rowids
+                if p_dist[r] >= 1 and (p_obj[r], p_desc_seq[r]) in child_ok
             }
             surviving = base & anc_ok
             satisfied[edge.parent_qattr_id] = surviving
@@ -209,16 +279,17 @@ def _interpret_general(
     trace.add("attributes-indirect", indirect_rows)
 
     # ------------------------------------------------------------------
-    # ObjectIntersect: every top criterion satisfied, rarest first.
+    # ObjectIntersect: every top criterion satisfied — sorted id
+    # vectors merged rarest-first, exiting early when one runs dry.
     # ------------------------------------------------------------------
     t0 = clock() if clock is not None else 0.0
-    result: Optional[Set[int]] = None
+    result: Optional[List[int]] = None
     for top_id in plan.intersect.top_qattr_ids:
-        objects = {obj for obj, _seq in satisfied[top_id]}
-        result = objects if result is None else (result & objects)
+        vector = sorted({obj for obj, _seq in satisfied[top_id]})
+        result = vector if result is None else intersect_sorted(result, vector)
         if not result:
             break
-    object_ids = sorted(result or set())
+    object_ids = result or []
     plan.actuals[plan.intersect.key()] = len(object_ids)
     if clock is not None:
         prof.stage_seconds[plan.intersect.key()] = clock() - t0
@@ -234,8 +305,9 @@ def _interpret_simple(
 ) -> List[int]:
     """The §4 simplified rewrite: with at most one instance of each
     queried attribute per object and no sub-attribute criteria, count
-    matching can group by *object* directly — no per-instance
-    bookkeeping and no inverted-list stage."""
+    matching can group by *object* directly — per-seek object id sets
+    intersected per criterion, no per-instance bookkeeping and no
+    inverted-list stage."""
     query = plan.query
     trace.add(
         "query-criteria",
@@ -245,31 +317,24 @@ def _interpret_simple(
     )
     elements = store.db.table("elements")
     attributes = store.db.table("attributes")
-    e_obj = elements.position("object_id")
-    ev_text = elements.position("value_text")
-    ev_num = elements.position("value_num")
+    e_obj = elements.column_data("object_id")
+    e_text = elements.column_data("value_text")
+    e_num = elements.column_data("value_num")
 
-    # One index seek per criterion; met[qattr][object] = distinct qelems.
-    met: Dict[int, Dict[int, Set[int]]] = defaultdict(lambda: defaultdict(set))
+    # One index probe + kernel per criterion; each seek yields the
+    # object ids it matched.
+    seek_objects: Dict[int, List[Set[int]]] = defaultdict(list)
     match_rows = 0
     short_circuited = False
     clock = time.perf_counter if prof is not None else None
     for seek in plan.seeks:
         t0 = clock() if clock is not None else 0.0
         qelem = query.qelems[seek.qelem_id - 1]
-        rows = elements.lookup(["elem_id"], [qelem.elem_def_id])
-        op = qelem.op
-        if qelem.numeric:
-            expected = qelem.value_set if op is Op.IN_SET else qelem.value_num
-            position = ev_num
-        else:
-            expected = qelem.value_set if op is Op.IN_SET else qelem.value_text
-            position = ev_text
-        seek_rows = 0
-        for row in rows:
-            if op.matches(row[position], expected):
-                met[seek.qattr_id][row[e_obj]].add(seek.qelem_id)
-                seek_rows += 1
+        rowids = elements.lookup_rowids(["elem_id"], [qelem.elem_def_id])
+        vals = e_num if qelem.numeric else e_text
+        hits = _seek_hits(qelem.op, vals, _seek_expected(qelem), rowids)
+        seek_objects[seek.qattr_id].append({e_obj[r] for r in hits})
+        seek_rows = len(hits)
         plan.actuals[seek.key()] = seek_rows
         if clock is not None:
             prof.stage_seconds[seek.key()] = clock() - t0
@@ -285,31 +350,30 @@ def _interpret_simple(
     if short_circuited:
         return _empty_result(plan, trace, simple=True)
 
-    result: Optional[Set[int]] = None
+    result: Optional[List[int]] = None
     satisfied_rows = 0
     for count in plan.counts:
         t0 = clock() if clock is not None else 0.0
         if count.required == 0:
-            objects = {
-                row[0] for row in attributes.lookup(["attr_id"], [count.attr_def_id])
-            }
+            a_rowids = attributes.lookup_rowids(["attr_id"], [count.attr_def_id])
+            a_obj = attributes.column_data("object_id")
+            objects = {a_obj[r] for r in a_rowids}
         else:
-            objects = {
-                obj for obj, hits in met[count.qattr_id].items()
-                if len(hits) == count.required
-            }
+            hit_sets = seek_objects[count.qattr_id]
+            objects = set.intersection(*hit_sets) if hit_sets else set()
         plan.actuals[count.key()] = len(objects)
         if clock is not None:
             prof.stage_seconds[count.key()] = clock() - t0
         satisfied_rows += len(objects)
-        result = objects if result is None else (result & objects)
+        vector = sorted(objects)
+        result = vector if result is None else intersect_sorted(result, vector)
         # No early exit on an empty running intersection: the sqlite
         # compiler executes every DirectCountMatch stage regardless, and
         # the per-stage actuals must stay backend-identical (profile
         # parity).  The expensive case — a criterion matching nothing —
         # already short-circuited at the seek stage above.
     trace.add("attributes-direct", satisfied_rows)
-    object_ids = sorted(result or set())
+    object_ids = result or []
     plan.actuals[plan.intersect.key()] = len(object_ids)
     trace.add("object-ids", len(object_ids))
     return object_ids
@@ -331,3 +395,199 @@ def _empty_result(plan: LogicalPlan, trace: PlanTrace, simple: bool) -> List[int
     plan.actuals[plan.intersect.key()] = 0
     trace.add("object-ids", 0)
     return []
+
+
+# ---------------------------------------------------------------------------
+# Legacy row-at-a-time interpreter (pre-columnar).  Kept as the E15
+# "before" baseline and as a second oracle the batch interpreter is
+# tested against; not used by the catalog's query path.
+# ---------------------------------------------------------------------------
+
+def match_objects_memory_rows(
+    store: MemoryHybridStore,
+    query: Union[ShreddedQuery, LogicalPlan],
+    trace: Optional[PlanTrace] = None,
+) -> List[int]:
+    """Row-at-a-time reference interpretation of the plan."""
+    plan = _as_plan(query)
+    if trace is None:
+        trace = PlanTrace()
+    if plan.simple:
+        object_ids = _interpret_simple_rows(store, plan, trace)
+    else:
+        object_ids = _interpret_general_rows(store, plan, trace)
+    record_plan(trace, store.metrics_registry())
+    return object_ids
+
+
+def _interpret_general_rows(
+    store: MemoryHybridStore,
+    plan: LogicalPlan,
+    trace: PlanTrace,
+) -> List[int]:
+    query = plan.query
+    trace.add(
+        "query-criteria",
+        len(query.qattrs) + len(query.qelems),
+        f"{len(query.qattrs)} attribute, {len(query.qelems)} element criteria",
+    )
+
+    elements = store.db.table("elements")
+    attributes = store.db.table("attributes")
+    ancestors = store.db.table("attr_ancestors")
+
+    # matches[qattr_id][instance] = set of qelem ids that matched there
+    matches: Dict[int, Dict[Instance, Set[int]]] = defaultdict(lambda: defaultdict(set))
+    match_rows = 0
+    ev_text = elements.position("value_text")
+    ev_num = elements.position("value_num")
+    e_obj = elements.position("object_id")
+    e_seq = elements.position("seq_id")
+    short_circuited = False
+    for seek in plan.seeks:
+        qelem = query.qelems[seek.qelem_id - 1]
+        qattr = query.qattr(seek.qattr_id)
+        rows = elements.lookup(["elem_id"], [qelem.elem_def_id])
+        op = qelem.op
+        expected = _seek_expected(qelem)
+        position = ev_num if qelem.numeric else ev_text
+        seek_rows = 0
+        for row in rows:
+            if row[1] != qattr.attr_def_id:
+                continue
+            if op.matches(row[position], expected):
+                matches[seek.qattr_id][(row[e_obj], row[e_seq])].add(seek.qelem_id)
+                seek_rows += 1
+        plan.actuals[seek.key()] = seek_rows
+        match_rows += seek_rows
+        if seek_rows == 0:
+            short_circuited = True
+            break
+    trace.add(
+        "elements-meeting-criteria",
+        match_rows,
+        "short-circuited: a criterion matched nothing" if short_circuited else "",
+    )
+    if short_circuited:
+        return _empty_result(plan, trace, simple=False)
+
+    satisfied: Dict[int, Set[Instance]] = {}
+    direct_rows = 0
+    for count in plan.counts:
+        if count.required == 0:
+            instance_rows = attributes.lookup(["attr_id"], [count.attr_def_id])
+            candidates = {(row[0], row[2]) for row in instance_rows}
+        else:
+            candidates = {
+                instance
+                for instance, met in matches[count.qattr_id].items()
+                if len(met) == count.required
+            }
+        satisfied[count.qattr_id] = candidates
+        plan.actuals[count.key()] = len(candidates)
+        direct_rows += len(candidates)
+    trace.add("attributes-direct", direct_rows)
+
+    for edge in plan.containments:
+        base = satisfied[edge.parent_qattr_id]
+        if not base:
+            plan.actuals[edge.key()] = 0
+        elif not satisfied[edge.child_qattr_id]:
+            satisfied[edge.parent_qattr_id] = set()
+            plan.actuals[edge.key()] = 0
+        else:
+            child_ok = satisfied[edge.child_qattr_id]
+            pair_rows = ancestors.lookup(
+                ["desc_attr_id", "anc_attr_id"],
+                [edge.child_def_id, edge.parent_def_id],
+            )
+            anc_ok = {
+                (row[0], row[4])
+                for row in pair_rows
+                if row[5] >= 1 and (row[0], row[2]) in child_ok
+            }
+            surviving = base & anc_ok
+            satisfied[edge.parent_qattr_id] = surviving
+            plan.actuals[edge.key()] = len(surviving)
+    indirect_rows = sum(
+        len(satisfied[q.qattr_id]) for q in query.qattrs if q.child_qattr_ids
+    )
+    trace.add("attributes-indirect", indirect_rows)
+
+    result: Optional[Set[int]] = None
+    for top_id in plan.intersect.top_qattr_ids:
+        objects = {obj for obj, _seq in satisfied[top_id]}
+        result = objects if result is None else (result & objects)
+        if not result:
+            break
+    object_ids = sorted(result or set())
+    plan.actuals[plan.intersect.key()] = len(object_ids)
+    trace.add("object-ids", len(object_ids))
+    return object_ids
+
+
+def _interpret_simple_rows(
+    store: MemoryHybridStore,
+    plan: LogicalPlan,
+    trace: PlanTrace,
+) -> List[int]:
+    query = plan.query
+    trace.add(
+        "query-criteria",
+        len(query.qattrs) + len(query.qelems),
+        f"{len(query.qattrs)} attribute, {len(query.qelems)} element criteria "
+        "(simplified plan)",
+    )
+    elements = store.db.table("elements")
+    attributes = store.db.table("attributes")
+    e_obj = elements.position("object_id")
+    ev_text = elements.position("value_text")
+    ev_num = elements.position("value_num")
+
+    met: Dict[int, Dict[int, Set[int]]] = defaultdict(lambda: defaultdict(set))
+    match_rows = 0
+    short_circuited = False
+    for seek in plan.seeks:
+        qelem = query.qelems[seek.qelem_id - 1]
+        rows = elements.lookup(["elem_id"], [qelem.elem_def_id])
+        op = qelem.op
+        expected = _seek_expected(qelem)
+        position = ev_num if qelem.numeric else ev_text
+        seek_rows = 0
+        for row in rows:
+            if op.matches(row[position], expected):
+                met[seek.qattr_id][row[e_obj]].add(seek.qelem_id)
+                seek_rows += 1
+        plan.actuals[seek.key()] = seek_rows
+        match_rows += seek_rows
+        if seek_rows == 0:
+            short_circuited = True
+            break
+    trace.add(
+        "elements-meeting-criteria",
+        match_rows,
+        "short-circuited: a criterion matched nothing" if short_circuited else "",
+    )
+    if short_circuited:
+        return _empty_result(plan, trace, simple=True)
+
+    result: Optional[Set[int]] = None
+    satisfied_rows = 0
+    for count in plan.counts:
+        if count.required == 0:
+            objects = {
+                row[0] for row in attributes.lookup(["attr_id"], [count.attr_def_id])
+            }
+        else:
+            objects = {
+                obj for obj, hits in met[count.qattr_id].items()
+                if len(hits) == count.required
+            }
+        plan.actuals[count.key()] = len(objects)
+        satisfied_rows += len(objects)
+        result = objects if result is None else (result & objects)
+    trace.add("attributes-direct", satisfied_rows)
+    object_ids = sorted(result or set())
+    plan.actuals[plan.intersect.key()] = len(object_ids)
+    trace.add("object-ids", len(object_ids))
+    return object_ids

@@ -49,30 +49,36 @@ def build_responses_memory(
     # Global-ordering table: order -> (tag, last_child_order).  Loaded
     # once per call; it is schema-sized, not data-sized.
     order_info: Dict[int, Tuple[str, int]] = {
-        row[0]: (row[1], row[2]) for row in schema_order.scan()
+        order: (tag, last)
+        for order, tag, last in schema_order.iter_values(
+            "node_order", "tag", "last_child_order"
+        )
     }
     ancestor_map: Dict[int, List[int]] = {}
-    for row in node_ancestors.scan():
-        ancestor_map.setdefault(row[0], []).append(row[1])
+    for node, anc in node_ancestors.iter_values("node_order", "ancestor_order"):
+        ancestor_map.setdefault(node, []).append(anc)
 
     root_order = 1
     root_tag = order_info[root_order][0]
+
+    c_order = clobs.column_data("schema_order")
+    c_seq = clobs.column_data("clob_seq")
+    c_text = clobs.column_data("content")
 
     responses: Dict[int, str] = {}
     for object_id in object_ids:
         if not store.has_object(object_id):
             continue
-        # Stage 1: CLOB keys only (content deferred to the final join).
-        key_rows = [
-            (row[1], row[2])  # (schema_order, clob_seq)
-            for row in clobs.lookup(["object_id"], [object_id])
-        ]
-        # Stage 2: distinct required ancestors.
+        # One index probe per object; both passes below reuse it and
+        # read straight from the key/content columns.
+        rowids = clobs.lookup_rowids(["object_id"], [object_id])
+        # Stage 1+2: distinct required ancestors from the CLOB keys
+        # (content deferred to the final join).
         required: set = set()
-        for order, _seq in key_rows:
-            for anc in ancestor_map.get(order, ()):
+        for r in rowids:
+            for anc in ancestor_map.get(c_order[r], ()):
                 required.add(anc)
-        if not key_rows:
+        if not rowids:
             responses[object_id] = f"<{root_tag}></{root_tag}>"
             continue
         # Stage 3: open/close tag events from the global-ordering table.
@@ -82,8 +88,8 @@ def build_responses_memory(
             events.append((anc, 0, _OPEN, -anc, f"<{tag}>"))
             events.append((last_child, _INF_SEQ, _CLOSE, -anc, f"</{tag}>"))
         # Stage 4: final join — fetch CLOB text.
-        for row in clobs.lookup(["object_id"], [object_id]):
-            events.append((row[1], row[2], _CONTENT, 0, row[3]))
+        for r in rowids:
+            events.append((c_order[r], c_seq[r], _CONTENT, 0, c_text[r]))
         events.sort(key=lambda e: (e[0], e[1], e[2], e[3]))
         responses[object_id] = "".join(e[4] for e in events)
     record_response_metrics(store.metrics_registry(), responses)

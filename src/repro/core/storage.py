@@ -757,11 +757,14 @@ class MemoryHybridStore(HybridStore):
 
     def max_clob_seq(self, object_id: int, schema_order: int) -> int:
         with self.read_locked():
+            clobs = self.db.table("clobs")
+            orders = clobs.column_data("schema_order")
+            seqs = clobs.column_data("clob_seq")
             return max(
                 (
-                    row[2]
-                    for row in self.db.table("clobs").lookup(["object_id"], [object_id])
-                    if row[1] == schema_order
+                    seqs[r]
+                    for r in clobs.lookup_rowids(["object_id"], [object_id])
+                    if orders[r] == schema_order
                 ),
                 default=0,
             )
@@ -769,8 +772,11 @@ class MemoryHybridStore(HybridStore):
     def instance_counts(self, object_id: int) -> Dict[int, int]:
         with self.read_locked():
             counts: Dict[int, int] = {}
-            for row in self.db.table("attributes").lookup(["object_id"], [object_id]):
-                attr_id, seq_id = row[1], row[2]
+            attributes = self.db.table("attributes")
+            attr_col = attributes.column_data("attr_id")
+            seq_col = attributes.column_data("seq_id")
+            for r in attributes.lookup_rowids(["object_id"], [object_id]):
+                attr_id, seq_id = attr_col[r], seq_col[r]
                 if seq_id > counts.get(attr_id, 0):
                     counts[attr_id] = seq_id
             return counts
@@ -787,17 +793,20 @@ class MemoryHybridStore(HybridStore):
         self, object_id: int, attr_id: int, seq_id: int
     ) -> None:
         attributes = self.db.table("attributes")
+        a_attr = attributes.column_data("attr_id")
+        a_seq = attributes.column_data("seq_id")
         target = [
-            row
-            for row in attributes.lookup(["object_id"], [object_id])
-            if row[1] == attr_id and row[2] == seq_id
+            r
+            for r in attributes.lookup_rowids(["object_id"], [object_id])
+            if a_attr[r] == attr_id and a_seq[r] == seq_id
         ]
         if not target:
             raise CatalogError(
                 f"object {object_id} has no instance {seq_id} of attribute "
                 f"{attr_id}"
             )
-        clob_order, clob_seq = target[0][3], target[0][4]
+        clob_order = attributes.column_data("clob_order")[target[0]]
+        clob_seq = attributes.column_data("clob_seq")[target[0]]
         if clob_seq < 1:
             raise CatalogError(
                 "only top-level attribute instances can be removed; "
@@ -806,10 +815,15 @@ class MemoryHybridStore(HybridStore):
         # The victim plus every descendant sub-attribute instance (via
         # the inverted list, distance >= 1).
         ancestors = self.db.table("attr_ancestors")
+        n_desc_attr = ancestors.column_data("desc_attr_id")
+        n_desc_seq = ancestors.column_data("desc_seq")
+        n_anc_attr = ancestors.column_data("anc_attr_id")
+        n_anc_seq = ancestors.column_data("anc_seq")
+        n_dist = ancestors.column_data("distance")
         victims = {(attr_id, seq_id)}
-        for row in ancestors.lookup(["object_id"], [object_id]):
-            if row[3] == attr_id and row[4] == seq_id and row[5] >= 1:
-                victims.add((row[1], row[2]))
+        for r in ancestors.lookup_rowids(["object_id"], [object_id]):
+            if n_anc_attr[r] == attr_id and n_anc_seq[r] == seq_id and n_dist[r] >= 1:
+                victims.add((n_desc_attr[r], n_desc_seq[r]))
         for victim_attr, victim_seq in victims:
             base = (
                 eq("object_id", object_id)
@@ -851,21 +865,19 @@ class MemoryHybridStore(HybridStore):
         from .stats import StatsSnapshot
 
         with self.read_locked():
+            # Projection scans: only the three referenced columns of
+            # ``elements`` (and one of ``attributes``) are touched.
             elem_rows: Dict[int, int] = {}
             elem_values: Dict[int, set] = {}
             elements = self.db.table("elements")
-            e_elem = elements.position("elem_id")
-            e_text = elements.position("value_text")
-            e_num = elements.position("value_num")
-            for row in elements.scan():
-                elem_id = row[e_elem]
+            for elem_id, text, num in elements.iter_values(
+                "elem_id", "value_text", "value_num"
+            ):
                 elem_rows[elem_id] = elem_rows.get(elem_id, 0) + 1
-                elem_values.setdefault(elem_id, set()).add((row[e_text], row[e_num]))
+                elem_values.setdefault(elem_id, set()).add((text, num))
             attr_rows: Dict[int, int] = {}
             attributes = self.db.table("attributes")
-            a_attr = attributes.position("attr_id")
-            for row in attributes.scan():
-                attr_id = row[a_attr]
+            for (attr_id,) in attributes.iter_values("attr_id"):
                 attr_rows[attr_id] = attr_rows.get(attr_id, 0) + 1
             return StatsSnapshot(
                 self.object_count(),

@@ -35,8 +35,10 @@ from typing import Dict, List, Optional, Tuple
 __all__ = [
     "StageProfile",
     "QueryProfile",
+    "activate",
     "collecting",
     "current_profile",
+    "deactivate",
 ]
 
 _current: ContextVar[Optional["QueryProfile"]] = ContextVar(
@@ -107,22 +109,28 @@ class QueryProfile:
     ``result_cache_hit`` set — no plan ran.
     """
 
-    __slots__ = ("backend", "stages", "stage_seconds", "waits",
+    __slots__ = ("backend", "stage_seconds", "waits",
                  "total_seconds", "result_cache_hit", "plan_cache_hit",
-                 "short_circuited", "simple", "trace_stages", "_t0")
+                 "simple", "trace_stages", "_t0",
+                 "_plan", "_actuals", "_stages", "_short_circuited")
 
     def __init__(self) -> None:
         self.backend: Optional[str] = None
-        self.stages: List[StageProfile] = []
         self.stage_seconds: Dict[Tuple, float] = {}
         self.waits: Dict[str, float] = {kind: 0.0 for kind in WAIT_KINDS}
         self.total_seconds: Optional[float] = None
         self.result_cache_hit = False
         self.plan_cache_hit: Optional[bool] = None
-        self.short_circuited = False
         self.simple: Optional[bool] = None
         self.trace_stages: List[str] = []
         self._t0 = time.perf_counter()
+        # Stage rows are derived lazily (first access of ``stages``):
+        # ``record_plan`` on the query hot path only snapshots the
+        # executed plan and its actuals — bench E13's enabled budget.
+        self._plan = None
+        self._actuals: Dict[Tuple, int] = {}
+        self._stages: Optional[List[StageProfile]] = None
+        self._short_circuited = False
 
     # ------------------------------------------------------------------
     # Collection API (called by the backends and contention hooks)
@@ -137,18 +145,53 @@ class QueryProfile:
             self.total_seconds = time.perf_counter() - self._t0
 
     def record_plan(self, plan, backend: str, trace=None) -> None:
-        """Derive the stage rows from an executed plan's ``actuals``.
+        """Snapshot an executed plan so the stage rows can be derived.
 
         The row flow is a pure function of the plan, so both backends
         produce identical stage names, order, and row counts by
         construction; ``stage_seconds`` (filled during execution) is
-        the only backend-specific column.
+        the only backend-specific column.  Only the snapshot happens
+        here — ``plan.actuals`` is copied because cached plans are
+        re-executed and overwrite it — and the :class:`StageProfile`
+        list is built on first access of :attr:`stages`, keeping the
+        per-query profiling cost to a few assignments.
         """
         self.backend = backend
         self.simple = plan.simple
         if trace is not None:
             self.trace_stages = trace.stage_names()
-        actuals = plan.actuals
+        self._plan = plan
+        self._actuals = dict(plan.actuals)
+        self._stages = None
+
+    @property
+    def stages(self) -> List[StageProfile]:
+        """The derived per-stage rows (built lazily from the snapshot)."""
+        if self._stages is None:
+            self._stages = (
+                self._build_stages() if self._plan is not None else []
+            )
+        return self._stages
+
+    @stages.setter
+    def stages(self, value: List[StageProfile]) -> None:
+        # Synthetic profiles (the sharded scatter-gather merge) build
+        # their stage list directly instead of from a plan snapshot.
+        self._stages = value
+
+    @property
+    def short_circuited(self) -> bool:
+        if self._plan is not None and self._stages is None:
+            self.stages  # force derivation
+        return self._short_circuited
+
+    @short_circuited.setter
+    def short_circuited(self, value: bool) -> None:
+        self._short_circuited = value
+
+    def _build_stages(self) -> List[StageProfile]:
+        plan = self._plan
+        actuals = self._actuals
         seconds = self.stage_seconds
         stages: List[StageProfile] = []
 
@@ -163,7 +206,7 @@ class QueryProfile:
             ))
         # A seek that matched nothing short-circuits the plan; the
         # remaining stages ran over empty inputs (rows stay 0).
-        self.short_circuited = any(
+        self._short_circuited = any(
             actuals.get(seek.key(), 0) == 0 for seek in plan.seeks
         )
 
@@ -212,7 +255,7 @@ class QueryProfile:
             actuals.get(key, 0), plan.intersect.est_rows,
             seconds.get(key, 0.0),
         ))
-        self.stages = stages
+        return stages
 
     # ------------------------------------------------------------------
     # Export / rendering
@@ -286,12 +329,25 @@ def current_profile() -> Optional[QueryProfile]:
 def collecting(profile: QueryProfile):
     """Make ``profile`` the active collector for the block; stamps the
     total wall time on exit."""
-    token = _current.set(profile)
+    token = activate(profile)
     try:
         yield profile
     finally:
-        _current.reset(token)
-        profile.finish()
+        deactivate(profile, token)
+
+
+def activate(profile: QueryProfile):
+    """Install ``profile`` as the active collector; returns the reset
+    token.  The raw set/reset pair that :func:`collecting` wraps — the
+    catalog's per-query hot path uses it directly to skip the
+    generator-contextmanager overhead (bench E13's enabled budget)."""
+    return _current.set(profile)
+
+
+def deactivate(profile: QueryProfile, token) -> None:
+    """Undo :func:`activate` and stamp the profile's total wall time."""
+    _current.reset(token)
+    profile.finish()
 
 
 def stage_clock(profile: Optional[QueryProfile]):

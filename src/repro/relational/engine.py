@@ -122,5 +122,11 @@ class Database:
         report.sort(key=lambda item: item[2], reverse=True)
         return report
 
+    def storage_breakdown(self) -> Dict[str, Dict[str, int]]:
+        """Per-table, per-column byte accounting (columnar layout)."""
+        return {
+            name: t.storage_breakdown() for name, t in self._tables.items()
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Database({self.name!r}, tables={len(self._tables)})"

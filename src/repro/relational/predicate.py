@@ -1,20 +1,36 @@
-"""Predicate expressions over named-column rows.
+"""Predicate expressions over named-column rows and column batches.
 
 Predicates form a tiny AST (comparisons, boolean combinators, IN, NULL
-tests) that is *compiled once* into a Python closure over positional
-rows — per the HPC guideline of hoisting work out of inner loops, no
-per-row name lookups or isinstance dispatch happen during a scan.
+tests) with two compiled evaluation paths:
 
-The same AST renders to a SQL ``WHERE`` fragment so the sqlite backend
-can execute identical logical plans (used by the backend-equivalence
-property tests and bench E9).
+* :meth:`Predicate.compile` — a Python closure over positional row
+  tuples (the legacy per-row API, kept for callers that genuinely
+  iterate rows); per the HPC guideline of hoisting work out of inner
+  loops, no per-row name lookups or isinstance dispatch happen during
+  a scan.
+* :meth:`Predicate.compile_batch` — a *vectorized* closure taking a
+  :class:`~repro.relational.batch.ColumnBatch` and returning a
+  validity-style bitmap (``bytearray``, one byte per batch slot).
+  Each AST node evaluates over whole columns in a single comprehension
+  and combinators fold bitmaps, so a scan costs one pass per referenced
+  column instead of one closure call per row.
+
+The two paths are property-tested to agree bit-for-bit (hypothesis:
+vectorized == scalar on random batches).  The same AST also renders to
+a SQL ``WHERE`` fragment so the sqlite backend can execute identical
+logical plans (used by the backend-equivalence property tests and
+bench E9).
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Sequence, Tuple
 
+from .batch import ColumnBatch, mask_and, mask_not, mask_or
+
 RowPredicate = Callable[[tuple], bool]
+#: Vectorized form: a batch in, one 0/1 byte per batch slot out.
+BatchPredicate = Callable[[ColumnBatch], bytearray]
 
 
 class Predicate:
@@ -32,6 +48,15 @@ class Predicate:
     def compile(self, columns: Sequence[str]) -> RowPredicate:
         """Compile into a closure over rows with the given column order."""
         raise NotImplementedError
+
+    def compile_batch(self, columns: Sequence[str]) -> BatchPredicate:
+        """Compile into a vectorized closure: batch in, bitmap out."""
+        raise NotImplementedError
+
+    def matching_positions(self, batch: ColumnBatch) -> List[int]:
+        """Selection vector of the batch positions this predicate keeps."""
+        mask = self.compile_batch(batch.columns)(batch)
+        return [i for i, bit in enumerate(mask) if bit]
 
     def to_sql(self) -> Tuple[str, List[Any]]:
         """Render as a parameterized SQL fragment ``(sql, params)``."""
@@ -69,6 +94,24 @@ class Comparison(Predicate):
         value = self.value
         return lambda row: row[idx] is not None and fn(row[idx], value)
 
+    def compile_batch(self, columns: Sequence[str]) -> BatchPredicate:
+        idx = list(columns).index(self.column)
+        fn = _OPS[self.op]
+        value = self.value
+        if self.op == "=":
+            if value is None:
+                # NULL never matches, so ``col = NULL`` is all-zeros —
+                # and the == kernel below would wrongly hit NULL slots.
+                return lambda batch: bytearray(len(batch))
+            # The dominant kernel; `v == value` is False for None
+            # without a guard, saving one test per slot.
+            return lambda batch: bytearray(
+                v == value for v in batch.data[idx]
+            )
+        return lambda batch: bytearray(
+            v is not None and fn(v, value) for v in batch.data[idx]
+        )
+
     def to_sql(self) -> Tuple[str, List[Any]]:
         # The engine's predicates are two-valued ("NULL never matches",
         # classical negation above); the NULL guard keeps the SQL
@@ -100,6 +143,11 @@ class In(Predicate):
         values = self.values
         return lambda row: row[idx] in values
 
+    def compile_batch(self, columns: Sequence[str]) -> BatchPredicate:
+        idx = list(columns).index(self.column)
+        values = self.values
+        return lambda batch: bytearray(v in values for v in batch.data[idx])
+
     def to_sql(self) -> Tuple[str, List[Any]]:
         ordered = sorted(self.values, key=repr)
         marks = ", ".join("?" for _ in ordered)
@@ -126,6 +174,14 @@ class IsNull(Predicate):
             return lambda row: row[idx] is not None
         return lambda row: row[idx] is None
 
+    def compile_batch(self, columns: Sequence[str]) -> BatchPredicate:
+        idx = list(columns).index(self.column)
+        if self.negated:
+            return lambda batch: bytearray(
+                v is not None for v in batch.data[idx]
+            )
+        return lambda batch: bytearray(v is None for v in batch.data[idx])
+
     def to_sql(self) -> Tuple[str, List[Any]]:
         return f"{self.column} IS {'NOT ' if self.negated else ''}NULL", []
 
@@ -151,6 +207,19 @@ class And(Predicate):
             f0, f1 = fns
             return lambda row: f0(row) and f1(row)
         return lambda row: all(fn(row) for fn in fns)
+
+    def compile_batch(self, columns: Sequence[str]) -> BatchPredicate:
+        fns = [p.compile_batch(columns) for p in self.parts]
+        if not fns:  # vacuous AND, like all() over no parts
+            return lambda batch: bytearray(b"\x01") * len(batch)
+
+        def run(batch: ColumnBatch) -> bytearray:
+            mask = fns[0](batch)
+            for fn in fns[1:]:
+                mask = mask_and(mask, fn(batch))
+            return mask
+
+        return run
 
     def to_sql(self) -> Tuple[str, List[Any]]:
         frags, params = [], []
@@ -183,6 +252,19 @@ class Or(Predicate):
         fns = [p.compile(columns) for p in self.parts]
         return lambda row: any(fn(row) for fn in fns)
 
+    def compile_batch(self, columns: Sequence[str]) -> BatchPredicate:
+        fns = [p.compile_batch(columns) for p in self.parts]
+        if not fns:  # vacuous OR, like any() over no parts
+            return lambda batch: bytearray(len(batch))
+
+        def run(batch: ColumnBatch) -> bytearray:
+            mask = fns[0](batch)
+            for fn in fns[1:]:
+                mask = mask_or(mask, fn(batch))
+            return mask
+
+        return run
+
     def to_sql(self) -> Tuple[str, List[Any]]:
         frags, params = [], []
         for p in self.parts:
@@ -208,6 +290,10 @@ class Not(Predicate):
         fn = self.inner.compile(columns)
         return lambda row: not fn(row)
 
+    def compile_batch(self, columns: Sequence[str]) -> BatchPredicate:
+        fn = self.inner.compile_batch(columns)
+        return lambda batch: mask_not(fn(batch))
+
     def to_sql(self) -> Tuple[str, List[Any]]:
         sql, params = self.inner.to_sql()
         return f"NOT ({sql})", params
@@ -221,6 +307,9 @@ class TruePredicate(Predicate):
 
     def compile(self, columns: Sequence[str]) -> RowPredicate:
         return lambda row: True
+
+    def compile_batch(self, columns: Sequence[str]) -> BatchPredicate:
+        return lambda batch: bytearray(b"\x01") * len(batch)
 
     def to_sql(self) -> Tuple[str, List[Any]]:
         return "1 = 1", []

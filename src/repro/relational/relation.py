@@ -1,10 +1,19 @@
 """Materialized relations and the relational-algebra operators.
 
-A :class:`Relation` is an immutable (column-names, row-list) pair — the
-intermediate result format flowing between operators.  Operators are
+A :class:`Relation` is an immutable set of named columns — internally a
+tuple of parallel value lists, the same layout as
+:class:`~repro.relational.batch.ColumnBatch` — with row tuples
+materialized lazily only when a consumer asks for them.  Operators are
 free functions so plans compose as plain Python expressions; each one
 materializes its output, which keeps the cost model transparent for the
 benchmarks (every operator's work is visible, nothing is deferred).
+
+Columnar operators (``select``/``project``/``rename``/``order_by``/
+``limit``) never touch row tuples: selection is a vectorized predicate
+producing a bitmap that is applied per column, projection and rename
+share the input's column lists outright, and ordering is an argsort
+over the key columns.  Row-shaped operators (joins, aggregation,
+``distinct``) stream tuples via :meth:`Relation.iter_rows`.
 
 Join strategy: equi-joins are hash joins (build on the smaller input),
 the only join the catalog's plans need.  Grouped aggregation is
@@ -13,25 +22,69 @@ one-pass hash aggregation.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from .batch import ColumnBatch
 from .errors import PlanError
 from .predicate import Predicate
 from .table import Table
 
 
 class Relation:
-    """An ordered bag of tuples with named columns."""
+    """An ordered bag of tuples with named columns, stored columnar."""
 
-    __slots__ = ("columns", "rows")
+    __slots__ = ("columns", "_data", "_rows")
 
-    def __init__(self, columns: Sequence[str], rows: List[tuple]) -> None:
+    def __init__(self, columns: Sequence[str], rows: Sequence[tuple]) -> None:
         self.columns: Tuple[str, ...] = tuple(columns)
-        self.rows = rows
+        self._rows: Optional[List[tuple]] = list(rows)
+        self._data: Optional[Tuple[List[Any], ...]] = None
+
+    @classmethod
+    def from_columns(cls, columns: Sequence[str], data: Sequence[List[Any]]) -> "Relation":
+        """Build directly from parallel column lists (no row tuples).
+
+        The lists are adopted, not copied — callers hand over ownership.
+        """
+        if len(columns) != len(data):
+            raise PlanError(
+                f"need one column list per name: {len(columns)} names, "
+                f"{len(data)} columns"
+            )
+        rel = cls.__new__(cls)
+        rel.columns = tuple(columns)
+        rel._data = tuple(data)
+        rel._rows = None
+        return rel
 
     @classmethod
     def from_table(cls, table: Table) -> "Relation":
-        return cls(table.column_names, table.rows())
+        return cls.from_columns(table.column_names, table.live_columns())
+
+    @property
+    def data(self) -> Tuple[List[Any], ...]:
+        """Parallel column lists (treat as read-only)."""
+        if self._data is None:
+            rows = self._rows or []
+            self._data = tuple(
+                [row[i] for row in rows] for i in range(len(self.columns))
+            )
+        return self._data
+
+    @property
+    def rows(self) -> List[tuple]:
+        """Row tuples, materialized (and cached) on first access."""
+        if self._rows is None:
+            data = self._data
+            self._rows = list(zip(*data)) if data else []
+        return self._rows
+
+    def iter_rows(self) -> Iterator[tuple]:
+        """Stream row tuples without caching the materialized list."""
+        if self._rows is not None:
+            return iter(self._rows)
+        data = self._data
+        return zip(*data) if data else iter(())
 
     def position(self, column: str) -> int:
         try:
@@ -43,39 +96,51 @@ class Relation:
         return tuple(self.position(c) for c in columns)
 
     def __len__(self) -> int:
-        return len(self.rows)
+        if self._rows is not None:
+            return len(self._rows)
+        data = self._data
+        return len(data[0]) if data else 0
 
     def __iter__(self):
-        return iter(self.rows)
+        return self.iter_rows()
 
     def column_values(self, column: str) -> List[Any]:
+        if self._data is not None:
+            return list(self._data[self.position(column)])
         p = self.position(column)
         return [row[p] for row in self.rows]
 
     def to_dicts(self) -> List[Dict[str, Any]]:
         cols = self.columns
-        return [dict(zip(cols, row)) for row in self.rows]
+        return [dict(zip(cols, row)) for row in self.iter_rows()]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Relation({list(self.columns)}, rows={len(self.rows)})"
+        return f"Relation({list(self.columns)}, rows={len(self)})"
 
 
 def scan(table: Table) -> Relation:
-    """Full scan of a table into a relation."""
+    """Full scan of a table into a relation (columnar copy-out)."""
     return Relation.from_table(table)
 
 
 def select(relation: Relation, predicate: Predicate) -> Relation:
-    """Filter rows by a predicate."""
-    fn = predicate.compile(relation.columns)
-    return Relation(relation.columns, [row for row in relation.rows if fn(row)])
+    """Filter rows by a predicate, evaluated vectorized per column."""
+    data = relation.data
+    mask = predicate.compile_batch(relation.columns)(
+        ColumnBatch(relation.columns, data)
+    )
+    out = [
+        [value for value, bit in zip(col, mask) if bit] for col in data
+    ]
+    return Relation.from_columns(relation.columns, out)
 
 
 def project(relation: Relation, columns: Sequence[str]) -> Relation:
-    """Keep only ``columns`` (in the given order)."""
+    """Keep only ``columns`` (in the given order) — a column pick that
+    shares the input's value lists, no per-row work at all."""
     positions = relation.positions(columns)
-    rows = [tuple(row[p] for p in positions) for row in relation.rows]
-    return Relation(columns, rows)
+    data = relation.data
+    return Relation.from_columns(columns, [data[p] for p in positions])
 
 
 def rename(relation: Relation, mapping: Dict[str, str]) -> Relation:
@@ -83,14 +148,14 @@ def rename(relation: Relation, mapping: Dict[str, str]) -> Relation:
     columns = [mapping.get(c, c) for c in relation.columns]
     if len(set(columns)) != len(columns):
         raise PlanError(f"rename produced duplicate columns: {columns}")
-    return Relation(columns, relation.rows)
+    return Relation.from_columns(columns, relation.data)
 
 
 def distinct(relation: Relation) -> Relation:
     """Remove duplicate rows, preserving first-seen order."""
     seen = set()
     rows = []
-    for row in relation.rows:
+    for row in relation.iter_rows():
         if row not in seen:
             seen.add(row)
             rows.append(row)
@@ -99,33 +164,48 @@ def distinct(relation: Relation) -> Relation:
 
 def extend(relation: Relation, column: str, fn: Callable[[tuple], Any]) -> Relation:
     """Append a computed column."""
-    rows = [row + (fn(row),) for row in relation.rows]
-    return Relation(list(relation.columns) + [column], rows)
+    data = relation.data
+    computed = [fn(row) for row in relation.iter_rows()]
+    return Relation.from_columns(
+        list(relation.columns) + [column], list(data) + [computed]
+    )
 
 
 def constant_column(relation: Relation, column: str, value: Any) -> Relation:
-    rows = [row + (value,) for row in relation.rows]
-    return Relation(list(relation.columns) + [column], rows)
+    data = relation.data
+    return Relation.from_columns(
+        list(relation.columns) + [column], list(data) + [[value] * len(relation)]
+    )
 
 
 def union_all(a: Relation, b: Relation) -> Relation:
     if a.columns != b.columns:
         raise PlanError(f"union of incompatible relations: {a.columns} vs {b.columns}")
-    return Relation(a.columns, a.rows + b.rows)
+    return Relation.from_columns(
+        a.columns, [ca + cb for ca, cb in zip(a.data, b.data)]
+    )
 
 
 def order_by(relation: Relation, columns: Sequence[str], descending: bool = False) -> Relation:
+    """Sort by key columns via argsort: order the positions once, then
+    gather every column along the permutation."""
     positions = relation.positions(columns)
-    rows = sorted(
-        relation.rows,
-        key=lambda row: tuple(row[p] for p in positions),
+    data = relation.data
+    key_cols = [data[p] for p in positions]
+    order = sorted(
+        range(len(relation)),
+        key=lambda i: tuple(col[i] for col in key_cols),
         reverse=descending,
     )
-    return Relation(relation.columns, rows)
+    return Relation.from_columns(
+        relation.columns, [[col[i] for i in order] for col in data]
+    )
 
 
 def limit(relation: Relation, n: int) -> Relation:
-    return Relation(relation.columns, relation.rows[:n])
+    return Relation.from_columns(
+        relation.columns, [col[:n] for col in relation.data]
+    )
 
 
 def hash_join(
@@ -158,15 +238,15 @@ def hash_join(
     out_columns = list(left.columns) + right_out_names
 
     rows: List[tuple] = []
-    if len(left.rows) <= len(right.rows):
+    if len(left) <= len(right):
         # Build on left, probe right.
         buckets: Dict[tuple, List[tuple]] = {}
-        for row in left.rows:
+        for row in left.iter_rows():
             key = tuple(row[p] for p in lpos)
             if None in key:
                 continue
             buckets.setdefault(key, []).append(row)
-        for rrow in right.rows:
+        for rrow in right.iter_rows():
             key = tuple(rrow[p] for p in rpos)
             matches = buckets.get(key)
             if matches:
@@ -175,12 +255,12 @@ def hash_join(
                     rows.append(lrow + tail)
     else:
         buckets = {}
-        for rrow in right.rows:
+        for rrow in right.iter_rows():
             key = tuple(rrow[p] for p in rpos)
             if None in key:
                 continue
             buckets.setdefault(key, []).append(tuple(rrow[i] for i in right_keep))
-        for lrow in left.rows:
+        for lrow in left.iter_rows():
             key = tuple(lrow[p] for p in lpos)
             tails = buckets.get(key)
             if tails:
@@ -193,8 +273,8 @@ def semi_join(left: Relation, right: Relation, on: Sequence[Tuple[str, str]]) ->
     """Rows of ``left`` with at least one match in ``right``."""
     lpos = left.positions([l for l, _ in on])
     rpos = right.positions([r for _, r in on])
-    keys = {tuple(row[p] for p in rpos) for row in right.rows}
-    rows = [row for row in left.rows if tuple(row[p] for p in lpos) in keys]
+    keys = {tuple(row[p] for p in rpos) for row in right.iter_rows()}
+    rows = [row for row in left.iter_rows() if tuple(row[p] for p in lpos) in keys]
     return Relation(left.columns, rows)
 
 
@@ -202,8 +282,8 @@ def anti_join(left: Relation, right: Relation, on: Sequence[Tuple[str, str]]) ->
     """Rows of ``left`` with no match in ``right``."""
     lpos = left.positions([l for l, _ in on])
     rpos = right.positions([r for _, r in on])
-    keys = {tuple(row[p] for p in rpos) for row in right.rows}
-    rows = [row for row in left.rows if tuple(row[p] for p in lpos) not in keys]
+    keys = {tuple(row[p] for p in rpos) for row in right.iter_rows()}
+    rows = [row for row in left.iter_rows() if tuple(row[p] for p in lpos) not in keys]
     return Relation(left.columns, rows)
 
 
@@ -278,7 +358,7 @@ def group_by(
                 state.append(None)
         return state
 
-    for row in relation.rows:
+    for row in relation.iter_rows():
         key = tuple(row[p] for p in key_pos)
         state = groups.get(key)
         if state is None:

@@ -1,17 +1,34 @@
-"""Heap tables with hash and sorted secondary indexes.
+"""Columnar tables with hash and sorted secondary indexes.
 
-Rows are stored as plain tuples in a Python list (the "heap"); deleted
-slots are tombstoned with ``None`` and compacted lazily.  Indexes map
-key tuples to lists of row ids.  This mirrors the storage model of the
-RDBMS the paper ran on closely enough for the relative costs the
-benchmarks measure (scans vs index lookups vs joins) to be meaningful.
+Storage is column-oriented: one parallel Python list per column plus a
+validity bitmap (``bytearray``, ``1`` = live, ``0`` = tombstone).  A row
+id is a position shared by every column list, so rows are materialized
+as tuples only at the edges (``fetch``/``scan``/``lookup``); scans,
+predicate evaluation (:meth:`Table.matching_rowids`), and bulk deletes
+run as single passes over whole columns.  Indexes map key tuples to
+lists of row ids, as before.  The relative costs the benchmarks measure
+(scans vs index lookups vs joins) still mirror the RDBMS the paper ran
+on; the columnar layout removes the per-row interpretation overhead the
+old heap-of-tuples design paid on every cold scan (ROADMAP item 3).
 """
 
 from __future__ import annotations
 
 import bisect
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+import sys
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
+from .batch import ColumnBatch
 from .errors import ConstraintError, TableError
 from .predicate import Predicate
 from .types import Column
@@ -98,6 +115,24 @@ class SortedIndex:
                 return
             i += 1
 
+    def remove_many(self, rowids: Set[int]) -> None:
+        """Drop every entry whose rowid is in ``rowids`` in one pass.
+
+        Each rowid appears at most once, so a single filtering rebuild
+        is O(n) total — versus O(n) *per victim* for repeated deletes
+        from the parallel lists.
+        """
+        if not rowids:
+            return
+        new_keys: List[Any] = []
+        new_rowids: List[int] = []
+        for key, rid in zip(self.keys, self.rowids):
+            if rid not in rowids:
+                new_keys.append(key)
+                new_rowids.append(rid)
+        self.keys = new_keys
+        self.rowids = new_rowids
+
     def range(self, low: Any = None, high: Any = None, low_inclusive: bool = True, high_inclusive: bool = True) -> List[int]:
         lo = 0
         hi = len(self.keys)
@@ -109,7 +144,7 @@ class SortedIndex:
 
 
 class Table:
-    """A heap table with a schema, optional primary key, and indexes."""
+    """A columnar table with a schema, optional primary key, and indexes."""
 
     def __init__(
         self,
@@ -126,7 +161,11 @@ class Table:
         self.columns: Tuple[Column, ...] = tuple(columns)
         self.column_names: Tuple[str, ...] = tuple(names)
         self._positions: Dict[str, int] = {n: i for i, n in enumerate(names)}
-        self._rows: List[Optional[tuple]] = []
+        #: One value list per column; parallel, equal length.  A row id
+        #: is a shared position.  Tombstoned slots hold None in every
+        #: column and a 0 bit in the validity bitmap.
+        self._cols: Tuple[List[Any], ...] = tuple([] for _ in names)
+        self._valid = bytearray()
         self._live = 0
         #: Undo journal shared with the owning Database while a
         #: transaction is active; None otherwise (zero overhead).
@@ -164,17 +203,15 @@ class Table:
     def create_index(self, name: str, columns: Sequence[str], unique: bool = False) -> HashIndex:
         positions = self.positions(columns)
         index = HashIndex(name, columns, positions, unique)
-        for rowid, row in enumerate(self._rows):
-            if row is not None:
-                index.add(rowid, row)
+        for rowid in self.live_rowids():
+            index.add(rowid, self._row(rowid))
         self._hash_indexes.append(index)
         return index
 
     def create_sorted_index(self, name: str, column: str) -> SortedIndex:
         index = SortedIndex(name, column, self.position(column))
-        for rowid, row in enumerate(self._rows):
-            if row is not None:
-                index.add(rowid, row)
+        for rowid in self.live_rowids():
+            index.add(rowid, self._row(rowid))
         self._sorted_indexes.append(index)
         return index
 
@@ -201,7 +238,7 @@ class Table:
                 f"table {self.name!r} expects {len(self.columns)} values, got {len(values)}"
             )
         row = tuple(col.validate(v) for col, v in zip(self.columns, values))
-        rowid = len(self._rows)
+        rowid = len(self._valid)
         # Validate unique indexes before touching any of them so a
         # constraint failure leaves the table unchanged.
         for index in self._hash_indexes:
@@ -209,7 +246,9 @@ class Table:
                 raise ConstraintError(
                     f"unique index {index.name!r} violated for key {index.key_of(row)!r}"
                 )
-        self._rows.append(row)
+        for col, value in zip(self._cols, row):
+            col.append(value)
+        self._valid.append(1)
         self._live += 1
         for index in self._hash_indexes:
             index.add(rowid, row)
@@ -234,20 +273,25 @@ class Table:
         return count
 
     def delete_where(self, predicate: Predicate) -> int:
-        fn = predicate.compile(self.column_names)
-        deleted = 0
-        for rowid, row in enumerate(self._rows):
-            if row is not None and fn(row):
-                self._tombstone(rowid, row)
-                deleted += 1
-        return deleted
+        """Tombstone every matching row in one batched pass.
+
+        The predicate is evaluated vectorized over whole columns, then
+        all victims are journalled / unindexed / cleared together —
+        sorted indexes in particular rebuild once instead of paying a
+        bisect-and-shift per row.
+        """
+        victims = self.matching_rowids(predicate)
+        if victims:
+            self._tombstone_many(victims)
+        return len(victims)
 
     def clear(self) -> None:
         if self.journal is not None:
-            for rowid, row in enumerate(self._rows):
-                if row is not None:
-                    self.journal.append((self, rowid, row))
-        self._rows.clear()
+            for rowid in self.live_rowids():
+                self.journal.append((self, rowid, self._row(rowid)))
+        for col in self._cols:
+            col.clear()
+        self._valid = bytearray()
         self._live = 0
         for index in self._hash_indexes:
             index.buckets.clear()
@@ -256,7 +300,9 @@ class Table:
             sindex.rowids.clear()
 
     def _tombstone(self, rowid: int, row: tuple) -> None:
-        self._rows[rowid] = None
+        self._valid[rowid] = 0
+        for col in self._cols:
+            col[rowid] = None
         self._live -= 1
         for index in self._hash_indexes:
             index.remove(rowid, row)
@@ -265,28 +311,59 @@ class Table:
         if self.journal is not None:
             self.journal.append((self, rowid, row))
 
+    def _tombstone_many(self, rowids: Sequence[int]) -> None:
+        """Tombstone ``rowids`` (ascending, live) with batched index
+        maintenance.  Journal entries stay per-row and in ascending
+        order, so rollback replays identically to the per-row path."""
+        rows = [self._row(rowid) for rowid in rowids]
+        for index in self._hash_indexes:
+            for rowid, row in zip(rowids, rows):
+                index.remove(rowid, row)
+        if self._sorted_indexes:
+            gone = set(rowids)
+            for sindex in self._sorted_indexes:
+                sindex.remove_many(gone)
+        valid = self._valid
+        cols = self._cols
+        for rowid in rowids:
+            valid[rowid] = 0
+            for col in cols:
+                col[rowid] = None
+        self._live -= len(rowids)
+        if self.journal is not None:
+            for rowid, row in zip(rowids, rows):
+                self.journal.append((self, rowid, row))
+
     # ------------------------------------------------------------------
     # Undo (transaction rollback; journal entries replay in reverse so
     # the table returns to exactly its pre-transaction state)
     # ------------------------------------------------------------------
     def _undo_insert(self, rowid: int) -> None:
-        row = self._rows[rowid]
-        if row is None:
+        if rowid >= len(self._valid) or not self._valid[rowid]:
             return
+        row = self._row(rowid)
         for index in self._hash_indexes:
             index.remove(rowid, row)
         for sindex in self._sorted_indexes:
             sindex.remove(rowid, row)
-        if rowid == len(self._rows) - 1:
-            self._rows.pop()
+        if rowid == len(self._valid) - 1:
+            for col in self._cols:
+                col.pop()
+            self._valid.pop()
         else:
-            self._rows[rowid] = None
+            self._valid[rowid] = 0
+            for col in self._cols:
+                col[rowid] = None
         self._live -= 1
 
     def _undo_delete(self, rowid: int, row: tuple) -> None:
-        while len(self._rows) <= rowid:
-            self._rows.append(None)
-        self._rows[rowid] = row
+        while len(self._valid) <= rowid:
+            for col in self._cols:
+                col.append(None)
+            self._valid.append(0)
+        for col, value in zip(self._cols, row):
+            col[rowid] = value
+        self._valid[rowid] = 1
         self._live += 1
         for index in self._hash_indexes:
             index.add(rowid, row)
@@ -299,27 +376,45 @@ class Table:
     def __len__(self) -> int:
         return self._live
 
+    def _row(self, rowid: int) -> tuple:
+        return tuple(col[rowid] for col in self._cols)
+
+    @property
+    def _compact(self) -> bool:
+        """True when there are no tombstones (every slot is live)."""
+        return self._live == len(self._valid)
+
+    def live_rowids(self) -> Iterator[int]:
+        """Row ids of live rows, ascending."""
+        if self._compact:
+            return iter(range(len(self._valid)))
+        return (i for i, bit in enumerate(self._valid) if bit)
+
     def scan(self) -> Iterator[tuple]:
         """All live rows in insertion order."""
-        for row in self._rows:
-            if row is not None:
-                yield row
+        if not self._cols:
+            return iter(())
+        if self._compact:
+            return zip(*self._cols)
+        valid = self._valid
+        return (
+            row for i, row in enumerate(zip(*self._cols)) if valid[i]
+        )
 
     def rows(self) -> List[tuple]:
-        return [row for row in self._rows if row is not None]
+        return list(self.scan())
 
     def fetch(self, rowid: int) -> tuple:
-        row = self._rows[rowid]
-        if row is None:
+        if rowid >= len(self._valid) or not self._valid[rowid]:
             raise TableError(f"row {rowid} of table {self.name!r} was deleted")
-        return row
+        return self._row(rowid)
 
     def lookup(self, columns: Sequence[str], key: Sequence[Any]) -> List[tuple]:
         """Equality lookup, via an index when one covers ``columns``."""
         index = self.find_hash_index(columns)
         key_t = tuple(key)
         if index is not None:
-            return [self._rows[rid] for rid in index.lookup(key_t)]  # type: ignore[misc]
+            return [self._row(rid) for rid in index.lookup(key_t)]
         positions = self.positions(columns)
         return [
             row
@@ -327,20 +422,96 @@ class Table:
             if tuple(row[p] for p in positions) == key_t
         ]
 
-    def estimated_bytes(self) -> int:
-        """Rough storage accounting used by the storage benchmarks (E5)."""
-        total = 0
-        for row in self.scan():
-            for value in row:
+    def lookup_rowids(self, columns: Sequence[str], key: Sequence[Any]) -> List[int]:
+        """Row ids for an equality lookup — lets callers probe single
+        columns (:meth:`column_data`) without materializing tuples."""
+        index = self.find_hash_index(columns)
+        key_t = tuple(key)
+        if index is not None:
+            return list(index.lookup(key_t))
+        positions = self.positions(columns)
+        cols = [self._cols[p] for p in positions]
+        return [
+            rid
+            for rid in self.live_rowids()
+            if tuple(col[rid] for col in cols) == key_t
+        ]
+
+    # ------------------------------------------------------------------
+    # Columnar access (batch execution surface)
+    # ------------------------------------------------------------------
+    def column_data(self, column: str) -> List[Any]:
+        """The raw value column, one slot per row id (tombstoned slots
+        hold None).  A borrowed view: callers must not mutate it and
+        should pair slot probes with :meth:`validity`."""
+        return self._cols[self.position(column)]
+
+    def validity(self) -> bytearray:
+        """The validity bitmap (borrowed view; 1 = live)."""
+        return self._valid
+
+    def batch(self) -> ColumnBatch:
+        """The whole table as one borrowed ColumnBatch (all slots,
+        including tombstones — filter with :meth:`validity`)."""
+        return ColumnBatch(self.column_names, self._cols)
+
+    def matching_rowids(self, predicate: Predicate) -> List[int]:
+        """Row ids of live rows matching ``predicate``, ascending.
+
+        Evaluates the vectorized predicate over the full column batch,
+        then masks with validity (tombstoned slots are all-None, which
+        e.g. ``IsNull`` would otherwise match)."""
+        mask = predicate.compile_batch(self.column_names)(self.batch())
+        valid = self._valid
+        return [i for i, bit in enumerate(mask) if bit and valid[i]]
+
+    def live_columns(self) -> List[List[Any]]:
+        """Copies of every column restricted to live rows, in rowid
+        order — the columnar bulk-export used by ``Relation.from_table``."""
+        if self._compact:
+            return [list(col) for col in self._cols]
+        valid = self._valid
+        return [
+            [value for value, bit in zip(col, valid) if bit]
+            for col in self._cols
+        ]
+
+    def iter_values(self, *columns: str) -> Iterator[tuple]:
+        """Tuples of the named columns for live rows, in rowid order —
+        a projection scan that never touches unreferenced columns."""
+        cols = [self._cols[self.position(c)] for c in columns]
+        if self._compact:
+            return zip(*cols)
+        valid = self._valid
+        return (
+            vals for i, vals in enumerate(zip(*cols)) if valid[i]
+        )
+
+    # ------------------------------------------------------------------
+    # Storage accounting
+    # ------------------------------------------------------------------
+    def storage_breakdown(self) -> Dict[str, int]:
+        """Per-column storage bytes: the column list's own footprint
+        (slot pointers + list header, via ``sys.getsizeof``) plus the
+        payload of live values (strings by length, numbers as 8 bytes).
+        Includes a ``"<validity>"`` entry for the tombstone bitmap."""
+        breakdown: Dict[str, int] = {"<validity>": sys.getsizeof(self._valid)}
+        for name, col in zip(self.column_names, self._cols):
+            total = sys.getsizeof(col)
+            for value in col:
                 if value is None:
-                    total += 1
-                elif isinstance(value, str):
+                    continue
+                if isinstance(value, str):
                     total += len(value)
-                elif isinstance(value, float):
-                    total += 8
                 else:
                     total += 8
-        return total
+            breakdown[name] = total
+        return breakdown
+
+    def estimated_bytes(self) -> int:
+        """Actual columnar storage: per-column sizes + validity bitmap
+        (used by the storage benchmarks, E5)."""
+        return sum(self.storage_breakdown().values())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Table({self.name!r}, rows={self._live})"

@@ -1,0 +1,4 @@
+"""Fixture: sqlite executor whose declaration drifted from the IR —
+one kind missing, one kind that no longer exists."""
+
+HANDLED_STAGE_KINDS = ("element-seek", "full-scan")

@@ -1,0 +1,19 @@
+"""Fixture: stage IR whose kinds the executors fail to mirror."""
+
+
+class BadSeek:
+    kind = "element-seek"
+
+    __slots__ = ("qelem_id",)
+
+    def __init__(self, qelem_id):
+        self.qelem_id = qelem_id
+
+
+class BadIntersect:
+    kind = "object-intersect"
+
+    __slots__ = ("arity",)
+
+    def __init__(self, arity):
+        self.arity = arity

@@ -1,0 +1,5 @@
+"""Fixture: memory executor with no stage-surface declaration at all."""
+
+
+def match_objects(plan):
+    return []

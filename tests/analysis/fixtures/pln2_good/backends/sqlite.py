@@ -1,0 +1,3 @@
+"""Fixture: sqlite executor mirroring the memory declaration."""
+
+HANDLED_STAGE_KINDS = ("object-intersect", "element-seek")

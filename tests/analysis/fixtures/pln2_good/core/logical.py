@@ -1,0 +1,21 @@
+"""Fixture: stage IR whose kinds both executors mirror (PLN02-clean)."""
+
+
+class GoodSeek:
+    kind = "element-seek"
+
+    __slots__ = ("qelem_id", "op", "est_rows")
+
+    def __init__(self, qelem_id, op, est_rows):
+        self.qelem_id = qelem_id
+        self.op = op
+        self.est_rows = est_rows
+
+
+class GoodIntersect:
+    kind = "object-intersect"
+
+    __slots__ = ("arity",)
+
+    def __init__(self, arity):
+        self.arity = arity

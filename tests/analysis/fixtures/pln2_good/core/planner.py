@@ -1,0 +1,3 @@
+"""Fixture: memory executor declaring the full stage surface."""
+
+HANDLED_STAGE_KINDS = ("element-seek", "object-intersect")

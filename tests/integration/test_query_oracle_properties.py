@@ -125,3 +125,17 @@ def test_sqlite_matches_memory(memory_env, sqlite_env, query):
     memory, _ = memory_env
     sqlite, _ = sqlite_env
     assert memory.query(query) == sqlite.query(query)
+
+
+@settings(max_examples=120, deadline=None)
+@given(queries)
+def test_batch_interpreter_matches_rows_interpreter(memory_env, query):
+    # The columnar interpreter and the retained row-at-a-time reference
+    # must agree on every query shape — the refactor's safety net.
+    from repro.core.planner import match_objects_memory, match_objects_memory_rows
+
+    catalog, _documents = memory_env
+    shredded = shred_query(query, catalog.registry)
+    batch_ids = match_objects_memory(catalog.store, shredded)
+    row_ids = match_objects_memory_rows(catalog.store, shredded)
+    assert batch_ids == row_ids

@@ -1,4 +1,6 @@
-"""Unit tests for heap tables and indexes."""
+"""Unit tests for columnar tables and indexes."""
+
+import sys
 
 import pytest
 
@@ -133,6 +135,30 @@ class TestIndexes:
         index = t.create_sorted_index("by_x", "x")
         assert index.range() == [1]
 
+    def test_sorted_index_duplicate_keys(self):
+        t = Table("t", [integer("x")])
+        for x in (7, 7, 7, 3, 9):
+            t.insert([x])
+        index = t.create_sorted_index("by_x", "x")
+        # All three duplicates fall inside a closed [7, 7] range...
+        assert sorted(index.range(low=7, high=7)) == [0, 1, 2]
+        # ...and an exclusive bound excludes the whole duplicate run,
+        # not just its first entry.
+        assert index.range(low=7, high=9, low_inclusive=False) == [4]
+        assert sorted(index.range(low=3, high=7, high_inclusive=False)) == [3]
+
+    def test_sorted_index_range_excludes_tombstones(self):
+        t = Table("t", [integer("id"), integer("x")], primary_key=["id"])
+        for i in range(6):
+            t.insert([i, 10 * i])
+        index = t.create_sorted_index("by_x", "x")
+        t.delete_where(eq("x", 20))
+        rowids = index.range(low=0, high=50)
+        assert 2 not in rowids
+        assert sorted(rowids) == [0, 1, 3, 4, 5]
+        # Boundary rows next to the tombstone survive untouched.
+        assert sorted(index.range(low=10, high=30)) == [1, 3]
+
 
 class TestDelete:
     def test_delete_where(self, people):
@@ -160,6 +186,24 @@ class TestDelete:
         assert len(people) == 0
         assert people.lookup(["age"], [30.0]) == []
 
+    def test_bulk_delete_single_pass(self):
+        # Regression: delete_where must tombstone every match in one
+        # pass, keeping hash and sorted indexes consistent even when
+        # the predicate hits a large, interleaved set of rows.
+        t = Table("t", [integer("id"), text("kind"), real("w")],
+                  primary_key=["id"])
+        t.create_index("by_kind", ["kind"])
+        sorted_index = t.create_sorted_index("by_w", "w")
+        for i in range(200):
+            t.insert([i, "even" if i % 2 == 0 else "odd", float(i)])
+        deleted = t.delete_where(eq("kind", "even"))
+        assert deleted == 100
+        assert len(t) == 100
+        assert t.lookup(["kind"], ["even"]) == []
+        assert len(t.lookup(["kind"], ["odd"])) == 100
+        assert len(sorted_index.range(low=0.0, high=199.0)) == 100
+        assert all(r[0] % 2 == 1 for r in t.scan())
+
     def test_reinsert_pk_after_delete(self, people):
         people.delete_where(eq("id", 1))
         people.insert([1, "ann2", 31.0])
@@ -173,4 +217,26 @@ class TestAccounting:
     def test_estimated_bytes_counts_strings(self):
         t = Table("t", [text("s")])
         t.insert(["abcd"])
-        assert t.estimated_bytes() == 4
+        breakdown = t.storage_breakdown()
+        # Columnar accounting: the string column carries the list's own
+        # footprint plus 4 payload bytes; the validity bitmap is listed
+        # separately.
+        assert breakdown["s"] == sys.getsizeof(t.column_data("s")) + 4
+        assert breakdown["<validity>"] == sys.getsizeof(t.validity())
+        assert t.estimated_bytes() == sum(breakdown.values())
+
+    def test_storage_breakdown_grows_with_payload(self):
+        t = Table("t", [text("s")])
+        t.insert(["x" * 100])
+        small = t.storage_breakdown()["s"]
+        t.insert(["y" * 1000])
+        assert t.storage_breakdown()["s"] >= small + 1000
+
+    def test_tombstoned_rows_free_payload_bytes(self):
+        t = Table("t", [integer("id"), text("s")], primary_key=["id"])
+        for i in range(10):
+            t.insert([i, "z" * 500])
+        before = t.estimated_bytes()
+        t.delete_where(eq("id", 3))
+        # The slot pointer survives (tombstone), the payload does not.
+        assert t.estimated_bytes() <= before - 500

@@ -166,6 +166,13 @@ class TestExplain:
         assert "plan_cache_misses_total" in out
         assert "plan_cache_size" in out
 
+    def test_stats_storage_lists_tables(self, loaded, capsys):
+        code, out, _err = run(capsys, "stats", "--db", loaded, "--storage")
+        assert code == 0
+        assert "storage:" in out
+        assert "elements" in out
+        assert "bytes" in out
+
 
 class TestFetchAndAdd:
     def test_fetch_roundtrip(self, loaded, capsys):
