@@ -1,0 +1,90 @@
+"""Content-addressed result cache for ``repro lint``.
+
+The whole-program engine parses every module and closes a call graph
+on each run; the ISSUE 9 CI gate requires a warm run to finish in
+≤ 1 s, which rules out redoing that work when nothing changed.  The
+cache therefore stores the *finished findings* keyed by a digest of
+every input that could change them:
+
+* the display path and full text of every linted module (and fault-
+  test module), via :func:`~repro.analysis.program.content_digest`;
+* a rule signature — the sorted ``(id, class name)`` pairs of the rule
+  set — so adding, removing, or renaming a rule invalidates entries;
+* a schema version constant, bumped when the Finding format moves.
+
+A hit replays the stored findings verbatim (including suppressed
+ones); a miss runs the engine and writes the entry.  Entries are
+plain JSON files named by their key under ``.repro-lint-cache/`` —
+inspectable, diffable, and safe to delete wholesale at any time.
+Corrupt or unreadable entries are treated as misses, never errors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .findings import Finding
+
+__all__ = ["LintResultCache", "rules_signature", "DEFAULT_CACHE_DIR"]
+
+_SCHEMA = "repro.lint-cache/v1"
+DEFAULT_CACHE_DIR = ".repro-lint-cache"
+
+
+def rules_signature(rules: Sequence[object]) -> str:
+    parts = sorted(
+        f"{getattr(r, 'id', '?')}:{type(r).__name__}" for r in rules
+    )
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()
+
+
+class LintResultCache:
+    """Findings keyed by (sources digest, rule signature)."""
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = directory
+        self.hit = False  # set by load(); CLI reports it in verbose runs
+
+    def _entry_path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    @staticmethod
+    def key_for(sources_digest: str, rule_sig: str) -> str:
+        return hashlib.sha256(
+            f"{_SCHEMA}|{sources_digest}|{rule_sig}".encode()
+        ).hexdigest()
+
+    def load(self, key: str) -> Optional[List[Finding]]:
+        self.hit = False
+        path = self._entry_path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if payload.get("schema") != _SCHEMA:
+            return None
+        try:
+            findings = [
+                Finding.from_dict(entry) for entry in payload["findings"]
+            ]
+        except (KeyError, TypeError, ValueError):
+            return None
+        self.hit = True
+        return findings
+
+    def store(self, key: str, findings: Sequence[Finding]) -> None:
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            payload = {
+                "schema": _SCHEMA,
+                "findings": [f.as_dict() for f in findings],
+            }
+            tmp = self._entry_path(key).with_suffix(".tmp")
+            tmp.write_text(json.dumps(payload, sort_keys=True))
+            tmp.replace(self._entry_path(key))
+        except OSError:
+            # A read-only checkout must still lint; caching is advisory.
+            pass

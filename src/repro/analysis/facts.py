@@ -1,0 +1,95 @@
+"""Greatest-fixpoint fact solving for the interprocedural rules.
+
+``rules/txn.py`` (PR 4) hand-rolled this loop for one question — which
+methods are only ever called under a transaction.  The pattern is
+general: start from the **top** of the lattice (every candidate holds
+the fact) and repeatedly drop any candidate whose supporting condition
+fails given the current set, until nothing changes.  Starting from the
+top yields the *greatest* fixpoint, which is what mutually-recursive
+helpers need: two methods that only call each other under a
+transaction both keep the fact, where a least fixpoint would strip
+both.
+
+:func:`greatest_fixpoint` is the shared engine; TXN01 now delegates to
+it, and the LCK rules use it for their lock-order edge propagation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Set, Tuple, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["greatest_fixpoint", "transitive_edges", "find_cycle"]
+
+
+def greatest_fixpoint(
+    candidates: Iterable[T],
+    holds: Callable[[T, Set[T]], bool],
+) -> Set[T]:
+    """The largest subset ``S`` of ``candidates`` such that
+    ``holds(x, S - {x})`` for every ``x`` in ``S``.
+
+    ``holds`` receives the candidate and the *other* members still
+    holding the fact, so conditions of the form "every caller is safe
+    or itself fact-holding" express mutual recursion naturally."""
+    current: Set[T] = set(candidates)
+    changed = True
+    while changed:
+        changed = False
+        for item in sorted(current, key=repr):
+            if not holds(item, current - {item}):
+                current.discard(item)
+                changed = True
+    return current
+
+
+def transitive_edges(
+    edges: Dict[T, Set[T]],
+) -> Dict[T, Set[T]]:
+    """Transitive closure of a small edge relation (the lock-order
+    graph has a handful of nodes; cubic is fine and obvious)."""
+    closure: Dict[T, Set[T]] = {k: set(v) for k, v in edges.items()}
+    changed = True
+    while changed:
+        changed = False
+        for node, succ in closure.items():
+            extra: Set[T] = set()
+            for nxt in succ:
+                extra |= closure.get(nxt, set())
+            if not extra <= succ:
+                succ |= extra
+                changed = True
+    return closure
+
+
+def find_cycle(edges: Dict[T, Set[T]]) -> Tuple[T, ...]:
+    """A node sequence forming a cycle in ``edges``, or ``()`` if the
+    graph is acyclic.  Deterministic: nodes are visited in sorted
+    order so reports are stable across runs."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: Dict[T, int] = {}
+    stack_path: list = []
+
+    def visit(node: T) -> Tuple[T, ...]:
+        color[node] = GRAY
+        stack_path.append(node)
+        for nxt in sorted(edges.get(node, ()), key=repr):
+            state = color.get(nxt, WHITE)
+            if state == GRAY:
+                start = stack_path.index(nxt)
+                return tuple(stack_path[start:] + [nxt])
+            if state == WHITE:
+                cycle = visit(nxt)
+                if cycle:
+                    return cycle
+        stack_path.pop()
+        color[node] = BLACK
+        return ()
+
+    for node in sorted(edges, key=repr):
+        if color.get(node, WHITE) == WHITE:
+            cycle = visit(node)
+            if cycle:
+                return cycle
+    return ()

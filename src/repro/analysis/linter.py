@@ -37,8 +37,10 @@ __all__ = [
     "active",
     "default_rules",
     "render_json_report",
+    "render_sarif_report",
     "render_text_report",
     "run_lint",
+    "source_texts",
 ]
 
 _PRAGMA_RE = re.compile(
@@ -62,6 +64,54 @@ def parse_pragmas(text: str) -> Dict[int, Set[str]]:
     return pragmas
 
 
+def expand_pragmas(
+    tree: ast.Module, pragmas: Dict[int, Set[str]]
+) -> Dict[int, Set[str]]:
+    """Widen the raw line→rules pragma map to cover whole statements.
+
+    Rules report on a statement's *first* line, but a pragma naturally
+    lives where the reader put it — on the closing line of a wrapped
+    call, or on a decorator above a ``def``.  Two widenings keep the
+    intended behavior:
+
+    * a pragma on **any** physical line of a simple (body-less)
+      statement applies to the statement's entire ``lineno..end_lineno``
+      range;
+    * a pragma on a decorator line of a function/class definition
+      applies to the ``def``/``class`` line itself (where PLN/PAR-style
+      definition findings anchor).
+
+    Compound statements (``if``/``with``/``for`` …) deliberately do not
+    spread a body pragma across the whole block — a waiver inside a
+    ``with`` must not silence an unrelated finding three lines up."""
+    if not pragmas:
+        return pragmas
+    expanded: Dict[int, Set[str]] = {k: set(v) for k, v in pragmas.items()}
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            for decorator in node.decorator_list:
+                for line in range(
+                    decorator.lineno, (decorator.end_lineno or decorator.lineno) + 1
+                ):
+                    rules = pragmas.get(line)
+                    if rules:
+                        expanded.setdefault(node.lineno, set()).update(rules)
+            continue
+        if not isinstance(node, ast.stmt) or hasattr(node, "body"):
+            continue
+        end = getattr(node, "end_lineno", None) or node.lineno
+        if end == node.lineno:
+            continue
+        span = range(node.lineno, end + 1)
+        hits: Set[str] = set()
+        for line in span:
+            hits.update(pragmas.get(line, ()))
+        if hits:
+            for line in span:
+                expanded.setdefault(line, set()).update(hits)
+    return expanded
+
+
 class SourceModule:
     """One parsed source file: AST, raw text, and pragma map."""
 
@@ -80,6 +130,8 @@ class SourceModule:
         except SyntaxError as exc:
             self.tree = None
             self.error = exc
+        if self.tree is not None:
+            self.pragmas = expand_pragmas(self.tree, self.pragmas)
 
     def endswith(self, *suffixes: str) -> bool:
         """Match by path suffix so rules target the same files in the
@@ -90,19 +142,44 @@ class SourceModule:
 
 class LintContext:
     """Everything a rule sees: parsed ``src`` modules plus the
-    ``tests/faults`` modules (for FLT01 coverage) and a findings sink."""
+    ``tests/faults`` modules (for FLT01 coverage), the shared
+    whole-program model, and a findings sink.
+
+    ``scope`` (``repro lint --changed``) restricts which modules
+    *file-level* rules report on — ``modules_matching`` filters to it —
+    while ``self.modules`` and the :class:`Program` always cover the
+    full tree, so interprocedural facts stay whole-program even when
+    only one file is being re-checked."""
 
     def __init__(
         self,
         modules: Sequence[SourceModule],
         fault_test_modules: Sequence[SourceModule] = (),
+        scope: Optional[Set[str]] = None,
     ) -> None:
         self.modules = list(modules)
         self.fault_test_modules = list(fault_test_modules)
         self.findings: List[Finding] = []
+        self.scope = scope
+        self._program = None
+
+    @property
+    def program(self):
+        """The shared whole-program model, built on first use."""
+        if self._program is None:
+            from .program import build_program
+
+            self._program = build_program(self.modules)
+        return self._program
+
+    def in_scope(self, module: SourceModule) -> bool:
+        return self.scope is None or module.display in self.scope
 
     def modules_matching(self, *suffixes: str) -> List[SourceModule]:
-        return [m for m in self.modules if m.endswith(*suffixes)]
+        return [
+            m for m in self.modules
+            if m.endswith(*suffixes) and self.in_scope(m)
+        ]
 
     def report(
         self,
@@ -250,19 +327,39 @@ def load_modules(root: Path, display_base: Optional[Path] = None) -> List[Source
     return [SourceModule(path, _display_for(path, base)) for path in _iter_py_files(root)]
 
 
+def source_texts(
+    root: Path, display_base: Optional[Path] = None
+) -> List[Tuple[str, str]]:
+    """``(display, text)`` pairs for the tree without parsing anything —
+    the cheap input to :func:`~repro.analysis.program.content_digest`
+    that lets a warm cached run skip AST construction entirely."""
+    base = display_base if display_base is not None else root.parent
+    out: List[Tuple[str, str]] = []
+    for path in _iter_py_files(root):
+        try:
+            text = path.read_text()
+        except OSError:
+            text = ""
+        out.append((_display_for(path, base), text))
+    return out
+
+
 def run_lint(
     src_root: Path,
     fault_tests_root: Optional[Path] = None,
     rules: Optional[Sequence[Rule]] = None,
     display_base: Optional[Path] = None,
+    scope: Optional[Set[str]] = None,
 ) -> List[Finding]:
     """Lint the tree rooted at ``src_root``; returns all findings
-    (including suppressed ones), sorted by location."""
+    (including suppressed ones), sorted by location.  ``scope`` limits
+    which files rules report on (``--changed``) without narrowing the
+    whole-program model."""
     modules = load_modules(src_root, display_base)
     fault_tests: List[SourceModule] = []
     if fault_tests_root is not None and fault_tests_root.is_dir():
         fault_tests = load_modules(fault_tests_root, display_base)
-    ctx = LintContext(modules, fault_tests)
+    ctx = LintContext(modules, fault_tests, scope=scope)
     for module in ctx.modules + ctx.fault_test_modules:
         if module.error is not None:
             ctx.report(
@@ -316,3 +413,70 @@ def parse_json_report(text: str) -> List[Finding]:
     """Inverse of :func:`render_json_report` (used by tooling/tests)."""
     payload = json.loads(text)
     return [Finding.from_dict(entry) for entry in payload.get("findings", ())]
+
+
+def render_sarif_report(
+    findings: Sequence[Finding],
+    rules: Optional[Sequence[Rule]] = None,
+) -> str:
+    """SARIF 2.1.0 report (``repro lint --sarif``) so CI can annotate
+    pull requests with findings in place.  Suppressed findings are
+    carried as SARIF suppressions rather than dropped, mirroring the
+    audit-visible waiver policy of the JSON report."""
+    rule_meta = {}
+    for rule in rules or default_rules():
+        rule_meta[rule.id] = {
+            "id": rule.id,
+            "shortDescription": {"text": rule.title or rule.id},
+        }
+    rule_meta.setdefault(
+        "PARSE",
+        {"id": "PARSE", "shortDescription": {"text": "file does not parse"}},
+    )
+    results = []
+    for f in findings:
+        rule_meta.setdefault(
+            f.rule_id,
+            {"id": f.rule_id, "shortDescription": {"text": f.rule_id}},
+        )
+        entry = {
+            "ruleId": f.rule_id,
+            "level": "error" if f.severity is Severity.ERROR else "warning",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path},
+                        "region": {"startLine": max(f.line, 1)},
+                    }
+                }
+            ],
+        }
+        if f.suppressed:
+            entry["suppressions"] = [
+                {"kind": "inSource", "justification": "reprolint: ignore pragma"}
+            ]
+        results.append(entry)
+    payload = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": "https://example.invalid/repro",
+                        "version": "1.0.0",
+                        "rules": [
+                            rule_meta[key] for key in sorted(rule_meta)
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -6,17 +6,26 @@ from typing import List
 
 from ..linter import Rule
 from .fault_sites import FaultSiteRule
+from .guarded_fields import GuardedFieldRule
+from .lock_discipline import LockOrderRule, LockReachabilityRule
 from .metrics import MetricNameRule
 from .parity import BackendParityRule
 from .plan_purity import PlanPurityRule
+from .resources import ResourceLifecycleRule
+from .sql_safety import SqlSafetyRule
 from .stage_surface import StageSurfaceRule
 from .txn import TxnSafetyRule
 
 __all__ = [
     "BackendParityRule",
     "FaultSiteRule",
+    "GuardedFieldRule",
+    "LockOrderRule",
+    "LockReachabilityRule",
     "MetricNameRule",
     "PlanPurityRule",
+    "ResourceLifecycleRule",
+    "SqlSafetyRule",
     "StageSurfaceRule",
     "TxnSafetyRule",
     "build_default_rules",
@@ -24,7 +33,7 @@ __all__ = [
 
 
 def build_default_rules() -> List[Rule]:
-    """All six repo rules, bound to the live site/metric registries."""
+    """All eleven repo rules, bound to the live site/metric registries."""
     return [
         TxnSafetyRule(),
         FaultSiteRule(),
@@ -32,4 +41,9 @@ def build_default_rules() -> List[Rule]:
         PlanPurityRule(),
         StageSurfaceRule(),
         BackendParityRule(),
+        LockReachabilityRule(),
+        LockOrderRule(),
+        GuardedFieldRule(),
+        ResourceLifecycleRule(),
+        SqlSafetyRule(),
     ]

@@ -1,0 +1,336 @@
+"""LCK01/LCK02 — interprocedural lock discipline.
+
+Since PR 5 the catalog's consistency under threads rests on a
+hand-maintained protocol: every store write runs under the write side
+of the store's RWLock (via ``run_transaction``/``transaction``), every
+read surface under the read side (``read_locked`` / the pooled
+``_reader``), and the sharding facade serializes id allocation and
+routing-map updates behind its own mutex.  Nothing enforced that
+protocol — deleting one ``with self.read_locked():`` would pass every
+functional test and fail only probabilistically under the concurrency
+suites.  These two rules make it machine-checked:
+
+* **LCK01** — every configured public read/write entry point on the
+  storage backends and on :class:`ShardedCatalog` must *reach* the
+  correct lock acquisition through the optimistic whole-program call
+  graph.  Over-approximate resolution is the right polarity here: a
+  call edge we cannot rule out may be the one that takes the lock, so
+  LCK01 only fires when **no** path can possibly acquire it.
+* **LCK02** — three lock-safety checks built on the *precise* call
+  graph (under-approximate: every reported chain is real):
+
+  - read→write **upgrades**: a write-side acquisition of the same lock
+    reachable from inside a read-side block (the RWLock raises at
+    runtime by design; the linter moves that to lint time);
+  - lock acquisitions inside **scatter-gather worker threads**
+    (functions handed to ``executor.submit`` must stay lock-free — a
+    worker queueing on a facade lock held across the fan-out is a
+    deadlock);
+  - the global **lock-order graph** (edges from lexically nested
+    ``with`` acquisitions plus precise interprocedural edges) must be
+    acyclic — a static deadlock detector.
+
+Context expressions of a ``with`` item evaluate *before* the lock is
+taken, so ``with self._rwlock().write_locked():`` contributes no edge
+from the RWLock to the init lock ``_rwlock`` takes internally.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..callgraph import CallGraph, LockAcquisition
+from ..facts import find_cycle
+from ..linter import LintContext, Rule, call_name
+from ..program import FunctionInfo
+
+__all__ = ["LockReachabilityRule", "LockOrderRule", "EntryPointSpec"]
+
+
+def shared_callgraph(ctx: LintContext) -> CallGraph:
+    """One CallGraph per lint run, shared by every rule that wants it."""
+    graph = getattr(ctx, "_callgraph", None)
+    if graph is None or graph.program is not ctx.program:
+        graph = CallGraph(ctx.program)
+        ctx._callgraph = graph
+    return graph
+
+
+class EntryPointSpec:
+    """Lock obligations for one class family: which public methods are
+    read/write entry points and which acquisition names discharge
+    each obligation."""
+
+    __slots__ = ("root", "read_entries", "write_entries",
+                 "read_protections", "write_protections")
+
+    def __init__(
+        self,
+        root: str,
+        read_entries: FrozenSet[str],
+        write_entries: FrozenSet[str],
+        read_protections: FrozenSet[str],
+        write_protections: FrozenSet[str],
+    ) -> None:
+        self.root = root
+        self.read_entries = read_entries
+        self.write_entries = write_entries
+        self.read_protections = read_protections
+        self.write_protections = write_protections
+
+
+#: Write entries hold the RWLock write side via the transaction
+#: protocol.  ``install_schema`` is deliberately absent: it runs on the
+#: construction path before the store is shared, by contract.
+_STORE_SPEC = EntryPointSpec(
+    root="HybridStore",
+    read_entries=frozenset({
+        "is_initialized", "attach_schema", "load_definition_rows",
+        "load_objects", "has_object", "object_count", "max_clob_seq",
+        "instance_counts", "match_objects", "collect_statistics",
+        "build_responses", "storage_report",
+    }),
+    write_entries=frozenset({
+        "sync_definitions", "store_object", "append_rows",
+        "delete_object", "remove_attribute_instance",
+    }),
+    # A write-side acquisition also excludes writers, so it satisfies a
+    # read obligation (the :memory: fast path reads on the writer
+    # connection inside an open transaction).
+    read_protections=frozenset({
+        "read_locked", "_reader", "write_locked", "transaction",
+        "run_transaction",
+    }),
+    write_protections=frozenset({
+        "run_transaction", "transaction", "write_locked",
+    }),
+)
+
+#: The facade's writes end on a shard's transaction protocol; its
+#: reads end on a shard store's read surface.
+_SHARD_SPEC = EntryPointSpec(
+    root="ShardedCatalog",
+    read_entries=frozenset({
+        "query", "explain", "fetch", "search", "collect_statistics",
+        "storage_report", "shard_status",
+    }),
+    write_entries=frozenset({
+        "ingest", "ingest_many", "delete", "add_attribute",
+        "remove_attribute", "define_attribute", "define_element",
+        "resync_definitions",
+    }),
+    read_protections=frozenset({
+        "read_locked", "_reader", "write_locked", "transaction",
+        "run_transaction",
+    }),
+    write_protections=frozenset({
+        "run_transaction", "transaction", "write_locked",
+    }),
+)
+
+DEFAULT_SPECS: Tuple[EntryPointSpec, ...] = (_STORE_SPEC, _SHARD_SPEC)
+
+
+class LockReachabilityRule(Rule):
+    """LCK01 — see module docstring."""
+
+    id = "LCK01"
+    title = "public entry points must reach their lock acquisitions"
+
+    def __init__(self, specs: Tuple[EntryPointSpec, ...] = DEFAULT_SPECS) -> None:
+        self.specs = specs
+
+    def check(self, ctx: LintContext) -> None:
+        graph = shared_callgraph(ctx)
+        program = ctx.program
+        for spec in self.specs:
+            for cls in program.subclasses_of(spec.root):
+                for mode, entries, protections in (
+                    ("read", spec.read_entries, spec.read_protections),
+                    ("write", spec.write_entries, spec.write_protections),
+                ):
+                    for name in sorted(entries):
+                        fn = cls.methods.get(name)
+                        if fn is None or fn.is_abstract():
+                            continue
+                        if not ctx.in_scope(fn.module.source):
+                            continue
+                        reached = graph.reachable_call_names(fn)
+                        if reached & protections:
+                            continue
+                        want = "/".join(sorted(protections))
+                        ctx.report(
+                            self.id, fn.module.source, fn.node.lineno,
+                            f"{cls.name}.{name} is a {mode} entry point but "
+                            f"no call path from it reaches a lock "
+                            f"acquisition ({want})",
+                        )
+
+
+class LockOrderRule(Rule):
+    """LCK02 — see module docstring."""
+
+    id = "LCK02"
+    title = "no lock upgrades, locked workers, or lock-order cycles"
+
+    def _body_members(
+        self, graph: CallGraph, acq: LockAcquisition
+    ) -> Set[ast.AST]:
+        """Nodes executed while ``acq`` is held: the with-body subtree,
+        minus nested function definitions (they run in their own
+        frame, possibly on another thread)."""
+        members: Set[ast.AST] = set()
+        program = graph.program
+
+        def visit(node: ast.AST) -> None:
+            for child in ast.iter_child_nodes(node):
+                if (
+                    isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and program.by_node.get(child) is not None
+                ):
+                    continue
+                members.add(child)
+                visit(child)
+
+        for stmt in acq.body:
+            members.add(stmt)
+            visit(stmt)
+        return members
+
+    def _calls_in(self, graph: CallGraph, fn: FunctionInfo,
+                  members: Set[ast.AST]) -> List[ast.Call]:
+        return [
+            call for call in graph.program.iter_calls(fn) if call in members
+        ]
+
+    # -- (a) read→write upgrades ---------------------------------------
+    def _check_upgrades(self, ctx: LintContext, graph: CallGraph,
+                        fn: FunctionInfo) -> None:
+        acquisitions = graph.acquisitions(fn)
+        for acq in acquisitions:
+            if acq.write:
+                continue
+            members = self._body_members(graph, acq)
+            for other in acquisitions:
+                if other.write and other.token == acq.token and (
+                    other.node in members
+                ):
+                    ctx.report(
+                        self.id, fn.module.source, other.node.lineno,
+                        f"read→write upgrade on {acq.token}: write-side "
+                        f"acquisition inside a read-locked block "
+                        f"(deadlocks a write-preferring RWLock)",
+                    )
+            for call in self._calls_in(graph, fn, members):
+                for target in graph.program.resolve_call(fn, call):
+                    if (acq.token, True) in graph.may_acquire(target):
+                        ctx.report(
+                            self.id, fn.module.source, call.lineno,
+                            f"read→write upgrade on {acq.token}: "
+                            f"{call_name(call)}() acquires the write side "
+                            f"while the read side is held here",
+                        )
+
+    # -- (b) locks inside scatter-gather workers ------------------------
+    def _worker_target(
+        self, graph: CallGraph, fn: FunctionInfo, arg: ast.AST
+    ) -> Optional[FunctionInfo]:
+        program = graph.program
+        if isinstance(arg, ast.Name):
+            for node in ast.walk(fn.node):
+                info = program.by_node.get(node)
+                if info is not None and info.name == arg.id and (
+                    info.parent is fn
+                ):
+                    return info
+        if isinstance(arg, ast.Attribute) and isinstance(arg.value, ast.Name):
+            if arg.value.id in ("self", "cls"):
+                cls = program.enclosing_class(fn)
+                if cls is not None:
+                    return program.resolve_method(cls, arg.attr)
+        return None
+
+    def _check_workers(self, ctx: LintContext, graph: CallGraph,
+                       fn: FunctionInfo) -> None:
+        for call in graph.program.iter_calls(fn):
+            if call_name(call) != "submit" or not call.args:
+                continue
+            target = self._worker_target(graph, fn, call.args[0])
+            if target is None:
+                continue
+            tokens = sorted({tok for tok, _w in graph.may_acquire(target)})
+            if tokens:
+                ctx.report(
+                    self.id, fn.module.source, call.lineno,
+                    f"worker {target.name}() submitted to an executor may "
+                    f"acquire {', '.join(tokens)}; scatter-gather workers "
+                    f"must stay lock-free (deadlock with the dispatching "
+                    f"thread's locks)",
+                )
+
+    # -- (c) lock-order graph ------------------------------------------
+    def _collect_edges(
+        self, ctx: LintContext, graph: CallGraph
+    ) -> Tuple[Dict[str, Set[str]], Dict[Tuple[str, str], Tuple]]:
+        edges: Dict[str, Set[str]] = {}
+        sites: Dict[Tuple[str, str], Tuple] = {}
+
+        def add_edge(a: str, b: str, module, line: int, why: str) -> None:
+            if a == b:
+                return
+            edges.setdefault(a, set()).add(b)
+            sites.setdefault((a, b), (module, line, why))
+
+        for fn in graph.program.functions.values():
+            acquisitions = graph.acquisitions(fn)
+            if not acquisitions:
+                continue
+            for acq in acquisitions:
+                members = self._body_members(graph, acq)
+                for other in acquisitions:
+                    if other is acq:
+                        continue
+                    if other.node in members:
+                        add_edge(
+                            acq.token, other.token,
+                            fn.module.source, other.node.lineno,
+                            f"nested with in {fn.name}",
+                        )
+                    elif other.node is acq.node:
+                        # `with a, b:` acquires left-to-right.
+                        if acquisitions.index(acq) < acquisitions.index(other):
+                            add_edge(
+                                acq.token, other.token,
+                                fn.module.source, other.node.lineno,
+                                f"multi-item with in {fn.name}",
+                            )
+                for call in self._calls_in(graph, fn, members):
+                    for target in graph.program.resolve_call(fn, call):
+                        for token, _w in graph.may_acquire(target):
+                            add_edge(
+                                acq.token, token,
+                                fn.module.source, call.lineno,
+                                f"{fn.name} calls {call_name(call)}",
+                            )
+        return edges, sites
+
+    def check(self, ctx: LintContext) -> None:
+        graph = shared_callgraph(ctx)
+        for fn in graph.program.functions.values():
+            if not ctx.in_scope(fn.module.source):
+                continue
+            self._check_upgrades(ctx, graph, fn)
+            self._check_workers(ctx, graph, fn)
+        edges, sites = self._collect_edges(ctx, graph)
+        cycle = find_cycle(edges)
+        if cycle:
+            first = sites.get((cycle[0], cycle[1]))
+            module, line = (first[0], first[1]) if first else (None, 1)
+            order = " -> ".join(cycle)
+            ctx.report(
+                self.id, module, line,
+                f"lock-order cycle {order}: these locks are acquired in "
+                f"both nesting orders, which can deadlock; pick one global "
+                f"order",
+            )

@@ -28,6 +28,7 @@ from __future__ import annotations
 import ast
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..facts import greatest_fixpoint
 from ..linter import (
     LintContext,
     Rule,
@@ -192,23 +193,19 @@ class TxnSafetyRule(Rule):
                     if callee in methods and callee != caller:
                         call_sites.setdefault(callee, []).append((caller, node))
 
-        # Greatest fixpoint: start from every internally-called method,
-        # drop any with a call site outside a safe context.
-        txn_only: Set[str] = {
-            name for name in call_sites
-            if name not in ("run_transaction", "transaction")
-        }
-        changed = True
-        while changed:
-            changed = False
-            for name in sorted(txn_only):
-                ok = all(
-                    context_is_safe(caller, node, txn_only - {name})
-                    for caller, node in call_sites[name]
-                )
-                if not ok:
-                    txn_only.discard(name)
-                    changed = True
+        # Greatest fixpoint (shared solver, see analysis/facts.py):
+        # start from every internally-called method, drop any with a
+        # call site outside a safe context.
+        txn_only: Set[str] = greatest_fixpoint(
+            {
+                name for name in call_sites
+                if name not in ("run_transaction", "transaction")
+            },
+            lambda name, others: all(
+                context_is_safe(caller, node, others)
+                for caller, node in call_sites[name]
+            ),
+        )
 
         for method_name, method in methods.items():
             for node in ast.walk(method):

@@ -63,6 +63,7 @@ from ..core.shredder import ShredResult
 from ..core.stats import StatsSnapshot
 from ..core.storage import HybridStore, PlanTrace, record_plan
 from ..errors import CatalogError
+from ..identifiers import quote_identifier
 from ..obs import names as metric_names
 from ..obs.metrics import MetricsRegistry
 from ..obs.profile import QueryProfile, current_profile
@@ -574,7 +575,8 @@ class SqliteHybridStore(HybridStore):
                 "objects", "clobs", "attributes", "elements", "attr_ancestors"
             ):
                 cur.execute(
-                    f"DELETE FROM {table} WHERE object_id = ?", (object_id,)
+                    f"DELETE FROM {quote_identifier(table)} WHERE object_id = ?",
+                    (object_id,),
                 )
 
         self.run_transaction("delete_object", write)
@@ -706,8 +708,10 @@ class SqliteHybridStore(HybridStore):
         else:
             where.append(f"e.value_text IS NOT NULL AND e.value_text {self._SQL_OPS[op]} ?")
             params.append(qelem.value_text)
-        sql = (
-            f"INSERT INTO {qm} "
+        # WHERE is assembled from the fixed _SQL_OPS table and ?-bound
+        # literals above — no external string ever reaches the SQL text.
+        sql = (  # reprolint: ignore[SQL01] fixed op table + ? params only
+            f"INSERT INTO {quote_identifier(qm)} "
             "SELECT e.object_id, e.attr_id, e.seq_id, ?, ? FROM elements e "
             "WHERE " + " AND ".join(f"({clause})" for clause in where)
         )
@@ -742,7 +746,8 @@ class SqliteHybridStore(HybridStore):
     ) -> List[int]:
         query = plan.query
         suffix = next(self._temp_ids)
-        qm, qs = f"q_matches_{suffix}", f"q_satisfied_{suffix}"
+        qm = quote_identifier(f"q_matches_{suffix}")
+        qs = quote_identifier(f"q_satisfied_{suffix}")
         cur.execute(
             f"CREATE TEMP TABLE {qm} (object_id INTEGER, attr_id INTEGER,"
             " seq_id INTEGER, qattr_id INTEGER, qelem_id INTEGER)"
@@ -867,7 +872,7 @@ class SqliteHybridStore(HybridStore):
             t0 = clock() if clock is not None else 0.0
             tops = plan.intersect.top_qattr_ids
             marks = ", ".join("?" for _ in tops)
-            rows = cur.execute(
+            rows = cur.execute(  # reprolint: ignore[SQL01] marks is ? placeholder expansion
                 f"""
                 SELECT object_id FROM {qs}
                 WHERE qattr_id IN ({marks})
@@ -886,7 +891,7 @@ class SqliteHybridStore(HybridStore):
             return object_ids
         finally:
             for table in (qm, qs):
-                cur.execute(f"DROP TABLE {table}")
+                cur.execute(f"DROP TABLE {quote_identifier(table)}")
 
     def _empty_result(self, plan: LogicalPlan, trace: PlanTrace) -> List[int]:
         """Uniform trace completion after a seek short-circuit (the
@@ -941,7 +946,7 @@ class SqliteHybridStore(HybridStore):
 
     def _build_responses(self, cur, object_ids: Sequence[int]) -> Dict[int, str]:
         suffix = next(self._temp_ids)
-        req = f"req_objects_{suffix}"
+        req = quote_identifier(f"req_objects_{suffix}")
         cur.execute(f"CREATE TEMP TABLE {req} (object_id INTEGER PRIMARY KEY)")
         cur.executemany(  # reprolint: ignore[TXN01] temp-table scratch
             f"INSERT OR IGNORE INTO {req} VALUES (?)", [(i,) for i in object_ids]
@@ -961,7 +966,7 @@ class SqliteHybridStore(HybridStore):
                 FROM required q
                 JOIN schema_order so ON so.node_order = q.ancestor_order
                 UNION ALL
-                SELECT q.object_id, so.last_child_order, {_BIG_SEQ}, 2,
+                SELECT q.object_id, so.last_child_order, ?, 2,
                        -so.node_order, '</' || so.tag || '>'
                 FROM required q
                 JOIN schema_order so ON so.node_order = q.ancestor_order
@@ -971,7 +976,8 @@ class SqliteHybridStore(HybridStore):
                 JOIN {req} r ON r.object_id = c.object_id
             )
             ORDER BY object_id, pos, seq, kind, tie
-            """
+            """,
+            (_BIG_SEQ,),
         ).fetchall()
         responses: Dict[int, str] = {}
         fragments: Dict[int, List[str]] = {}
@@ -1004,10 +1010,11 @@ class SqliteHybridStore(HybridStore):
                 )
             ]
             for table in tables:
-                count = cur.execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0]
+                name = quote_identifier(table)
+                count = cur.execute(f"SELECT COUNT(*) FROM {name}").fetchone()[0]
                 # Approximate byte accounting comparable to the memory store.
                 size = 0
-                for row in cur.execute(f"SELECT * FROM {table}"):
+                for row in cur.execute(f"SELECT * FROM {name}"):
                     for value in row:
                         if value is None:
                             size += 1

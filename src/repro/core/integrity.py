@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Dict, List, Set, Tuple
 
 from ..errors import SchemaError
+from ..identifiers import quote_identifier
 from ..xmlkit import XMLSyntaxError, parse_fragment
 from .catalog import HybridCatalog
 
@@ -57,7 +58,9 @@ def _rows(store, name: str) -> List[tuple]:
     """Raw rows of a catalog table from either backend."""
     if hasattr(store, "db"):  # MemoryHybridStore
         return store.db.table(name).rows()
-    return store.connection.execute(f"SELECT * FROM {name}").fetchall()
+    return store.connection.execute(
+        f"SELECT * FROM {quote_identifier(name)}"
+    ).fetchall()
 
 
 def _check_objects(tables) -> List[Violation]:

@@ -1,0 +1,35 @@
+"""The single audited interpolation point for SQL identifiers.
+
+SQL01 forbids interpolating anything into SQL text except through
+:func:`quote_identifier` — table and index names that cannot be bound
+as ``?`` parameters.  The helper *validates* rather than escapes: every
+identifier this codebase builds is machine-generated from a fixed
+alphabet (``q_matches_<n>``, ``elem_values``, …), so anything outside
+``[A-Za-z_][A-Za-z0-9_]*`` is a logic error worth failing loudly on,
+not something to quote around.  Valid names pass through byte-for-byte,
+which keeps every existing SQL statement — and therefore every
+statement-count-keyed fault sweep — identical to what it was before
+the audit.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .errors import CatalogError
+
+__all__ = ["quote_identifier"]
+
+_IDENTIFIER_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*\Z")
+
+
+def quote_identifier(name: str) -> str:
+    """Validate ``name`` as a SQL identifier and return it unchanged.
+
+    Raises :class:`~repro.errors.CatalogError` on anything that is not
+    a plain identifier — quote characters, spaces, dots, empty strings
+    — so an attacker-influenced (or just buggy) name can never reach
+    ``execute()`` as SQL text.  Idempotent by construction."""
+    if not isinstance(name, str) or not _IDENTIFIER_RE.match(name):
+        raise CatalogError(f"invalid SQL identifier: {name!r}")
+    return name

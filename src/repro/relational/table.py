@@ -28,6 +28,7 @@ from typing import (
     Tuple,
 )
 
+from ..identifiers import quote_identifier
 from .batch import ColumnBatch
 from .errors import ConstraintError, TableError
 from .predicate import Predicate
@@ -195,7 +196,11 @@ class Table:
         """Render as SQL DDL (used by the sqlite backend)."""
         cols = ", ".join(c.ddl() for c in self.columns)
         pk = f", PRIMARY KEY ({', '.join(self.primary_key)})" if self.primary_key else ""
-        return f"CREATE TABLE {self.name} ({cols}{pk})"
+        # cols/pk render Column definitions fixed at schema build time;
+        # the table name is the only externally-influenced identifier.
+        return (  # reprolint: ignore[SQL01] cols/pk are Column DDL fragments
+            f"CREATE TABLE {quote_identifier(self.name)} ({cols}{pk})"
+        )
 
     # ------------------------------------------------------------------
     # Indexes

@@ -450,7 +450,8 @@ class ShardedCatalog:
         receipt = self.shards[shard].ingest(
             document, name=name, owner=owner, user=user, object_id=object_id
         )
-        self._locations[object_id] = shard
+        with self._write_lock:
+            self._locations[object_id] = shard
         self._after_write()
         return receipt
 
@@ -470,7 +471,8 @@ class ShardedCatalog:
         self._shard_fault(SHARD_WRITE)
         shard = self.shard_of(object_id)
         self.shards[shard].delete(object_id)
-        self._locations.pop(object_id, None)
+        with self._write_lock:
+            self._locations.pop(object_id, None)
         self._after_write()
 
     def add_attribute(

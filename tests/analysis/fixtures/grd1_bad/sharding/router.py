@@ -1,0 +1,26 @@
+"""GRD fixture: a lock-guarded routing map mutated without the lock."""
+
+import itertools
+import threading
+
+
+class Router:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._locations = {}
+        self._object_ids = itertools.count(1)
+
+    def assign(self, owner):
+        with self._lock:
+            object_id = next(self._object_ids)
+            self._locations[object_id] = owner
+        return object_id
+
+    def evict(self, object_id):
+        # GRD01: _locations is guarded (mutated under _lock in assign)
+        # but this mutation runs without it.
+        self._locations.pop(object_id, None)
+
+    def location_of(self, object_id):
+        # Reads stay exempt (GIL-atomic dict lookup).
+        return self._locations.get(object_id)

@@ -1,0 +1,26 @@
+"""GRD fixture: every mutation of the guarded map holds the lock."""
+
+import itertools
+import threading
+
+
+class Router:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._locations = {}
+        self._object_ids = itertools.count(1)
+        # __init__ may populate freely: the object is not shared yet.
+        self._locations[0] = "bootstrap"
+
+    def assign(self, owner):
+        with self._lock:
+            object_id = next(self._object_ids)
+            self._locations[object_id] = owner
+        return object_id
+
+    def evict(self, object_id):
+        with self._lock:
+            self._locations.pop(object_id, None)
+
+    def location_of(self, object_id):
+        return self._locations.get(object_id)

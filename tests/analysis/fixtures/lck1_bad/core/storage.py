@@ -1,0 +1,35 @@
+"""LCK fixture: a HybridStore subclass that breaks the lock protocol."""
+
+
+class _Ctx:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+class BadStore(HybridStore):  # noqa: F821 - resolved by name closure
+    def __init__(self):
+        self._objects = {}
+
+    def read_locked(self):
+        return _Ctx()
+
+    def write_locked(self):
+        return _Ctx()
+
+    def has_object(self, object_id):
+        # LCK01: read entry point, no path reaches a read acquisition.
+        return object_id in self._objects
+
+    def store_object(self, obj):
+        # LCK01: write entry point, no path reaches the transaction
+        # protocol.
+        self._objects[obj.object_id] = obj
+
+    def load_objects(self):
+        with self.read_locked():
+            with self.write_locked():
+                # LCK02: read -> write upgrade on the same RWLock.
+                return list(self._objects.values())

@@ -1,0 +1,44 @@
+"""LCK fixture: a sharding facade with swapped lock order and a
+lock-taking scatter-gather worker."""
+
+import threading
+
+
+class _LegStore:
+    def _reader(self):
+        return None
+
+    def match_objects(self, criteria):
+        with self._reader() as cur:
+            return cur.fetch(criteria)
+
+
+class ShardedCatalog:
+    def __init__(self, shards, executor):
+        self._route_lock = threading.RLock()
+        self._stats_lock = threading.RLock()
+        self.shards = list(shards)
+        self._executor = executor
+
+    def ingest(self, document):
+        with self._route_lock:
+            with self._stats_lock:
+                return self.shards[0].run_transaction("ingest", lambda: None)
+
+    def delete(self, object_id):
+        with self._stats_lock:
+            # LCK02: opposite nesting order to ingest() -> cycle.
+            with self._route_lock:
+                self.shards[0].run_transaction("delete", lambda: None)
+
+    def query(self, criteria):
+        with self._route_lock:
+            legs = list(range(len(self.shards)))
+
+        def run_leg(index):
+            # LCK02: worker thread takes a facade lock.
+            with self._route_lock:
+                return self.shards[index].match_objects(criteria)
+
+        futures = [self._executor.submit(run_leg, index) for index in legs]
+        return [future.result() for future in futures]

@@ -1,0 +1,38 @@
+"""LCK fixture: the corrected store — every entry point locks."""
+
+
+class _Ctx:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+class GoodStore(HybridStore):  # noqa: F821 - resolved by name closure
+    def __init__(self):
+        self._objects = {}
+
+    def read_locked(self):
+        return _Ctx()
+
+    def write_locked(self):
+        return _Ctx()
+
+    def run_transaction(self, label, fn):
+        with self.write_locked():
+            return fn()
+
+    def has_object(self, object_id):
+        with self.read_locked():
+            return object_id in self._objects
+
+    def store_object(self, obj):
+        def write():
+            self._objects[obj.object_id] = obj
+
+        return self.run_transaction("store_object", write)
+
+    def load_objects(self):
+        with self.read_locked():
+            return list(self._objects.values())

@@ -1,0 +1,43 @@
+"""LCK fixture: the corrected facade — one global lock order and
+lock-free scatter-gather workers."""
+
+import threading
+
+
+class _LegStore:
+    def _reader(self):
+        return None
+
+    def match_objects(self, criteria):
+        with self._reader() as cur:
+            return cur.fetch(criteria)
+
+
+class ShardedCatalog:
+    def __init__(self, shards, executor):
+        self._route_lock = threading.RLock()
+        self._stats_lock = threading.RLock()
+        self.shards = list(shards)
+        self._executor = executor
+
+    def ingest(self, document):
+        with self._route_lock:
+            with self._stats_lock:
+                return self.shards[0].run_transaction("ingest", lambda: None)
+
+    def delete(self, object_id):
+        # Same nesting order as ingest(): route before stats.
+        with self._route_lock:
+            with self._stats_lock:
+                self.shards[0].run_transaction("delete", lambda: None)
+
+    def query(self, criteria):
+        with self._route_lock:
+            legs = list(range(len(self.shards)))
+
+        def run_leg(index):
+            # Lock-free: works from the snapshot taken above.
+            return self.shards[index].match_objects(criteria)
+
+        futures = [self._executor.submit(run_leg, index) for index in legs]
+        return [future.result() for future in futures]

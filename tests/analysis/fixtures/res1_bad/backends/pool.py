@@ -1,0 +1,28 @@
+"""RES fixture: pooled connections that leak on some path."""
+
+from contextlib import contextmanager
+
+
+class Pool:
+    def _acquire(self):
+        return object()
+
+    def _release(self, conn):
+        pass
+
+    def lease(self):
+        # RES01: bound to a local, never returned/stored/released.
+        conn = self._acquire()
+        conn.ping()
+        return True
+
+    def warm(self):
+        # RES01: result discarded outright.
+        self._acquire()
+
+    @contextmanager
+    def connection(self):
+        # RES01: yield is not a transfer — the generator still owns the
+        # connection and an exception in the body leaks it.
+        conn = self._acquire()
+        yield conn

@@ -1,0 +1,32 @@
+"""RES fixture: every acquisition is discharged by an ownership idiom."""
+
+from contextlib import contextmanager
+
+
+class Pool:
+    def _acquire(self):
+        return object()
+
+    def _release(self, conn):
+        pass
+
+    def checkout(self):
+        # Transfer to the caller.
+        return self._acquire()
+
+    def attach(self):
+        # Transfer to the object.
+        self._conn = self._acquire()
+
+    def ping(self):
+        # Structural release via with.
+        with self._acquire() as conn:
+            conn.ping()
+
+    @contextmanager
+    def connection(self):
+        conn = self._acquire()
+        try:
+            yield conn
+        finally:
+            self._release(conn)

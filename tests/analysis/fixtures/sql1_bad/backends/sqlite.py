@@ -1,0 +1,32 @@
+"""SQL fixture: every interpolation shape the rule must flag."""
+
+
+def delete_rows(cur, table, object_id):
+    # f-string hole with no quote_identifier in sight.
+    cur.execute(f"DELETE FROM {table} WHERE object_id = {object_id}")
+
+
+def count_rows(cur, table):
+    # + concatenation into a verb-headed string.
+    return cur.execute("SELECT COUNT(*) FROM " + table).fetchone()[0]
+
+
+def format_rows(cur, table):
+    # str.format into SQL.
+    return cur.execute("SELECT * FROM {}".format(table))
+
+
+def percent_rows(cur, table):
+    # %-formatting into SQL.
+    return cur.execute("SELECT * FROM %s" % table)
+
+
+def dynamic_head(cur, verb):
+    # The statement opens with a dynamic fragment: unauditable.
+    cur.execute(f"{verb} FROM objects")
+
+
+def launder(cur, table):
+    # Binding a parameter to a new name does not sanction it.
+    name = table
+    cur.execute(f"SELECT COUNT(*) FROM {name}")

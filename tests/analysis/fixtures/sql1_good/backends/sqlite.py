@@ -1,0 +1,33 @@
+"""SQL fixture: the sanctioned shapes — quote_identifier holes,
+? parameters, closures over validated names, non-SQL strings."""
+
+from repro.identifiers import quote_identifier
+
+
+def delete_rows(cur, table, object_id):
+    cur.execute(
+        f"DELETE FROM {quote_identifier(table)} WHERE object_id = ?",
+        (object_id,),
+    )
+
+
+def insert_scratch(cur, suffix):
+    qm = quote_identifier(f"q_matches_{suffix}")
+    cur.execute(f"CREATE TEMP TABLE {qm} (object_id INTEGER)")
+
+    def write():
+        # Closures inherit the sanctioned binding from the enclosing
+        # scope.
+        cur.execute(f"INSERT INTO {qm} VALUES (?)", (1,))
+
+    write()
+    cur.execute(f"DROP TABLE {qm}")
+
+
+def fault_site(table):
+    # Lowercase head: a fault-site label, not SQL.
+    return f"insert:{table}"
+
+
+def static_sql(cur):
+    cur.execute("SELECT COUNT(*) FROM objects")

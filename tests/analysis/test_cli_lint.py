@@ -91,3 +91,151 @@ class TestRuleFiltering:
         assert code == 1
         payload = json.loads(capsys.readouterr().out)
         assert {entry["rule"] for entry in payload["findings"]} == {"TXN01"}
+
+
+class TestSarifOutput:
+    def test_sarif_is_valid_2_1_0(self, capsys):
+        code = main(
+            ["lint", "--sarif", "--no-cache",
+             "--src", str(FIXTURES / "txn_bad")]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "reprolint"
+        assert "TXN01" in {rule["id"] for rule in driver["rules"]}
+        assert all(r["ruleId"] == "TXN01" for r in run["results"])
+
+    def test_suppressed_findings_become_suppressions(self, capsys):
+        main(
+            ["lint", "--sarif", "--no-cache",
+             "--src", str(FIXTURES / "txn_bad")]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        results = payload["runs"][0]["results"]
+        suppressed = [r for r in results if "suppressions" in r]
+        assert len(suppressed) == 1
+        assert suppressed[0]["suppressions"][0]["kind"] == "inSource"
+        # Active findings carry no suppressions key at all.
+        assert all(
+            "suppressions" not in r for r in results if r not in suppressed
+        )
+
+
+class TestFindingsCache:
+    def copy_fixture(self, tmp_path):
+        import shutil
+
+        tree = tmp_path / "tree"
+        shutil.copytree(FIXTURES / "txn_bad", tree)
+        return tree, tmp_path / "cache"
+
+    def test_warm_run_replays_the_stored_entry(self, tmp_path, capsys):
+        tree, cache_dir = self.copy_fixture(tmp_path)
+        argv = ["lint", "--json", "--src", str(tree),
+                "--cache-dir", str(cache_dir)]
+        assert main(argv) == 1
+        cold = capsys.readouterr().out
+        entries = list(cache_dir.glob("*.json"))
+        assert len(entries) == 1
+        # Tamper with the stored findings: if the warm run replays the
+        # cache (rather than re-linting), the tampered text shows up.
+        payload = json.loads(entries[0].read_text())
+        payload["findings"][0]["message"] = "replayed-from-cache"
+        entries[0].write_text(json.dumps(payload))
+        assert main(argv) == 1
+        warm = capsys.readouterr().out
+        assert warm != cold
+        assert "replayed-from-cache" in warm
+
+    def test_source_edit_invalidates_the_key(self, tmp_path, capsys):
+        tree, cache_dir = self.copy_fixture(tmp_path)
+        argv = ["lint", "--json", "--src", str(tree),
+                "--cache-dir", str(cache_dir)]
+        assert main(argv) == 1
+        capsys.readouterr()
+        target = tree / "core" / "storage.py"
+        target.write_text(target.read_text() + "\n# touched\n")
+        assert main(argv) == 1
+        capsys.readouterr()
+        # A different content digest means a second entry, not a reuse.
+        assert len(list(cache_dir.glob("*.json"))) == 2
+
+    def test_no_cache_writes_nothing(self, tmp_path, capsys):
+        tree, cache_dir = self.copy_fixture(tmp_path)
+        assert main(
+            ["lint", "--json", "--no-cache", "--src", str(tree),
+             "--cache-dir", str(cache_dir)]
+        ) == 1
+        capsys.readouterr()
+        assert not cache_dir.exists()
+
+
+class TestSyntaxErrorExit:
+    def test_broken_file_exits_two_without_traceback(self, tmp_path, capsys):
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        (tree / "broken.py").write_text("def f(:\n")
+        code = main(["lint", "--no-cache", "--src", str(tree)])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "PARSE" in captured.out
+        assert "Traceback" not in captured.out + captured.err
+
+
+class TestChangedScope:
+    def make_repo(self, tmp_path, monkeypatch):
+        import shutil
+        import subprocess
+
+        if shutil.which("git") is None:
+            pytest.skip("git not available")
+        repo = tmp_path / "proj"
+        shutil.copytree(FIXTURES / "txn_bad", repo / "tree")
+        monkeypatch.chdir(repo)
+        git = ["git", "-c", "user.email=t@t", "-c", "user.name=t"]
+        subprocess.run(["git", "init", "-q"], check=True)
+        subprocess.run(["git", "add", "-A"], check=True)
+        subprocess.run(git + ["commit", "-q", "-m", "seed"], check=True)
+        return repo
+
+    def test_clean_checkout_reports_nothing(self, tmp_path, monkeypatch,
+                                            capsys):
+        repo = self.make_repo(tmp_path, monkeypatch)
+        code = main(
+            ["lint", "--changed", "--json", "--src", str(repo / "tree")]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["active"] == 0
+
+    def test_touched_file_comes_back_into_scope(self, tmp_path, monkeypatch,
+                                                capsys):
+        repo = self.make_repo(tmp_path, monkeypatch)
+        target = repo / "tree" / "core" / "storage.py"
+        target.write_text(target.read_text() + "\n# touched\n")
+        code = main(
+            ["lint", "--changed", "--json", "--src", str(repo / "tree")]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["active"] > 0
+        assert {e["path"] for e in payload["findings"]} == {
+            "tree/core/storage.py"
+        }
+
+    def test_outside_a_checkout_exits_two(self, tmp_path, monkeypatch,
+                                          capsys):
+        import shutil
+
+        if shutil.which("git") is None:
+            pytest.skip("git not available")
+        tree = tmp_path / "tree"
+        shutil.copytree(FIXTURES / "txn_bad", tree)
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv("GIT_CEILING_DIRECTORIES", str(tmp_path.parent))
+        code = main(["lint", "--changed", "--src", str(tree)])
+        assert code == 2
+        assert "--changed requires a git checkout" in capsys.readouterr().err

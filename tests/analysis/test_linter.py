@@ -19,7 +19,7 @@ from repro.analysis.linter import (
     parse_pragmas,
     str_prefix,
 )
-from repro.analysis.rules import TxnSafetyRule
+from repro.analysis.rules import LockReachabilityRule, SqlSafetyRule, TxnSafetyRule
 
 from .conftest import FIXTURES, lint_fixture
 
@@ -37,6 +37,39 @@ class TestPragmas:
 
     def test_unrelated_comments_ignored(self):
         assert parse_pragmas("a = 1  # TODO: reconsider\n") == {}
+
+    def test_pragma_on_closing_line_of_wrapped_statement(self, tmp_path):
+        # The finding anchors on the statement's first line; the pragma
+        # sits on the closing paren three lines down.  Both must meet.
+        target = tmp_path / "backends" / "sqlite.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(
+            "def scan(cur, table):\n"
+            "    return cur.execute(\n"
+            '        f"SELECT * FROM {table}"\n'
+            "    )  # reprolint: ignore[SQL01]\n"
+        )
+        findings = run_lint(tmp_path, rules=[SqlSafetyRule()])
+        assert len(findings) == 1
+        assert findings[0].suppressed
+        assert active(findings) == []
+
+    def test_pragma_on_decorator_line_covers_the_def(self, tmp_path):
+        # LCK01 reports on the `def` line, but the reader's waiver sits
+        # on the decorator above it.
+        target = tmp_path / "core" / "storage.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(
+            "class LocklessStore(HybridStore):  # noqa: F821\n"
+            "    @staticmethod  # reprolint: ignore[LCK01]\n"
+            "    def has_object(object_id):\n"
+            "        return len(str(object_id)) > 0\n"
+        )
+        findings = run_lint(tmp_path, rules=[LockReachabilityRule()])
+        assert len(findings) == 1
+        assert findings[0].rule_id == "LCK01"
+        assert findings[0].suppressed
+        assert active(findings) == []
 
 
 class TestEngine:

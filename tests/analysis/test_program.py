@@ -1,0 +1,278 @@
+"""The whole-program model: indexes, resolution, closures, and the
+shared fact solvers."""
+
+import ast
+
+from repro.analysis.callgraph import CallGraph, lexical_acquisitions
+from repro.analysis.facts import find_cycle, greatest_fixpoint, transitive_edges
+from repro.analysis.linter import load_modules
+from repro.analysis.program import build_program
+
+
+def make_program(tmp_path, files):
+    for rel, text in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+    return build_program(load_modules(tmp_path, display_base=tmp_path))
+
+
+class TestProgramModel:
+    def test_qualified_names_and_indexes(self, tmp_path):
+        program = make_program(tmp_path, {
+            "core/storage.py": (
+                "def helper():\n"
+                "    def inner():\n"
+                "        pass\n"
+                "class Store:\n"
+                "    def save(self):\n"
+                "        pass\n"
+            ),
+        })
+        names = set(program.functions)
+        assert "core/storage.py::helper" in names
+        assert "core/storage.py::helper::inner" in names
+        assert "core/storage.py::Store.save" in names
+        helper = program.functions["core/storage.py::helper"]
+        inner = program.functions["core/storage.py::helper::inner"]
+        assert inner.parent is helper
+        assert program.children[helper] == [inner]
+        assert [f.qualname for f in program.by_name["save"]] == [
+            "core/storage.py::Store.save"
+        ]
+
+    def test_subclasses_include_unresolved_bases(self, tmp_path):
+        # Fixture trees subclass HybridStore without shipping it; the
+        # name closure must still match them.
+        program = make_program(tmp_path, {
+            "a.py": (
+                "class Child(HybridStore):\n"
+                "    pass\n"
+                "class GrandChild(Child):\n"
+                "    pass\n"
+                "class Unrelated:\n"
+                "    pass\n"
+            ),
+        })
+        found = {c.name for c in program.subclasses_of("HybridStore")}
+        assert found == {"Child", "GrandChild"}
+
+    def test_resolve_method_walks_bases(self, tmp_path):
+        program = make_program(tmp_path, {
+            "a.py": (
+                "class Base:\n"
+                "    def ping(self):\n"
+                "        pass\n"
+                "class Child(Base):\n"
+                "    pass\n"
+            ),
+        })
+        child = program.classes["Child"][0]
+        resolved = program.resolve_method(child, "ping")
+        assert resolved is not None
+        assert resolved.qualname == "a.py::Base.ping"
+
+    def test_is_abstract_detects_stub_bodies(self, tmp_path):
+        program = make_program(tmp_path, {
+            "a.py": (
+                "class C:\n"
+                "    def a(self): ...\n"
+                "    def b(self):\n"
+                "        raise NotImplementedError\n"
+                "    def c(self):\n"
+                "        return True\n"
+                "    def d(self):\n"
+                "        return self.a()\n"
+            ),
+        })
+        cls = program.classes["C"][0]
+        assert cls.methods["a"].is_abstract()
+        assert cls.methods["b"].is_abstract()
+        assert cls.methods["c"].is_abstract()
+        assert not cls.methods["d"].is_abstract()
+
+    def test_iter_calls_excludes_nested_defs(self, tmp_path):
+        program = make_program(tmp_path, {
+            "a.py": (
+                "def outer():\n"
+                "    first()\n"
+                "    def inner():\n"
+                "        second()\n"
+                "    return inner\n"
+            ),
+        })
+        outer = program.functions["a.py::outer"]
+        inner = program.functions["a.py::outer::inner"]
+        outer_names = {c.func.id for c in program.iter_calls(outer)}
+        inner_names = {c.func.id for c in program.iter_calls(inner)}
+        assert outer_names == {"first"}
+        assert inner_names == {"second"}
+
+
+class TestResolution:
+    def test_precise_self_call_uses_class_hierarchy(self, tmp_path):
+        program = make_program(tmp_path, {
+            "a.py": (
+                "class Base:\n"
+                "    def step(self):\n"
+                "        pass\n"
+                "    def run(self):\n"
+                "        self.step()\n"
+                "class Child(Base):\n"
+                "    def step(self):\n"
+                "        pass\n"
+            ),
+        })
+        run = program.functions["a.py::Base.run"]
+        call = next(program.iter_calls(run))
+        targets = {f.qualname for f in program.resolve_call(run, call)}
+        # Virtual dispatch: the base method plus the subclass override.
+        assert targets == {"a.py::Base.step", "a.py::Child.step"}
+
+    def test_precise_attribute_call_resolves_nothing(self, tmp_path):
+        program = make_program(tmp_path, {
+            "a.py": (
+                "def go(store):\n"
+                "    store.save()\n"
+                "class Other:\n"
+                "    def save(self):\n"
+                "        pass\n"
+            ),
+        })
+        go = program.functions["a.py::go"]
+        call = next(program.iter_calls(go))
+        assert program.resolve_call(go, call) == []
+        optimistic = program.resolve_call(go, call, optimistic=True)
+        assert [f.qualname for f in optimistic] == ["a.py::Other.save"]
+
+    def test_bare_name_resolves_import_then_module(self, tmp_path):
+        program = make_program(tmp_path, {
+            "a.py": (
+                "from b import helper\n"
+                "def go():\n"
+                "    helper()\n"
+            ),
+            "b.py": (
+                "def helper():\n"
+                "    pass\n"
+            ),
+        })
+        go = program.functions["a.py::go"]
+        call = next(program.iter_calls(go))
+        assert [f.qualname for f in program.resolve_call(go, call)] == [
+            "b.py::helper"
+        ]
+
+
+class TestCallGraph:
+    def test_lock_tokens_unify_across_inheritance(self, tmp_path):
+        program = make_program(tmp_path, {
+            "a.py": (
+                "class Store:\n"
+                "    def read_locked(self):\n"
+                "        pass\n"
+                "    def write_locked(self):\n"
+                "        pass\n"
+                "class Memory(Store):\n"
+                "    def load(self):\n"
+                "        with self.read_locked():\n"
+                "            pass\n"
+                "    def save(self):\n"
+                "        with self.write_locked():\n"
+                "            pass\n"
+            ),
+        })
+        load = program.functions["a.py::Memory.load"]
+        save = program.functions["a.py::Memory.save"]
+        load_acqs = lexical_acquisitions(program, load)
+        save_acqs = lexical_acquisitions(program, save)
+        # Both tokens name the defining class, not the subclass.
+        assert [(a.token, a.write) for a in load_acqs] == [
+            ("Store.rwlock", False)
+        ]
+        assert [(a.token, a.write) for a in save_acqs] == [
+            ("Store.rwlock", True)
+        ]
+
+    def test_context_expr_is_not_inside_the_acquisition(self, tmp_path):
+        # `with self._rwlock().read_locked():` evaluates _rwlock()
+        # BEFORE the lock is taken; only the body is protected.
+        program = make_program(tmp_path, {
+            "a.py": (
+                "import threading\n"
+                "class Store:\n"
+                "    def read_locked(self):\n"
+                "        pass\n"
+                "    def load(self):\n"
+                "        with self.read_locked():\n"
+                "            inner()\n"
+            ),
+        })
+        load = program.functions["a.py::Store.load"]
+        (acq,) = lexical_acquisitions(program, load)
+        bodies = {type(stmt).__name__ for stmt in acq.body}
+        assert bodies == {"Expr"}
+
+    def test_reachable_call_names_closes_over_nested_defs(self, tmp_path):
+        program = make_program(tmp_path, {
+            "a.py": (
+                "class Store:\n"
+                "    def run_transaction(self, label, fn):\n"
+                "        pass\n"
+                "    def save(self):\n"
+                "        def write():\n"
+                "            self.flush()\n"
+                "        return self.run_transaction('save', write)\n"
+                "    def flush(self):\n"
+                "        pass\n"
+            ),
+        })
+        graph = CallGraph(program)
+        save = program.functions["a.py::Store.save"]
+        reached = graph.reachable_call_names(save)
+        assert {"run_transaction", "flush"} <= reached
+
+    def test_may_acquire_is_transitive_and_precise(self, tmp_path):
+        program = make_program(tmp_path, {
+            "a.py": (
+                "import threading\n"
+                "class C:\n"
+                "    def leaf(self):\n"
+                "        with self._lock:\n"
+                "            pass\n"
+                "    def mid(self):\n"
+                "        self.leaf()\n"
+                "    def top(self):\n"
+                "        self.mid()\n"
+                "    def other(self, thing):\n"
+                "        thing.leaf()\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+            ),
+        })
+        graph = CallGraph(program)
+        top = program.functions["a.py::C.top"]
+        other = program.functions["a.py::C.other"]
+        assert graph.may_acquire(top) == {("C._lock", True)}
+        # Unresolved attribute calls contribute nothing (precision).
+        assert graph.may_acquire(other) == set()
+
+
+class TestFacts:
+    def test_greatest_fixpoint_drops_dependents(self):
+        # b holds only while a holds; a never holds.
+        deps = {"a": {"missing"}, "b": {"a"}, "c": set()}
+        result = greatest_fixpoint(
+            set(deps),
+            lambda item, others: deps[item] <= others | {"c"},
+        )
+        assert result == {"c"}
+
+    def test_transitive_edges(self):
+        closed = transitive_edges({"a": {"b"}, "b": {"c"}})
+        assert closed["a"] == {"b", "c"}
+
+    def test_find_cycle(self):
+        assert find_cycle({"a": {"b"}, "b": {"c"}}) == ()
+        cycle = find_cycle({"a": {"b"}, "b": {"a"}})
+        assert cycle and cycle[0] == cycle[-1]

@@ -5,8 +5,13 @@ from repro.analysis import active
 from repro.analysis.rules import (
     BackendParityRule,
     FaultSiteRule,
+    GuardedFieldRule,
+    LockOrderRule,
+    LockReachabilityRule,
     MetricNameRule,
     PlanPurityRule,
+    ResourceLifecycleRule,
+    SqlSafetyRule,
     StageSurfaceRule,
     TxnSafetyRule,
 )
@@ -209,3 +214,100 @@ class TestBackendParity:
         # Partial fixture trees (no HybridStore in view) have nothing
         # to pin — the rule stays silent instead of guessing.
         assert lint_fixture("pln_good", BackendParityRule()) == []
+
+
+class TestLockReachability:
+    def test_flags_unlocked_entry_points(self):
+        findings = active(lint_fixture("lck1_bad", LockReachabilityRule()))
+        assert len(findings) == 2
+        assert all(f.rule_id == "LCK01" for f in findings)
+        messages = " | ".join(f.message for f in findings)
+        assert "BadStore.has_object is a read entry point" in messages
+        assert "BadStore.store_object is a write entry point" in messages
+
+    def test_locked_entries_pass_through_any_path(self):
+        # GoodStore.store_object reaches run_transaction indirectly and
+        # has_object reaches read_locked lexically — both discharge.
+        assert active(lint_fixture("lck1_good", LockReachabilityRule())) == []
+
+    def test_facade_entries_discharge_through_shard_calls(self):
+        # ShardedCatalog.query reaches _reader only via the optimistic
+        # fan-out through _LegStore.match_objects.
+        findings = active(lint_fixture("lck1_bad", LockReachabilityRule()))
+        assert not [f for f in findings if "ShardedCatalog" in f.message]
+
+
+class TestLockOrder:
+    def test_flags_upgrade_worker_and_cycle(self):
+        findings = active(lint_fixture("lck1_bad", LockOrderRule()))
+        assert len(findings) == 3
+        assert all(f.rule_id == "LCK02" for f in findings)
+        messages = " | ".join(f.message for f in findings)
+        assert "read→write upgrade on BadStore.rwlock" in messages
+        assert "worker run_leg() submitted to an executor" in messages
+        assert "lock-order cycle" in messages
+
+    def test_cycle_names_both_locks(self):
+        findings = active(lint_fixture("lck1_bad", LockOrderRule()))
+        cycle = [f for f in findings if "cycle" in f.message]
+        assert len(cycle) == 1
+        assert "ShardedCatalog._route_lock" in cycle[0].message
+        assert "ShardedCatalog._stats_lock" in cycle[0].message
+
+    def test_consistent_order_and_lock_free_workers_pass(self):
+        assert active(lint_fixture("lck1_good", LockOrderRule())) == []
+
+
+class TestGuardedFields:
+    def test_flags_unlocked_mutation_of_guarded_field(self):
+        findings = active(lint_fixture("grd1_bad", GuardedFieldRule()))
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.rule_id == "GRD01"
+        assert "Router._locations is guarded by Router._lock" in finding.message
+        assert "evict()" in finding.message
+
+    def test_reads_and_init_mutations_are_exempt(self):
+        # location_of reads without the lock; __init__ populates before
+        # the object is shared — neither is a finding.
+        assert active(lint_fixture("grd1_good", GuardedFieldRule())) == []
+
+
+class TestResourceLifecycle:
+    def test_flags_leak_discard_and_bare_yield(self):
+        findings = active(lint_fixture("res1_bad", ResourceLifecycleRule()))
+        assert len(findings) == 3
+        assert all(f.rule_id == "RES01" for f in findings)
+        messages = " | ".join(f.message for f in findings)
+        assert "never released" in messages
+        assert "discarded" in messages
+
+    def test_yield_is_not_a_transfer(self):
+        # The generator context manager without try/finally is one of
+        # the three findings (line 27 in the fixture).
+        findings = active(lint_fixture("res1_bad", ResourceLifecycleRule()))
+        assert any(f.line == 27 for f in findings)
+
+    def test_ownership_idioms_pass(self):
+        assert active(lint_fixture("res1_good", ResourceLifecycleRule())) == []
+
+
+class TestSqlSafety:
+    def test_flags_every_interpolation_shape(self):
+        findings = active(lint_fixture("sql1_bad", SqlSafetyRule()))
+        assert len(findings) == 6
+        assert all(f.rule_id == "SQL01" for f in findings)
+        messages = " | ".join(f.message for f in findings)
+        assert "f-string interpolation" in messages
+        assert "string concatenation" in messages
+        assert ".format() interpolation" in messages
+        assert "%-formatting" in messages
+        assert "dynamic fragment" in messages
+
+    def test_rebinding_does_not_sanction(self):
+        # `name = table` then f"... {name}" is still a finding.
+        findings = active(lint_fixture("sql1_bad", SqlSafetyRule()))
+        assert any(f.line == 32 for f in findings)
+
+    def test_quote_identifier_and_closures_pass(self):
+        assert active(lint_fixture("sql1_good", SqlSafetyRule())) == []

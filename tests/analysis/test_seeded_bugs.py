@@ -1,0 +1,113 @@
+"""Seeded-bug demos: each test copies the real source tree, deletes or
+swaps one concurrency-critical construct, and asserts the linter
+catches exactly that regression.  The ``assert old in text`` inside
+``mutate`` makes the demos fail loudly if the real code drifts away
+from the seeded shape instead of silently testing nothing."""
+
+import pathlib
+import shutil
+
+from repro.analysis import active, run_lint
+from repro.analysis.rules import (
+    LockOrderRule,
+    LockReachabilityRule,
+    ResourceLifecycleRule,
+)
+
+SRC = pathlib.Path(__file__).parents[2] / "src" / "repro"
+
+
+def copy_tree(tmp_path):
+    dest = tmp_path / "repro"
+    shutil.copytree(SRC, dest, ignore=shutil.ignore_patterns("__pycache__"))
+    return dest
+
+
+def mutate(path, old, new):
+    text = path.read_text()
+    assert old in text, f"seeded-bug anchor not found in {path.name}"
+    path.write_text(text.replace(old, new))
+
+
+class TestSeededBugs:
+    def test_deleted_read_lock_is_caught(self, tmp_path):
+        tree = copy_tree(tmp_path)
+        rule = LockReachabilityRule()
+        assert active(run_lint(tree, rules=[rule])) == []
+        mutate(
+            tree / "core" / "storage.py",
+            "    def has_object(self, object_id: int) -> bool:\n"
+            "        with self.read_locked():\n"
+            "            return bool(",
+            "    def has_object(self, object_id: int) -> bool:\n"
+            "        return bool(",
+        )
+        findings = active(run_lint(tree, rules=[LockReachabilityRule()]))
+        assert len(findings) == 1
+        assert findings[0].rule_id == "LCK01"
+        assert "MemoryHybridStore.has_object is a read entry point" in (
+            findings[0].message
+        )
+
+    def test_swapped_lock_order_is_caught(self, tmp_path):
+        tree = copy_tree(tmp_path)
+        path = tree / "sharding" / "catalog.py"
+        # Seed a second facade lock, consistently ordered in both write
+        # paths: the baseline must stay clean.
+        mutate(
+            path,
+            "        self._write_lock = threading.Lock()",
+            "        self._write_lock = threading.Lock()\n"
+            "        self._order_lock = threading.Lock()",
+        )
+        mutate(
+            path,
+            "        with self._write_lock:\n"
+            "            object_id = next(self._object_ids)",
+            "        with self._write_lock:\n"
+            "            with self._order_lock:\n"
+            "                object_id = next(self._object_ids)",
+        )
+        mutate(
+            path,
+            "        with self._write_lock:\n"
+            "            self._locations.pop(object_id, None)",
+            "        with self._write_lock:\n"
+            "            with self._order_lock:\n"
+            "                self._locations.pop(object_id, None)",
+        )
+        assert active(run_lint(tree, rules=[LockOrderRule()])) == []
+        # Swap the nesting in delete(): a global ordering violation.
+        mutate(
+            path,
+            "        with self._write_lock:\n"
+            "            with self._order_lock:\n"
+            "                self._locations.pop(object_id, None)",
+            "        with self._order_lock:\n"
+            "            with self._write_lock:\n"
+            "                self._locations.pop(object_id, None)",
+        )
+        findings = active(run_lint(tree, rules=[LockOrderRule()]))
+        assert len(findings) == 1
+        assert findings[0].rule_id == "LCK02"
+        assert "lock-order cycle" in findings[0].message
+        assert "_write_lock" in findings[0].message
+        assert "_order_lock" in findings[0].message
+
+    def test_removed_finally_release_is_caught(self, tmp_path):
+        tree = copy_tree(tmp_path)
+        rule = ResourceLifecycleRule()
+        assert active(run_lint(tree, rules=[rule])) == []
+        mutate(
+            tree / "backends" / "pool.py",
+            "            raise\n"
+            "        finally:\n"
+            "            self._release(conn)",
+            "            raise",
+        )
+        findings = active(run_lint(tree, rules=[ResourceLifecycleRule()]))
+        assert len(findings) == 1
+        assert findings[0].rule_id == "RES01"
+        assert "_acquire() result bound to 'conn' is never released" in (
+            findings[0].message
+        )
