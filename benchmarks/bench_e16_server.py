@@ -1,0 +1,134 @@
+"""E16 — Multi-user catalog server: QPS and tail latency under load.
+
+Extension experiment (not in the paper): the threaded HTTP front-end
+from ``repro.server`` hosting one in-memory catalog behind per-user
+session tokens.  The harness seeds **10,000 registered users** (each
+with an open session token), then drives the server with 16 concurrent
+HTTP client threads issuing a mixed read workload — visibility-filtered
+queries, document fetches, and streamed paginated searches —
+round-robin across every user token, so each request authenticates as
+a different simulated user.
+
+The table reports sustained QPS and the p50/p95 request latency seen
+by the clients.  The structural acceptance bar (asserted, CI-safe) is
+zero 5xx responses and every user token exercised at least once; the
+absolute numbers are machine-dependent and recorded for trajectory
+tracking, not asserted.
+"""
+
+import threading
+import time
+
+from repro.bench import ResultTable
+from repro.core import AttributeCriteria, HybridCatalog, ObjectQuery
+from repro.grid import FIG3_DOCUMENT, MyLeadService, lead_schema
+from repro.server import CatalogClient, CatalogServer, ServerConfig, query_to_payload
+
+from _util import emit
+
+USERS = 10_000
+THREADS = 16
+REQUESTS = 10_400  # > USERS so the round-robin covers every token
+SEED_FILES = 8
+
+
+def build_server():
+    """An in-memory catalog with a small published corpus, 10k users,
+    and one open session per user."""
+    catalog = HybridCatalog(lead_schema())
+    service = MyLeadService(lead_schema(), catalog)
+    seed = service.create_user("seed").name
+    experiment = service.create_experiment(seed, "corpus")
+    object_ids = []
+    for i in range(SEED_FILES):
+        receipt = service.add_file(seed, experiment, FIG3_DOCUMENT, name=f"f{i}")
+        service.publish(seed, receipt.object_id)
+        object_ids.append(receipt.object_id)
+    server = CatalogServer(service, ServerConfig()).start()
+    tokens = []
+    for i in range(USERS):
+        user = f"user-{i}"
+        service.create_user(user)
+        tokens.append(server.sessions.open(user))
+    return service, server, tokens, object_ids
+
+
+def theme_payload():
+    query = ObjectQuery().add_attribute(AttributeCriteria("theme"))
+    return query_to_payload(query)
+
+
+def test_e16_server_load(benchmark):
+    service, server, tokens, object_ids = build_server()
+    payload = theme_payload()
+    statuses = [0] * REQUESTS
+    latencies = [0.0] * REQUESTS
+    per_thread = REQUESTS // THREADS
+
+    def worker(thread_index):
+        with CatalogClient(server.host, server.port) as client:
+            start = thread_index * per_thread
+            stop = REQUESTS if thread_index == THREADS - 1 else start + per_thread
+            for i in range(start, stop):
+                client.token = tokens[i % USERS]
+                if i % 10 == 9:
+                    method_args = ("POST", "/v1/search",
+                                   {"query": payload, "limit": 2})
+                elif i % 10 == 4:
+                    method_args = ("POST", "/v1/fetch",
+                                   {"ids": [object_ids[i % SEED_FILES]]})
+                else:
+                    method_args = ("POST", "/v1/query", {"query": payload})
+                t0 = time.perf_counter()
+                status, _headers, _data = client.request(*method_args)
+                latencies[i] = time.perf_counter() - t0
+                statuses[i] = status
+
+    def run_storm():
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(THREADS)
+        ]
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return time.perf_counter() - t0
+
+    def build_table():
+        elapsed = run_storm()
+        ordered = sorted(latencies)
+        p50 = ordered[len(ordered) // 2]
+        p95 = ordered[int(len(ordered) * 0.95)]
+        table = ResultTable(
+            f"E16 - threaded HTTP server, {USERS} simulated users "
+            f"({THREADS} client threads, mixed query/fetch/search)",
+            ["users", "threads", "requests", "QPS", "p50 ms", "p95 ms"],
+        )
+        table.add_row(
+            USERS, THREADS, REQUESTS,
+            REQUESTS / elapsed, 1000 * p50, 1000 * p95,
+        )
+        emit("e16_server", table)
+        return table
+
+    try:
+        table = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    finally:
+        server.close()
+
+    assert len(table.rows) == 1
+    bad = [s for s in statuses if s >= 500]
+    assert bad == [], f"{len(bad)} 5xx responses under load"
+    assert all(s == 200 for s in statuses), sorted(set(statuses))
+    # Every simulated user authenticated at least once.
+    assert REQUESTS >= USERS
+    # Handler threads record the request metric just after the response
+    # bytes go out, so give stragglers a moment before asserting.
+    requests_counter = service.catalog.metrics.get("server_requests_total")
+    for _ in range(100):
+        served = sum(m.value for _labels, m in requests_counter.series())
+        if served >= REQUESTS:
+            break
+        time.sleep(0.05)
+    assert served >= REQUESTS, served

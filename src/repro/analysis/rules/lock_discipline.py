@@ -129,7 +129,35 @@ _SHARD_SPEC = EntryPointSpec(
     }),
 )
 
-DEFAULT_SPECS: Tuple[EntryPointSpec, ...] = (_STORE_SPEC, _SHARD_SPEC)
+#: The service facade's bookkeeping (users, experiments, ownership,
+#: the published set, provenance links) is guarded by its own RWLock;
+#: mutators hold the write side, multi-step reads the read side.  The
+#: catalog delegations inside these entries take the store's lock on
+#: their own — the spec pins the *service* lock reachability.
+_SERVICE_SPEC = EntryPointSpec(
+    root="MyLeadService",
+    read_entries=frozenset({
+        "users", "has_user", "experiment", "experiments_of",
+        "is_visible", "query", "fetch", "search", "search_slice",
+        "experiment_contents", "sources_of", "derived_products",
+        "provenance_closure", "query_derived_from_matching",
+    }),
+    write_entries=frozenset({
+        "create_user", "create_experiment", "add_file",
+        "publish", "unpublish", "record_derivation",
+    }),
+    read_protections=frozenset({
+        "read_locked", "_reader", "write_locked", "transaction",
+        "run_transaction",
+    }),
+    write_protections=frozenset({
+        "run_transaction", "transaction", "write_locked",
+    }),
+)
+
+DEFAULT_SPECS: Tuple[EntryPointSpec, ...] = (
+    _STORE_SPEC, _SHARD_SPEC, _SERVICE_SPEC,
+)
 
 
 class LockReachabilityRule(Rule):

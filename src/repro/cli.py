@@ -83,7 +83,7 @@ from .core import (
 )
 from .errors import ReproError
 from .faults import DEFAULT_RETRY, RetryPolicy
-from .grid import lead_schema
+from .grid import MyLeadService, lead_schema
 from .obs import (
     EventLog,
     MetricsRegistry,
@@ -94,6 +94,7 @@ from .obs import (
     render_table,
     tail_events,
 )
+from .server import CatalogServer, ServerConfig
 from .sharding import (
     ShardedCatalog,
     Topology,
@@ -108,6 +109,47 @@ _OPS = {
     "=": Op.EQ, "==": Op.EQ, "!=": Op.NE, "<": Op.LT, "<=": Op.LE,
     ">": Op.GT, ">=": Op.GE, "contains": Op.CONTAINS,
 }
+
+
+class PipeSafeWriter:
+    """Stdout writer for streaming commands (``events``, ``top``,
+    ``search``, ``fetch``, ``query --fetch``) that goes permanently
+    quiet once the consumer closes the pipe: ``repro search | head``
+    must end the stream, not traceback.  The first ``EPIPE`` flips
+    :attr:`closed` (commands use it to stop producing) and points the
+    dangling stdout fd at devnull so the interpreter's exit flush
+    cannot raise again."""
+
+    def __init__(self) -> None:
+        self.closed = False
+
+    def line(self, text: str = "") -> bool:
+        """Print ``text`` plus newline; False once the pipe is gone."""
+        return self._emit(text + "\n")
+
+    def write(self, text: str) -> bool:
+        """Print ``text`` exactly as given; False once the pipe is gone."""
+        return self._emit(text)
+
+    def _emit(self, text: str) -> bool:
+        if self.closed:
+            return False
+        try:
+            sys.stdout.write(text)
+            return True
+        except BrokenPipeError:
+            self.quiet()
+            return False
+
+    def quiet(self) -> None:
+        """Hand stdout to devnull after a broken pipe."""
+        self.closed = True
+        import os
+
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except OSError:  # pragma: no cover - nothing left to protect
+            pass
 
 _TYPES = {
     "string": ValueType.STRING, "int": ValueType.INTEGER,
@@ -434,6 +476,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--db", required=True)
     p.add_argument("ids", type=int, nargs="+")
 
+    p = add_parser(
+        "search",
+        help="query and stream matching objects' XML to stdout "
+             "(paginated; pipe-safe, so `repro search | head` just works)",
+    )
+    p.add_argument("--db", required=True)
+    p.add_argument("--attr", dest="attrs", action=_OrderedFlag, default=[])
+    p.add_argument("--elem", dest="elems", action=_OrderedFlag, default=[])
+    p.add_argument("--sub", dest="subs", action=_OrderedFlag, default=[])
+    p.add_argument("--offset", type=int, default=0, metavar="N",
+                   help="skip the first N matches (default: 0)")
+    p.add_argument("--limit", type=int, default=None, metavar="N",
+                   help="stream at most N matches (default: all)")
+    p.add_argument("--user", default=None)
+    p.set_defaults(flag_order=[])
+
+    p = add_parser(
+        "serve",
+        help="serve the catalog over HTTP: a threaded multi-user "
+             "myLEAD front-end with session auth, per-user rate "
+             "limits, and streamed paginated search",
+    )
+    p.add_argument("--db", required=True)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8917,
+                   help="listen port; 0 picks an ephemeral port "
+                        "(default: 8917)")
+    p.add_argument("--rate", type=float, default=None, metavar="R",
+                   help="per-user rate limit in requests/second "
+                        "(default: unlimited)")
+    p.add_argument("--burst", type=float, default=None, metavar="B",
+                   help="rate-limit burst size (default: R)")
+    p.add_argument("--session-ttl", type=float, default=None,
+                   metavar="SECONDS",
+                   help="idle session expiry (default: never)")
+    p.add_argument("--slow-request-ms", type=float, default=None,
+                   metavar="MS",
+                   help="requests slower than MS land in the event-log "
+                        "sidecar as slow_request events")
+    p.add_argument("--page-limit", type=int, default=None, metavar="N",
+                   help="default search page size when the client "
+                        "sends no limit (default: whole result set)")
+
     p = add_parser("schema", help="print the annotated schema")
     p.add_argument("--db")
     p.add_argument("--xsd")
@@ -665,9 +750,12 @@ def _run_events_command(args) -> int:
     if not sidecar.exists():
         print("(no events recorded)")
         return 0
+    writer = PipeSafeWriter()
     for record in tail_events(sidecar, count=args.tail, event=args.event):
+        if writer.closed:
+            break
         if args.json_output:
-            print(json.dumps(record, sort_keys=True))
+            writer.line(json.dumps(record, sort_keys=True))
             continue
         fields = dict(record.get("fields", {}))
         profile = fields.pop("profile", None)
@@ -681,8 +769,8 @@ def _run_events_command(args) -> int:
         stamp = _time.strftime(
             "%H:%M:%S", _time.localtime(record.get("ts", 0.0))
         )
-        print(f"#{record.get('seq'):>4} {stamp} "
-              f"{record.get('event'):<17} {'  '.join(parts)}")
+        writer.line(f"#{record.get('seq'):>4} {stamp} "
+                    f"{record.get('event'):<17} {'  '.join(parts)}")
     return 0
 
 
@@ -724,18 +812,21 @@ def _run_top_command(args, catalog: HybridCatalog) -> int:
             return "-"
         return f"{value * scale:.2f}"
 
-    print(f"{'frame':>5}  {'qps':>8}  {'err/s':>7}  {'q_p95_ms':>9}  "
-          f"{'lock_p95_ms':>11}  {'pool_p95_ms':>11}  {'queue':>5}")
+    writer = PipeSafeWriter()
+    writer.line(f"{'frame':>5}  {'qps':>8}  {'err/s':>7}  {'q_p95_ms':>9}  "
+                f"{'lock_p95_ms':>11}  {'pool_p95_ms':>11}  {'queue':>5}")
     try:
         for frame in range(1, args.frames + 1):
+            if writer.closed:
+                break  # the consumer hung up; stop sampling early
             _time.sleep(args.interval)
             sampled = collector.sample()
-            print(f"{frame:>5}  {cell(sampled.get('qps')):>8}  "
-                  f"{cell(sampled.get('error_rate')):>7}  "
-                  f"{cell(sampled.get('query_p95'), 1e3):>9}  "
-                  f"{cell(sampled.get('lock_wait_p95'), 1e3):>11}  "
-                  f"{cell(sampled.get('pool_wait_p95'), 1e3):>11}  "
-                  f"{cell(sampled.get('pool_queue_depth')):>5}")
+            writer.line(f"{frame:>5}  {cell(sampled.get('qps')):>8}  "
+                        f"{cell(sampled.get('error_rate')):>7}  "
+                        f"{cell(sampled.get('query_p95'), 1e3):>9}  "
+                        f"{cell(sampled.get('lock_wait_p95'), 1e3):>11}  "
+                        f"{cell(sampled.get('pool_wait_p95'), 1e3):>11}  "
+                        f"{cell(sampled.get('pool_queue_depth')):>5}")
     finally:
         stop.set()
         for worker in workers:
@@ -933,9 +1024,13 @@ def _run_command(args, registry: MetricsRegistry) -> int:
         print(f"{len(ids)} matching object(s): {ids}")
         if args.fetch and ids:
             responses = catalog.fetch(ids)
+            writer = PipeSafeWriter()
             for object_id in ids:
-                print(f"--- object {object_id} ({catalog.object_name(object_id)})")
-                print(responses[object_id])
+                if not writer.line(
+                    f"--- object {object_id} "
+                    f"({catalog.object_name(object_id)})"
+                ) or not writer.line(responses[object_id]):
+                    break
         return 0
 
     if args.command == "explain":
@@ -976,12 +1071,69 @@ def _run_command(args, registry: MetricsRegistry) -> int:
     if args.command == "fetch":
         responses = catalog.fetch(args.ids)
         missing = [i for i in args.ids if i not in responses]
+        writer = PipeSafeWriter()
         for object_id in args.ids:
             if object_id in responses:
-                print(responses[object_id])
+                if not writer.line(responses[object_id]):
+                    break
         if missing:
             print(f"error: no objects {missing}", file=sys.stderr)
             return 1
+        return 0
+
+    if args.command == "search":
+        if args.offset < 0 or (args.limit is not None and args.limit < 0):
+            print("error: --offset and --limit must be >= 0",
+                  file=sys.stderr)
+            return 1
+        query = _build_query(args.attrs, args.elems, args.subs,
+                             args.flag_order)
+        ids = catalog.query(query, user=args.user)
+        end = None if args.limit is None else args.offset + args.limit
+        page = ids[args.offset:end]
+        # The summary goes to stderr so stdout stays pure XML
+        # (pipeable into xmllint or head).
+        print(f"{len(ids)} matching object(s); streaming {len(page)} "
+              f"from offset {args.offset}", file=sys.stderr)
+        writer = PipeSafeWriter()
+        for start in range(0, len(page), 64):
+            chunk = page[start:start + 64]
+            responses = catalog.fetch(chunk)
+            for object_id in chunk:
+                if not writer.write(responses[object_id]):
+                    return 0
+        return 0
+
+    if args.command == "serve":
+        if isinstance(catalog, ShardedCatalog):
+            print("error: serve requires an unsharded catalog "
+                  "(shard-per-process serving is a roadmap item)",
+                  file=sys.stderr)
+            return 1
+        service = MyLeadService(catalog.schema, catalog)
+        config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            rate_limit=args.rate,
+            burst=args.burst,
+            session_ttl=args.session_ttl,
+            slow_request_threshold=(
+                args.slow_request_ms / 1000.0
+                if args.slow_request_ms is not None else None
+            ),
+            default_page_limit=args.page_limit,
+        )
+        server = CatalogServer(service, config)
+        # flush=True: the CI smoke test parses the port from this line
+        # through a pipe, where stdout is block-buffered.
+        print(f"serving catalog {args.db} on {server.url}", flush=True)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.close()
+        print("server stopped")
         return 0
 
     if args.command == "fsck":

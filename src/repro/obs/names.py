@@ -174,6 +174,20 @@ METRICS: Dict[str, MetricSpec] = _declare(
                "myLEAD service operations by kind and user", ("op", "user")),
     MetricSpec("service_visibility_denied_total", "counter",
                "objects withheld from a user by the visibility check"),
+    # -- HTTP server ----------------------------------------------------
+    MetricSpec("server_requests_total", "counter",
+               "HTTP requests served, by endpoint and status class",
+               ("endpoint", "status")),
+    MetricSpec("server_request_seconds", "histogram",
+               "HTTP request wall time by endpoint", ("endpoint",)),
+    MetricSpec("server_rate_limited_total", "counter",
+               "requests rejected by the per-user rate limiter"),
+    MetricSpec("server_auth_failures_total", "counter",
+               "requests rejected for a missing or invalid session token"),
+    MetricSpec("server_sessions", "gauge",
+               "session tokens currently active"),
+    MetricSpec("server_streamed_objects_total", "counter",
+               "XML objects written through streamed search responses"),
 )
 
 
@@ -232,6 +246,9 @@ EVENTS: Dict[str, EventSpec] = _declare_events(
               ("site",)),
     EventSpec("cache_invalidated",
               "the result cache dropped every entry", ("cause",)),
+    EventSpec("slow_request",
+              "an HTTP request above the server's slow threshold",
+              ("endpoint", "user", "status", "seconds", "threshold")),
 )
 
 

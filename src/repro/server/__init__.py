@@ -1,0 +1,36 @@
+"""``repro.server`` — a threaded HTTP front-end for the myLEAD service.
+
+The paper's myLEAD is a catalog grid users reach over the network; AMGA
+(Santos & Koblitz) is the model for serving one metadata catalog to
+many concurrent clients with per-user access control.  This package is
+that front-end, on the stdlib only:
+
+* :mod:`.auth` — session tokens scoped to a service user;
+* :mod:`.ratelimit` — per-user token-bucket request limiting;
+* :mod:`.protocol` — the JSON wire format for queries and payloads;
+* :mod:`.app` — the :class:`CatalogServer` itself: a
+  ``ThreadingHTTPServer`` over one shared multi-user
+  :class:`~repro.grid.service.MyLeadService` (its RWLock-guarded
+  bookkeeping and the store's pooled readers make threaded serving
+  safe), with request metrics, slow-request events, and chunked
+  streaming of paginated XML search results.
+
+``repro serve`` starts one from the CLI; E16 load-tests it.
+"""
+
+from .app import CatalogServer, ServerConfig
+from .auth import SessionManager
+from .client import CatalogClient
+from .protocol import criteria_to_payload, query_from_payload, query_to_payload
+from .ratelimit import RateLimiter
+
+__all__ = [
+    "CatalogClient",
+    "CatalogServer",
+    "RateLimiter",
+    "ServerConfig",
+    "SessionManager",
+    "criteria_to_payload",
+    "query_from_payload",
+    "query_to_payload",
+]

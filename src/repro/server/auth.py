@@ -1,0 +1,105 @@
+"""Session-token authentication for the catalog server.
+
+A session binds an opaque token to a service user name.  Tokens are
+bearer credentials: every authenticated request carries one in the
+``Authorization`` header and is scoped to the session's user — the
+server never trusts a client-supplied user name directly (AMGA's
+per-connection identity, translated to HTTP).
+
+Sessions optionally expire after ``ttl`` seconds of inactivity; the
+clock is injectable so expiry is testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+__all__ = ["Session", "SessionManager"]
+
+
+class Session:
+    __slots__ = ("token", "user", "last_used")
+
+    def __init__(self, token: str, user: str, last_used: float) -> None:
+        self.token = token
+        self.user = user
+        self.last_used = last_used
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Session(user={self.user!r})"
+
+
+class SessionManager:
+    """Thread-safe token → user bookkeeping with idle expiry.
+
+    ``on_change`` (when given) is called with the active-session count
+    after every open/close/expiry — the server points it at its
+    ``server_sessions`` gauge.
+    """
+
+    def __init__(
+        self,
+        ttl: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+        on_change: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        if ttl is not None and ttl <= 0:
+            raise ValueError("session ttl must be positive")
+        self.ttl = ttl
+        self._clock = clock
+        self._on_change = on_change
+        self._lock = threading.Lock()
+        self._sessions: Dict[str, Session] = {}
+
+    def open(self, user: str) -> str:
+        """Open a session for ``user`` and return its bearer token."""
+        token = secrets.token_hex(16)
+        with self._lock:
+            self._sessions[token] = Session(token, user, self._clock())
+            count = len(self._sessions)
+        self._notify(count)
+        return token
+
+    def resolve(self, token: Optional[str]) -> Optional[str]:
+        """The user a live token belongs to; ``None`` for unknown or
+        expired tokens.  Resolving refreshes the idle timer."""
+        if not token:
+            return None
+        now = self._clock()
+        expired = False
+        with self._lock:
+            session = self._sessions.get(token)
+            if session is None:
+                return None
+            if self.ttl is not None and now - session.last_used > self.ttl:
+                del self._sessions[token]
+                count = len(self._sessions)
+                expired = True
+            else:
+                session.last_used = now
+        if expired:
+            self._notify(count)
+            return None
+        return session.user
+
+    def close(self, token: str) -> bool:
+        """Invalidate a token; True if it was live."""
+        with self._lock:
+            session = self._sessions.pop(token, None)
+            count = len(self._sessions)
+        if session is not None:
+            self._notify(count)
+        return session is not None
+
+    def active(self) -> int:
+        """Live session count (expired-but-unresolved tokens included
+        until something touches them)."""
+        with self._lock:
+            return len(self._sessions)
+
+    def _notify(self, count: int) -> None:
+        if self._on_change is not None:
+            self._on_change(count)

@@ -1,0 +1,160 @@
+"""A minimal stdlib client for the catalog server.
+
+One :class:`CatalogClient` wraps one persistent ``http.client``
+connection (HTTP/1.1 keep-alive) — it is deliberately **not**
+thread-safe; give each client thread its own instance, as the E16 load
+harness and the CI smoke test do.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.query import ObjectQuery
+from .protocol import query_to_payload
+
+__all__ = ["CatalogClient", "SearchPage"]
+
+
+class SearchPage:
+    """One streamed search response, reassembled client-side."""
+
+    __slots__ = ("total", "ids", "body", "offset")
+
+    def __init__(self, total: int, ids: List[int], body: str,
+                 offset: int) -> None:
+        self.total = total
+        self.ids = ids
+        self.body = body
+        self.offset = offset
+
+
+class CatalogClient:
+    def __init__(self, host: str, port: int,
+                 token: Optional[str] = None,
+                 timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.token = token
+        self._conn = http.client.HTTPConnection(host, port, timeout=timeout)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "CatalogClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def request(
+        self, method: str, path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One round trip; returns (status, headers, body bytes)."""
+        headers = {}
+        if self.token:
+            headers["Authorization"] = f"Bearer {self.token}"
+        body = None
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        try:
+            self._conn.request(method, path, body=body, headers=headers)
+            response = self._conn.getresponse()
+        except (http.client.NotConnected, http.client.CannotSendRequest,
+                BrokenPipeError, ConnectionError):
+            # The server (or an idle timeout) dropped the keep-alive
+            # connection; reconnect once and replay.
+            self._conn.close()
+            self._conn.request(method, path, body=body, headers=headers)
+            response = self._conn.getresponse()
+        data = response.read()
+        return response.status, dict(response.getheaders()), data
+
+    def json(self, method: str, path: str,
+             payload: Optional[Dict[str, Any]] = None,
+             ) -> Tuple[int, Dict[str, Any]]:
+        status, _headers, data = self.request(method, path, payload)
+        return status, json.loads(data) if data else {}
+
+    # ------------------------------------------------------------------
+    # Convenience endpoints
+    # ------------------------------------------------------------------
+    def create_user(self, user: str) -> Tuple[int, Dict[str, Any]]:
+        return self.json("POST", "/v1/users", {"user": user})
+
+    def open_session(self, user: str) -> str:
+        """Open a session and adopt its token for later requests."""
+        status, body = self.json("POST", "/v1/sessions", {"user": user})
+        if status != 201:
+            raise RuntimeError(f"session open failed ({status}): {body}")
+        self.token = body["token"]
+        return self.token
+
+    def close_session(self) -> Tuple[int, Dict[str, Any]]:
+        status, body = self.json("DELETE", "/v1/sessions")
+        self.token = None
+        return status, body
+
+    def create_experiment(self, name: str) -> Tuple[int, Dict[str, Any]]:
+        return self.json("POST", "/v1/experiments", {"name": name})
+
+    def add_file(self, experiment_id: int, document: str,
+                 name: str = "", public: bool = False,
+                 ) -> Tuple[int, Dict[str, Any]]:
+        return self.json("POST", "/v1/files", {
+            "experiment_id": experiment_id,
+            "document": document,
+            "name": name,
+            "public": public,
+        })
+
+    def publish(self, object_id: int) -> Tuple[int, Dict[str, Any]]:
+        return self.json("POST", "/v1/publish", {"object_id": object_id})
+
+    def unpublish(self, object_id: int) -> Tuple[int, Dict[str, Any]]:
+        return self.json("POST", "/v1/unpublish", {"object_id": object_id})
+
+    def query(self, query: ObjectQuery) -> Tuple[int, Dict[str, Any]]:
+        return self.json("POST", "/v1/query",
+                         {"query": query_to_payload(query)})
+
+    def fetch(self, ids: Sequence[int]) -> Tuple[int, Dict[str, Any]]:
+        return self.json("POST", "/v1/fetch", {"ids": list(ids)})
+
+    def search(self, query: ObjectQuery, offset: int = 0,
+               limit: Optional[int] = None) -> SearchPage:
+        """One page of streamed search results, reassembled."""
+        payload: Dict[str, Any] = {
+            "query": query_to_payload(query), "offset": offset,
+        }
+        if limit is not None:
+            payload["limit"] = limit
+        status, headers, data = self.request("POST", "/v1/search", payload)
+        if status != 200:
+            body = json.loads(data) if data else {}
+            raise RuntimeError(f"search failed ({status}): {body}")
+        ids = [
+            int(i) for i in headers.get("X-Object-Ids", "").split(",") if i
+        ]
+        return SearchPage(
+            int(headers.get("X-Total-Matches", "0")),
+            ids,
+            data.decode("utf-8"),
+            int(headers.get("X-Offset", "0")),
+        )
+
+    def health(self) -> Tuple[int, Dict[str, Any]]:
+        return self.json("GET", "/v1/health")
+
+    def metrics_text(self) -> str:
+        status, _headers, data = self.request("GET", "/v1/metrics")
+        if status != 200:
+            raise RuntimeError(f"metrics failed ({status})")
+        return data.decode("utf-8")

@@ -1,0 +1,116 @@
+"""The JSON wire format for catalog queries.
+
+Clients POST a criteria tree as JSON; the server rebuilds the same
+:class:`~repro.core.query.ObjectQuery` the in-process API takes, so the
+whole planner/executor stack behind the HTTP front-end is unchanged.
+
+Wire shape (``source`` defaults to ``""``; an element without a
+``source`` inherits its attribute's)::
+
+    {"attrs": [
+        {"name": "grid", "source": "ARPS",
+         "elems": [{"name": "dx", "op": "=", "value": 1000.0}],
+         "subs":  [{"name": "stretching", "elems": [...]}]}
+    ]}
+
+Operators use the CLI's spellings (``=``/``==``, ``!=``, ``<``, ``<=``,
+``>``, ``>=``, ``contains``) plus ``in`` for set membership.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..core.query import AttributeCriteria, ObjectQuery, Op
+from ..errors import CatalogError
+
+__all__ = [
+    "OPS",
+    "criteria_to_payload",
+    "query_from_payload",
+    "query_to_payload",
+]
+
+OPS: Dict[str, Op] = {
+    "=": Op.EQ, "==": Op.EQ, "!=": Op.NE, "<": Op.LT, "<=": Op.LE,
+    ">": Op.GT, ">=": Op.GE, "contains": Op.CONTAINS, "in": Op.IN_SET,
+}
+
+
+def _bad(message: str) -> CatalogError:
+    return CatalogError(f"bad query payload: {message}")
+
+
+def _criteria_from(payload: Any, depth: int = 0) -> AttributeCriteria:
+    if not isinstance(payload, dict):
+        raise _bad(f"attribute criteria must be an object, got {type(payload).__name__}")
+    name = payload.get("name")
+    if not isinstance(name, str) or not name:
+        raise _bad("attribute criteria needs a non-empty 'name'")
+    source = payload.get("source", "")
+    if not isinstance(source, str):
+        raise _bad(f"attribute source must be a string, got {source!r}")
+    criteria = AttributeCriteria(name, source)
+    elems = payload.get("elems", [])
+    if not isinstance(elems, list):
+        raise _bad("'elems' must be a list")
+    for elem in elems:
+        if not isinstance(elem, dict):
+            raise _bad("element criterion must be an object")
+        elem_name = elem.get("name")
+        if not isinstance(elem_name, str) or not elem_name:
+            raise _bad("element criterion needs a non-empty 'name'")
+        op_token = elem.get("op", "=")
+        op = OPS.get(op_token)
+        if op is None:
+            raise _bad(f"unknown operator {op_token!r}; one of {sorted(OPS)}")
+        value = elem.get("value")
+        if op is Op.IN_SET:
+            if not isinstance(value, list):
+                raise _bad("'in' operator needs a list value")
+            value = set(value)
+        criteria.add_element(elem_name, elem.get("source"), value, op)
+    subs = payload.get("subs", [])
+    if not isinstance(subs, list):
+        raise _bad("'subs' must be a list")
+    if subs and depth > 0:
+        raise _bad("sub-attribute criteria cannot nest further")
+    for sub in subs:
+        criteria.add_attribute(_criteria_from(sub, depth + 1))
+    return criteria
+
+
+def query_from_payload(payload: Any) -> ObjectQuery:
+    """Rebuild an :class:`ObjectQuery` from its wire representation."""
+    if not isinstance(payload, dict):
+        raise _bad(f"query must be an object, got {type(payload).__name__}")
+    attrs = payload.get("attrs")
+    if not isinstance(attrs, list) or not attrs:
+        raise _bad("query needs a non-empty 'attrs' list")
+    query = ObjectQuery()
+    for attr in attrs:
+        query.add_attribute(_criteria_from(attr))
+    return query
+
+
+def criteria_to_payload(criteria: AttributeCriteria) -> Dict[str, Any]:
+    """The wire representation of one criteria subtree (client half)."""
+    out: Dict[str, Any] = {"name": criteria.name, "source": criteria.source}
+    if criteria.elements:
+        out["elems"] = [
+            {
+                "name": elem.name,
+                "source": elem.source,
+                "op": elem.op.value,
+                "value": sorted(elem.value) if elem.op is Op.IN_SET else elem.value,
+            }
+            for elem in criteria.elements
+        ]
+    if criteria.sub_attributes:
+        out["subs"] = [criteria_to_payload(sub) for sub in criteria.sub_attributes]
+    return out
+
+
+def query_to_payload(query: ObjectQuery) -> Dict[str, List[Dict[str, Any]]]:
+    """The wire representation of a whole query (client half)."""
+    return {"attrs": [criteria_to_payload(attr) for attr in query.attributes]}

@@ -1,0 +1,62 @@
+"""Per-user token-bucket rate limiting for the catalog server.
+
+Each user gets a bucket holding up to ``burst`` tokens that refills at
+``rate`` tokens/second; a request spends one token or is rejected.
+``rate=None`` disables limiting entirely (the default for in-process
+and benchmark use).  The clock is injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+__all__ = ["RateLimiter"]
+
+
+class RateLimiter:
+    def __init__(
+        self,
+        rate: Optional[float],
+        burst: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be positive (or None for unlimited)")
+        if burst is not None and burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate = rate
+        self.burst = burst if burst is not None else (rate if rate else 1.0)
+        self._clock = clock
+        self._lock = threading.Lock()
+        # user -> (tokens, last refill stamp)
+        self._buckets: Dict[str, list] = {}
+
+    def allow(self, user: str) -> bool:
+        """Spend one token from ``user``'s bucket; False when empty."""
+        if self.rate is None:
+            return True
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(user)
+            if bucket is None:
+                bucket = [self.burst, now]
+                self._buckets[user] = bucket
+            tokens, stamp = bucket
+            tokens = min(self.burst, tokens + (now - stamp) * self.rate)
+            if tokens < 1.0:
+                bucket[0] = tokens
+                bucket[1] = now
+                return False
+            bucket[0] = tokens - 1.0
+            bucket[1] = now
+            return True
+
+    def reset(self, user: Optional[str] = None) -> None:
+        """Forget one user's bucket (or all of them)."""
+        with self._lock:
+            if user is None:
+                self._buckets.clear()
+            else:
+                self._buckets.pop(user, None)

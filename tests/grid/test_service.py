@@ -108,6 +108,69 @@ class TestVisibility:
         assert service.experiment_contents("bob", exp) == []
 
 
+class TestVisibilityEdgeCases:
+    def test_unpublish_mid_query_hides_object(self, service):
+        """An unpublish landing between the catalog match and the
+        visibility filter must hide the object from the result — the
+        filter sees the bookkeeping as of one consistent point."""
+        exp = service.create_experiment("ann", "e1")
+        receipt = service.add_file("ann", exp, FIG3_DOCUMENT, public=True)
+        real_query = service.catalog.query
+
+        def query_then_unpublish(query, **kwargs):
+            ids = real_query(query, **kwargs)
+            service.unpublish("ann", receipt.object_id)
+            return ids
+
+        service.catalog.query = query_then_unpublish
+        try:
+            assert service.query("bob", theme_query()) == []
+        finally:
+            service.catalog.query = real_query
+
+    def test_mixed_fetch_counts_every_denied_object(self, service):
+        """A fetch mixing visible and invisible ids raises, names every
+        hidden id, and bumps the denied counter once per hidden object
+        (it used to stop at the first)."""
+        exp = service.create_experiment("ann", "e1")
+        own = service.add_file("ann", exp, FIG3_DOCUMENT, name="own")
+        hidden_a = service.add_file("ann", exp, FIG3_DOCUMENT, name="h1")
+        hidden_b = service.add_file("ann", exp, FIG3_DOCUMENT, name="h2")
+        service.publish("ann", own.object_id)
+        denied = service.catalog.metrics.counter("service_visibility_denied_total")
+        before = denied.value
+        with pytest.raises(CatalogError, match="not visible") as err:
+            service.fetch(
+                "bob", [own.object_id, hidden_a.object_id, hidden_b.object_id]
+            )
+        assert denied.value == before + 2
+        assert str(hidden_a.object_id) in str(err.value)
+        assert str(hidden_b.object_id) in str(err.value)
+
+    def test_experiment_contents_for_foreign_user(self, service):
+        """A foreign user sees only the published subset of another
+        user's experiment."""
+        exp = service.create_experiment("ann", "e1")
+        private = service.add_file("ann", exp, FIG3_DOCUMENT, name="priv")
+        public = service.add_file("ann", exp, FIG3_DOCUMENT, public=True)
+        assert service.experiment_contents("bob", exp) == [public.object_id]
+        assert private.object_id not in service.experiment_contents("bob", exp)
+
+    def test_provenance_cycle_rejected_through_chain(self, service):
+        """A cycle closed through a multi-hop derivation chain
+        (a <- b <- c, then a derives from c) is rejected."""
+        exp = service.create_experiment("ann", "e1")
+        a = service.add_file("ann", exp, FIG3_DOCUMENT, name="a").object_id
+        b = service.add_file("ann", exp, FIG3_DOCUMENT, name="b").object_id
+        c = service.add_file("ann", exp, FIG3_DOCUMENT, name="c").object_id
+        service.record_derivation("ann", b, a)
+        service.record_derivation("ann", c, b)
+        with pytest.raises(CatalogError, match="cycle"):
+            service.record_derivation("ann", a, c)
+        # The chain itself is intact and walkable.
+        assert service.provenance_closure(c) == {a, b}
+
+
 class TestPrivateDefinitions:
     def test_private_attribute_scoped_to_user(self, service):
         attr = service.define_private_attribute("ann", "my-model", "ARPS")

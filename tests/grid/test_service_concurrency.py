@@ -1,0 +1,206 @@
+"""Thread-safety regressions for the service facade.
+
+The service bookkeeping dicts were originally unguarded; these tests
+drive the exact interleavings that corrupted them — publish/unpublish
+racing a query's visibility filter, concurrent create_user of the same
+name, and a mixed 16-thread storm — and pin the metering contract
+(one public op == one ``service_ops_total`` increment).
+"""
+
+import threading
+
+import pytest
+
+from repro.core import AttributeCriteria, HybridCatalog, ObjectQuery
+from repro.core.integrity import check_catalog
+from repro.errors import CatalogError
+from repro.grid import FIG3_DOCUMENT, MyLeadService, lead_schema
+from repro.obs import MetricsRegistry
+
+
+def theme_query():
+    return ObjectQuery().add_attribute(AttributeCriteria("theme"))
+
+
+def _service(registry=None):
+    registry = registry if registry is not None else MetricsRegistry()
+    catalog = HybridCatalog(lead_schema(), metrics=registry)
+    return MyLeadService(lead_schema(), catalog)
+
+
+def _ops_by_label(registry):
+    family = registry.get("service_ops_total")
+    return {
+        (labels["op"], labels["user"]): metric.value
+        for labels, metric in family.series()
+    }
+
+
+class TestPublishWhileQuery:
+    def test_publish_unpublish_racing_queries(self):
+        """A publish/unpublish toggle racing queries must never crash
+        the visibility filter, and every query must observe either the
+        published or the unpublished state — nothing in between."""
+        service = _service()
+        service.create_user("ann")
+        service.create_user("bob")
+        exp = service.create_experiment("ann", "e1")
+        receipts = [
+            service.add_file("ann", exp, FIG3_DOCUMENT, name=f"f{i}")
+            for i in range(4)
+        ]
+        ids = [r.object_id for r in receipts]
+        stop = threading.Event()
+        errors = []
+
+        def toggler():
+            try:
+                while not stop.is_set():
+                    for oid in ids:
+                        service.publish("ann", oid)
+                    for oid in ids:
+                        service.unpublish("ann", oid)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def querier():
+            try:
+                for _ in range(60):
+                    seen = service.query("bob", theme_query())
+                    # bob owns nothing: everything he sees was published.
+                    assert set(seen) <= set(ids)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=toggler)]
+        threads += [threading.Thread(target=querier) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads[1:]:
+            t.join()
+        stop.set()
+        threads[0].join()
+        assert errors == []
+
+    def test_concurrent_create_user_single_winner(self):
+        """The check-then-act race: exactly one of N racing creates of
+        the same name succeeds."""
+        service = _service()
+        barrier = threading.Barrier(8)
+        outcomes = []
+
+        def create():
+            barrier.wait()
+            try:
+                service.create_user("carol")
+                outcomes.append("ok")
+            except CatalogError:
+                outcomes.append("dup")
+
+        threads = [threading.Thread(target=create) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert outcomes.count("ok") == 1
+        assert service.users() == ["carol"]
+
+    def test_mixed_storm_leaves_catalog_consistent(self):
+        """16 threads of mixed create/add/publish/query/fetch: no
+        exceptions, fsck-clean catalog, bookkeeping consistent."""
+        service = _service()
+        for i in range(16):
+            service.create_user(f"u{i}")
+        experiments = {
+            f"u{i}": service.create_experiment(f"u{i}", f"exp-{i}")
+            for i in range(16)
+        }
+        errors = []
+
+        def worker(i):
+            user = f"u{i}"
+            try:
+                for round_no in range(5):
+                    receipt = service.add_file(
+                        user, experiments[user], FIG3_DOCUMENT,
+                        name=f"{user}-{round_no}",
+                    )
+                    service.publish(user, receipt.object_id)
+                    visible = service.query(user, theme_query())
+                    assert receipt.object_id in visible
+                    docs = service.fetch(user, [receipt.object_id])
+                    assert receipt.object_id in docs
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert check_catalog(service.catalog) == []
+        # Every file registered exactly once, under its owner.
+        for i in range(16):
+            user = f"u{i}"
+            contents = service.experiment_contents(user, experiments[user])
+            assert len(contents) == 5
+
+
+class TestOpsAccounting:
+    def test_search_counts_one_op(self):
+        """One search == one service op: the query and fetch legs it is
+        composed of must not increment their own labels (regression:
+        search used to count as three ops)."""
+        registry = MetricsRegistry()
+        service = _service(registry)
+        service.create_user("ann")
+        exp = service.create_experiment("ann", "e1")
+        service.add_file("ann", exp, FIG3_DOCUMENT, name="f1")
+        before = _ops_by_label(registry)
+        service.search("ann", theme_query())
+        after = _ops_by_label(registry)
+        assert after[("search", "ann")] == before.get(("search", "ann"), 0) + 1
+        assert after.get(("query", "ann"), 0) == before.get(("query", "ann"), 0)
+        assert after.get(("fetch", "ann"), 0) == before.get(("fetch", "ann"), 0)
+
+    def test_each_public_op_counts_exactly_once(self):
+        registry = MetricsRegistry()
+        service = _service(registry)
+        service.create_user("ann")
+        exp = service.create_experiment("ann", "e1")
+        receipt = service.add_file("ann", exp, FIG3_DOCUMENT, name="f1")
+        service.publish("ann", receipt.object_id)
+        service.query("ann", theme_query())
+        service.fetch("ann", [receipt.object_id])
+        service.search("ann", theme_query())
+        service.unpublish("ann", receipt.object_id)
+        assert _ops_by_label(registry) == {
+            ("create_user", "ann"): 1,
+            ("create_experiment", "ann"): 1,
+            ("add_file", "ann"): 1,
+            ("publish", "ann"): 1,
+            ("query", "ann"): 1,
+            ("fetch", "ann"): 1,
+            ("search", "ann"): 1,
+            ("unpublish", "ann"): 1,
+        }
+
+    def test_search_runs_visibility_filter_once(self):
+        """The fetch leg of search trusts the filtered id list: the
+        denied counter must not move for a search that only returns
+        visible objects (it used to double-filter)."""
+        registry = MetricsRegistry()
+        service = _service(registry)
+        service.create_user("ann")
+        service.create_user("bob")
+        exp = service.create_experiment("ann", "e1")
+        service.add_file("ann", exp, FIG3_DOCUMENT, name="f1")
+        denied = registry.counter("service_visibility_denied_total")
+        before = denied.value
+        results = service.search("ann", theme_query())
+        assert len(results) == 1
+        assert denied.value == before
+        # bob is denied ann's file exactly once per search.
+        service.search("bob", theme_query())
+        assert denied.value == before + 1

@@ -1,0 +1,78 @@
+"""JSON wire-format round trips for the query protocol."""
+
+import pytest
+
+from repro.core import AttributeCriteria, ObjectQuery, Op
+from repro.errors import CatalogError
+from repro.server import query_from_payload, query_to_payload
+
+
+def fig3_style_query():
+    grid = AttributeCriteria("grid", "ARPS")
+    grid.add_element("dx", None, 1000.0, Op.EQ)
+    stretch = AttributeCriteria("stretching", "ARPS")
+    stretch.add_element("dzmin", None, 100.0, Op.GE)
+    grid.add_attribute(stretch)
+    return ObjectQuery().add_attribute(grid)
+
+
+def _flatten(query):
+    out = []
+    for attr in query.attributes:
+        out.append((attr.name, attr.source))
+        for elem in attr.elements:
+            out.append((elem.name, elem.source, elem.op, elem.value))
+        for sub in attr.sub_attributes:
+            out.append(("sub", sub.name, sub.source))
+            for elem in sub.elements:
+                out.append((elem.name, elem.source, elem.op, elem.value))
+    return out
+
+
+class TestRoundTrip:
+    def test_query_survives_the_wire(self):
+        query = fig3_style_query()
+        rebuilt = query_from_payload(query_to_payload(query))
+        assert _flatten(rebuilt) == _flatten(query)
+
+    def test_all_operators_round_trip(self):
+        attr = AttributeCriteria("grid", "ARPS")
+        for op in (Op.EQ, Op.NE, Op.LT, Op.LE, Op.GT, Op.GE, Op.CONTAINS):
+            attr.add_element("dx", None, 1, op)
+        attr.add_element("dz", None, {1, 2, 3}, Op.IN_SET)
+        query = ObjectQuery().add_attribute(attr)
+        rebuilt = query_from_payload(query_to_payload(query))
+        ops = [e.op for a in rebuilt.attributes for e in a.elements]
+        assert ops == [Op.EQ, Op.NE, Op.LT, Op.LE, Op.GT, Op.GE,
+                       Op.CONTAINS, Op.IN_SET]
+        assert rebuilt.attributes[0].elements[-1].value == {1, 2, 3}
+
+    def test_elem_source_inherits_attribute_source(self):
+        query = query_from_payload(
+            {"attrs": [{"name": "grid", "source": "ARPS",
+                        "elems": [{"name": "dx", "op": "=", "value": 1}]}]}
+        )
+        assert query.attributes[0].elements[0].source == "ARPS"
+
+
+class TestRejection:
+    @pytest.mark.parametrize("payload", [
+        None,
+        [],
+        {},
+        {"attrs": []},
+        {"attrs": "grid"},
+        {"attrs": [{"source": "ARPS"}]},
+        {"attrs": [{"name": ""}]},
+        {"attrs": [{"name": "grid", "elems": "nope"}]},
+        {"attrs": [{"name": "grid", "elems": [{"op": "="}]}]},
+        {"attrs": [{"name": "grid",
+                    "elems": [{"name": "dx", "op": "~", "value": 1}]}]},
+        {"attrs": [{"name": "grid",
+                    "elems": [{"name": "dx", "op": "in", "value": 7}]}]},
+        {"attrs": [{"name": "grid",
+                    "subs": [{"name": "a", "subs": [{"name": "b"}]}]}]},
+    ])
+    def test_malformed_payloads_rejected(self, payload):
+        with pytest.raises(CatalogError, match="bad query payload"):
+            query_from_payload(payload)

@@ -1,0 +1,65 @@
+"""Token-bucket rate limiter unit tests (injectable clock)."""
+
+import pytest
+
+from repro.server import RateLimiter
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestRateLimiter:
+    def test_unlimited_by_default(self):
+        limiter = RateLimiter(None)
+        assert all(limiter.allow("ann") for _ in range(10_000))
+
+    def test_burst_then_refusal(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, burst=5, clock=clock)
+        assert [limiter.allow("ann") for _ in range(6)] == [True] * 5 + [False]
+
+    def test_refill_restores_tokens(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=2.0, burst=2, clock=clock)
+        assert limiter.allow("ann")
+        assert limiter.allow("ann")
+        assert not limiter.allow("ann")
+        clock.advance(0.5)  # 2 tokens/s * 0.5s = 1 token back
+        assert limiter.allow("ann")
+        assert not limiter.allow("ann")
+
+    def test_users_have_independent_buckets(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, burst=1, clock=clock)
+        assert limiter.allow("ann")
+        assert not limiter.allow("ann")
+        assert limiter.allow("bob")
+
+    def test_bucket_never_exceeds_burst(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=10.0, burst=3, clock=clock)
+        clock.advance(100.0)  # a long idle period must not bank tokens
+        allowed = sum(limiter.allow("ann") for _ in range(10))
+        assert allowed == 3
+
+    def test_reset(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, burst=1, clock=clock)
+        assert limiter.allow("ann")
+        assert not limiter.allow("ann")
+        limiter.reset("ann")
+        assert limiter.allow("ann")
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            RateLimiter(rate=0)
+        with pytest.raises(ValueError):
+            RateLimiter(rate=1.0, burst=0)

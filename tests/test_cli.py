@@ -621,3 +621,152 @@ class TestShardedCli:
         code, out, _err = run(capsys, "shard-status", "--db", db)
         assert code == 0
         assert "router: user" in out
+
+
+class TestSearchCommand:
+    def test_search_streams_matching_xml(self, loaded, capsys):
+        code, out, err = run(capsys, "search", "--db", loaded,
+                             "--attr", "grid/ARPS")
+        assert code == 0
+        assert "1 matching object(s); streaming 1 from offset 0" in err
+        assert canonical(parse(out)) is not None  # stdout is pure XML
+
+    def test_search_pagination(self, loaded, fig3_file, capsys):
+        run(capsys, "ingest", "--db", loaded, fig3_file)
+        run(capsys, "ingest", "--db", loaded, fig3_file)
+        code, out, err = run(capsys, "search", "--db", loaded,
+                             "--attr", "grid/ARPS",
+                             "--offset", "1", "--limit", "1")
+        assert code == 0
+        assert "3 matching object(s); streaming 1 from offset 1" in err
+        assert out.count("<LEADresource>") == 1
+
+    def test_search_offset_past_end_is_empty(self, loaded, capsys):
+        code, out, err = run(capsys, "search", "--db", loaded,
+                             "--attr", "grid/ARPS", "--offset", "10")
+        assert code == 0
+        assert out == ""
+        assert "streaming 0" in err
+
+    def test_search_negative_flags_rejected(self, loaded, capsys):
+        code, _out, err = run(capsys, "search", "--db", loaded,
+                              "--attr", "grid/ARPS", "--offset", "-1")
+        assert code == 1
+        assert "--offset" in err
+
+    def test_search_through_closed_pipe_never_tracebacks(
+            self, loaded, fig3_file):
+        """The satellite acceptance: `repro search | head` exits
+        cleanly with no BrokenPipeError traceback."""
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        for _ in range(8):  # enough output to overrun the pipe buffer
+            subprocess.run(
+                [sys.executable, "-m", "repro", "ingest",
+                 "--db", loaded, fig3_file],
+                env=env, cwd=os.getcwd(), capture_output=True, check=True,
+            )
+        proc = subprocess.run(
+            f"{sys.executable} -m repro search --db {loaded} "
+            f"--attr grid/ARPS | head -c 64",
+            shell=True, env=env, cwd=os.getcwd(),
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "Traceback" not in proc.stderr
+        assert "BrokenPipeError" not in proc.stderr
+
+
+class TestPipeSafeWriter:
+    def test_goes_quiet_after_broken_pipe(self, monkeypatch):
+        import io
+        import sys as _sys
+
+        from repro.cli import PipeSafeWriter
+
+        writes = []
+
+        class BrokenStdout:
+            def write(self, text):
+                raise BrokenPipeError
+
+            def fileno(self):
+                raise io.UnsupportedOperation("fileno")
+
+        monkeypatch.setattr(_sys, "stdout", BrokenStdout())
+        writer = PipeSafeWriter()
+        assert writer.line("first") is False
+        assert writer.closed is True
+        # Subsequent writes are refused without touching stdout.
+        monkeypatch.setattr(_sys, "stdout", type(
+            "Recorder", (), {"write": staticmethod(writes.append)})())
+        assert writer.write("second") is False
+        assert writes == []
+
+
+class TestServeCommand:
+    def test_serve_refuses_sharded_catalog(self, db, capsys):
+        run(capsys, "init", "--db", db, "--shards", "2")
+        code, _out, err = run(capsys, "serve", "--db", db, "--port", "0")
+        assert code == 1
+        assert "unsharded" in err
+
+    def test_serve_round_trip_and_clean_shutdown(self, loaded):
+        """Start `repro serve` as a subprocess on an ephemeral port,
+        run an authenticated round trip, SIGINT it, expect exit 0."""
+        import os
+        import re
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--db", loaded,
+             "--port", "0"],
+            env=env, cwd=os.getcwd(),
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            line = proc.stdout.readline()
+            match = re.search(r"http://([\d.]+):(\d+)", line)
+            assert match, f"no address line: {line!r}"
+            host, port = match.group(1), int(match.group(2))
+
+            from repro.core import AttributeCriteria, ObjectQuery
+            from repro.server import CatalogClient
+
+            with CatalogClient(host, port) as client:
+                assert client.create_user("ann")[0] == 201
+                client.open_session("ann")
+                status, exp = client.create_experiment("run-1")
+                assert status == 201
+                status, receipt = client.add_file(
+                    exp["experiment_id"], FIG3_DOCUMENT, name="fig3"
+                )
+                assert status == 201
+                query = ObjectQuery().add_attribute(
+                    AttributeCriteria("grid", "ARPS")
+                )
+                status, result = client.query(query)
+                assert status == 200
+                assert receipt["object_id"] in result["ids"]
+                page = client.search(query, limit=1)
+                assert page.total >= 1 and len(page.ids) == 1
+        finally:
+            proc.send_signal(signal.SIGINT)
+            try:
+                out, err = proc.communicate(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                raise
+        assert proc.returncode == 0, err
+        assert "server stopped" in out
+        # A second SIGINT was never needed and nothing tracebacked.
+        assert "Traceback" not in err
